@@ -1,0 +1,71 @@
+//! Analyzer ablation: cycle avoidance (PASSv2) vs the global-graph
+//! cycle-detection-and-merge algorithm (PASSv1).
+//!
+//! The paper's §5.4 motivates the switch: the global algorithm
+//! "proved challenging" and scales poorly because every insertion may
+//! trigger a reachability search over the whole graph. This bench
+//! quantifies the difference on a synthetic stream with the I/O
+//! pattern of a build: many processes each reading shared inputs and
+//! writing private outputs, plus read-modify-write cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use passv2::analyzer::{CycleAvoidance, GlobalGraph};
+use std::hint::black_box;
+
+/// A synthetic dependency stream: `procs` processes, each reading
+/// `reads` shared files, writing one output, then re-reading and
+/// re-writing it (a freeze-inducing pattern).
+fn stream(procs: u64, reads: u64) -> Vec<(u64, u64)> {
+    let mut edges = Vec::new();
+    for p in 0..procs {
+        let proc_id = 1_000_000 + p;
+        for r in 0..reads {
+            // proc depends on shared file r (dedup fodder: 3 times).
+            for _ in 0..3 {
+                edges.push((proc_id, r));
+            }
+        }
+        let out = 2_000_000 + p;
+        edges.push((out, proc_id)); // write
+        edges.push((proc_id, out)); // read back
+        edges.push((out, proc_id)); // write again (cycle risk)
+    }
+    edges
+}
+
+fn bench_analyzers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer");
+    for procs in [50u64, 200] {
+        let edges = stream(procs, 20);
+        group.bench_with_input(
+            BenchmarkId::new("cycle_avoidance_v2", procs),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let mut an = CycleAvoidance::new();
+                    for &(t, s) in edges {
+                        black_box(an.add_dependency(t, s));
+                    }
+                    an.stats()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global_graph_v1", procs),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let mut g = GlobalGraph::new();
+                    for &(t, s) in edges {
+                        black_box(g.add_dependency(t, s));
+                    }
+                    g.merges()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzers);
+criterion_main!(benches);

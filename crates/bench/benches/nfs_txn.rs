@@ -1,0 +1,68 @@
+//! PA-NFS provenance shipping: inline OP_PASSWRITE versus chunked
+//! BEGINTXN/PASSPROV transactions, and the cost of freeze-as-record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpapi::{Attribute, Bundle, Dpapi, ProvenanceRecord, Value, VolumeId};
+use sim_os::clock::Clock;
+use sim_os::cost::CostModel;
+use sim_os::fs::{DpapiVolume, FileSystem};
+use std::hint::black_box;
+
+fn setup() -> (pa_nfs::NfsClient, sim_os::fs::Ino) {
+    let clock = Clock::new();
+    let model = CostModel::default();
+    let server = pa_nfs::pa_server(clock.clone(), model, VolumeId(5));
+    let mut client = pa_nfs::client(&server, clock.clone(), model);
+    let root = client.root();
+    let ino = client.create(root, "target").unwrap();
+    (client, ino)
+}
+
+fn records_bundle(client: &mut pa_nfs::NfsClient, ino: sim_os::fs::Ino, n: usize) -> Bundle {
+    let h = client.handle_for_ino(ino).unwrap();
+    let mut b = Bundle::new();
+    for i in 0..n {
+        b.push(
+            h,
+            ProvenanceRecord::new(
+                Attribute::Other(format!("ATTR{}", i % 7)),
+                Value::str(format!("value payload number {i} with some length to it")),
+            ),
+        );
+    }
+    b
+}
+
+fn bench_nfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pa_nfs");
+    // Small bundles ride OP_PASSWRITE inline; large ones must chunk
+    // through a provenance transaction (64 KB wire block).
+    for n in [10usize, 2000] {
+        group.bench_with_input(BenchmarkId::new("pass_write_records", n), &n, |b, &n| {
+            b.iter_batched(
+                setup,
+                |(mut client, ino)| {
+                    let bundle = records_bundle(&mut client, ino, n);
+                    let h = client.handle_for_ino(ino).unwrap();
+                    black_box(client.pass_write(h, 0, b"data", bundle).unwrap());
+                    client.stats().txns
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("pass_freeze_record", |b| {
+        b.iter_batched(
+            setup,
+            |(mut client, ino)| {
+                let h = client.handle_for_ino(ino).unwrap();
+                black_box(client.pass_freeze(h).unwrap())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nfs);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! PQL query latency versus provenance graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
+use lasagna::LogEntry;
+use std::hint::black_box;
+use waldo::ProvDb;
+
+fn r(n: u64) -> ObjectRef {
+    ObjectRef::new(Pnode::new(VolumeId(1), n), Version(0))
+}
+
+fn prov(subject: ObjectRef, attr: Attribute, value: Value) -> LogEntry {
+    LogEntry::Prov {
+        subject,
+        record: ProvenanceRecord::new(attr, value),
+    }
+}
+
+/// A layered build graph: `files` source files feeding processes
+/// feeding outputs, chained in generations.
+fn build_db(files: u64) -> ProvDb {
+    let mut entries = Vec::new();
+    for i in 0..files {
+        entries.push(prov(r(i), Attribute::Type, Value::str("FILE")));
+        entries.push(prov(r(i), Attribute::Name, Value::str(format!("/src/f{i}.c"))));
+    }
+    for p in 0..files {
+        let proc_id = files + p;
+        entries.push(prov(r(proc_id), Attribute::Type, Value::str("PROC")));
+        entries.push(prov(r(proc_id), Attribute::Input, Value::Xref(r(p))));
+        entries.push(prov(
+            r(proc_id),
+            Attribute::Input,
+            Value::Xref(r((p + 1) % files)),
+        ));
+        let out = 2 * files + p;
+        entries.push(prov(r(out), Attribute::Type, Value::str("FILE")));
+        entries.push(prov(r(out), Attribute::Name, Value::str(format!("/obj/f{p}.o"))));
+        entries.push(prov(r(out), Attribute::Input, Value::Xref(r(proc_id))));
+    }
+    // A final link step depending on every object file.
+    let ld = 3 * files;
+    entries.push(prov(r(ld), Attribute::Type, Value::str("PROC")));
+    for p in 0..files {
+        entries.push(prov(r(ld), Attribute::Input, Value::Xref(r(2 * files + p))));
+    }
+    let image = 3 * files + 1;
+    entries.push(prov(r(image), Attribute::Type, Value::str("FILE")));
+    entries.push(prov(r(image), Attribute::Name, Value::str("/vmlinux")));
+    entries.push(prov(r(image), Attribute::Input, Value::Xref(r(ld))));
+    let mut db = ProvDb::new();
+    db.ingest(&entries);
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pql");
+    for files in [100u64, 400] {
+        let db = build_db(files);
+        group.bench_with_input(
+            BenchmarkId::new("full_ancestry_closure", files),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let rs = pql::query(
+                        "select A from Provenance.file as F F.input* as A \
+                         where F.name = '/vmlinux'",
+                        db,
+                    )
+                    .unwrap();
+                    black_box(rs.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("name_filter_only", files),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let rs = pql::query(
+                        "select F.name from Provenance.file as F \
+                         where F.name like '/obj/*'",
+                        db,
+                    )
+                    .unwrap();
+                    black_box(rs.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count_aggregate", files),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let rs = pql::query(
+                        "select count(A) from Provenance.file as F F.input+ as A \
+                         where F.name = '/vmlinux'",
+                        db,
+                    )
+                    .unwrap();
+                    black_box(rs.rows[0][0].clone())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Waldo ingest throughput: log entries per second into the indexed
+//! database.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
+use lasagna::LogEntry;
+use std::hint::black_box;
+use waldo::ProvDb;
+
+fn entries(n: u64) -> Vec<LogEntry> {
+    let r = |i: u64| ObjectRef::new(Pnode::new(VolumeId(1), i), Version(0));
+    (0..n)
+        .flat_map(|i| {
+            vec![
+                LogEntry::Prov {
+                    subject: r(i),
+                    record: ProvenanceRecord::new(
+                        Attribute::Name,
+                        Value::str(format!("/files/f{i}")),
+                    ),
+                },
+                LogEntry::Prov {
+                    subject: r(i),
+                    record: ProvenanceRecord::new(Attribute::Type, Value::str("FILE")),
+                },
+                LogEntry::Prov {
+                    subject: r(i),
+                    record: ProvenanceRecord::input(r(i / 2)),
+                },
+                LogEntry::DataWrite {
+                    subject: r(i),
+                    offset: 0,
+                    len: 4096,
+                    digest: [0; 16],
+                },
+            ]
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let batch = entries(2000);
+    let mut group = c.benchmark_group("waldo");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("ingest_8000_entries", |b| {
+        b.iter(|| {
+            let mut db = ProvDb::new();
+            black_box(db.ingest(black_box(&batch)));
+            db.object_count()
+        });
+    });
+    // Transactional ingest (buffered then committed).
+    let mut txn_batch = vec![LogEntry::TxnBegin { id: 1 }];
+    txn_batch.extend(entries(1000));
+    txn_batch.push(LogEntry::TxnEnd { id: 1 });
+    group.bench_function("ingest_txn_4000_entries", |b| {
+        b.iter(|| {
+            let mut db = ProvDb::new();
+            black_box(db.ingest(black_box(&txn_batch)));
+            db.object_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Write-ahead-provenance log throughput: encode, digest and parse.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
+use lasagna::{encode_entry, md5, parse_log, LogEntry};
+use std::hint::black_box;
+
+fn subject(n: u64) -> ObjectRef {
+    ObjectRef::new(Pnode::new(VolumeId(1), n), Version(0))
+}
+
+fn sample_entries(n: usize) -> Vec<LogEntry> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => LogEntry::Prov {
+                subject: subject(i as u64),
+                record: ProvenanceRecord::new(
+                    Attribute::Name,
+                    Value::str(format!("/data/file{i}.dat")),
+                ),
+            },
+            1 => LogEntry::Prov {
+                subject: subject(i as u64),
+                record: ProvenanceRecord::input(subject(i as u64 + 1)),
+            },
+            _ => LogEntry::DataWrite {
+                subject: subject(i as u64),
+                offset: (i * 4096) as u64,
+                len: 4096,
+                digest: [i as u8; 16],
+            },
+        })
+        .collect()
+}
+
+fn bench_log(c: &mut Criterion) {
+    let entries = sample_entries(1000);
+    let mut image = bytes::BytesMut::new();
+    for e in &entries {
+        encode_entry(&mut image, e);
+    }
+    let image = image.to_vec();
+
+    let mut group = c.benchmark_group("wap_log");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("encode_1000_entries", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::new();
+            for e in &entries {
+                encode_entry(&mut buf, e);
+            }
+            black_box(buf.len())
+        });
+    });
+    group.bench_function("parse_1000_entries", |b| {
+        b.iter(|| {
+            let (parsed, tail) = parse_log(black_box(&image));
+            black_box((parsed.len(), tail))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("md5_digest");
+    for size in [4096usize, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("md5_{size}"), |b| {
+            b.iter(|| black_box(md5(black_box(&data))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_log);
+criterion_main!(benches);

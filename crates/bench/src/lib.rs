@@ -1,0 +1,250 @@
+//! The evaluation rig: builds the four machine configurations of the
+//! paper's §7 and runs workloads on them.
+//!
+//! * **Ext3** — plain local file system, no provenance (baseline 1);
+//! * **PASSv2** — Lasagna over the base FS with the PASS module;
+//! * **NFS** — client kernel over a plain NFS export (baseline 2);
+//! * **PA-NFS** — client kernel with the PASS module over a
+//!   provenance-aware export.
+//!
+//! All timing is virtual: the numbers regenerate the *shape* of
+//! Tables 2 and 3, not the paper's wall-clock seconds.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dpapi::VolumeId;
+use lasagna::parse_log;
+use pa_nfs::NfsServer;
+use passv2::{Pass, System, SystemBuilder};
+use sim_os::clock::{Clock, NANOS_PER_SEC};
+use sim_os::cost::CostModel;
+use sim_os::proc::Pid;
+use sim_os::syscall::Kernel;
+use waldo::ProvDb;
+use workloads::{timed_run, Workload};
+
+/// The four evaluated configurations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Config {
+    /// Local base file system, no provenance.
+    Ext3,
+    /// Local Lasagna volume with the PASS module.
+    PassV2,
+    /// NFS client over a plain export.
+    Nfs,
+    /// PASS module over a provenance-aware export.
+    PaNfs,
+}
+
+impl Config {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Config::Ext3 => "Ext3",
+            Config::PassV2 => "PASSv2",
+            Config::Nfs => "NFS",
+            Config::PaNfs => "PA-NFS",
+        }
+    }
+
+    /// True if this configuration collects provenance.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Config::PassV2 | Config::PaNfs)
+    }
+}
+
+/// A built machine ready to run one workload.
+pub struct Machine {
+    /// The (client) kernel.
+    pub kernel: Kernel,
+    /// The PASS module, when installed.
+    pub pass: Option<Rc<Pass>>,
+    /// The NFS server, for the network configurations.
+    pub server: Option<Rc<RefCell<NfsServer>>>,
+    /// The driver process.
+    pub driver: Pid,
+}
+
+/// Builds a machine for `cfg`.
+pub fn build(cfg: Config) -> Machine {
+    let model = CostModel::default();
+    match cfg {
+        Config::Ext3 => {
+            let mut sys: System = SystemBuilder::new(model)
+                .plain_volume("/")
+                .without_provenance()
+                .build();
+            let driver = sys.spawn("driver");
+            Machine {
+                kernel: sys.kernel,
+                pass: None,
+                server: None,
+                driver,
+            }
+        }
+        Config::PassV2 => {
+            let mut sys: System = SystemBuilder::new(model)
+                .pass_volume("/", VolumeId(1))
+                .build();
+            let driver = sys.spawn("driver");
+            Machine {
+                kernel: sys.kernel,
+                pass: Some(sys.pass),
+                server: None,
+                driver,
+            }
+        }
+        Config::Nfs | Config::PaNfs => {
+            let clock = Clock::new();
+            let mut kernel = Kernel::new(clock.clone(), model);
+            let server = if cfg == Config::PaNfs {
+                pa_nfs::pa_server(clock.clone(), model, VolumeId(10))
+            } else {
+                pa_nfs::plain_server(clock.clone(), model)
+            };
+            let client = pa_nfs::client(&server, clock.clone(), model);
+            kernel.mount("/", Box::new(client));
+            let pass = if cfg == Config::PaNfs {
+                let p = Pass::new_shared();
+                kernel.install_module(p.clone());
+                Some(p)
+            } else {
+                None
+            };
+            let driver = kernel.spawn_init("driver");
+            Machine {
+                kernel,
+                pass,
+                server: Some(server),
+                driver,
+            }
+        }
+    }
+}
+
+/// The outcome of one measured run.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Virtual elapsed seconds.
+    pub elapsed_s: f64,
+    /// Bytes the workload wrote through the kernel (the "Ext3" space
+    /// column denominator).
+    pub data_bytes: u64,
+    /// Waldo database bytes (0 for non-PASS configurations).
+    pub db_bytes: u64,
+    /// Waldo index bytes.
+    pub index_bytes: u64,
+}
+
+/// Runs `workload` on a fresh machine for `cfg` and measures it.
+pub fn measure(cfg: Config, workload: &dyn Workload) -> Measurement {
+    let mut m = build(cfg);
+    let report = timed_run(workload, &mut m.kernel, m.driver, "/").expect("workload run");
+    let data_bytes = m.kernel.stats().bytes_written;
+
+    // Ingest provenance into Waldo to size the database.
+    let (db_bytes, index_bytes) = if cfg == Config::PassV2 {
+        let waldo_pid = m.kernel.spawn_init("waldo");
+        if let Some(p) = &m.pass {
+            p.exempt(waldo_pid);
+        }
+        let mut w = waldo::Waldo::new(waldo_pid);
+        if let Some(d) = m.kernel.dpapi_at(sim_os::proc::MountId(0)) {
+            d.force_log_rotation();
+        }
+        w.poll_volume(&mut m.kernel, sim_os::proc::MountId(0), "/");
+        let s = w.db.size();
+        (s.db_bytes, s.index_bytes)
+    } else if cfg == Config::PaNfs {
+        let mut db = ProvDb::new();
+        if let Some(server) = &m.server {
+            for image in server.borrow_mut().drain_provenance_logs() {
+                let (entries, _) = parse_log(&image);
+                db.ingest(&entries);
+            }
+        }
+        let s = db.size();
+        (s.db_bytes, s.index_bytes)
+    } else {
+        (0, 0)
+    };
+
+    Measurement {
+        elapsed_s: report.elapsed_ns as f64 / NANOS_PER_SEC as f64,
+        data_bytes,
+        db_bytes,
+        index_bytes,
+    }
+}
+
+/// The five workloads of the evaluation, at their default scales.
+pub fn standard_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(workloads::LinuxCompile::default()),
+        Box::new(workloads::Postmark::default()),
+        Box::new(workloads::MercurialActivity::default()),
+        Box::new(workloads::Blast::default()),
+        Box::new(workloads::PaKepler::default()),
+    ]
+}
+
+/// Percentage overhead of `new` over `base`.
+pub fn overhead_pct(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (new - base) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_build_and_run_a_tiny_workload() {
+        let wl = workloads::Postmark {
+            files: 10,
+            transactions: 10,
+            subdirs: 2,
+            min_size: 1024,
+            max_size: 4096,
+            seed: 1,
+        };
+        for cfg in [Config::Ext3, Config::PassV2, Config::Nfs, Config::PaNfs] {
+            let m = measure(cfg, &wl);
+            assert!(m.elapsed_s > 0.0, "{cfg:?} must advance the clock");
+            assert!(m.data_bytes > 0);
+            if cfg.is_pass() {
+                assert!(m.db_bytes > 0, "{cfg:?} must produce provenance");
+            } else {
+                assert_eq!(m.db_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pass_costs_more_than_ext3() {
+        let wl = workloads::MercurialActivity {
+            tree_files: 20,
+            patches: 10,
+            files_per_patch: 2,
+            file_bytes: 2048,
+            ..Default::default()
+        };
+        let base = measure(Config::Ext3, &wl);
+        let pass = measure(Config::PassV2, &wl);
+        assert!(
+            pass.elapsed_s > base.elapsed_s,
+            "provenance collection cannot be free: {} vs {}",
+            pass.elapsed_s,
+            base.elapsed_s
+        );
+    }
+
+    #[test]
+    fn overhead_pct_math() {
+        assert!((overhead_pct(100.0, 115.0) - 15.0).abs() < 1e-9);
+        assert_eq!(overhead_pct(0.0, 10.0), 0.0);
+    }
+}

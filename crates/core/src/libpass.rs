@@ -1,0 +1,109 @@
+//! libpass: the user-level DPAPI library.
+//!
+//! Application developers make their applications provenance-aware by
+//! linking against libpass and issuing DPAPI calls (paper §5.2). In
+//! the simulation, a [`LibPass`] borrows the kernel on behalf of one
+//! process and forwards each call to the observer's disclosed
+//! provenance entry points.
+
+use dpapi::{Bundle, Dpapi, Handle, Pnode, ProvenanceRecord, ReadResult, Version, VolumeId,
+    WriteResult};
+use sim_os::proc::{Fd, Pid};
+use sim_os::syscall::Kernel;
+
+/// The user-level DPAPI endpoint for one process.
+pub struct LibPass<'k> {
+    kernel: &'k mut Kernel,
+    pid: Pid,
+}
+
+impl<'k> LibPass<'k> {
+    /// Binds libpass to `pid` within `kernel`.
+    pub fn new(kernel: &'k mut Kernel, pid: Pid) -> Self {
+        LibPass { kernel, pid }
+    }
+
+    /// The process this instance discloses on behalf of.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Access to the kernel for interleaved ordinary syscalls.
+    pub fn kernel(&mut self) -> &mut Kernel {
+        self.kernel
+    }
+
+    /// Obtains a DPAPI handle for a file the process has open, so the
+    /// application can `pass_write` data and provenance together to
+    /// it (the "replace `write` with `pass_write`" guideline of
+    /// §6.5).
+    pub fn handle_for_fd(&mut self, fd: Fd) -> dpapi::Result<Handle> {
+        self.kernel
+            .pass_handle_for_fd(self.pid, fd)
+            .map_err(fs_err)
+    }
+
+    /// Convenience: disclose records about one object.
+    pub fn disclose(
+        &mut self,
+        h: Handle,
+        records: impl IntoIterator<Item = ProvenanceRecord>,
+    ) -> dpapi::Result<WriteResult> {
+        let mut bundle = Bundle::new();
+        for r in records {
+            bundle.push(h, r);
+        }
+        self.pass_write(h, 0, &[], bundle)
+    }
+}
+
+fn fs_err(e: sim_os::fs::FsError) -> dpapi::DpapiError {
+    match e {
+        sim_os::fs::FsError::Provenance(d) => d,
+        other => dpapi::DpapiError::Io(other.to_string()),
+    }
+}
+
+impl Dpapi for LibPass<'_> {
+    fn pass_read(&mut self, h: Handle, offset: u64, len: usize) -> dpapi::Result<ReadResult> {
+        self.kernel
+            .pass_read(self.pid, h, offset, len)
+            .map_err(fs_err)
+    }
+
+    fn pass_write(
+        &mut self,
+        h: Handle,
+        offset: u64,
+        data: &[u8],
+        bundle: Bundle,
+    ) -> dpapi::Result<WriteResult> {
+        self.kernel
+            .pass_write(self.pid, h, offset, data, bundle)
+            .map_err(fs_err)
+    }
+
+    fn pass_freeze(&mut self, h: Handle) -> dpapi::Result<Version> {
+        self.kernel.pass_freeze(self.pid, h).map_err(fs_err)
+    }
+
+    fn pass_mkobj(&mut self, volume_hint: Option<VolumeId>) -> dpapi::Result<Handle> {
+        self.kernel
+            .pass_mkobj(self.pid, volume_hint)
+            .map_err(fs_err)
+    }
+
+    fn pass_reviveobj(&mut self, pnode: Pnode, version: Version) -> dpapi::Result<Handle> {
+        self.kernel
+            .pass_reviveobj(self.pid, pnode, version)
+            .map_err(fs_err)
+    }
+
+    fn pass_sync(&mut self, h: Handle) -> dpapi::Result<()> {
+        self.kernel.pass_sync(self.pid, h).map_err(fs_err)
+    }
+
+    fn pass_close(&mut self, h: Handle) -> dpapi::Result<()> {
+        self.kernel.pass_close(self.pid, h).map_err(fs_err)
+    }
+}

@@ -1,0 +1,938 @@
+//! The PASSv2 kernel module: interceptor glue, observer and
+//! distributor.
+//!
+//! The [`Pass`] struct is installed into the simulated kernel as its
+//! provenance module. The kernel's hook calls are the *interceptor*;
+//! the translation of those events into provenance records is the
+//! *observer*; duplicate elimination and cycle avoidance are the
+//! *analyzer* ([`crate::analyzer`]); and the caching of provenance for
+//! objects that are not persistent PASS files — processes, pipes,
+//! non-PASS files, application objects — until they join the ancestry
+//! of a persistent object is the *distributor*.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use dpapi::{
+    Attribute, Bundle, DpapiError, Handle, ObjectRef, Pnode, ProvenanceRecord, ReadResult, Value,
+    Version, VolumeId, WriteResult,
+};
+use sim_os::events::{ExecImage, HookCtx, PassModule, ProvenanceKernel};
+use sim_os::fs::{FsError, FsResult};
+use sim_os::proc::{FileLoc, Pid};
+
+use crate::analyzer::{CycleAvoidance, NodeId};
+
+/// The identity key of a tracked provenance object.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ObjKey {
+    /// A file (on any volume, PASS or not).
+    File(FileLoc),
+    /// A process.
+    Proc(Pid),
+    /// A pipe.
+    Pipe(u64),
+    /// An application object created via `pass_mkobj`; the value is
+    /// the node id itself (app objects are never looked up by key).
+    App(NodeId),
+}
+
+/// A cached record value: either a plain DPAPI value or a reference to
+/// another tracked node at a specific version, resolved to a pnode
+/// cross-reference at flush time.
+#[derive(Clone, Debug)]
+enum CachedValue {
+    Plain(Value),
+    Ref(NodeId, u32),
+}
+
+#[derive(Clone, Debug)]
+struct CachedRecord {
+    attr: Attribute,
+    value: CachedValue,
+}
+
+#[derive(Debug, Default)]
+struct NodeInfo {
+    pnode: Option<Pnode>,
+    /// Volume where this node's provenance lives once materialized.
+    home: Option<VolumeId>,
+    /// Volume-level handle for disclosing against `home`.
+    home_handle: Option<Handle>,
+    /// Volume requested at `pass_mkobj` time.
+    volume_hint: Option<VolumeId>,
+    /// The distributor's record cache for this node.
+    cached: Vec<CachedRecord>,
+    /// Whether this node is a file on a PASS volume (identity owned by
+    /// the volume rather than the distributor).
+    pass_file: Option<FileLoc>,
+}
+
+/// Counters for the module's activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassStats {
+    /// Records disclosed to volumes (after analysis).
+    pub records_emitted: u64,
+    /// Records parked in the distributor cache.
+    pub records_cached: u64,
+    /// Nodes materialized onto a volume by the distributor.
+    pub materializations: u64,
+    /// User-level DPAPI calls served.
+    pub dpapi_calls: u64,
+}
+
+struct Inner {
+    analyzer: CycleAvoidance,
+    nodes: HashMap<ObjKey, NodeId>,
+    info: HashMap<NodeId, NodeInfo>,
+    pnode_to_node: HashMap<Pnode, NodeId>,
+    next_node: NodeId,
+    uhandles: HashMap<u64, NodeId>,
+    next_uhandle: u64,
+    exempt: HashSet<Pid>,
+    stats: PassStats,
+}
+
+/// The PASSv2 provenance module.
+pub struct Pass {
+    inner: RefCell<Inner>,
+}
+
+impl Default for Pass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pass {
+    /// Creates a fresh module.
+    pub fn new() -> Pass {
+        Pass {
+            inner: RefCell::new(Inner {
+                analyzer: CycleAvoidance::new(),
+                nodes: HashMap::new(),
+                info: HashMap::new(),
+                pnode_to_node: HashMap::new(),
+                next_node: 1,
+                uhandles: HashMap::new(),
+                next_uhandle: 1,
+                exempt: HashSet::new(),
+                stats: PassStats::default(),
+            }),
+        }
+    }
+
+    /// Creates a module already wrapped for kernel installation.
+    pub fn new_shared() -> Rc<Pass> {
+        Rc::new(Pass::new())
+    }
+
+    /// Exempts a pid from observation (the Waldo daemon, which must
+    /// not generate provenance about the provenance log itself).
+    pub fn exempt(&self, pid: Pid) {
+        self.inner.borrow_mut().exempt.insert(pid);
+    }
+
+    /// Module statistics.
+    pub fn stats(&self) -> PassStats {
+        self.inner.borrow().stats
+    }
+
+    /// Analyzer statistics (dedup/freeze counters).
+    pub fn analyzer_stats(&self) -> crate::analyzer::AnalyzerStats {
+        self.inner.borrow().analyzer.stats()
+    }
+
+    /// The provenance identity of a tracked pnode's node, if any
+    /// (test/inspection helper).
+    pub fn node_of_pnode(&self, p: Pnode) -> Option<NodeId> {
+        self.inner.borrow().pnode_to_node.get(&p).copied()
+    }
+}
+
+impl Inner {
+    fn new_node(&mut self) -> NodeId {
+        let id = self.next_node;
+        self.next_node += 1;
+        self.info.insert(id, NodeInfo::default());
+        id
+    }
+
+    fn node_for_key(&mut self, key: ObjKey) -> NodeId {
+        if let Some(&n) = self.nodes.get(&key) {
+            return n;
+        }
+        let n = self.new_node();
+        self.nodes.insert(key, n);
+        n
+    }
+
+    fn node_for_proc(&mut self, pid: Pid) -> NodeId {
+        let fresh = !self.nodes.contains_key(&ObjKey::Proc(pid));
+        let n = self.node_for_key(ObjKey::Proc(pid));
+        if fresh {
+            self.cache_record(
+                n,
+                Attribute::Type,
+                CachedValue::Plain(Value::str("PROC")),
+            );
+        }
+        n
+    }
+
+    fn node_for_pipe(&mut self, id: u64) -> NodeId {
+        let fresh = !self.nodes.contains_key(&ObjKey::Pipe(id));
+        let n = self.node_for_key(ObjKey::Pipe(id));
+        if fresh {
+            self.cache_record(
+                n,
+                Attribute::Type,
+                CachedValue::Plain(Value::str("PIPE")),
+            );
+        }
+        n
+    }
+
+    /// Creates or finds the node for a file, binding volume identity
+    /// if the file lives on a PASS volume.
+    fn node_for_file(&mut self, ctx: &mut HookCtx<'_>, loc: FileLoc) -> NodeId {
+        let n = self.node_for_key(ObjKey::File(loc));
+        let info = self.info.get_mut(&n).expect("node info");
+        if info.pnode.is_some() {
+            return n;
+        }
+        if let Some(vol) = ctx.dpapi(loc.mount) {
+            if let Ok(id) = vol.identity_of_ino(loc.ino) {
+                let volume = vol.volume();
+                info.pnode = Some(id.pnode);
+                info.home = Some(volume);
+                info.pass_file = Some(loc);
+                self.pnode_to_node.insert(id.pnode, n);
+                self.analyzer.set_version(n, id.version.0);
+            }
+        }
+        let fresh = self
+            .info
+            .get(&n)
+            .map(|i| i.cached.is_empty())
+            .unwrap_or(false);
+        if fresh {
+            self.cache_record(n, Attribute::Type, CachedValue::Plain(Value::str("FILE")));
+        }
+        n
+    }
+
+    fn cache_record(&mut self, node: NodeId, attr: Attribute, value: CachedValue) {
+        self.stats.records_cached += 1;
+        if let Some(info) = self.info.get_mut(&node) {
+            info.cached.push(CachedRecord { attr, value });
+        }
+    }
+
+    fn identity(&self, node: NodeId) -> Option<ObjectRef> {
+        let info = self.info.get(&node)?;
+        let p = info.pnode?;
+        Some(ObjectRef::new(p, Version(self.analyzer.version(node))))
+    }
+
+    /// The distributor's flush: materialize `roots` (and every cached
+    /// ancestor reachable through cached references) and emit their
+    /// cached records. Records for nodes homed on `target` are
+    /// returned in a bundle to ride the triggering `pass_write`;
+    /// records homed elsewhere are disclosed to their own volume
+    /// immediately.
+    fn flush_nodes(
+        &mut self,
+        ctx: &mut HookCtx<'_>,
+        roots: &[NodeId],
+        target: VolumeId,
+    ) -> Bundle {
+        // Phase 0: closure over cached references.
+        let mut closure: Vec<NodeId> = Vec::new();
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut work: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = work.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            closure.push(n);
+            if let Some(info) = self.info.get(&n) {
+                for rec in &info.cached {
+                    match &rec.value {
+                        CachedValue::Ref(m, _) => work.push(*m),
+                        CachedValue::Plain(Value::Xref(r)) => {
+                            if let Some(&m) = self.pnode_to_node.get(&r.pnode) {
+                                work.push(m);
+                            }
+                        }
+                        CachedValue::Plain(_) => {}
+                    }
+                }
+            }
+        }
+        // Phase 1: assign pnodes to everything lacking one.
+        for &n in &closure {
+            let (needs, hint) = {
+                let info = self.info.get(&n).expect("node info");
+                (info.pnode.is_none(), info.volume_hint)
+            };
+            if !needs {
+                continue;
+            }
+            let home = hint.unwrap_or(target);
+            let vol = match ctx.find_volume(home).is_some() {
+                true => home,
+                false => target,
+            };
+            if let Some(v) = ctx.find_volume(vol) {
+                if let Ok(h) = v.pass_mkobj(Some(vol)) {
+                    if let Ok(r) = v.pass_read(h, 0, 0) {
+                        let info = self.info.get_mut(&n).expect("node info");
+                        info.pnode = Some(r.identity.pnode);
+                        info.home = Some(vol);
+                        info.home_handle = Some(h);
+                        self.pnode_to_node.insert(r.identity.pnode, n);
+                        self.stats.materializations += 1;
+                    }
+                }
+            }
+        }
+        // Phase 2: resolve cached records and route them.
+        let mut ride_along = Bundle::new();
+        for &n in &closure {
+            let (cached, home, home_handle, pass_file) = {
+                let info = self.info.get_mut(&n).expect("node info");
+                if info.cached.is_empty() || info.pnode.is_none() {
+                    continue;
+                }
+                (
+                    std::mem::take(&mut info.cached),
+                    info.home,
+                    info.home_handle,
+                    info.pass_file,
+                )
+            };
+            let resolved: Vec<ProvenanceRecord> = cached
+                .into_iter()
+                .filter_map(|r| {
+                    let value = match r.value {
+                        CachedValue::Plain(v) => v,
+                        CachedValue::Ref(m, ver) => {
+                            let p = self.info.get(&m).and_then(|i| i.pnode)?;
+                            Value::Xref(ObjectRef::new(p, Version(ver)))
+                        }
+                    };
+                    Some(ProvenanceRecord::new(r.attr, value))
+                })
+                .collect();
+            self.stats.records_emitted += resolved.len() as u64;
+            let home = home.unwrap_or(target);
+            if home == target {
+                // Handle on the target volume.
+                let h = match (home_handle, pass_file) {
+                    (Some(h), _) => Some(h),
+                    (None, Some(loc)) => ctx
+                        .dpapi(loc.mount)
+                        .and_then(|v| v.handle_for_ino(loc.ino).ok()),
+                    (None, None) => None,
+                };
+                if let Some(h) = h {
+                    for rec in resolved {
+                        ride_along.push(h, rec);
+                    }
+                }
+            } else if let Some(v) = ctx.find_volume(home) {
+                let h = match (home_handle, pass_file) {
+                    (Some(h), _) => Some(h),
+                    (None, Some(loc)) => v.handle_for_ino(loc.ino).ok(),
+                    (None, None) => None,
+                };
+                if let Some(h) = h {
+                    let mut b = Bundle::new();
+                    for rec in resolved {
+                        b.push(h, rec);
+                    }
+                    let _ = v.disclose(h, b);
+                }
+            }
+        }
+        ride_along
+    }
+
+    /// The write path shared by intercepted writes and user-level
+    /// `pass_write` on files: runs the analyzer, materializes the
+    /// ancestry and issues the volume `pass_write` with data and
+    /// bundle together.
+    fn provenanced_write(
+        &mut self,
+        ctx: &mut HookCtx<'_>,
+        source: NodeId,
+        loc: FileLoc,
+        offset: u64,
+        data: &[u8],
+        extra: Bundle,
+    ) -> FsResult<WriteResult> {
+        let file_node = self.node_for_file(ctx, loc);
+        let out = self.analyzer.add_dependency(file_node, source);
+        let volume = ctx.volume_of(loc.mount);
+        match volume {
+            Some(vol_id) => {
+                let mut bundle = Bundle::new();
+                let h = ctx
+                    .dpapi(loc.mount)
+                    .and_then(|v| v.handle_for_ino(loc.ino).ok())
+                    .ok_or(FsError::Provenance(DpapiError::NotPassVolume))?;
+                if let Some(newv) = out.frozen {
+                    bundle.push(h, ProvenanceRecord::freeze(Version(newv)));
+                    self.stats.records_emitted += 1;
+                }
+                if !out.duplicate {
+                    // Flush the writer's ancestry and the target's own
+                    // cached records (NAME, TYPE) in one closure.
+                    let side = self.flush_nodes(ctx, &[source, file_node], vol_id);
+                    bundle.merge(side);
+                    if let Some(src_id) = self.identity(source) {
+                        let edge = ObjectRef::new(src_id.pnode, Version(out.source_version));
+                        bundle.push(h, ProvenanceRecord::input(edge));
+                        self.stats.records_emitted += 1;
+                    }
+                }
+                bundle.merge(extra);
+                let vol = ctx
+                    .dpapi(loc.mount)
+                    .ok_or(FsError::Provenance(DpapiError::NotPassVolume))?;
+                let res = vol.pass_write(h, offset, data, bundle)?;
+                Ok(res)
+            }
+            None => {
+                // Non-PASS volume: write plainly, cache the dependency.
+                let n = ctx.fs(loc.mount).write(loc.ino, offset, data)?;
+                if !out.duplicate {
+                    self.cache_record(
+                        file_node,
+                        Attribute::Input,
+                        CachedValue::Ref(source, out.source_version),
+                    );
+                }
+                // Any disclosed extras are cached for later flushing.
+                for (_, rec) in extra.iter() {
+                    self.cache_record(file_node, rec.attribute.clone(), {
+                        CachedValue::Plain(rec.value.clone())
+                    });
+                }
+                Ok(WriteResult {
+                    written: n,
+                    identity: ObjectRef::new(
+                        self.info.get(&file_node).and_then(|i| i.pnode).unwrap_or(Pnode::NULL),
+                        Version(self.analyzer.version(file_node)),
+                    ),
+                })
+            }
+        }
+    }
+
+    /// The read path shared by intercepted reads and user-level
+    /// `pass_read` on files.
+    fn provenanced_read(
+        &mut self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        loc: FileLoc,
+        offset: u64,
+        len: usize,
+    ) -> FsResult<ReadResult> {
+        let file_node = self.node_for_file(ctx, loc);
+        let proc_node = self.node_for_proc(pid);
+        let out = self.analyzer.add_dependency(proc_node, file_node);
+        if !out.duplicate {
+            self.cache_record(
+                proc_node,
+                Attribute::Input,
+                CachedValue::Ref(file_node, out.source_version),
+            );
+        }
+        if let Some(vol) = ctx.dpapi(loc.mount) {
+            let h = vol.handle_for_ino(loc.ino)?;
+            let res = vol.pass_read(h, offset, len)?;
+            Ok(res)
+        } else {
+            let data = ctx.fs(loc.mount).read(loc.ino, offset, len)?;
+            Ok(ReadResult {
+                data,
+                identity: ObjectRef::new(
+                    self.info.get(&file_node).and_then(|i| i.pnode).unwrap_or(Pnode::NULL),
+                    Version(self.analyzer.version(file_node)),
+                ),
+            })
+        }
+    }
+
+    fn resolve_uhandle(&self, h: Handle) -> dpapi::Result<NodeId> {
+        self.uhandles
+            .get(&h.raw())
+            .copied()
+            .ok_or(DpapiError::InvalidHandle)
+    }
+
+    fn new_uhandle(&mut self, node: NodeId) -> Handle {
+        let h = Handle::from_raw(self.next_uhandle);
+        self.next_uhandle += 1;
+        self.uhandles.insert(h.raw(), node);
+        h
+    }
+
+    fn default_volume(&self, ctx: &mut HookCtx<'_>) -> Option<VolumeId> {
+        ctx.pass_volumes().first().map(|(_, v)| *v)
+    }
+}
+
+impl PassModule for Pass {
+    fn on_fork(&self, _ctx: &mut HookCtx<'_>, parent: Pid, child: Pid) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.contains(&parent) {
+            inner.exempt.insert(child);
+            return;
+        }
+        let p = inner.node_for_proc(parent);
+        let c = inner.node_for_proc(child);
+        let out = inner.analyzer.add_dependency(c, p);
+        if !out.duplicate {
+            inner.cache_record(c, Attribute::Input, CachedValue::Ref(p, out.source_version));
+        }
+    }
+
+    fn on_execve(&self, ctx: &mut HookCtx<'_>, pid: Pid, image: &ExecImage<'_>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.contains(&pid) {
+            return;
+        }
+        let p = inner.node_for_proc(pid);
+        inner.cache_record(
+            p,
+            Attribute::Name,
+            CachedValue::Plain(Value::str(image.path)),
+        );
+        inner.cache_record(
+            p,
+            Attribute::Argv,
+            CachedValue::Plain(Value::StrList(image.argv.to_vec())),
+        );
+        if !image.env.is_empty() {
+            inner.cache_record(
+                p,
+                Attribute::Env,
+                CachedValue::Plain(Value::StrList(image.env.to_vec())),
+            );
+        }
+        if let Some(loc) = image.loc {
+            let bin = inner.node_for_file(ctx, loc);
+            let out = inner.analyzer.add_dependency(p, bin);
+            if !out.duplicate {
+                inner.cache_record(
+                    p,
+                    Attribute::Input,
+                    CachedValue::Ref(bin, out.source_version),
+                );
+            }
+        }
+    }
+
+    fn on_exit(&self, ctx: &mut HookCtx<'_>, pid: Pid) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.remove(&pid) {
+            return;
+        }
+        let Some(&node) = inner.nodes.get(&ObjKey::Proc(pid)) else {
+            return;
+        };
+        // If the process was materialized (it has persistent
+        // descendants), flush its remaining provenance; otherwise the
+        // cache is dropped — transient objects with no descendants
+        // leave no trace, per §5.5.
+        let materialized = inner
+            .info
+            .get(&node)
+            .map(|i| i.pnode.is_some())
+            .unwrap_or(false);
+        if materialized {
+            if let Some(home) = inner.info.get(&node).and_then(|i| i.home) {
+                let _ = inner.flush_nodes(ctx, &[node], home);
+            }
+        }
+        inner.analyzer.forget(node);
+        inner.nodes.remove(&ObjKey::Proc(pid));
+    }
+
+    fn on_open(&self, ctx: &mut HookCtx<'_>, pid: Pid, loc: FileLoc, path: &str, _created: bool) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.contains(&pid) {
+            return;
+        }
+        let node = inner.node_for_file(ctx, loc);
+        // Cache the name; it rides the next flush that reaches this
+        // node (its own first write, or a reader's materialization).
+        let already_named = inner
+            .info
+            .get(&node)
+            .map(|i| i.cached.iter().any(|r| r.attr == Attribute::Name))
+            .unwrap_or(false);
+        if !already_named {
+            inner.cache_record(node, Attribute::Name, CachedValue::Plain(Value::str(path)));
+        }
+    }
+
+    fn handle_read(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        loc: FileLoc,
+        offset: u64,
+        len: usize,
+    ) -> FsResult<Vec<u8>> {
+        if self.inner.borrow().exempt.contains(&pid) {
+            return ctx.fs(loc.mount).read(loc.ino, offset, len);
+        }
+        let mut inner = self.inner.borrow_mut();
+        Ok(inner.provenanced_read(ctx, pid, loc, offset, len)?.data)
+    }
+
+    fn handle_write(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        loc: FileLoc,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
+        if self.inner.borrow().exempt.contains(&pid) {
+            return ctx.fs(loc.mount).write(loc.ino, offset, data);
+        }
+        let mut inner = self.inner.borrow_mut();
+        let proc_node = inner.node_for_proc(pid);
+        let res = inner.provenanced_write(ctx, proc_node, loc, offset, data, Bundle::new())?;
+        Ok(res.written)
+    }
+
+    fn on_pipe_read(&self, _ctx: &mut HookCtx<'_>, pid: Pid, pipe: u64, _len: usize) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.contains(&pid) {
+            return;
+        }
+        let p = inner.node_for_proc(pid);
+        let q = inner.node_for_pipe(pipe);
+        let out = inner.analyzer.add_dependency(p, q);
+        if !out.duplicate {
+            inner.cache_record(p, Attribute::Input, CachedValue::Ref(q, out.source_version));
+        }
+    }
+
+    fn on_pipe_write(&self, _ctx: &mut HookCtx<'_>, pid: Pid, pipe: u64, _len: usize) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.contains(&pid) {
+            return;
+        }
+        let p = inner.node_for_proc(pid);
+        let q = inner.node_for_pipe(pipe);
+        let out = inner.analyzer.add_dependency(q, p);
+        if !out.duplicate {
+            inner.cache_record(q, Attribute::Input, CachedValue::Ref(p, out.source_version));
+        }
+    }
+
+    fn on_mmap(&self, ctx: &mut HookCtx<'_>, pid: Pid, loc: FileLoc, writable: bool) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.contains(&pid) {
+            return;
+        }
+        let file_node = inner.node_for_file(ctx, loc);
+        let proc_node = inner.node_for_proc(pid);
+        let out = inner.analyzer.add_dependency(proc_node, file_node);
+        if !out.duplicate {
+            inner.cache_record(
+                proc_node,
+                Attribute::Input,
+                CachedValue::Ref(file_node, out.source_version),
+            );
+        }
+        if writable {
+            // A writable shared mapping also makes the process an
+            // input of the file.
+            let _ = inner.provenanced_write(ctx, proc_node, loc, 0, &[], Bundle::new());
+        }
+    }
+
+    fn on_rename(&self, ctx: &mut HookCtx<'_>, pid: Pid, loc: FileLoc, _from: &str, to: &str) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.exempt.contains(&pid) {
+            return;
+        }
+        let node = inner.node_for_file(ctx, loc);
+        // Record the new name; provenance already follows the pnode.
+        inner.cache_record(node, Attribute::Name, CachedValue::Plain(Value::str(to)));
+        // A renamed PASS file may never be written again; disclose
+        // the new name now so queries by the new name resolve.
+        let home = inner.info.get(&node).and_then(|i| i.home);
+        if let Some(home) = home {
+            let side = inner.flush_nodes(ctx, &[node], home);
+            if !side.is_empty() {
+                if let Some(v) = ctx.find_volume(home) {
+                    if let Some(loc) = inner.info.get(&node).and_then(|i| i.pass_file) {
+                        if let Ok(h) = v.handle_for_ino(loc.ino) {
+                            let _ = v.disclose(h, side);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_drop_inode(&self, _ctx: &mut HookCtx<'_>, loc: FileLoc) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(&node) = inner.nodes.get(&ObjKey::File(loc)) else {
+            return;
+        };
+        // The file is gone; drop live tracking state. Its pnode (if
+        // any) remains valid in the database — provenance outlives
+        // objects.
+        inner.analyzer.forget(node);
+        inner.nodes.remove(&ObjKey::File(loc));
+    }
+}
+
+impl ProvenanceKernel for Pass {
+    fn dp_mkobj(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        _pid: Pid,
+        volume: Option<VolumeId>,
+    ) -> dpapi::Result<Handle> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        let node = inner.new_node();
+        inner.nodes.insert(ObjKey::App(node), node);
+        let home = volume
+            .or_else(|| inner.default_volume(ctx))
+            .ok_or(DpapiError::NotPassVolume)?;
+        // Allocate the pnode eagerly (cheap server state); records
+        // remain cached until the object joins a persistent ancestry
+        // or pass_sync is called.
+        let vol = ctx.find_volume(home).ok_or(DpapiError::NotPassVolume)?;
+        let vh = vol.pass_mkobj(Some(home))?;
+        let identity = vol.pass_read(vh, 0, 0)?.identity;
+        {
+            let info = inner.info.get_mut(&node).expect("node info");
+            info.pnode = Some(identity.pnode);
+            info.home = Some(home);
+            info.home_handle = Some(vh);
+            info.volume_hint = volume;
+        }
+        inner.pnode_to_node.insert(identity.pnode, node);
+        Ok(inner.new_uhandle(node))
+    }
+
+    fn dp_reviveobj(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        _pid: Pid,
+        pnode: Pnode,
+        version: Version,
+    ) -> dpapi::Result<Handle> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        let vol = ctx
+            .find_volume(pnode.volume)
+            .ok_or(DpapiError::UnknownPnode(pnode))?;
+        let vh = vol.pass_reviveobj(pnode, version)?;
+        let node = match inner.pnode_to_node.get(&pnode).copied() {
+            Some(n) => n,
+            None => {
+                let n = inner.new_node();
+                inner.nodes.insert(ObjKey::App(n), n);
+                let info = inner.info.get_mut(&n).expect("node info");
+                info.pnode = Some(pnode);
+                info.home = Some(pnode.volume);
+                info.home_handle = Some(vh);
+                inner.pnode_to_node.insert(pnode, n);
+                inner.analyzer.set_version(n, version.0);
+                n
+            }
+        };
+        Ok(inner.new_uhandle(node))
+    }
+
+    fn dp_read(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        h: Handle,
+        offset: u64,
+        len: usize,
+    ) -> dpapi::Result<ReadResult> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        let node = inner.resolve_uhandle(h)?;
+        if let Some(loc) = inner.info.get(&node).and_then(|i| i.pass_file) {
+            return inner
+                .provenanced_read(ctx, pid, loc, offset, len)
+                .map_err(|e| DpapiError::Io(e.to_string()));
+        }
+        // App object: no data, identity only.
+        let identity = inner
+            .identity(node)
+            .ok_or(DpapiError::InvalidHandle)?;
+        Ok(ReadResult {
+            data: Vec::new(),
+            identity,
+        })
+    }
+
+    fn dp_write(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        h: Handle,
+        offset: u64,
+        data: &[u8],
+        bundle: Bundle,
+    ) -> dpapi::Result<WriteResult> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        let subject = inner.resolve_uhandle(h)?;
+        let proc_node = inner.node_for_proc(pid);
+
+        // Re-key the user bundle from user handles onto nodes, running
+        // every ancestry record through the analyzer.
+        let mut described: Vec<NodeId> = vec![subject, proc_node];
+        for (uh, rec) in bundle.iter() {
+            let n = inner.resolve_uhandle(uh)?;
+            if !described.contains(&n) {
+                described.push(n);
+            }
+            let keep = if let (true, Some(r)) = (rec.attribute.is_ancestry(), rec.value.as_xref())
+            {
+                match inner.pnode_to_node.get(&r.pnode).copied() {
+                    Some(src) => {
+                        let out = inner.analyzer.add_dependency(n, src);
+                        !out.duplicate
+                    }
+                    None => true, // unknown ancestor (revived elsewhere): keep as-is
+                }
+            } else {
+                true
+            };
+            if keep {
+                inner.cache_record(n, rec.attribute.clone(), CachedValue::Plain(rec.value.clone()));
+            }
+        }
+
+        if let Some(loc) = inner.info.get(&subject).and_then(|i| i.pass_file) {
+            // Writing to a real file: everything flushes now, riding
+            // the data write. The implicit app→file dependency is
+            // added by provenanced_write.
+            let res = inner
+                .provenanced_write(ctx, proc_node, loc, offset, data, Bundle::new())
+                .map_err(|e| DpapiError::Io(e.to_string()))?;
+            // Flush the described objects' caches (they are now part
+            // of a persistent object's ancestry).
+            if let Some(vol_id) = ctx.volume_of(loc.mount) {
+                let side = inner.flush_nodes(ctx, &described, vol_id);
+                if !side.is_empty() {
+                    if let Some(v) = ctx.dpapi(loc.mount) {
+                        let hf = v.handle_for_ino(loc.ino)?;
+                        v.disclose(hf, side)?;
+                    }
+                }
+            }
+            Ok(res)
+        } else {
+            // Provenance-only disclosure about app objects: implicit
+            // dependency on the disclosing process, records stay
+            // cached until a persistent descendant appears.
+            let out = inner.analyzer.add_dependency(subject, proc_node);
+            if !out.duplicate {
+                inner.cache_record(
+                    subject,
+                    Attribute::Input,
+                    CachedValue::Ref(proc_node, out.source_version),
+                );
+            }
+            let identity = inner.identity(subject).ok_or(DpapiError::InvalidHandle)?;
+            Ok(WriteResult {
+                written: 0,
+                identity,
+            })
+        }
+    }
+
+    fn dp_freeze(&self, ctx: &mut HookCtx<'_>, _pid: Pid, h: Handle) -> dpapi::Result<Version> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        let node = inner.resolve_uhandle(h)?;
+        let new_version = inner.analyzer.freeze(node);
+        // Mirror the freeze at the volume if the object lives there.
+        let info = inner
+            .info
+            .get(&node)
+            .map(|i| (i.home, i.home_handle, i.pass_file));
+        if let Some((home, home_handle, pass_file)) = info {
+            if let Some(loc) = pass_file {
+                if let Some(v) = ctx.dpapi(loc.mount) {
+                    let vh = v.handle_for_ino(loc.ino)?;
+                    v.pass_freeze(vh)?;
+                }
+            } else if let (Some(home), Some(vh)) = (home, home_handle) {
+                if let Some(v) = ctx.find_volume(home) {
+                    v.pass_freeze(vh)?;
+                }
+            }
+        }
+        Ok(Version(new_version))
+    }
+
+    fn dp_sync(&self, ctx: &mut HookCtx<'_>, _pid: Pid, h: Handle) -> dpapi::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        let node = inner.resolve_uhandle(h)?;
+        let home = inner
+            .info
+            .get(&node)
+            .and_then(|i| i.home)
+            .or_else(|| inner.default_volume(ctx))
+            .ok_or(DpapiError::NotPassVolume)?;
+        let side = inner.flush_nodes(ctx, &[node], home);
+        let vh = inner
+            .info
+            .get(&node)
+            .and_then(|i| i.home_handle)
+            .ok_or(DpapiError::InvalidHandle)?;
+        let v = ctx.find_volume(home).ok_or(DpapiError::NotPassVolume)?;
+        if !side.is_empty() {
+            v.disclose(vh, side)?;
+        }
+        v.pass_sync(vh)
+    }
+
+    fn dp_close(&self, _ctx: &mut HookCtx<'_>, _pid: Pid, h: Handle) -> dpapi::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        inner
+            .uhandles
+            .remove(&h.raw())
+            .map(|_| ())
+            .ok_or(DpapiError::InvalidHandle)
+    }
+
+    fn dp_handle_for_file(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        _pid: Pid,
+        loc: FileLoc,
+    ) -> dpapi::Result<Handle> {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        let node = inner.node_for_file(ctx, loc);
+        Ok(inner.new_uhandle(node))
+    }
+}
+

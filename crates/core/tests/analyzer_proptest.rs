@@ -1,0 +1,136 @@
+//! Property-based tests for the analyzer's central invariant: no
+//! dependency stream — however adversarial — produces a cycle among
+//! `(object, version)` pairs under cycle avoidance, and the PASSv1
+//! baseline keeps its merged graph acyclic.
+
+use std::collections::{HashMap, HashSet};
+
+use passv2::analyzer::{CycleAvoidance, GlobalGraph, NodeId};
+use proptest::prelude::*;
+
+/// Replays a dependency stream, building the versioned edge set the
+/// storage layer would persist, then checks it for cycles.
+fn versioned_graph_is_acyclic(stream: &[(NodeId, NodeId)]) -> bool {
+    let mut an = CycleAvoidance::new();
+    // Edges between (node, version) pairs, in dependency direction
+    // target@tv -> source@sv, plus implicit version edges
+    // n@v -> n@v-1.
+    let mut edges: HashSet<((NodeId, u32), (NodeId, u32))> = HashSet::new();
+    let mut max_version: HashMap<NodeId, u32> = HashMap::new();
+    for &(target, source) in stream {
+        let out = an.add_dependency(target, source);
+        if out.duplicate {
+            continue;
+        }
+        let tv = out.target_version;
+        let sv = out.source_version;
+        edges.insert(((target, tv), (source, sv)));
+        max_version.insert(target, tv.max(*max_version.get(&target).unwrap_or(&0)));
+        max_version.insert(source, sv.max(*max_version.get(&source).unwrap_or(&0)));
+    }
+    for (&n, &maxv) in &max_version {
+        for v in 1..=maxv {
+            edges.insert(((n, v), (n, v - 1)));
+        }
+    }
+    // Kahn's algorithm over the versioned nodes.
+    let mut nodes: HashSet<(NodeId, u32)> = HashSet::new();
+    for &(a, b) in &edges {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let mut indeg: HashMap<(NodeId, u32), usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    let mut adj: HashMap<(NodeId, u32), Vec<(NodeId, u32)>> = HashMap::new();
+    for &(a, b) in &edges {
+        adj.entry(a).or_default().push(b);
+        *indeg.get_mut(&b).unwrap() += 1;
+    }
+    let mut queue: Vec<(NodeId, u32)> = indeg
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(n, _)| *n)
+        .collect();
+    let mut visited = 0;
+    while let Some(n) = queue.pop() {
+        visited += 1;
+        if let Some(next) = adj.get(&n) {
+            for &m in next {
+                let d = indeg.get_mut(&m).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(m);
+                }
+            }
+        }
+    }
+    visited == nodes.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cycle avoidance: the versioned provenance graph is a DAG for
+    /// every stream over a small id space (small spaces maximize
+    /// collision/cycle pressure).
+    #[test]
+    fn cycle_avoidance_keeps_versioned_graph_acyclic(
+        stream in proptest::collection::vec((0u64..8, 0u64..8), 1..300)
+    ) {
+        let stream: Vec<(NodeId, NodeId)> = stream;
+        prop_assert!(versioned_graph_is_acyclic(&stream));
+    }
+
+    /// Duplicate elimination is idempotent: replaying the same edge
+    /// immediately is always suppressed.
+    #[test]
+    fn immediate_replay_is_duplicate(
+        stream in proptest::collection::vec((0u64..6, 0u64..6), 1..100)
+    ) {
+        let mut an = CycleAvoidance::new();
+        for (t, s) in stream {
+            if t == s {
+                continue;
+            }
+            let first = an.add_dependency(t, s);
+            let again = an.add_dependency(t, s);
+            // Replay can never freeze and is always a duplicate —
+            // unless the first call froze the target (new version,
+            // fresh set), in which case the second absorbs it.
+            if first.frozen.is_none() {
+                prop_assert!(again.duplicate);
+            } else {
+                prop_assert!(again.duplicate || again.frozen.is_none());
+            }
+        }
+    }
+
+    /// The PASSv1 global graph never reports a cycle among its
+    /// canonical nodes after merges.
+    #[test]
+    fn global_graph_stays_acyclic(
+        stream in proptest::collection::vec((0u64..10, 0u64..10), 1..200)
+    ) {
+        let mut g = GlobalGraph::new();
+        for (t, s) in stream {
+            g.add_dependency(t, s);
+        }
+        prop_assert!(g.is_acyclic());
+    }
+
+    /// Versions only move forward.
+    #[test]
+    fn versions_are_monotonic(
+        stream in proptest::collection::vec((0u64..6, 0u64..6), 1..200)
+    ) {
+        let mut an = CycleAvoidance::new();
+        let mut last: HashMap<NodeId, u32> = HashMap::new();
+        for (t, s) in stream {
+            an.add_dependency(t, s);
+            for n in [t, s] {
+                let v = an.version(n);
+                let prev = last.insert(n, v).unwrap_or(0);
+                prop_assert!(v >= prev, "version of {n} went backwards");
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The `Dpapi` trait: the six calls every provenance-aware layer
+//! implements and/or invokes.
+
+use crate::error::Result;
+use crate::id::{ObjectRef, Pnode, Version, VolumeId};
+use crate::record::Bundle;
+
+/// An opaque handle naming an open object at some layer.
+///
+/// Handles are layer-local, like file descriptors: the same raw value
+/// means different things to libpass, to the kernel and to an NFS
+/// client. Objects created with `pass_mkobj` are referenced like
+/// files, with handles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Handle(u64);
+
+impl Handle {
+    /// Wraps a raw handle value.
+    pub const fn from_raw(raw: u64) -> Handle {
+        Handle(raw)
+    }
+
+    /// Unwraps the raw handle value.
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// What kind of thing a handle refers to, reported by implementations
+/// for diagnostics and by the distributor to decide persistence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObjectKind {
+    /// A regular file on some volume.
+    File,
+    /// A process.
+    Process,
+    /// A pipe endpoint.
+    Pipe,
+    /// An application-defined object created via `pass_mkobj`
+    /// (a browser session, a data set, a workflow operator, …).
+    AppObject,
+}
+
+/// The result of a `pass_read`: the data plus the exact identity of
+/// what was read.
+///
+/// Returning the pnode and version with the data is what lets higher
+/// layers construct provenance records that accurately describe what
+/// they read — the consistency requirement of the paper's §4.
+#[derive(Clone, Debug)]
+pub struct ReadResult {
+    /// The bytes read.
+    pub data: Vec<u8>,
+    /// The identity (pnode and version) of the object as of the
+    /// moment of the read.
+    pub identity: ObjectRef,
+}
+
+/// The result of a `pass_write`.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteResult {
+    /// Bytes of data accepted (0 for provenance-only writes).
+    pub written: usize,
+    /// The identity of the object after the write.
+    pub identity: ObjectRef,
+}
+
+/// The Disclosed Provenance API.
+///
+/// Components of PASSv2 communicate with each other via the DPAPI, and
+/// so do different provenance systems across layer boundaries: a
+/// provenance-aware application issues DPAPI calls to libpass, libpass
+/// to the kernel observer, the observer (via analyzer and distributor)
+/// to Lasagna or to the PA-NFS client, and the PA-NFS client to the
+/// PA-NFS server. Layers that serve as substrates for higher layers
+/// must *export* the DPAPI; layers that disclose provenance *invoke*
+/// it.
+pub trait Dpapi {
+    /// Reads up to `len` bytes at `offset`, returning both the data
+    /// and the exact identity (pnode, version) of what was read.
+    fn pass_read(&mut self, h: Handle, offset: u64, len: usize) -> Result<ReadResult>;
+
+    /// Writes `data` at `offset` together with a bundle of provenance
+    /// records describing it, so data and provenance move together.
+    ///
+    /// Provenance-only writes pass an empty `data` slice; data-only
+    /// writes pass an empty bundle (PASSv2 will still observe the
+    /// write and generate implicit provenance at the OS layer).
+    fn pass_write(
+        &mut self,
+        h: Handle,
+        offset: u64,
+        data: &[u8],
+        bundle: Bundle,
+    ) -> Result<WriteResult>;
+
+    /// Requests a new version of the object to break a dependency
+    /// cycle. Versions are materialized at the bottom layer (the
+    /// storage system), but cycle-breaking may occur at any layer.
+    fn pass_freeze(&mut self, h: Handle) -> Result<Version>;
+
+    /// Creates a provenance-only object: something that has identity
+    /// and provenance but no file-system manifestation (a browser
+    /// session, a data set, a program variable, a workflow operator).
+    ///
+    /// `volume_hint` selects the PASS volume that will hold the
+    /// object's provenance if it never acquires a persistent ancestor;
+    /// `None` lets the distributor choose.
+    fn pass_mkobj(&mut self, volume_hint: Option<VolumeId>) -> Result<Handle>;
+
+    /// Re-opens an object previously created via `pass_mkobj`, given
+    /// its pnode and version (e.g. a browser session restored from
+    /// disk after a restart).
+    fn pass_reviveobj(&mut self, pnode: Pnode, version: Version) -> Result<Handle>;
+
+    /// Forces the provenance of an object created via `pass_mkobj` to
+    /// persistent storage even if it is not (yet) in the ancestry of
+    /// any persistent object.
+    fn pass_sync(&mut self, h: Handle) -> Result<()>;
+
+    /// Closes a handle obtained from this layer. Not one of the six
+    /// paper calls (the paper reuses `close`), but required here since
+    /// the simulation has no ambient process context.
+    fn pass_close(&mut self, h: Handle) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DpapiError;
+    use crate::record::{Bundle, ProvenanceRecord};
+
+    /// A minimal in-memory DPAPI implementation used to validate that
+    /// the trait is object-safe and usable through `dyn`.
+    struct MiniLayer {
+        store: Vec<(Vec<u8>, Vec<ProvenanceRecord>)>,
+        alloc: crate::PnodeAllocator,
+        pnodes: Vec<Pnode>,
+    }
+
+    impl MiniLayer {
+        fn new() -> Self {
+            MiniLayer {
+                store: Vec::new(),
+                alloc: crate::PnodeAllocator::new(VolumeId(1)),
+                pnodes: Vec::new(),
+            }
+        }
+    }
+
+    impl Dpapi for MiniLayer {
+        fn pass_read(&mut self, h: Handle, _o: u64, _l: usize) -> Result<ReadResult> {
+            let idx = h.raw() as usize;
+            let (data, _) = self.store.get(idx).ok_or(DpapiError::InvalidHandle)?;
+            Ok(ReadResult {
+                data: data.clone(),
+                identity: ObjectRef::new(self.pnodes[idx], Version(0)),
+            })
+        }
+
+        fn pass_write(
+            &mut self,
+            h: Handle,
+            _o: u64,
+            data: &[u8],
+            bundle: Bundle,
+        ) -> Result<WriteResult> {
+            let idx = h.raw() as usize;
+            let entry = self.store.get_mut(idx).ok_or(DpapiError::InvalidHandle)?;
+            entry.0.extend_from_slice(data);
+            entry.1.extend(bundle.iter().map(|(_, r)| r.clone()));
+            Ok(WriteResult {
+                written: data.len(),
+                identity: ObjectRef::new(self.pnodes[idx], Version(0)),
+            })
+        }
+
+        fn pass_freeze(&mut self, _h: Handle) -> Result<Version> {
+            Ok(Version(1))
+        }
+
+        fn pass_mkobj(&mut self, _v: Option<VolumeId>) -> Result<Handle> {
+            let h = Handle::from_raw(self.store.len() as u64);
+            self.store.push((Vec::new(), Vec::new()));
+            self.pnodes.push(self.alloc.allocate());
+            Ok(h)
+        }
+
+        fn pass_reviveobj(&mut self, pnode: Pnode, _v: Version) -> Result<Handle> {
+            self.pnodes
+                .iter()
+                .position(|p| *p == pnode)
+                .map(|i| Handle::from_raw(i as u64))
+                .ok_or(DpapiError::UnknownPnode(pnode))
+        }
+
+        fn pass_sync(&mut self, h: Handle) -> Result<()> {
+            if (h.raw() as usize) < self.store.len() {
+                Ok(())
+            } else {
+                Err(DpapiError::InvalidHandle)
+            }
+        }
+
+        fn pass_close(&mut self, _h: Handle) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_roundtrips() {
+        let mut layer: Box<dyn Dpapi> = Box::new(MiniLayer::new());
+        let h = layer.pass_mkobj(None).unwrap();
+        let bundle = Bundle::single(
+            h,
+            ProvenanceRecord::new(crate::Attribute::Type, crate::Value::str("SESSION")),
+        );
+        let w = layer.pass_write(h, 0, b"hello", bundle).unwrap();
+        assert_eq!(w.written, 5);
+        let r = layer.pass_read(h, 0, 5).unwrap();
+        assert_eq!(r.data, b"hello");
+        assert_eq!(r.identity, w.identity);
+    }
+
+    #[test]
+    fn reviveobj_finds_previously_made_object() {
+        let mut layer = MiniLayer::new();
+        let h = layer.pass_mkobj(None).unwrap();
+        let id = layer.pass_read(h, 0, 0).unwrap().identity;
+        let h2 = layer.pass_reviveobj(id.pnode, id.version).unwrap();
+        assert_eq!(h, h2);
+        let missing = Pnode::new(VolumeId(1), 999);
+        assert_eq!(
+            layer.pass_reviveobj(missing, Version(0)),
+            Err(DpapiError::UnknownPnode(missing))
+        );
+    }
+
+    #[test]
+    fn handle_display() {
+        assert_eq!(Handle::from_raw(42).to_string(), "h42");
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all DPAPI implementations.
+
+use std::fmt;
+
+use crate::id::{Pnode, Version};
+
+/// Result alias used throughout the DPAPI and its implementors.
+pub type Result<T> = std::result::Result<T, DpapiError>;
+
+/// Errors a DPAPI call can produce.
+///
+/// Implementations at every layer (libpass, the kernel observer,
+/// Lasagna, the PA-NFS client and server) share this type so errors
+/// propagate across layers unchanged.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DpapiError {
+    /// The handle does not name an open object at this layer.
+    InvalidHandle,
+    /// No object with this pnode exists (e.g. `pass_reviveobj` of a
+    /// never-allocated pnode).
+    UnknownPnode(Pnode),
+    /// The requested version of the object does not exist.
+    UnknownVersion(Pnode, Version),
+    /// The target object lives on a volume that is not
+    /// provenance-aware, so provenance cannot be stored with it.
+    NotPassVolume,
+    /// An I/O error in the underlying storage or network substrate.
+    Io(String),
+    /// The provenance log or database detected a consistency violation
+    /// (e.g. a data digest mismatch during recovery).
+    Inconsistent(String),
+    /// A provenance transaction was aborted or its id is unknown.
+    BadTransaction(u64),
+    /// The operation is not supported by this layer.
+    Unsupported(&'static str),
+    /// A malformed record or bundle was presented.
+    Malformed(String),
+}
+
+impl fmt::Display for DpapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpapiError::InvalidHandle => write!(f, "invalid object handle"),
+            DpapiError::UnknownPnode(p) => write!(f, "unknown pnode {p}"),
+            DpapiError::UnknownVersion(p, v) => write!(f, "unknown version {v} of {p}"),
+            DpapiError::NotPassVolume => write!(f, "volume is not provenance-aware"),
+            DpapiError::Io(m) => write!(f, "i/o error: {m}"),
+            DpapiError::Inconsistent(m) => write!(f, "provenance inconsistency: {m}"),
+            DpapiError::BadTransaction(id) => write!(f, "bad provenance transaction {id}"),
+            DpapiError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            DpapiError::Malformed(m) => write!(f, "malformed provenance: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DpapiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::VolumeId;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let p = Pnode::new(VolumeId(2), 7);
+        assert_eq!(
+            DpapiError::UnknownPnode(p).to_string(),
+            "unknown pnode vol2:p7"
+        );
+        assert_eq!(
+            DpapiError::UnknownVersion(p, Version(3)).to_string(),
+            "unknown version v3 of vol2:p7"
+        );
+        assert_eq!(
+            DpapiError::BadTransaction(9).to_string(),
+            "bad provenance transaction 9"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&DpapiError::InvalidHandle);
+    }
+}

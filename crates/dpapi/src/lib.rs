@@ -1,0 +1,46 @@
+//! The Disclosed Provenance API (DPAPI).
+//!
+//! The DPAPI is the central interface of the PASSv2 layered provenance
+//! architecture. It allows transfer of provenance both among the
+//! components of a single system (observer → analyzer → distributor →
+//! storage) and *between layers* (a provenance-aware application →
+//! libpass → the kernel → a provenance-aware file system or NFS
+//! client → an NFS server).
+//!
+//! The API consists of six calls — [`Dpapi::pass_read`],
+//! [`Dpapi::pass_write`], [`Dpapi::pass_freeze`], [`Dpapi::pass_mkobj`],
+//! [`Dpapi::pass_reviveobj`] and [`Dpapi::pass_sync`] — and two
+//! concepts: the *pnode number* ([`Pnode`]), a never-recycled handle
+//! for an object's provenance, and the *provenance record*
+//! ([`ProvenanceRecord`]), a single attribute/value unit of provenance.
+//!
+//! Layers that act as a substrate to higher layers (an interpreter, an
+//! NFS client, the OS itself) accept DPAPI calls from above and issue
+//! DPAPI calls below, so an arbitrary number of provenance-aware layers
+//! can stack.
+//!
+//! # Examples
+//!
+//! Constructing a bundle that discloses application provenance for a
+//! file write:
+//!
+//! ```
+//! use dpapi::{Attribute, Bundle, ProvenanceRecord, Value};
+//!
+//! let mut bundle = Bundle::new();
+//! let h = dpapi::Handle::from_raw(7);
+//! bundle.push(h, ProvenanceRecord::new(Attribute::Type, Value::str("SESSION")));
+//! bundle.push(h, ProvenanceRecord::new(Attribute::VisitedUrl, Value::str("http://a.example/")));
+//! assert_eq!(bundle.record_count(), 2);
+//! ```
+
+pub mod api;
+pub mod error;
+pub mod id;
+pub mod record;
+pub mod wire;
+
+pub use api::{Dpapi, Handle, ObjectKind, ReadResult, WriteResult};
+pub use error::{DpapiError, Result};
+pub use id::{ObjectRef, Pnode, PnodeAllocator, Version, VolumeId};
+pub use record::{Attribute, Bundle, BundleEntry, ProvenanceRecord, Value};

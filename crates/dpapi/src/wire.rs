@@ -1,0 +1,276 @@
+//! Binary wire format for provenance records.
+//!
+//! Both the Lasagna provenance log and the PA-NFS protocol carry
+//! records in this encoding, which keeps the client and server
+//! analyzer input/output representations identical — the property
+//! that lets analyzer instances stack (paper §6.1.1).
+//!
+//! The format is a simple length-prefixed TLV scheme, little-endian
+//! throughout:
+//!
+//! ```text
+//! record   := attr value
+//! attr     := u16 len, len bytes of UTF-8
+//! value    := tag u8, payload
+//! payload  := Int: i64 | Str: u32 len + bytes | Bool: u8
+//!           | Bytes: u32 len + bytes | StrList: u32 n + n * (u32 len + bytes)
+//!           | Xref: u32 volume, u64 pnode, u32 version
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{DpapiError, Result};
+use crate::id::{ObjectRef, Pnode, Version, VolumeId};
+use crate::record::{Attribute, ProvenanceRecord, Value};
+
+const TAG_INT: u8 = 0;
+const TAG_STR: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_BYTES: u8 = 3;
+const TAG_STRLIST: u8 = 4;
+const TAG_XREF: u8 = 5;
+
+/// Encodes an [`ObjectRef`] into `buf`.
+pub fn put_object_ref(buf: &mut BytesMut, r: ObjectRef) {
+    buf.put_u32_le(r.pnode.volume.0);
+    buf.put_u64_le(r.pnode.number);
+    buf.put_u32_le(r.version.0);
+}
+
+/// Decodes an [`ObjectRef`] from `buf`.
+pub fn get_object_ref(buf: &mut Bytes) -> Result<ObjectRef> {
+    if buf.remaining() < 16 {
+        return Err(DpapiError::Malformed("truncated object ref".into()));
+    }
+    let volume = VolumeId(buf.get_u32_le());
+    let number = buf.get_u64_le();
+    let version = Version(buf.get_u32_le());
+    Ok(ObjectRef::new(Pnode::new(volume, number), version))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(DpapiError::Malformed("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DpapiError::Malformed("truncated string body".into()));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| DpapiError::Malformed("invalid UTF-8 in record".into()))
+}
+
+/// Encodes one provenance record into `buf`.
+pub fn put_record(buf: &mut BytesMut, rec: &ProvenanceRecord) {
+    let name = rec.attribute.as_str();
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+    match &rec.value {
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(TAG_BYTES);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::StrList(l) => {
+            buf.put_u8(TAG_STRLIST);
+            buf.put_u32_le(l.len() as u32);
+            for s in l {
+                put_str(buf, s);
+            }
+        }
+        Value::Xref(r) => {
+            buf.put_u8(TAG_XREF);
+            put_object_ref(buf, *r);
+        }
+    }
+}
+
+/// Decodes one provenance record from `buf`.
+pub fn get_record(buf: &mut Bytes) -> Result<ProvenanceRecord> {
+    if buf.remaining() < 2 {
+        return Err(DpapiError::Malformed("truncated attribute length".into()));
+    }
+    let name_len = buf.get_u16_le() as usize;
+    if buf.remaining() < name_len {
+        return Err(DpapiError::Malformed("truncated attribute name".into()));
+    }
+    let name_raw = buf.split_to(name_len);
+    let name = std::str::from_utf8(&name_raw)
+        .map_err(|_| DpapiError::Malformed("invalid UTF-8 attribute".into()))?;
+    let attribute = Attribute::from_name(name);
+    if buf.remaining() < 1 {
+        return Err(DpapiError::Malformed("truncated value tag".into()));
+    }
+    let value = match buf.get_u8() {
+        TAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(DpapiError::Malformed("truncated int".into()));
+            }
+            Value::Int(buf.get_i64_le())
+        }
+        TAG_STR => Value::Str(get_str(buf)?),
+        TAG_BOOL => {
+            if buf.remaining() < 1 {
+                return Err(DpapiError::Malformed("truncated bool".into()));
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        TAG_BYTES => {
+            if buf.remaining() < 4 {
+                return Err(DpapiError::Malformed("truncated bytes length".into()));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(DpapiError::Malformed("truncated bytes body".into()));
+            }
+            Value::Bytes(buf.split_to(len).to_vec())
+        }
+        TAG_STRLIST => {
+            if buf.remaining() < 4 {
+                return Err(DpapiError::Malformed("truncated list length".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let mut l = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                l.push(get_str(buf)?);
+            }
+            Value::StrList(l)
+        }
+        TAG_XREF => Value::Xref(get_object_ref(buf)?),
+        tag => {
+            return Err(DpapiError::Malformed(format!("unknown value tag {tag}")));
+        }
+    };
+    Ok(ProvenanceRecord { attribute, value })
+}
+
+/// Serialized size of one record in this encoding.
+pub fn record_wire_size(rec: &ProvenanceRecord) -> usize {
+    let name = rec.attribute.as_str().len();
+    let value = match &rec.value {
+        Value::Int(_) => 8,
+        Value::Str(s) => 4 + s.len(),
+        Value::Bool(_) => 1,
+        Value::Bytes(b) => 4 + b.len(),
+        Value::StrList(l) => 4 + l.iter().map(|s| 4 + s.len()).sum::<usize>(),
+        Value::Xref(_) => 16,
+    };
+    2 + name + 1 + value
+}
+
+/// Encodes a record to a standalone byte vector.
+pub fn encode_record(rec: &ProvenanceRecord) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(record_wire_size(rec));
+    put_record(&mut buf, rec);
+    buf.to_vec()
+}
+
+/// Decodes a record from a standalone byte slice, requiring the slice
+/// to be fully consumed.
+pub fn decode_record(data: &[u8]) -> Result<ProvenanceRecord> {
+    let mut buf = Bytes::copy_from_slice(data);
+    let rec = get_record(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(DpapiError::Malformed("trailing bytes after record".into()));
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: ProvenanceRecord) {
+        let enc = encode_record(&rec);
+        assert_eq!(enc.len(), record_wire_size(&rec), "size mismatch: {rec}");
+        let dec = decode_record(&enc).unwrap();
+        assert_eq!(dec, rec);
+    }
+
+    #[test]
+    fn roundtrip_every_value_kind() {
+        roundtrip(ProvenanceRecord::new(Attribute::Type, Value::str("FILE")));
+        roundtrip(ProvenanceRecord::new(Attribute::Input, Value::Int(-42)));
+        roundtrip(ProvenanceRecord::new(
+            Attribute::Other("FLAG".into()),
+            Value::Bool(true),
+        ));
+        roundtrip(ProvenanceRecord::new(
+            Attribute::DataDigest,
+            Value::Bytes(vec![0xde, 0xad, 0xbe, 0xef]),
+        ));
+        roundtrip(ProvenanceRecord::new(
+            Attribute::Argv,
+            Value::StrList(vec!["ls".into(), "-l".into(), "".into()]),
+        ));
+        roundtrip(ProvenanceRecord::input(ObjectRef::new(
+            Pnode::new(VolumeId(7), 123456789),
+            Version(42),
+        )));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_byte() {
+        let rec = ProvenanceRecord::new(Attribute::Argv, Value::StrList(vec!["a".into()]));
+        let enc = encode_record(&rec);
+        for cut in 0..enc.len() {
+            assert!(
+                decode_record(&enc[..cut]).is_err(),
+                "decode of {cut}-byte prefix unexpectedly succeeded"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut enc = encode_record(&ProvenanceRecord::new(Attribute::Type, Value::Int(1)));
+        enc.push(0xff);
+        assert!(decode_record(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(4);
+        buf.put_slice(b"TYPE");
+        buf.put_u8(99);
+        assert!(decode_record(&buf).is_err());
+    }
+
+    #[test]
+    fn multiple_records_stream_from_one_buffer() {
+        let recs = vec![
+            ProvenanceRecord::new(Attribute::Name, Value::str("x")),
+            ProvenanceRecord::new(Attribute::Type, Value::str("PROC")),
+            ProvenanceRecord::freeze(Version(2)),
+        ];
+        let mut buf = BytesMut::new();
+        for r in &recs {
+            put_record(&mut buf, r);
+        }
+        let mut stream = buf.freeze();
+        let mut out = Vec::new();
+        while stream.has_remaining() {
+            out.push(get_record(&mut stream).unwrap());
+        }
+        assert_eq!(out, recs);
+    }
+}

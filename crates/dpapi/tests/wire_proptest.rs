@@ -1,0 +1,72 @@
+//! Property-based tests for the DPAPI wire encoding.
+
+use dpapi::wire::{decode_record, encode_record, record_wire_size};
+use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
+use proptest::prelude::*;
+
+fn arb_attribute() -> impl Strategy<Value = Attribute> {
+    prop_oneof![
+        Just(Attribute::Input),
+        Just(Attribute::Type),
+        Just(Attribute::Name),
+        Just(Attribute::Argv),
+        Just(Attribute::Env),
+        Just(Attribute::Freeze),
+        Just(Attribute::BeginTxn),
+        Just(Attribute::EndTxn),
+        Just(Attribute::Params),
+        Just(Attribute::VisitedUrl),
+        Just(Attribute::FileUrl),
+        Just(Attribute::CurrentUrl),
+        Just(Attribute::DataDigest),
+        "[A-Z_]{1,24}".prop_map(|s| Attribute::from_name(&s)),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        ".{0,64}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        proptest::collection::vec(any::<u8>(), 0..128).prop_map(Value::Bytes),
+        proptest::collection::vec(".{0,16}".prop_map(String::from), 0..8)
+            .prop_map(Value::StrList),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(vol, num, ver)| {
+            Value::Xref(ObjectRef::new(
+                Pnode::new(VolumeId(vol), num),
+                Version(ver),
+            ))
+        }),
+    ]
+}
+
+proptest! {
+    /// Every record survives an encode/decode roundtrip unchanged.
+    #[test]
+    fn record_roundtrip(attr in arb_attribute(), value in arb_value()) {
+        let rec = ProvenanceRecord::new(attr, value);
+        let enc = encode_record(&rec);
+        prop_assert_eq!(enc.len(), record_wire_size(&rec));
+        let dec = decode_record(&enc).unwrap();
+        prop_assert_eq!(dec, rec);
+    }
+
+    /// Arbitrary byte soup never panics the decoder; it either decodes
+    /// (possibly to some record) or errors cleanly.
+    #[test]
+    fn decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_record(&data);
+    }
+
+    /// Truncating a valid record always fails to decode (no prefix of
+    /// a record is itself a whole record).
+    #[test]
+    fn truncation_always_detected(attr in arb_attribute(), value in arb_value()) {
+        let rec = ProvenanceRecord::new(attr, value);
+        let enc = encode_record(&rec);
+        if enc.len() > 1 {
+            let cut = enc.len() / 2;
+            prop_assert!(decode_record(&enc[..cut]).is_err());
+        }
+    }
+}

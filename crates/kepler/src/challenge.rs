@@ -1,0 +1,291 @@
+//! The First Provenance Challenge fMRI workflow.
+//!
+//! The paper's Figure 1 scenario executes "the Provenance Challenge
+//! workflow, reading inputs from one NFS file server and writing
+//! outputs to another" (§3.1). The workflow is the well-known fMRI
+//! pipeline: four anatomy images are aligned against a reference
+//! (`align_warp`), resliced, averaged into an atlas (`softmean`),
+//! sliced along three axes (`slicer`) and converted to images
+//! (`convert`), producing `atlas-x.gif`, `atlas-y.gif` and
+//! `atlas-z.gif`.
+
+use std::rc::Rc;
+
+use sim_os::fs::FsResult;
+use sim_os::proc::Pid;
+use sim_os::syscall::Kernel;
+
+use crate::engine::{mix, OpKind, Workflow};
+
+/// The three output axes.
+pub const AXES: [&str; 3] = ["x", "y", "z"];
+
+/// Paths used by one challenge run.
+#[derive(Clone, Debug)]
+pub struct ChallengePaths {
+    /// Directory holding `anatomy{1..4}.img/.hdr` and
+    /// `reference.img/.hdr` (typically the first NFS mount).
+    pub input_dir: String,
+    /// Directory for intermediates (typically local disk).
+    pub work_dir: String,
+    /// Directory for the atlas outputs (typically the second NFS
+    /// mount).
+    pub output_dir: String,
+}
+
+impl ChallengePaths {
+    /// Path of the `i`-th anatomy image (1-based).
+    pub fn anatomy(&self, i: usize) -> String {
+        format!("{}/anatomy{}.img", self.input_dir, i)
+    }
+
+    /// Path of the anatomy header.
+    pub fn anatomy_hdr(&self, i: usize) -> String {
+        format!("{}/anatomy{}.hdr", self.input_dir, i)
+    }
+
+    /// Path of the reference image.
+    pub fn reference(&self) -> String {
+        format!("{}/reference.img", self.input_dir)
+    }
+
+    /// Path of a final atlas image for an axis.
+    pub fn atlas_gif(&self, axis: &str) -> String {
+        format!("{}/atlas-{}.gif", self.output_dir, axis)
+    }
+}
+
+/// Writes synthetic input data sets into `paths.input_dir`. `seed`
+/// varies the content so tests can model "a colleague modified an
+/// input".
+pub fn populate_inputs(
+    kernel: &mut Kernel,
+    pid: Pid,
+    paths: &ChallengePaths,
+    seed: u8,
+) -> FsResult<()> {
+    for i in 1..=4 {
+        let body: Vec<u8> = (0..2048u32)
+            .map(|j| (j as u8).wrapping_mul(i as u8).wrapping_add(seed))
+            .collect();
+        kernel.write_file(pid, &paths.anatomy(i), &body)?;
+        kernel.write_file(
+            pid,
+            &paths.anatomy_hdr(i),
+            format!("anatomy {i} header seed {seed}").as_bytes(),
+        )?;
+    }
+    let reference: Vec<u8> = (0..2048u32).map(|j| (j % 251) as u8).collect();
+    kernel.write_file(pid, &paths.reference(), &reference)?;
+    kernel.write_file(pid, &format!("{}/reference.hdr", paths.input_dir), b"ref header")?;
+    Ok(())
+}
+
+/// Builds the fMRI workflow over the given directories.
+pub fn fmri_workflow(paths: &ChallengePaths) -> Workflow {
+    let mut wf = Workflow::new();
+    let reference = wf.add(
+        "reference",
+        OpKind::FileSource {
+            path: paths.reference(),
+        },
+    );
+    let mut reslice_outputs = Vec::new();
+    for i in 1..=4 {
+        let img = wf.add(
+            &format!("anatomy{i}"),
+            OpKind::FileSource {
+                path: paths.anatomy(i),
+            },
+        );
+        let hdr = wf.add(
+            &format!("anatomy{i}_hdr"),
+            OpKind::FileSource {
+                path: paths.anatomy_hdr(i),
+            },
+        );
+        let name = format!("align_warp_{i}");
+        let align = wf.add_with_params(
+            &name,
+            &[("model", "12"), ("quick", "false")],
+            OpKind::Transform {
+                f: {
+                    let n = name.clone();
+                    Rc::new(move |ins| mix(&n, ins))
+                },
+                cpu_units: 4_000,
+            },
+        );
+        wf.connect(img, align);
+        wf.connect(hdr, align);
+        wf.connect(reference, align);
+        let warp_sink = wf.add(
+            &format!("warp{i}_store"),
+            OpKind::FileSink {
+                path: format!("{}/warp{}.warp", paths.work_dir, i),
+            },
+        );
+        wf.connect(align, warp_sink);
+        let rname = format!("reslice_{i}");
+        let reslice = wf.add(
+            &rname,
+            OpKind::Transform {
+                f: {
+                    let n = rname.clone();
+                    Rc::new(move |ins| mix(&n, ins))
+                },
+                cpu_units: 2_500,
+            },
+        );
+        wf.connect(warp_sink, reslice);
+        let rs_sink = wf.add(
+            &format!("reslice{i}_store"),
+            OpKind::FileSink {
+                path: format!("{}/reslice{}.img", paths.work_dir, i),
+            },
+        );
+        wf.connect(reslice, rs_sink);
+        reslice_outputs.push(rs_sink);
+    }
+    let softmean = wf.add_with_params(
+        "softmean",
+        &[("threshold", "0.5")],
+        OpKind::Transform {
+            f: Rc::new(|ins| mix("softmean", ins)),
+            cpu_units: 6_000,
+        },
+    );
+    for r in reslice_outputs {
+        wf.connect(r, softmean);
+    }
+    let atlas_sink = wf.add(
+        "atlas_store",
+        OpKind::FileSink {
+            path: format!("{}/atlas.img", paths.work_dir),
+        },
+    );
+    wf.connect(softmean, atlas_sink);
+    for axis in AXES {
+        let sname = format!("slicer_{axis}");
+        let slicer = wf.add_with_params(
+            &sname,
+            &[("axis", axis)],
+            OpKind::Transform {
+                f: {
+                    let n = sname.clone();
+                    Rc::new(move |ins| mix(&n, ins))
+                },
+                cpu_units: 1_200,
+            },
+        );
+        wf.connect(atlas_sink, slicer);
+        let cname = format!("convert_{axis}");
+        let convert = wf.add(
+            &cname,
+            OpKind::Transform {
+                f: {
+                    let n = cname.clone();
+                    Rc::new(move |ins| mix(&n, ins))
+                },
+                cpu_units: 800,
+            },
+        );
+        wf.connect(slicer, convert);
+        let sink = wf.add(
+            &format!("atlas_{axis}_store"),
+            OpKind::FileSink {
+                path: paths.atlas_gif(axis),
+            },
+        );
+        wf.connect(convert, sink);
+    }
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::recorder::NullRecorder;
+
+    #[test]
+    fn challenge_workflow_produces_three_atlases() {
+        let mut sys = passv2::System::baseline();
+        let pid = sys.spawn("kepler");
+        let paths = ChallengePaths {
+            input_dir: "/inputs".into(),
+            work_dir: "/work".into(),
+            output_dir: "/outputs".into(),
+        };
+        sys.kernel.mkdir_p(pid, "/inputs").unwrap();
+        sys.kernel.mkdir_p(pid, "/work").unwrap();
+        sys.kernel.mkdir_p(pid, "/outputs").unwrap();
+        populate_inputs(&mut sys.kernel, pid, &paths, 0).unwrap();
+        let wf = fmri_workflow(&paths);
+        run(&wf, &mut sys.kernel, pid, &mut NullRecorder).unwrap();
+        for axis in AXES {
+            let out = sys.kernel.read_file(pid, &paths.atlas_gif(axis)).unwrap();
+            assert!(!out.is_empty(), "atlas-{axis}.gif must exist");
+        }
+    }
+
+    #[test]
+    fn modified_input_changes_every_atlas() {
+        let run_once = |seed: u8| -> Vec<Vec<u8>> {
+            let mut sys = passv2::System::baseline();
+            let pid = sys.spawn("kepler");
+            let paths = ChallengePaths {
+                input_dir: "/in".into(),
+                work_dir: "/work".into(),
+                output_dir: "/out".into(),
+            };
+            for d in ["/in", "/work", "/out"] {
+                sys.kernel.mkdir_p(pid, d).unwrap();
+            }
+            populate_inputs(&mut sys.kernel, pid, &paths, 0).unwrap();
+            if seed != 0 {
+                // A colleague silently modifies one input.
+                let body = vec![seed; 2048];
+                sys.kernel.write_file(pid, &paths.anatomy(2), &body).unwrap();
+            }
+            let wf = fmri_workflow(&paths);
+            run(&wf, &mut sys.kernel, pid, &mut NullRecorder).unwrap();
+            AXES.iter()
+                .map(|a| sys.kernel.read_file(pid, &paths.atlas_gif(a)).unwrap())
+                .collect()
+        };
+        let monday = run_once(0);
+        let wednesday = run_once(7);
+        for (a, b) in monday.iter().zip(&wednesday) {
+            assert_ne!(a, b, "a changed input must change the outputs");
+        }
+        // And an identical rerun reproduces identical outputs.
+        let rerun = run_once(0);
+        assert_eq!(monday, rerun);
+    }
+
+    #[test]
+    fn workflow_shape_matches_the_challenge() {
+        let paths = ChallengePaths {
+            input_dir: "/i".into(),
+            work_dir: "/w".into(),
+            output_dir: "/o".into(),
+        };
+        let wf = fmri_workflow(&paths);
+        let names: Vec<&str> = wf.operators.iter().map(|o| o.name.as_str()).collect();
+        for expect in [
+            "align_warp_1",
+            "align_warp_4",
+            "reslice_1",
+            "softmean",
+            "slicer_x",
+            "slicer_z",
+            "convert_y",
+        ] {
+            assert!(names.contains(&expect), "missing operator {expect}");
+        }
+        // 4 aligns × 3 inputs each + softmean with 4 inputs + …
+        assert!(wf.edges.len() >= 30);
+        wf.schedule().expect("acyclic");
+    }
+}

@@ -1,0 +1,421 @@
+//! A miniature Kepler: actors, channels and a director.
+//!
+//! The engine models what PASSv2 needed from Kepler (paper §6.2): a
+//! workflow is a graph of named *operators* with parameters; when an
+//! operator produces a result, the engine notifies the provenance
+//! recording interface with an event naming the sender and every
+//! recipient; dedicated data source and sink operators perform file
+//! I/O, and the recording interface infers the files they touch.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sim_os::proc::Pid;
+use sim_os::syscall::{Kernel, OpenFlags};
+
+use crate::recorder::Recorder;
+
+/// A data token flowing between operators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token(pub Vec<u8>);
+
+/// A deterministic transform function.
+pub type TransformFn = Rc<dyn Fn(&[Token]) -> Token>;
+
+/// What an operator does when it fires.
+#[derive(Clone)]
+pub enum OpKind {
+    /// Reads a file and emits its contents as one token.
+    FileSource {
+        /// Absolute path to read.
+        path: String,
+    },
+    /// Writes its single input token to a file.
+    FileSink {
+        /// Absolute path to write.
+        path: String,
+    },
+    /// Computes an output token from its inputs, spending
+    /// `cpu_units` of simulated compute per fire.
+    Transform {
+        /// The function.
+        f: TransformFn,
+        /// Simulated CPU cost.
+        cpu_units: u64,
+    },
+}
+
+/// One workflow operator.
+#[derive(Clone)]
+pub struct Operator {
+    /// The operator's name (e.g. `align_warp_1`).
+    pub name: String,
+    /// Parameters, as Kepler would configure them (e.g. `fileName`,
+    /// `confirmOverwrite`).
+    pub params: Vec<(String, String)>,
+    /// Behaviour.
+    pub kind: OpKind,
+}
+
+/// A workflow: operators plus directed channels between them.
+#[derive(Clone, Default)]
+pub struct Workflow {
+    /// The operators, indexed by position.
+    pub operators: Vec<Operator>,
+    /// Channels: `(from, to)` operator indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Errors from workflow construction or execution.
+#[derive(Debug, PartialEq)]
+pub enum WorkflowError {
+    /// The graph has a cycle and cannot be scheduled.
+    Cyclic,
+    /// An edge references a missing operator.
+    BadEdge(usize, usize),
+    /// A file operation failed.
+    Io(String),
+    /// An operator fired without its required inputs.
+    MissingInput(String),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Cyclic => write!(f, "workflow graph is cyclic"),
+            WorkflowError::BadEdge(a, b) => write!(f, "edge {a}->{b} references missing operator"),
+            WorkflowError::Io(m) => write!(f, "workflow i/o error: {m}"),
+            WorkflowError::MissingInput(op) => write!(f, "operator {op} fired without inputs"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl Workflow {
+    /// Creates an empty workflow.
+    pub fn new() -> Workflow {
+        Workflow::default()
+    }
+
+    /// Adds an operator, returning its index.
+    pub fn add(&mut self, name: &str, kind: OpKind) -> usize {
+        self.operators.push(Operator {
+            name: name.to_string(),
+            params: Vec::new(),
+            kind,
+        });
+        self.operators.len() - 1
+    }
+
+    /// Adds an operator with parameters.
+    pub fn add_with_params(
+        &mut self,
+        name: &str,
+        params: &[(&str, &str)],
+        kind: OpKind,
+    ) -> usize {
+        let idx = self.add(name, kind);
+        self.operators[idx].params = params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        idx
+    }
+
+    /// Connects operator `from` to operator `to`.
+    pub fn connect(&mut self, from: usize, to: usize) {
+        self.edges.push((from, to));
+    }
+
+    /// A topological order of the operators (the director's
+    /// schedule).
+    pub fn schedule(&self) -> Result<Vec<usize>, WorkflowError> {
+        let n = self.operators.len();
+        for &(a, b) in &self.edges {
+            if a >= n || b >= n {
+                return Err(WorkflowError::BadEdge(a, b));
+            }
+        }
+        let mut indeg = vec![0usize; n];
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(a, b) in &self.edges {
+            indeg[b] += 1;
+            adj.entry(a).or_default().push(b);
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|i| indeg[*i] == 0).collect();
+        queue.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut at = 0;
+        while at < queue.len() {
+            let u = queue[at];
+            at += 1;
+            order.push(u);
+            if let Some(next) = adj.get(&u) {
+                let mut next = next.clone();
+                next.sort_unstable();
+                for v in next {
+                    indeg[v] -= 1;
+                    if indeg[v] == 0 {
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(WorkflowError::Cyclic);
+        }
+        Ok(order)
+    }
+
+    /// Inputs of an operator, in edge insertion order.
+    pub fn inputs_of(&self, op: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(_, b)| *b == op)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Outputs of an operator.
+    pub fn outputs_of(&self, op: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(a, _)| *a == op)
+            .map(|(_, b)| *b)
+            .collect()
+    }
+}
+
+/// Runs `workflow` as process `pid` on `kernel`, reporting events to
+/// `recorder`. Returns the tokens produced by each operator.
+pub fn run(
+    workflow: &Workflow,
+    kernel: &mut Kernel,
+    pid: Pid,
+    recorder: &mut dyn Recorder,
+) -> Result<Vec<Token>, WorkflowError> {
+    let order = workflow.schedule()?;
+    recorder.workflow_started(kernel, pid, workflow);
+    let mut outputs: Vec<Option<Token>> = vec![None; workflow.operators.len()];
+    for idx in order {
+        let op = workflow.operators[idx].clone();
+        let input_tokens: Vec<Token> = workflow
+            .inputs_of(idx)
+            .into_iter()
+            .map(|i| {
+                outputs[i]
+                    .clone()
+                    .ok_or_else(|| WorkflowError::MissingInput(op.name.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let out = match &op.kind {
+            OpKind::FileSource { path } => {
+                let fd = kernel
+                    .open(pid, path, OpenFlags::RDONLY)
+                    .map_err(|e| WorkflowError::Io(e.to_string()))?;
+                let size = kernel
+                    .stat(pid, path)
+                    .map_err(|e| WorkflowError::Io(e.to_string()))?
+                    .size as usize;
+                let data = kernel
+                    .read(pid, fd, size)
+                    .map_err(|e| WorkflowError::Io(e.to_string()))?;
+                recorder.file_read(kernel, pid, idx, fd, path);
+                kernel
+                    .close(pid, fd)
+                    .map_err(|e| WorkflowError::Io(e.to_string()))?;
+                Token(data)
+            }
+            OpKind::FileSink { path } => {
+                let token = input_tokens
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| WorkflowError::MissingInput(op.name.clone()))?;
+                let fd = kernel
+                    .open(pid, path, OpenFlags::WRONLY_CREATE)
+                    .map_err(|e| WorkflowError::Io(e.to_string()))?;
+                kernel
+                    .write(pid, fd, &token.0)
+                    .map_err(|e| WorkflowError::Io(e.to_string()))?;
+                recorder.file_written(kernel, pid, idx, fd, path);
+                kernel
+                    .close(pid, fd)
+                    .map_err(|e| WorkflowError::Io(e.to_string()))?;
+                token
+            }
+            OpKind::Transform { f, cpu_units } => {
+                kernel.compute(*cpu_units);
+                f(&input_tokens)
+            }
+        };
+        // Notify the recording interface: the operator produced a
+        // result delivered to every recipient.
+        for to in workflow.outputs_of(idx) {
+            recorder.message(kernel, pid, idx, to);
+        }
+        outputs[idx] = Some(out);
+    }
+    recorder.workflow_finished(kernel, pid, workflow);
+    Ok(outputs.into_iter().map(|o| o.expect("all fired")).collect())
+}
+
+/// A deterministic content mixer used by synthetic operators: the
+/// output depends on every input byte and on the operator name, so a
+/// changed input changes every downstream artifact (the §3.1 anomaly
+/// scenario relies on this).
+pub fn mix(name: &str, inputs: &[Token]) -> Token {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix_byte = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for b in name.bytes() {
+        mix_byte(b);
+    }
+    for t in inputs {
+        for &b in &t.0 {
+            mix_byte(b);
+        }
+    }
+    let mut out = Vec::with_capacity(256);
+    let mut state = h;
+    for _ in 0..32 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    Token(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NullRecorder;
+    use sim_os::clock::Clock;
+    use sim_os::cost::CostModel;
+    use sim_os::fs::basefs::BaseFs;
+
+    fn kernel() -> (Kernel, Pid) {
+        let clock = Clock::new();
+        let mut k = Kernel::new(clock.clone(), CostModel::default());
+        k.mount("/", Box::new(BaseFs::new(clock, CostModel::default())));
+        let pid = k.spawn_init("kepler");
+        (k, pid)
+    }
+
+    fn transform(name: &'static str) -> OpKind {
+        OpKind::Transform {
+            f: Rc::new(move |ins| mix(name, ins)),
+            cpu_units: 10,
+        }
+    }
+
+    #[test]
+    fn linear_pipeline_runs() {
+        let (mut k, pid) = kernel();
+        k.write_file(pid, "/in.dat", b"input").unwrap();
+        let mut wf = Workflow::new();
+        let src = wf.add(
+            "source",
+            OpKind::FileSource {
+                path: "/in.dat".into(),
+            },
+        );
+        let t = wf.add("stage", transform("stage"));
+        let sink = wf.add(
+            "sink",
+            OpKind::FileSink {
+                path: "/out.dat".into(),
+            },
+        );
+        wf.connect(src, t);
+        wf.connect(t, sink);
+        let mut rec = NullRecorder;
+        run(&wf, &mut k, pid, &mut rec).unwrap();
+        let out = k.read_file(pid, "/out.dat").unwrap();
+        assert_eq!(out.len(), 256);
+    }
+
+    #[test]
+    fn changed_input_changes_output() {
+        for (content, expect_same) in [(b"aaaa".to_vec(), true), (b"bbbb".to_vec(), false)] {
+            let (mut k, pid) = kernel();
+            k.write_file(pid, "/in.dat", b"aaaa").unwrap();
+            let (mut k2, pid2) = kernel();
+            k2.write_file(pid2, "/in.dat", &content).unwrap();
+            let build = |_: ()| {
+                let mut wf = Workflow::new();
+                let src = wf.add(
+                    "source",
+                    OpKind::FileSource {
+                        path: "/in.dat".into(),
+                    },
+                );
+                let t = wf.add("stage", transform("stage"));
+                let sink = wf.add(
+                    "sink",
+                    OpKind::FileSink {
+                        path: "/out.dat".into(),
+                    },
+                );
+                wf.connect(src, t);
+                wf.connect(t, sink);
+                wf
+            };
+            let mut rec = NullRecorder;
+            run(&build(()), &mut k, pid, &mut rec).unwrap();
+            run(&build(()), &mut k2, pid2, &mut rec).unwrap();
+            let a = k.read_file(pid, "/out.dat").unwrap();
+            let b = k2.read_file(pid2, "/out.dat").unwrap();
+            assert_eq!(a == b, expect_same);
+        }
+    }
+
+    #[test]
+    fn diamond_schedules_topologically() {
+        let mut wf = Workflow::new();
+        let a = wf.add("a", transform("a"));
+        let b = wf.add("b", transform("b"));
+        let c = wf.add("c", transform("c"));
+        let d = wf.add("d", transform("d"));
+        wf.connect(a, b);
+        wf.connect(a, c);
+        wf.connect(b, d);
+        wf.connect(c, d);
+        let order = wf.schedule().unwrap();
+        let pos = |x: usize| order.iter().position(|o| *o == x).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn cyclic_workflow_is_rejected() {
+        let mut wf = Workflow::new();
+        let a = wf.add("a", transform("a"));
+        let b = wf.add("b", transform("b"));
+        wf.connect(a, b);
+        wf.connect(b, a);
+        assert_eq!(wf.schedule(), Err(WorkflowError::Cyclic));
+    }
+
+    #[test]
+    fn bad_edge_is_rejected() {
+        let mut wf = Workflow::new();
+        let a = wf.add("a", transform("a"));
+        wf.connect(a, 99);
+        assert!(matches!(wf.schedule(), Err(WorkflowError::BadEdge(_, 99))));
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_input_sensitive() {
+        let t1 = mix("op", &[Token(b"x".to_vec())]);
+        let t2 = mix("op", &[Token(b"x".to_vec())]);
+        let t3 = mix("op", &[Token(b"y".to_vec())]);
+        let t4 = mix("other", &[Token(b"x".to_vec())]);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_ne!(t1, t4);
+    }
+}

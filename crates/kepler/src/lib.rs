@@ -1,0 +1,16 @@
+//! A miniature Kepler workflow engine with provenance recording.
+//!
+//! Kepler is the workflow enactment engine the paper integrates with
+//! PASSv2 (§6.2). This crate provides the engine (operators, channels
+//! and a director), Kepler's provenance recording interface with all
+//! three backends (text file, relational table, and the PASSv2 DPAPI
+//! recorder the paper contributes), and the First Provenance
+//! Challenge fMRI workflow used throughout the evaluation.
+
+pub mod challenge;
+pub mod engine;
+pub mod recorder;
+
+pub use challenge::{fmri_workflow, populate_inputs, ChallengePaths, AXES};
+pub use engine::{mix, run, OpKind, Operator, Token, Workflow, WorkflowError};
+pub use recorder::{DpapiRecorder, NullRecorder, Recorder, RelationalRecorder, TextRecorder};

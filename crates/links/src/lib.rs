@@ -1,0 +1,14 @@
+//! Provenance-aware `links`: a text browser over a simulated web.
+//!
+//! The paper made the `links` 0.98 text browser provenance-aware
+//! (§6.3). This crate reproduces that layer: browsing sessions are
+//! PASS objects, visits produce `VISITED_URL` records, and downloads
+//! send `INPUT`, `FILE_URL` and `CURRENT_URL` records to PASSv2
+//! together with the file data — enabling the attribution and
+//! malware-tracking use cases of §3.2.
+
+pub mod browser;
+pub mod web;
+
+pub use browser::{BrowserError, Session};
+pub use web::{compromise_codec_site, demo_web, Fetched, Page, SimWeb};

@@ -1,0 +1,214 @@
+//! A deterministic simulated web.
+//!
+//! The browser use cases (§3.2) need sites, redirects, linked third
+//! parties and downloadable files — including a site that an attacker
+//! silently compromises. This module provides an in-process web with
+//! exactly those behaviours.
+
+use std::collections::HashMap;
+
+/// One fetchable resource.
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// HTML-ish body (irrelevant bytes, deterministic).
+    pub content: Vec<u8>,
+    /// URLs this page links to.
+    pub links: Vec<String>,
+    /// If set, fetching this URL redirects.
+    pub redirect: Option<String>,
+}
+
+impl Page {
+    /// A plain page with content and links.
+    pub fn new(content: &[u8], links: &[&str]) -> Page {
+        Page {
+            content: content.to_vec(),
+            links: links.iter().map(|s| s.to_string()).collect(),
+            redirect: None,
+        }
+    }
+
+    /// A redirect.
+    pub fn redirect_to(target: &str) -> Page {
+        Page {
+            content: Vec::new(),
+            links: Vec::new(),
+            redirect: Some(target.to_string()),
+        }
+    }
+}
+
+/// The outcome of a fetch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fetched {
+    /// A page, with the URL finally reached (after redirects) and the
+    /// chain of URLs traversed (including the final one).
+    Ok {
+        /// Final URL.
+        url: String,
+        /// Body at the final URL.
+        content: Vec<u8>,
+        /// Every URL traversed, in order.
+        chain: Vec<String>,
+    },
+    /// No such resource.
+    NotFound,
+    /// Redirect loop or overlong chain.
+    TooManyRedirects,
+}
+
+/// The simulated web.
+#[derive(Clone, Debug, Default)]
+pub struct SimWeb {
+    pages: HashMap<String, Page>,
+}
+
+impl SimWeb {
+    /// An empty web.
+    pub fn new() -> SimWeb {
+        SimWeb::default()
+    }
+
+    /// Publishes (or replaces) a resource.
+    pub fn publish(&mut self, url: &str, page: Page) {
+        self.pages.insert(url.to_string(), page);
+    }
+
+    /// Removes a resource (the §3.2 attribution scenario: "some of
+    /// them are no longer even accessible on the Web").
+    pub fn take_down(&mut self, url: &str) {
+        self.pages.remove(url);
+    }
+
+    /// The page at `url`, without following redirects.
+    pub fn page(&self, url: &str) -> Option<&Page> {
+        self.pages.get(url)
+    }
+
+    /// Fetches `url`, following redirects.
+    pub fn fetch(&self, url: &str) -> Fetched {
+        let mut chain = vec![url.to_string()];
+        let mut at = url.to_string();
+        for _ in 0..8 {
+            match self.pages.get(&at) {
+                None => return Fetched::NotFound,
+                Some(p) => match &p.redirect {
+                    Some(next) => {
+                        at = next.clone();
+                        chain.push(at.clone());
+                    }
+                    None => {
+                        return Fetched::Ok {
+                            url: at,
+                            content: p.content.clone(),
+                            chain,
+                        };
+                    }
+                },
+            }
+        }
+        Fetched::TooManyRedirects
+    }
+}
+
+/// A ready-made web for the use cases: a university site with graphs
+/// and quotes, a codec download site with a third-party mirror, and a
+/// trusted portal that redirects to it.
+pub fn demo_web() -> SimWeb {
+    let mut web = SimWeb::new();
+    web.publish(
+        "http://uni.example/",
+        Page::new(
+            b"<h1>research group</h1>",
+            &[
+                "http://uni.example/graphs/speedup.gif",
+                "http://uni.example/quotes/knuth.txt",
+            ],
+        ),
+    );
+    web.publish(
+        "http://uni.example/graphs/speedup.gif",
+        Page::new(b"GIF89a-speedup-graph-bytes", &[]),
+    );
+    web.publish(
+        "http://uni.example/quotes/knuth.txt",
+        Page::new(b"premature optimization...", &[]),
+    );
+    web.publish(
+        "http://portal.example/",
+        Page::new(b"<h1>trusted portal</h1>", &["http://portal.example/codec"]),
+    );
+    web.publish(
+        "http://portal.example/codec",
+        Page::redirect_to("http://codecs.example/best-codec"),
+    );
+    web.publish(
+        "http://codecs.example/best-codec",
+        Page::new(
+            b"<h1>codec</h1>",
+            &["http://codecs.example/download/codec.bin"],
+        ),
+    );
+    web.publish(
+        "http://codecs.example/download/codec.bin",
+        Page::new(b"CODEC-v1-clean-binary", &[]),
+    );
+    web
+}
+
+/// Replaces the codec download with malware, as Eve would.
+pub fn compromise_codec_site(web: &mut SimWeb) {
+    web.publish(
+        "http://codecs.example/download/codec.bin",
+        Page::new(b"CODEC-v1-TROJANED-payload", &[]),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_follows_redirects_and_records_chain() {
+        let web = demo_web();
+        let Fetched::Ok { url, chain, .. } = web.fetch("http://portal.example/codec") else {
+            panic!("fetch failed")
+        };
+        assert_eq!(url, "http://codecs.example/best-codec");
+        assert_eq!(
+            chain,
+            vec![
+                "http://portal.example/codec".to_string(),
+                "http://codecs.example/best-codec".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_pages_and_takedowns() {
+        let mut web = demo_web();
+        assert_eq!(web.fetch("http://nowhere.example/"), Fetched::NotFound);
+        web.take_down("http://uni.example/quotes/knuth.txt");
+        assert_eq!(
+            web.fetch("http://uni.example/quotes/knuth.txt"),
+            Fetched::NotFound
+        );
+    }
+
+    #[test]
+    fn redirect_loops_are_bounded() {
+        let mut web = SimWeb::new();
+        web.publish("http://a/", Page::redirect_to("http://b/"));
+        web.publish("http://b/", Page::redirect_to("http://a/"));
+        assert_eq!(web.fetch("http://a/"), Fetched::TooManyRedirects);
+    }
+
+    #[test]
+    fn compromise_changes_the_payload() {
+        let mut web = demo_web();
+        let before = web.fetch("http://codecs.example/download/codec.bin");
+        compromise_codec_site(&mut web);
+        let after = web.fetch("http://codecs.example/download/codec.bin");
+        assert_ne!(before, after);
+    }
+}

@@ -1,0 +1,45 @@
+//! PA-NFS: provenance-aware network storage.
+//!
+//! "Developing provenance-aware NFS helped us understand how to
+//! extend provenance outside a single machine" (paper §3). This crate
+//! provides the NFSv4-style client and server with the six DPAPI
+//! extension operations, provenance transactions for bundles larger
+//! than the wire block, client-local versioning with freeze-as-record
+//! semantics, and a server-side analyzer instance that stacks beneath
+//! client-side ones.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientStats, NfsClient};
+pub use proto::{chunk_records, Request, Response, WireObj, WireRecord, WIRE_BLOCK};
+pub use server::{NfsServer, ServerStats};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dpapi::VolumeId;
+use lasagna::{Lasagna, LasagnaConfig};
+use sim_os::clock::Clock;
+use sim_os::cost::CostModel;
+use sim_os::fs::basefs::BaseFs;
+
+/// Builds a provenance-aware server exporting a fresh Lasagna volume.
+pub fn pa_server(clock: Clock, model: CostModel, volume: VolumeId) -> Rc<RefCell<NfsServer>> {
+    let base = BaseFs::new(clock.clone(), model);
+    let fs = Lasagna::new(Box::new(base), clock, model, LasagnaConfig::new(volume))
+        .expect("fresh lasagna volume");
+    Rc::new(RefCell::new(NfsServer::new(Box::new(fs))))
+}
+
+/// Builds a plain (baseline) server exporting a fresh base volume.
+pub fn plain_server(clock: Clock, model: CostModel) -> Rc<RefCell<NfsServer>> {
+    let base = BaseFs::new(clock.clone(), model);
+    Rc::new(RefCell::new(NfsServer::new(Box::new(base))))
+}
+
+/// Mounts a client on `server`.
+pub fn client(server: &Rc<RefCell<NfsServer>>, clock: Clock, model: CostModel) -> NfsClient {
+    NfsClient::new(server.clone(), clock, model.net)
+}

@@ -1,0 +1,358 @@
+//! The PA-NFS wire protocol.
+//!
+//! PA-NFS extends NFSv4 with six operations supporting the DPAPI
+//! (paper §6.1.2): `OP_PASSREAD`, `OP_PASSWRITE`, `OP_BEGINTXN`,
+//! `OP_PASSPROV`, `OP_PASSMKOBJ` and `OP_PASSREVIVEOBJ`. A
+//! `pass_freeze` travels as a *record type* inside `OP_PASSWRITE`
+//! rather than as an operation, because operations may be reordered
+//! in flight while freeze is order-sensitive with respect to writes.
+//!
+//! Messages are modelled as enums with a [`wire_size`] accounting
+//! method; the simulation charges network time per message rather
+//! than serializing actual XDR.
+
+use dpapi::wire::record_wire_size;
+use dpapi::{Pnode, ProvenanceRecord, Version};
+use sim_os::fs::Ino;
+
+/// The NFSv4 client block size: bundles larger than this must be
+/// chunked through a provenance transaction.
+pub const WIRE_BLOCK: usize = 64 * 1024;
+
+/// An object identifier on the wire: a file (by filehandle/ino) or a
+/// provenance-only object (by pnode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WireObj {
+    /// A regular file on the exported volume.
+    File(Ino),
+    /// An application object identified by its pnode.
+    App(Pnode),
+}
+
+/// A provenance record addressed to a wire object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRecord {
+    /// The object the record describes.
+    pub subject: WireObj,
+    /// The record.
+    pub record: ProvenanceRecord,
+}
+
+impl WireRecord {
+    /// Serialized size of the record plus subject header.
+    pub fn wire_size(&self) -> usize {
+        16 + record_wire_size(&self.record)
+    }
+}
+
+/// A request, as one NFSv4 COMPOUND would carry it.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Standard namespace and data operations.
+    Lookup {
+        /// Directory filehandle.
+        dir: Ino,
+        /// Component name.
+        name: String,
+    },
+    /// Create a file.
+    Create {
+        /// Directory filehandle.
+        dir: Ino,
+        /// Component name.
+        name: String,
+    },
+    /// Make a directory.
+    Mkdir {
+        /// Directory filehandle.
+        dir: Ino,
+        /// Component name.
+        name: String,
+    },
+    /// Remove a name.
+    Remove {
+        /// Directory filehandle.
+        dir: Ino,
+        /// Component name.
+        name: String,
+    },
+    /// Rename within the export.
+    Rename {
+        /// Source directory.
+        from: Ino,
+        /// Source name.
+        name: String,
+        /// Target directory.
+        to: Ino,
+        /// Target name.
+        to_name: String,
+    },
+    /// Plain read.
+    Read {
+        /// File.
+        ino: Ino,
+        /// Offset.
+        offset: u64,
+        /// Length.
+        len: usize,
+    },
+    /// Plain write.
+    Write {
+        /// File.
+        ino: Ino,
+        /// Offset.
+        offset: u64,
+        /// Data.
+        data: Vec<u8>,
+    },
+    /// Truncate (SETATTR size).
+    Truncate {
+        /// File.
+        ino: Ino,
+        /// New size.
+        size: u64,
+    },
+    /// Stat.
+    Getattr {
+        /// File.
+        ino: Ino,
+    },
+    /// List a directory.
+    Readdir {
+        /// Directory.
+        dir: Ino,
+    },
+    /// Flush server state (COMMIT).
+    Commit {
+        /// File to commit.
+        ino: Ino,
+    },
+    /// `OP_PASSREAD`: read returning data plus exact identity.
+    PassRead {
+        /// File.
+        ino: Ino,
+        /// Offset.
+        offset: u64,
+        /// Length.
+        len: usize,
+    },
+    /// `OP_PASSWRITE`: data plus provenance in one atomic operation.
+    PassWrite {
+        /// File.
+        ino: Ino,
+        /// Offset.
+        offset: u64,
+        /// Data.
+        data: Vec<u8>,
+        /// Records accompanying the data (must fit the wire block;
+        /// larger bundles use a transaction).
+        records: Vec<WireRecord>,
+    },
+    /// `OP_BEGINTXN`: obtain a transaction id for a chunked bundle.
+    BeginTxn,
+    /// `OP_PASSPROV`: one ≤ 64 KB chunk of provenance records within
+    /// a transaction (also used for `pass_sync`).
+    PassProv {
+        /// Transaction id from [`Request::BeginTxn`], or `None` for
+        /// an untransacted sync chunk.
+        txn: Option<u64>,
+        /// The records.
+        records: Vec<WireRecord>,
+    },
+    /// `OP_PASSMKOBJ`: allocate a pnode for an application object.
+    PassMkobj,
+    /// `OP_PASSREVIVEOBJ`: validate a pnode and reopen it.
+    PassReviveObj {
+        /// The pnode.
+        pnode: Pnode,
+        /// The version to revive at.
+        version: Version,
+    },
+}
+
+impl Request {
+    /// Approximate bytes this request occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 96; // RPC + COMPOUND header
+        match self {
+            Request::Lookup { name, .. }
+            | Request::Create { name, .. }
+            | Request::Mkdir { name, .. }
+            | Request::Remove { name, .. } => HDR + name.len() + 16,
+            Request::Rename { name, to_name, .. } => HDR + name.len() + to_name.len() + 32,
+            Request::Read { .. } | Request::PassRead { .. } => HDR + 24,
+            Request::Write { data, .. } => HDR + 24 + data.len(),
+            Request::Truncate { .. } => HDR + 16,
+            Request::Getattr { .. } | Request::Commit { .. } | Request::Readdir { .. } => HDR + 8,
+            Request::PassWrite { data, records, .. } => {
+                HDR + 24 + data.len() + records.iter().map(WireRecord::wire_size).sum::<usize>()
+            }
+            Request::BeginTxn | Request::PassMkobj => HDR,
+            Request::PassProv { records, .. } => {
+                HDR + 16 + records.iter().map(WireRecord::wire_size).sum::<usize>()
+            }
+            Request::PassReviveObj { .. } => HDR + 24,
+        }
+    }
+}
+
+/// A reply.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// A filehandle (lookup/create/mkdir).
+    Handle(Ino),
+    /// Nothing but success.
+    Ok,
+    /// Read data.
+    Data(Vec<u8>),
+    /// Read data plus identity — the `OP_PASSREAD` reply.
+    PassData {
+        /// The bytes.
+        data: Vec<u8>,
+        /// Pnode of the file.
+        pnode: Pnode,
+        /// Version as of the read.
+        version: Version,
+    },
+    /// Write confirmation with resulting identity.
+    Written {
+        /// Bytes accepted.
+        n: usize,
+        /// Pnode of the file.
+        pnode: Pnode,
+        /// Version after the write.
+        version: Version,
+    },
+    /// Stat data.
+    Attr {
+        /// Size in bytes.
+        size: u64,
+        /// True if a directory.
+        is_dir: bool,
+    },
+    /// Directory listing.
+    Entries(Vec<(String, Ino, bool)>),
+    /// A transaction id.
+    Txn(u64),
+    /// A pnode (mkobj / reviveobj).
+    PnodeReply(Pnode),
+    /// The server failed the request.
+    Error {
+        /// What class of failure, so clients can reconstruct a
+        /// faithful [`sim_os::fs::FsError`].
+        kind: ErrKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// Error classes carried over the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrKind {
+    /// Name not found.
+    NotFound,
+    /// Name already exists.
+    Exists,
+    /// Directory not empty.
+    NotEmpty,
+    /// Not a directory.
+    NotDir,
+    /// Invalid argument.
+    Invalid,
+    /// Provenance subsystem failure.
+    Provenance,
+    /// Out of space.
+    NoSpace,
+}
+
+impl Response {
+    /// Approximate bytes this response occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 64;
+        match self {
+            Response::Handle(_) | Response::Ok | Response::Txn(_) | Response::PnodeReply(_) => HDR,
+            Response::Data(d) => HDR + d.len(),
+            Response::PassData { data, .. } => HDR + 16 + data.len(),
+            Response::Written { .. } => HDR + 16,
+            Response::Attr { .. } => HDR + 16,
+            Response::Entries(es) => HDR + es.iter().map(|(n, _, _)| n.len() + 16).sum::<usize>(),
+            Response::Error { msg, .. } => HDR + msg.len(),
+        }
+    }
+}
+
+/// Splits `records` into chunks whose wire size stays under the block
+/// limit.
+pub fn chunk_records(records: Vec<WireRecord>) -> Vec<Vec<WireRecord>> {
+    let mut chunks = Vec::new();
+    let mut cur = Vec::new();
+    let mut cur_size = 0usize;
+    for r in records {
+        let s = r.wire_size();
+        if cur_size + s > WIRE_BLOCK && !cur.is_empty() {
+            chunks.push(std::mem::take(&mut cur));
+            cur_size = 0;
+        }
+        cur_size += s;
+        cur.push(r);
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpapi::{Attribute, Value};
+
+    fn rec(n: usize) -> WireRecord {
+        WireRecord {
+            subject: WireObj::File(Ino(1)),
+            record: ProvenanceRecord::new(Attribute::Name, Value::Str("x".repeat(n))),
+        }
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = Request::Write {
+            ino: Ino(1),
+            offset: 0,
+            data: vec![0; 10],
+        };
+        let big = Request::Write {
+            ino: Ino(1),
+            offset: 0,
+            data: vec![0; 10_000],
+        };
+        assert!(big.wire_size() > small.wire_size() + 9_000);
+    }
+
+    #[test]
+    fn chunking_respects_the_block_limit() {
+        // 200 records of ~1 KB each: must split into ≥ 3 chunks.
+        let records: Vec<WireRecord> = (0..200).map(|_| rec(1000)).collect();
+        let chunks = chunk_records(records);
+        assert!(chunks.len() >= 3, "got {} chunks", chunks.len());
+        for c in &chunks {
+            let size: usize = c.iter().map(WireRecord::wire_size).sum();
+            assert!(size <= WIRE_BLOCK);
+        }
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn oversized_single_record_still_ships() {
+        let records = vec![rec(2 * WIRE_BLOCK)];
+        let chunks = chunk_records(records);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_chunking() {
+        assert!(chunk_records(Vec::new()).is_empty());
+    }
+}

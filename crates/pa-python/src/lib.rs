@@ -1,0 +1,17 @@
+//! PA-Python: provenance-aware scripting via wrappers.
+//!
+//! The paper's colleagues wrapped Python objects, modules and output
+//! files so that method invocations became provenance objects with
+//! `TYPE=FUNCTION`, `NAME` and `INPUT` records (§6.4). This crate
+//! reproduces that layer over "Pythonette", a small interpreted
+//! language, including the honest limitation the paper reports: the
+//! wrappers capture provenance across *function calls* but lose it
+//! across *built-in operators* — the difference between a
+//! provenance-aware application and a provenance-aware interpreter
+//! (§6.5).
+
+pub mod interp;
+pub mod syntax;
+
+pub use interp::{Interp, Invocation, PValue, PyError, Val};
+pub use syntax::{lex, parse, Expr, Stmt, SyntaxError};

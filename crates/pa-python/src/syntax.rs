@@ -1,0 +1,604 @@
+//! Pythonette: lexer, AST and parser.
+//!
+//! The paper's PA-Python wraps Python objects and methods; shipping
+//! CPython is out of scope here, so the wrapper layer is reproduced
+//! over a small interpreted language ("Pythonette"). The language has
+//! numbers, strings, booleans, lists, user functions, `if`/`for`/
+//! `while`, and builtin functions that bridge to the simulated
+//! kernel. Braces replace indentation; the provenance semantics of
+//! the wrapper layer (crate::interp) are what matter.
+
+use std::fmt;
+
+/// Tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(&'static str),
+    /// Punctuation / operator.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "def", "let", "if", "else", "for", "in", "while", "return", "true", "false", "and", "or",
+    "not", "none",
+];
+
+/// A parse error with position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntaxError {
+    /// Description.
+    pub msg: String,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Tokenizes source text.
+pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SyntaxError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let pos = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            match KEYWORDS.iter().find(|k| **k == word) {
+                Some(k) => out.push((Tok::Kw(k), pos)),
+                None => out.push((Tok::Ident(word.to_string()), pos)),
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n = src[start..i]
+                .parse()
+                .map_err(|_| SyntaxError {
+                    msg: "integer overflow".into(),
+                    pos,
+                })?;
+            out.push((Tok::Int(n), pos));
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= b.len() {
+                    return Err(SyntaxError {
+                        msg: "unterminated string".into(),
+                        pos,
+                    });
+                }
+                let ch = b[i] as char;
+                if ch == '"' {
+                    i += 1;
+                    break;
+                }
+                if ch == '\\' && i + 1 < b.len() {
+                    s.push(match b[i + 1] as char {
+                        'n' => '\n',
+                        't' => '\t',
+                        o => o,
+                    });
+                    i += 2;
+                    continue;
+                }
+                s.push(ch);
+                i += 1;
+            }
+            out.push((Tok::Str(s), pos));
+            continue;
+        }
+        let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+        let sym: Option<(&'static str, usize)> = match two {
+            "==" => Some(("==", 2)),
+            "!=" => Some(("!=", 2)),
+            "<=" => Some(("<=", 2)),
+            ">=" => Some((">=", 2)),
+            _ => "+-*/%<>(){}[],;=".find(c).map(|_| {
+                let s: &'static str = match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '<' => "<",
+                    '>' => ">",
+                    '(' => "(",
+                    ')' => ")",
+                    '{' => "{",
+                    '}' => "}",
+                    '[' => "[",
+                    ']' => "]",
+                    ',' => ",",
+                    ';' => ";",
+                    '=' => "=",
+                    _ => unreachable!(),
+                };
+                (s, 1)
+            }),
+        };
+        match sym {
+            Some((s, n)) => {
+                out.push((Tok::Sym(s), pos));
+                i += n;
+            }
+            None => {
+                return Err(SyntaxError {
+                    msg: format!("unexpected character {c:?}"),
+                    pos,
+                });
+            }
+        }
+    }
+    out.push((Tok::Eof, src.len()));
+    Ok(out)
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `none`.
+    None,
+    /// List literal.
+    List(Vec<Expr>),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation (`-`, `not`).
+    Unary(&'static str, Box<Expr>),
+    /// Binary operation.
+    Binary(&'static str, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let x = e;`
+    Let(String, Expr),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// An expression as a statement.
+    Expr(Expr),
+    /// `if cond { } else { }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for x in e { }`
+    For(String, Expr, Vec<Stmt>),
+    /// `while cond { }`
+    While(Expr, Vec<Stmt>),
+    /// `return e;`
+    Return(Option<Expr>),
+    /// `def f(a, b) { }`
+    Def(String, Vec<String>, Vec<Stmt>),
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+}
+
+/// Parses a program.
+pub fn parse(src: &str) -> Result<Vec<Stmt>, SyntaxError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let mut stmts = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        stmts.push(p.stmt()?);
+    }
+    Ok(stmts)
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].0
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.at].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].0.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError {
+            msg: msg.into(),
+            pos: self.pos(),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Tok::Sym(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Tok::Kw(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), SyntaxError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, SyntaxError> {
+        self.expect_sym("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_sym("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, SyntaxError> {
+        if self.eat_kw("def") {
+            let name = self.expect_ident()?;
+            self.expect_sym("(")?;
+            let mut params = Vec::new();
+            if !self.eat_sym(")") {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if self.eat_sym(")") {
+                        break;
+                    }
+                    self.expect_sym(",")?;
+                }
+            }
+            let body = self.block()?;
+            return Ok(Stmt::Def(name, params, body));
+        }
+        if self.eat_kw("let") {
+            let name = self.expect_ident()?;
+            self.expect_sym("=")?;
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.eat_kw("if") {
+            let cond = self.expr()?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") {
+                if matches!(self.peek(), Tok::Kw("if")) {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("for") {
+            let var = self.expect_ident()?;
+            if !self.eat_kw("in") {
+                return Err(self.err("expected `in`"));
+            }
+            let iter = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::For(var, iter, body));
+        }
+        if self.eat_kw("while") {
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_kw("return") {
+            if self.eat_sym(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        // Assignment or expression statement.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if matches!(self.toks.get(self.at + 1).map(|t| &t.0), Some(Tok::Sym("="))) {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(";")?;
+                return Ok(Stmt::Assign(name, e));
+            }
+        }
+        let e = self.expr()?;
+        self.expect_sym(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary("or", Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary("and", Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let lhs = self.add_expr()?;
+        for op in ["==", "!=", "<=", ">=", "<", ">"] {
+            if self.eat_sym(op) {
+                let rhs = self.add_expr()?;
+                let op: &'static str = match op {
+                    "==" => "==",
+                    "!=" => "!=",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "<" => "<",
+                    _ => ">",
+                };
+                return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_sym("+") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary("+", Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("-") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary("-", Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_sym("*") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary("*", Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("/") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary("/", Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("%") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary("%", Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat_sym("-") {
+            return Ok(Expr::Unary("-", Box::new(self.unary_expr()?)));
+        }
+        if self.eat_kw("not") {
+            return Ok(Expr::Unary("not", Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.primary()?;
+        while self.eat_sym("[") {
+            let idx = self.expr()?;
+            self.expect_sym("]")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Kw("true") => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Tok::Kw("false") => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Tok::Kw("none") => {
+                self.bump();
+                Ok(Expr::None)
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Sym("[") => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat_sym("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.eat_sym("]") {
+                            break;
+                        }
+                        self.expect_sym(",")?;
+                    }
+                }
+                Ok(Expr::List(items))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_sym(")") {
+                                break;
+                            }
+                            self.expect_sym(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_and_loop() {
+        let prog = parse(
+            r#"
+            def analyze(files) {
+                let results = [];
+                for f in files {
+                    let doc = read_file(f);
+                    if contains(doc, "classA") {
+                        push(results, f);
+                    }
+                }
+                return results;
+            }
+            let out = analyze(list_dir("/data"));
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 2);
+        assert!(matches!(&prog[0], Stmt::Def(name, params, _) if name == "analyze" && params.len() == 1));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let prog = parse("let x = 1 + 2 * 3;").unwrap();
+        let Stmt::Let(_, Expr::Binary("+", _, rhs)) = &prog[0] else {
+            panic!("bad parse: {prog:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary("*", _, _)));
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let prog = parse(
+            "if a == 1 { f(); } else if a == 2 { g(); } else { h(); }",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let prog = parse("# a comment\nlet s = \"hi\\n\"; # trailing\n").unwrap();
+        assert_eq!(prog.len(), 1);
+        assert!(matches!(&prog[0], Stmt::Let(_, Expr::Str(s)) if s == "hi\n"));
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse("let x = ;").unwrap_err();
+        assert_eq!(err.pos, 8);
+        assert!(parse("def f( {").is_err());
+        assert!(parse("for x 5 {}").is_err());
+    }
+
+    #[test]
+    fn indexing_and_lists() {
+        let prog = parse("let v = [1, 2, 3][0];").unwrap();
+        assert!(matches!(&prog[0], Stmt::Let(_, Expr::Index(_, _))));
+    }
+}

@@ -1,0 +1,132 @@
+//! The PQL abstract syntax tree.
+//!
+//! The query model follows the paper's requirements (§4 "Query"):
+//! paths through graphs are the basic model, paths are first-class
+//! (bound to variables in the `from` clause), path matching is by
+//! regular expressions over graph edges, and the language has
+//! sub-queries and aggregation.
+
+/// A parsed query: `select <items> from <sources> [where <expr>]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The projection list.
+    pub select: Vec<SelectItem>,
+    /// Path sources, evaluated left to right as a join.
+    pub from: Vec<Source>,
+    /// Optional filter.
+    pub where_clause: Option<Expr>,
+}
+
+/// One projected column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectItem {
+    /// The expression to output.
+    pub expr: Expr,
+    /// Optional output name (`as ident`).
+    pub alias: Option<String>,
+}
+
+/// One `from` source: a path expression bound to a variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Source {
+    /// Where the path starts.
+    pub root: PathRoot,
+    /// Edge steps applied to the root.
+    pub steps: Vec<PathStep>,
+    /// The variable the endpoint binds to.
+    pub binding: String,
+}
+
+/// The start of a path expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathRoot {
+    /// `Provenance.<class>`: all objects of a class (`file`, `proc`,
+    /// `pipe`, `session`, `operator`, `function`, `obj` for
+    /// everything).
+    Class(String),
+    /// A variable bound by an earlier source.
+    Var(String),
+}
+
+/// One step of a path: an edge pattern with a quantifier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathStep {
+    /// Alternative edge labels (`(input|version)`), each possibly
+    /// inverted.
+    pub edges: Vec<EdgePattern>,
+    /// How many times the step may repeat.
+    pub quant: Quant,
+}
+
+/// An edge label with direction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgePattern {
+    /// The label (`input`, `version`, `visited_url`, …, or `any`).
+    pub label: String,
+    /// Inverted (`~`): traverse from ancestor to descendant.
+    pub inverse: bool,
+}
+
+/// Step quantifiers, as in regular expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quant {
+    /// Exactly once.
+    One,
+    /// Zero or more (`*`).
+    Star,
+    /// One or more (`+`).
+    Plus,
+    /// Zero or one (`?`).
+    Opt,
+}
+
+/// Expressions in `select` and `where`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Literal),
+    /// A bound variable (denotes the node).
+    Var(String),
+    /// Attribute access: `Var.attr`.
+    Attr(String, String),
+    /// Binary comparison or logic.
+    Binary {
+        /// Operator name: `=`, `!=`, `<`, `<=`, `>`, `>=`, `and`,
+        /// `or`, `like`.
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Aggregate over the full row set: `count(X)`, `min(X.attr)`,
+    /// `max(X.attr)`.
+    Aggregate {
+        /// `count`, `min` or `max`.
+        func: String,
+        /// The aggregated expression.
+        arg: Box<Expr>,
+    },
+    /// Membership in a sub-query's (single-column) result.
+    InSubquery {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The sub-query.
+        query: Box<Query>,
+    },
+    /// Non-emptiness of a sub-query's result.
+    Exists(Box<Query>),
+}
+
+/// Literal values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean. (Lorel lacked booleans; PQL adds them.)
+    Bool(bool),
+}

@@ -1,0 +1,643 @@
+//! The PQL evaluator.
+//!
+//! Queries run against any [`GraphSource`] — an OEM-style object
+//! graph with attributed nodes and labeled, directed edges. The
+//! `waldo` crate implements the trait for its provenance database.
+
+use std::collections::{HashMap, HashSet};
+
+use dpapi::{ObjectRef, Value};
+
+use crate::ast::*;
+use crate::PqlError;
+
+/// An edge label in the provenance graph.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeLabel {
+    /// Ancestry (`INPUT` records, including implicit version edges —
+    /// "zero or more input relationships" in the paper's sample query
+    /// follows these).
+    Input,
+    /// Only the implicit previous-version edge.
+    Version,
+    /// PA-links: session → URL visit.
+    VisitedUrl,
+    /// PA-links: file → its source URL.
+    FileUrl,
+    /// PA-links: file → page viewed at download time.
+    CurrentUrl,
+    /// Any ancestry edge of any label.
+    Any,
+    /// An application-defined label (matched against `Attribute::Other`).
+    Named(String),
+}
+
+impl EdgeLabel {
+    /// Maps a query-text label to an edge label.
+    pub fn from_name(name: &str) -> EdgeLabel {
+        match name.to_ascii_lowercase().as_str() {
+            "input" => EdgeLabel::Input,
+            "version" => EdgeLabel::Version,
+            "visited_url" => EdgeLabel::VisitedUrl,
+            "file_url" => EdgeLabel::FileUrl,
+            "current_url" => EdgeLabel::CurrentUrl,
+            "any" => EdgeLabel::Any,
+            other => EdgeLabel::Named(other.to_ascii_uppercase()),
+        }
+    }
+}
+
+/// The graph interface PQL evaluates over.
+pub trait GraphSource {
+    /// All members of a class (`file`, `proc`, `pipe`, `session`,
+    /// `operator`, `function`, or `obj` for every object).
+    fn class_members(&self, class: &str) -> Vec<ObjectRef>;
+
+    /// An attribute of a node. Implementations should also answer the
+    /// pseudo-attributes `pnode`, `version` and `volume`.
+    fn attr(&self, node: ObjectRef, name: &str) -> Option<Value>;
+
+    /// Edges from `node` toward its ancestors with the given label.
+    fn out_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef>;
+
+    /// Edges from `node` toward its descendants with the given label.
+    fn in_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef>;
+}
+
+/// One output cell.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OutValue {
+    /// A graph node.
+    Node(ObjectRef),
+    /// A scalar value.
+    Val(Value),
+    /// Missing (attribute not present).
+    Null,
+}
+
+impl OutValue {
+    /// The node, if this cell is one.
+    pub fn as_node(&self) -> Option<ObjectRef> {
+        match self {
+            OutValue::Node(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The string, if this cell holds one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            OutValue::Val(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this cell holds one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            OutValue::Val(Value::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OutValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutValue::Node(r) => write!(f, "{r}"),
+            OutValue::Val(v) => write!(f, "{v}"),
+            OutValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A query result: named columns and deduplicated rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
+    /// Column names (aliases or synthesized).
+    pub columns: Vec<String>,
+    /// Rows, in first-derivation order, without duplicates.
+    pub rows: Vec<Vec<OutValue>>,
+}
+
+impl ResultSet {
+    /// The nodes of a single-column node result.
+    pub fn nodes(&self) -> Vec<ObjectRef> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.first().and_then(|c| c.as_node()))
+            .collect()
+    }
+
+    /// True if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+type Row = HashMap<String, ObjectRef>;
+
+/// Executes a parsed query against a graph.
+pub fn execute(query: &Query, graph: &dyn GraphSource) -> Result<ResultSet, PqlError> {
+    let rows = bind_sources(query, graph)?;
+    let rows = match &query.where_clause {
+        Some(cond) => {
+            let mut kept = Vec::new();
+            for row in rows {
+                if truthy(&eval_expr(cond, &row, graph, None)?) {
+                    kept.push(row);
+                }
+            }
+            kept
+        }
+        None => rows,
+    };
+
+    let has_aggregate = query
+        .select
+        .iter()
+        .any(|s| matches!(s.expr, Expr::Aggregate { .. }));
+
+    let columns: Vec<String> = query
+        .select
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.alias.clone().unwrap_or_else(|| match &s.expr {
+                Expr::Var(v) => v.clone(),
+                Expr::Attr(v, a) => format!("{v}.{a}"),
+                _ => format!("col{i}"),
+            })
+        })
+        .collect();
+
+    let mut out_rows: Vec<Vec<OutValue>> = Vec::new();
+    let mut seen: HashSet<Vec<OutValue>> = HashSet::new();
+    if has_aggregate {
+        let mut row_out = Vec::new();
+        for item in &query.select {
+            row_out.push(eval_expr(&item.expr, &Row::new(), graph, Some(&rows))?);
+        }
+        out_rows.push(row_out);
+    } else {
+        for row in &rows {
+            let mut row_out = Vec::new();
+            for item in &query.select {
+                row_out.push(eval_expr(&item.expr, row, graph, None)?);
+            }
+            if seen.insert(row_out.clone()) {
+                out_rows.push(row_out);
+            }
+        }
+    }
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
+    })
+}
+
+/// Expands the `from` clause left to right into bound rows.
+fn bind_sources(query: &Query, graph: &dyn GraphSource) -> Result<Vec<Row>, PqlError> {
+    let mut rows: Vec<Row> = vec![Row::new()];
+    for source in &query.from {
+        let mut next: Vec<Row> = Vec::new();
+        for row in &rows {
+            let starts: Vec<ObjectRef> = match &source.root {
+                PathRoot::Class(c) => {
+                    let mut v = graph.class_members(c);
+                    v.sort();
+                    v
+                }
+                PathRoot::Var(v) => match row.get(v) {
+                    Some(r) => vec![*r],
+                    None => {
+                        return Err(PqlError::Eval(format!("unbound variable `{v}`")));
+                    }
+                },
+            };
+            let endpoints = walk_steps(&starts, &source.steps, graph);
+            for e in endpoints {
+                let mut r = row.clone();
+                r.insert(source.binding.clone(), e);
+                next.push(r);
+            }
+        }
+        rows = next;
+    }
+    Ok(rows)
+}
+
+/// Applies a sequence of path steps to a start set.
+fn walk_steps(
+    starts: &[ObjectRef],
+    steps: &[PathStep],
+    graph: &dyn GraphSource,
+) -> Vec<ObjectRef> {
+    let mut current: Vec<ObjectRef> = starts.to_vec();
+    for step in steps {
+        current = apply_step(&current, step, graph);
+    }
+    current
+}
+
+fn one_hop(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> Vec<ObjectRef> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for &n in nodes {
+        for pat in &step.edges {
+            let label = EdgeLabel::from_name(&pat.label);
+            let next = if pat.inverse {
+                graph.in_edges(n, &label)
+            } else {
+                graph.out_edges(n, &label)
+            };
+            for m in next {
+                if seen.insert(m) {
+                    out.push(m);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn apply_step(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> Vec<ObjectRef> {
+    match step.quant {
+        Quant::One => one_hop(nodes, step, graph),
+        Quant::Opt => {
+            let mut out: Vec<ObjectRef> = nodes.to_vec();
+            let mut seen: HashSet<ObjectRef> = nodes.iter().copied().collect();
+            for m in one_hop(nodes, step, graph) {
+                if seen.insert(m) {
+                    out.push(m);
+                }
+            }
+            out
+        }
+        Quant::Star | Quant::Plus => {
+            // BFS closure. For `*` the start nodes are included; for
+            // `+` only nodes at depth ≥ 1.
+            let mut seen: HashSet<ObjectRef> = nodes.iter().copied().collect();
+            let mut frontier: Vec<ObjectRef> = nodes.to_vec();
+            let mut reached: Vec<ObjectRef> = Vec::new();
+            while !frontier.is_empty() {
+                let next = one_hop(&frontier, step, graph);
+                frontier = Vec::new();
+                for m in next {
+                    if seen.insert(m) {
+                        reached.push(m);
+                        frontier.push(m);
+                    }
+                }
+            }
+            match step.quant {
+                Quant::Star => {
+                    let mut out = nodes.to_vec();
+                    out.extend(reached);
+                    out
+                }
+                _ => reached,
+            }
+        }
+    }
+}
+
+fn truthy(v: &OutValue) -> bool {
+    matches!(v, OutValue::Val(Value::Bool(true)))
+}
+
+fn eval_expr(
+    expr: &Expr,
+    row: &Row,
+    graph: &dyn GraphSource,
+    all_rows: Option<&[Row]>,
+) -> Result<OutValue, PqlError> {
+    match expr {
+        Expr::Lit(Literal::Str(s)) => Ok(OutValue::Val(Value::Str(s.clone()))),
+        Expr::Lit(Literal::Int(i)) => Ok(OutValue::Val(Value::Int(*i))),
+        Expr::Lit(Literal::Bool(b)) => Ok(OutValue::Val(Value::Bool(*b))),
+        Expr::Var(v) => row
+            .get(v)
+            .map(|r| OutValue::Node(*r))
+            .ok_or_else(|| PqlError::Eval(format!("unbound variable `{v}`"))),
+        Expr::Attr(v, attr) => {
+            let node = row
+                .get(v)
+                .ok_or_else(|| PqlError::Eval(format!("unbound variable `{v}`")))?;
+            Ok(graph
+                .attr(*node, attr)
+                .map(OutValue::Val)
+                .unwrap_or(OutValue::Null))
+        }
+        Expr::Not(e) => {
+            let v = eval_expr(e, row, graph, all_rows)?;
+            Ok(OutValue::Val(Value::Bool(!truthy(&v))))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            if op == "and" {
+                let l = eval_expr(lhs, row, graph, all_rows)?;
+                if !truthy(&l) {
+                    return Ok(OutValue::Val(Value::Bool(false)));
+                }
+                let r = eval_expr(rhs, row, graph, all_rows)?;
+                return Ok(OutValue::Val(Value::Bool(truthy(&r))));
+            }
+            if op == "or" {
+                let l = eval_expr(lhs, row, graph, all_rows)?;
+                if truthy(&l) {
+                    return Ok(OutValue::Val(Value::Bool(true)));
+                }
+                let r = eval_expr(rhs, row, graph, all_rows)?;
+                return Ok(OutValue::Val(Value::Bool(truthy(&r))));
+            }
+            let l = eval_expr(lhs, row, graph, all_rows)?;
+            let r = eval_expr(rhs, row, graph, all_rows)?;
+            Ok(OutValue::Val(Value::Bool(compare(op, &l, &r)?)))
+        }
+        Expr::Aggregate { func, arg } => {
+            let rows = all_rows.ok_or_else(|| {
+                PqlError::Eval("aggregate outside of select context".to_string())
+            })?;
+            match func.as_str() {
+                "count" => {
+                    let mut distinct = HashSet::new();
+                    for row in rows {
+                        let v = eval_expr(arg, row, graph, None)?;
+                        if v != OutValue::Null {
+                            distinct.insert(v);
+                        }
+                    }
+                    Ok(OutValue::Val(Value::Int(distinct.len() as i64)))
+                }
+                "min" | "max" => {
+                    let mut vals: Vec<i64> = Vec::new();
+                    let mut strs: Vec<String> = Vec::new();
+                    for row in rows {
+                        match eval_expr(arg, row, graph, None)? {
+                            OutValue::Val(Value::Int(i)) => vals.push(i),
+                            OutValue::Val(Value::Str(s)) => strs.push(s),
+                            _ => {}
+                        }
+                    }
+                    if !vals.is_empty() {
+                        let v = if func == "min" {
+                            vals.into_iter().min()
+                        } else {
+                            vals.into_iter().max()
+                        };
+                        Ok(OutValue::Val(Value::Int(v.unwrap())))
+                    } else if !strs.is_empty() {
+                        let v = if func == "min" {
+                            strs.into_iter().min()
+                        } else {
+                            strs.into_iter().max()
+                        };
+                        Ok(OutValue::Val(Value::Str(v.unwrap())))
+                    } else {
+                        Ok(OutValue::Null)
+                    }
+                }
+                other => Err(PqlError::Eval(format!("unknown aggregate `{other}`"))),
+            }
+        }
+        Expr::InSubquery { expr, query } => {
+            let v = eval_expr(expr, row, graph, all_rows)?;
+            let sub = execute(query, graph)?;
+            let found = sub.rows.iter().any(|r| r.first() == Some(&v));
+            Ok(OutValue::Val(Value::Bool(found)))
+        }
+        Expr::Exists(query) => {
+            let sub = execute(query, graph)?;
+            Ok(OutValue::Val(Value::Bool(!sub.is_empty())))
+        }
+    }
+}
+
+fn compare(op: &str, l: &OutValue, r: &OutValue) -> Result<bool, PqlError> {
+    use std::cmp::Ordering;
+    if op == "like" {
+        let (OutValue::Val(Value::Str(s)), OutValue::Val(Value::Str(pat))) = (l, r) else {
+            return Ok(false);
+        };
+        return Ok(glob_match(pat, s));
+    }
+    let ord: Option<Ordering> = match (l, r) {
+        (OutValue::Node(a), OutValue::Node(b)) => Some(a.cmp(b)),
+        (OutValue::Val(Value::Int(a)), OutValue::Val(Value::Int(b))) => Some(a.cmp(b)),
+        (OutValue::Val(Value::Str(a)), OutValue::Val(Value::Str(b))) => Some(a.cmp(b)),
+        (OutValue::Val(Value::Bool(a)), OutValue::Val(Value::Bool(b))) => Some(a.cmp(b)),
+        (OutValue::Null, OutValue::Null) => Some(Ordering::Equal),
+        _ => None,
+    };
+    Ok(match (op, ord) {
+        ("=", Some(Ordering::Equal)) => true,
+        ("=", _) => false,
+        ("!=", Some(Ordering::Equal)) => false,
+        ("!=", Some(_)) => true,
+        ("!=", None) => true,
+        ("<", Some(o)) => o == Ordering::Less,
+        ("<=", Some(o)) => o != Ordering::Greater,
+        (">", Some(o)) => o == Ordering::Greater,
+        (">=", Some(o)) => o != Ordering::Less,
+        _ => false,
+    })
+}
+
+/// Glob matching with `*` (any run) and `?` (any one character).
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[char], t: &[char]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (Some('*'), _) => {
+                inner(&p[1..], t) || (!t.is_empty() && inner(p, &t[1..]))
+            }
+            (Some('?'), Some(_)) => inner(&p[1..], &t[1..]),
+            (Some(c), Some(d)) if c == d => inner(&p[1..], &t[1..]),
+            _ => false,
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    inner(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpapi::{Pnode, Version, VolumeId};
+
+    fn r(n: u64, v: u32) -> ObjectRef {
+        ObjectRef::new(Pnode::new(VolumeId(1), n), Version(v))
+    }
+
+    /// A tiny in-memory graph: 1(out.gif) <-input- 2(proc) <-input- 3(in.dat)
+    /// with 3 also at version 1 depending on version 0.
+    struct TestGraph;
+
+    impl GraphSource for TestGraph {
+        fn class_members(&self, class: &str) -> Vec<ObjectRef> {
+            match class {
+                "file" => vec![r(1, 0), r(3, 0), r(3, 1)],
+                "proc" => vec![r(2, 0)],
+                "obj" => vec![r(1, 0), r(2, 0), r(3, 0), r(3, 1)],
+                _ => vec![],
+            }
+        }
+        fn attr(&self, node: ObjectRef, name: &str) -> Option<Value> {
+            match (node.pnode.number, name) {
+                (1, "name") => Some(Value::str("out.gif")),
+                (2, "name") => Some(Value::str("convert")),
+                (3, "name") => Some(Value::str("in.dat")),
+                (_, "pnode") => Some(Value::Int(node.pnode.number as i64)),
+                (_, "version") => Some(Value::Int(node.version.0 as i64)),
+                _ => None,
+            }
+        }
+        fn out_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
+            if !matches!(label, EdgeLabel::Input | EdgeLabel::Any | EdgeLabel::Version) {
+                return vec![];
+            }
+            let version_only = matches!(label, EdgeLabel::Version);
+            match (node.pnode.number, node.version.0) {
+                (1, 0) if !version_only => vec![r(2, 0)],
+                (2, 0) if !version_only => vec![r(3, 1)],
+                (3, 1) => vec![r(3, 0)],
+                _ => vec![],
+            }
+        }
+        fn in_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
+            let all = self.class_members("obj");
+            all.into_iter()
+                .filter(|n| self.out_edges(*n, label).contains(&node))
+                .collect()
+        }
+    }
+
+    fn run(q: &str) -> ResultSet {
+        execute(&crate::parse(q).unwrap(), &TestGraph).unwrap()
+    }
+
+    #[test]
+    fn paper_style_ancestry_query() {
+        let rs = run(
+            "select Ancestor from Provenance.file as F F.input* as Ancestor \
+             where F.name = 'out.gif'",
+        );
+        // Closure includes F itself (star), the proc, and both
+        // versions of in.dat.
+        let nodes = rs.nodes();
+        assert!(nodes.contains(&r(1, 0)));
+        assert!(nodes.contains(&r(2, 0)));
+        assert!(nodes.contains(&r(3, 1)));
+        assert!(nodes.contains(&r(3, 0)));
+        assert_eq!(nodes.len(), 4);
+    }
+
+    #[test]
+    fn plus_excludes_start() {
+        let rs = run(
+            "select A from Provenance.file as F F.input+ as A where F.name = 'out.gif'",
+        );
+        assert!(!rs.nodes().contains(&r(1, 0)));
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn inverse_edges_find_descendants() {
+        let rs = run(
+            "select D from Provenance.file as F F.input~* as D where F.name = 'in.dat'",
+        );
+        // Descendants of either version of in.dat include the proc
+        // and out.gif.
+        let nodes = rs.nodes();
+        assert!(nodes.contains(&r(2, 0)));
+        assert!(nodes.contains(&r(1, 0)));
+    }
+
+    #[test]
+    fn attribute_projection_and_like() {
+        let rs = run(
+            "select F.name from Provenance.file as F where F.name like '*.gif'",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_str(), Some("out.gif"));
+    }
+
+    #[test]
+    fn count_aggregates_distinct() {
+        let rs = run(
+            "select count(A) as n from Provenance.file as F F.input* as A \
+             where F.name = 'out.gif'",
+        );
+        assert_eq!(rs.rows[0][0].as_int(), Some(4));
+        assert_eq!(rs.columns, vec!["n"]);
+    }
+
+    #[test]
+    fn min_max_over_versions() {
+        let rs = run("select min(F.version), max(F.version) from Provenance.file as F");
+        assert_eq!(rs.rows[0][0].as_int(), Some(0));
+        assert_eq!(rs.rows[0][1].as_int(), Some(1));
+    }
+
+    #[test]
+    fn subquery_membership() {
+        let rs = run(
+            "select P from Provenance.proc as P \
+             where P.name in (select F.name as n from Provenance.obj as F where F.version = 0)",
+        );
+        // 'convert' is among version-0 object names.
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let rs = run(
+            "select F from Provenance.file as F \
+             where exists (select P from Provenance.proc as P where P.name = 'convert')",
+        );
+        assert_eq!(rs.len(), 3);
+        let rs = run(
+            "select F from Provenance.file as F \
+             where exists (select P from Provenance.proc as P where P.name = 'nope')",
+        );
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn version_label_walks_only_version_edges() {
+        let rs = run("select V from Provenance.file as F F.version as V");
+        assert_eq!(rs.nodes(), vec![r(3, 0)]);
+    }
+
+    #[test]
+    fn results_deduplicate() {
+        // Both versions of in.dat reach version 0 — the result
+        // mentions it once.
+        let rs = run("select A from Provenance.file as F F.version* as A \
+                      where F.name = 'in.dat'");
+        let count = rs.nodes().iter().filter(|n| **n == r(3, 0)).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let q = crate::parse("select X from Y.input as Z").unwrap();
+        assert!(execute(&q, &TestGraph).is_err());
+    }
+
+    #[test]
+    fn glob_matcher() {
+        assert!(glob_match("*.gif", "a/b/c.gif"));
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b*c", "aXXbYY"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The PQL tokenizer.
+
+use std::fmt;
+
+/// A token with its source position (byte offset).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset in the query text, for error messages.
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and carry
+/// their canonical spelling.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// `select`, `from`, `where`, `as`, `and`, `or`, `not`, `in`,
+    /// `exists`, `like`, `count`, `min`, `max`, `true`, `false`.
+    Keyword(&'static str),
+    /// An identifier (variable, edge name, attribute name).
+    Ident(String),
+    /// A string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// `.` `,` `(` `)` `*` `+` `?` `~` `|` `=` `!=` `<` `<=` `>` `>=`
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Sym(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of query"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "select", "from", "where", "as", "and", "or", "not", "in", "exists", "like", "count", "min",
+    "max", "true", "false",
+];
+
+/// Tokenizes `input`, returning the token stream or an error message
+/// with the offending position.
+pub fn lex(input: &str) -> Result<Vec<Token>, (String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `--` to end of line.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let pos = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &input[start..i];
+            let lower = word.to_ascii_lowercase();
+            match KEYWORDS.iter().find(|k| **k == lower) {
+                Some(k) => out.push(Token {
+                    kind: TokenKind::Keyword(k),
+                    pos,
+                }),
+                None => out.push(Token {
+                    kind: TokenKind::Ident(word.to_string()),
+                    pos,
+                }),
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = input[start..i]
+                .parse()
+                .map_err(|_| ("integer overflow".to_string(), pos))?;
+            out.push(Token {
+                kind: TokenKind::Int(n),
+                pos,
+            });
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            let quote = c;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(("unterminated string".to_string(), pos));
+                }
+                let ch = bytes[i] as char;
+                if ch == quote {
+                    i += 1;
+                    break;
+                }
+                if ch == '\\' && i + 1 < bytes.len() {
+                    let next = bytes[i + 1] as char;
+                    s.push(match next {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                    i += 2;
+                    continue;
+                }
+                s.push(ch);
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Str(s),
+                pos,
+            });
+            continue;
+        }
+        let two = if i + 1 < bytes.len() {
+            &input[i..i + 2]
+        } else {
+            ""
+        };
+        let sym: Option<(&'static str, usize)> = match two {
+            "!=" => Some(("!=", 2)),
+            "<=" => Some(("<=", 2)),
+            ">=" => Some((">=", 2)),
+            _ => match c {
+                '.' => Some((".", 1)),
+                ',' => Some((",", 1)),
+                '(' => Some(("(", 1)),
+                ')' => Some((")", 1)),
+                '*' => Some(("*", 1)),
+                '+' => Some(("+", 1)),
+                '?' => Some(("?", 1)),
+                '~' => Some(("~", 1)),
+                '|' => Some(("|", 1)),
+                '=' => Some(("=", 1)),
+                '<' => Some(("<", 1)),
+                '>' => Some((">", 1)),
+                _ => None,
+            },
+        };
+        match sym {
+            Some((s, n)) => {
+                out.push(Token {
+                    kind: TokenKind::Sym(s),
+                    pos,
+                });
+                i += n;
+            }
+            None => {
+                return Err((format!("unexpected character {c:?}"), pos));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let q = r#"select Ancestor
+from Provenance.file as Atlas
+     Atlas.input* as Ancestor
+where Atlas.name = "atlas-x.gif""#;
+        let toks = kinds(q);
+        assert_eq!(toks[0], TokenKind::Keyword("select"));
+        assert!(toks.contains(&TokenKind::Ident("Provenance".into())));
+        assert!(toks.contains(&TokenKind::Sym("*")));
+        assert!(toks.contains(&TokenKind::Str("atlas-x.gif".into())));
+        assert_eq!(toks.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("SELECT SeLeCt select")[0], TokenKind::Keyword("select"));
+        assert_eq!(kinds("WHERE")[0], TokenKind::Keyword("where"));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a != b <= c >= d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Sym("!="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Sym("<="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Sym(">="),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_support_both_quotes_and_escapes() {
+        assert_eq!(
+            kinds(r#" "a\"b" 'c' "#),
+            vec![
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("select -- this is a comment\n x");
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("select @").unwrap_err();
+        assert_eq!(err.1, 7);
+        let err = lex("\"unterminated").unwrap_err();
+        assert!(err.0.contains("unterminated"));
+    }
+}

@@ -1,0 +1,73 @@
+//! PQL — the Path Query Language ("pickle").
+//!
+//! PQL is the provenance query language of PASSv2, derived from Lorel
+//! and its OEM data model after XML- and SQL-based approaches proved
+//! a poor match for graph-structured provenance (paper §5.7). The
+//! language satisfies the four requirements of §4:
+//!
+//! * the basic model is *paths through graphs*;
+//! * paths are first-class: each `from` source binds the endpoint of
+//!   a path expression to a variable;
+//! * path matching is by regular expressions over graph edges
+//!   (`input*`, `(input|version)+`, inverse traversal `input~`);
+//! * sub-queries (`in (select …)`, `exists (…)`) and aggregation
+//!   (`count`, `min`, `max`) are supported.
+//!
+//! The paper's sample query runs as-is:
+//!
+//! ```text
+//! select Ancestor
+//! from Provenance.file as Atlas
+//!      Atlas.input* as Ancestor
+//! where Atlas.name = "atlas-x.gif"
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! let q = pql::parse(
+//!     "select F.name from Provenance.file as F where F.name like '*.gif'",
+//! ).unwrap();
+//! assert_eq!(q.from.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lex;
+pub mod parse;
+
+use std::fmt;
+
+pub use ast::{EdgePattern, Expr, Literal, PathRoot, PathStep, Quant, Query, SelectItem, Source};
+pub use eval::{execute, glob_match, EdgeLabel, GraphSource, OutValue, ResultSet};
+pub use parse::parse;
+
+/// Errors from parsing or evaluating a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PqlError {
+    /// A syntax error at a byte position.
+    Parse {
+        /// Description of the problem.
+        msg: String,
+        /// Byte offset in the query text.
+        pos: usize,
+    },
+    /// An evaluation error (unbound variable, bad aggregate).
+    Eval(String),
+}
+
+impl fmt::Display for PqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqlError::Parse { msg, pos } => write!(f, "parse error at byte {pos}: {msg}"),
+            PqlError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PqlError {}
+
+/// Parses and executes `text` against `graph` in one call.
+pub fn query(text: &str, graph: &dyn GraphSource) -> Result<ResultSet, PqlError> {
+    execute(&parse(text)?, graph)
+}

@@ -1,0 +1,145 @@
+//! The I/O and CPU cost model.
+//!
+//! The paper's evaluation ran on a 3 GHz Pentium 4 with a 7200 RPM
+//! IDE disk and 100 Mb Ethernet; the defaults here approximate that
+//! hardware so that the *relative* overheads of Tables 2 and 3 come
+//! out with the right shape. Absolute virtual times are not meant to
+//! match the paper's wall-clock numbers.
+
+use crate::clock::Nanos;
+
+/// Size of one simulated disk block / page.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Disk timing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskParams {
+    /// Average seek time charged when the head must move.
+    pub seek_ns: Nanos,
+    /// Average rotational delay charged on a non-sequential access.
+    pub rotational_ns: Nanos,
+    /// Transfer time per 4 KB block (≈ 60 MB/s sustained).
+    pub per_block_ns: Nanos,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            seek_ns: 4_500_000,       // 4.5 ms average seek
+            rotational_ns: 4_160_000, // half a rotation at 7200 RPM
+            per_block_ns: 68_000,     // 4 KB at ~60 MB/s
+        }
+    }
+}
+
+/// CPU timing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuParams {
+    /// Fixed cost of entering/exiting a system call.
+    pub syscall_ns: Nanos,
+    /// Cost per byte of copying data between buffers (page cache,
+    /// stackable file system double buffering, network marshalling).
+    pub copy_ns_per_byte: Nanos,
+    /// Cost of one abstract "compute unit" used by workload
+    /// generators to model application CPU time.
+    pub compute_unit_ns: Nanos,
+}
+
+impl Default for CpuParams {
+    fn default() -> Self {
+        CpuParams {
+            syscall_ns: 900,
+            // Effective copy cost including page management on the
+            // P4-era memory system (~500 MB/s for FS buffer paths).
+            copy_ns_per_byte: 2,
+            compute_unit_ns: 1_000,
+        }
+    }
+}
+
+/// Network timing parameters for the simulated LAN between NFS client
+/// and server.
+#[derive(Clone, Copy, Debug)]
+pub struct NetParams {
+    /// Round-trip latency per RPC.
+    pub rtt_ns: Nanos,
+    /// Transfer time per byte on the wire (≈ 100 Mb/s).
+    pub per_byte_ns: Nanos,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            rtt_ns: 200_000, // 0.2 ms LAN round trip
+            per_byte_ns: 85, // ~11.7 MB/s on 100 Mb Ethernet
+        }
+    }
+}
+
+/// The complete cost model used by a simulated machine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostModel {
+    /// Disk timing.
+    pub disk: DiskParams,
+    /// CPU timing.
+    pub cpu: CpuParams,
+    /// Network timing.
+    pub net: NetParams,
+}
+
+impl CostModel {
+    /// Cost of copying `bytes` through one buffer layer.
+    pub fn copy_cost(&self, bytes: usize) -> Nanos {
+        bytes as Nanos * self.cpu.copy_ns_per_byte
+    }
+
+    /// Cost of transferring `bytes` over the simulated network,
+    /// including one round trip.
+    pub fn net_cost(&self, bytes: usize) -> Nanos {
+        self.net.rtt_ns + bytes as Nanos * self.net.per_byte_ns
+    }
+
+    /// Number of blocks needed to hold `bytes`.
+    pub fn blocks_for(bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(BLOCK_SIZE as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_in_plausible_ranges() {
+        let m = CostModel::default();
+        // A random 4 KB disk access (seek + rotation + transfer) should
+        // land in the canonical 5–15 ms window for a 7200 RPM disk.
+        let random_io = m.disk.seek_ns + m.disk.rotational_ns + m.disk.per_block_ns;
+        assert!((5_000_000..15_000_000).contains(&random_io));
+        // Sequential throughput should beat 30 MB/s.
+        let bytes_per_sec = BLOCK_SIZE as u64 * 1_000_000_000 / m.disk.per_block_ns;
+        assert!(bytes_per_sec > 30_000_000);
+    }
+
+    #[test]
+    fn blocks_for_rounds_up_and_never_returns_zero() {
+        assert_eq!(CostModel::blocks_for(0), 1);
+        assert_eq!(CostModel::blocks_for(1), 1);
+        assert_eq!(CostModel::blocks_for(BLOCK_SIZE), 1);
+        assert_eq!(CostModel::blocks_for(BLOCK_SIZE + 1), 2);
+        assert_eq!(CostModel::blocks_for(10 * BLOCK_SIZE), 10);
+    }
+
+    #[test]
+    fn net_cost_includes_rtt() {
+        let m = CostModel::default();
+        assert_eq!(m.net_cost(0), m.net.rtt_ns);
+        assert!(m.net_cost(1 << 16) > m.net_cost(0));
+    }
+
+    #[test]
+    fn copy_cost_scales_linearly() {
+        let m = CostModel::default();
+        assert_eq!(m.copy_cost(4096) * 2, m.copy_cost(8192));
+    }
+}

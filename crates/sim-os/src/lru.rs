@@ -1,0 +1,239 @@
+//! A compact O(1) LRU set used for page-cache accounting.
+//!
+//! The simulator does not store page *contents* in the cache (file
+//! data lives in the inodes for correctness); the cache tracks which
+//! pages are resident so reads can be classified as hits or misses
+//! and evictions of dirty pages can be charged as writebacks.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+    dirty: bool,
+}
+
+/// An LRU set with a dirty bit per entry.
+pub struct LruSet<K: Eq + Hash + Clone> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+/// What happened when an entry was inserted or touched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheOutcome<K> {
+    /// The key was already resident.
+    Hit,
+    /// The key was inserted without evicting anything.
+    Miss,
+    /// The key was inserted and the returned key was evicted; the
+    /// boolean reports whether the victim was dirty (requiring
+    /// writeback).
+    Evicted(K, bool),
+}
+
+impl<K: Eq + Hash + Clone> LruSet<K> {
+    /// Creates an LRU set holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruSet {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if `key` is resident (does not touch recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Touches `key`, inserting it if absent. `dirty` is OR-ed into
+    /// the entry's dirty bit. Returns what happened, including any
+    /// eviction this insertion forced.
+    pub fn touch(&mut self, key: K, dirty: bool) -> CacheOutcome<K> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.detach(idx);
+            self.attach_front(idx);
+            self.nodes[idx].dirty |= dirty;
+            return CacheOutcome::Hit;
+        }
+        let mut outcome = CacheOutcome::Miss;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let vkey = self.nodes[victim].key.clone();
+            let vdirty = self.nodes[victim].dirty;
+            self.map.remove(&vkey);
+            self.free.push(victim);
+            outcome = CacheOutcome::Evicted(vkey, vdirty);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                key: key.clone(),
+                prev: NIL,
+                next: NIL,
+                dirty,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                key: key.clone(),
+                prev: NIL,
+                next: NIL,
+                dirty,
+            });
+            self.nodes.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        outcome
+    }
+
+    /// Removes `key` if resident, returning its dirty bit.
+    pub fn remove(&mut self, key: &K) -> Option<bool> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.free.push(idx);
+        Some(self.nodes[idx].dirty)
+    }
+
+    /// Clears the dirty bit of `key` (after writeback).
+    pub fn mark_clean(&mut self, key: &K) {
+        if let Some(&idx) = self.map.get(key) {
+            self.nodes[idx].dirty = false;
+        }
+    }
+
+    /// Returns all dirty keys (unordered) and marks them clean.
+    pub fn take_dirty(&mut self) -> Vec<K> {
+        let mut out = Vec::new();
+        for node in &mut self.nodes {
+            if node.dirty && self.map.contains_key(&node.key) {
+                node.dirty = false;
+                out.push(node.key.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut lru = LruSet::new(2);
+        assert_eq!(lru.touch(1, false), CacheOutcome::Miss);
+        assert_eq!(lru.touch(2, false), CacheOutcome::Miss);
+        assert_eq!(lru.touch(1, false), CacheOutcome::Hit);
+        // 2 is now least recently used and gets evicted.
+        assert_eq!(lru.touch(3, false), CacheOutcome::Evicted(2, false));
+        assert!(lru.contains(&1));
+        assert!(lru.contains(&3));
+        assert!(!lru.contains(&2));
+    }
+
+    #[test]
+    fn dirty_bit_survives_touches_and_reports_on_eviction() {
+        let mut lru = LruSet::new(1);
+        lru.touch(7, true);
+        lru.touch(7, false); // does not clear dirty
+        match lru.touch(8, false) {
+            CacheOutcome::Evicted(7, true) => {}
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mark_clean_and_take_dirty() {
+        let mut lru = LruSet::new(4);
+        lru.touch("a", true);
+        lru.touch("b", true);
+        lru.touch("c", false);
+        lru.mark_clean(&"a");
+        let mut dirty = lru.take_dirty();
+        dirty.sort();
+        assert_eq!(dirty, vec!["b"]);
+        assert!(lru.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn remove_returns_dirty_state() {
+        let mut lru = LruSet::new(4);
+        lru.touch(1, true);
+        lru.touch(2, false);
+        assert_eq!(lru.remove(&1), Some(true));
+        assert_eq!(lru.remove(&2), Some(false));
+        assert_eq!(lru.remove(&3), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn reuses_slots_after_removal() {
+        let mut lru = LruSet::new(2);
+        for i in 0..100 {
+            lru.touch(i, i % 2 == 0);
+        }
+        assert_eq!(lru.len(), 2);
+        // Internal node storage should not have grown unboundedly.
+        assert!(lru.nodes.len() <= 3);
+    }
+
+    #[test]
+    fn capacity_one_always_evicts_previous() {
+        let mut lru = LruSet::new(1);
+        lru.touch(1, false);
+        assert_eq!(lru.touch(2, false), CacheOutcome::Evicted(1, false));
+        assert_eq!(lru.touch(3, false), CacheOutcome::Evicted(2, false));
+        assert_eq!(lru.len(), 1);
+    }
+}

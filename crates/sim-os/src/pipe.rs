@@ -1,0 +1,153 @@
+//! Pipes.
+//!
+//! Pipes matter to PASS because they are first-class provenance
+//! objects that are never persistent: a shell pipeline's intermediate
+//! dependencies travel through pipe objects, and the distributor must
+//! cache their provenance until it reaches a persistent descendant.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A pipe's kernel identity.
+pub type PipeId = u64;
+
+#[derive(Debug, Default)]
+struct Pipe {
+    buf: VecDeque<u8>,
+    readers: u32,
+    writers: u32,
+}
+
+/// The kernel pipe table.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    pipes: HashMap<PipeId, Pipe>,
+    next: PipeId,
+}
+
+impl PipeTable {
+    /// Creates an empty pipe table.
+    pub fn new() -> PipeTable {
+        PipeTable::default()
+    }
+
+    /// Creates a pipe with one reader and one writer reference.
+    pub fn create(&mut self) -> PipeId {
+        let id = self.next;
+        self.next += 1;
+        self.pipes.insert(
+            id,
+            Pipe {
+                buf: VecDeque::new(),
+                readers: 1,
+                writers: 1,
+            },
+        );
+        id
+    }
+
+    /// Writes bytes into the pipe buffer. Returns `None` if the pipe
+    /// has no readers left (EPIPE).
+    pub fn write(&mut self, id: PipeId, data: &[u8]) -> Option<usize> {
+        let p = self.pipes.get_mut(&id)?;
+        if p.readers == 0 {
+            return None;
+        }
+        p.buf.extend(data.iter().copied());
+        Some(data.len())
+    }
+
+    /// Reads up to `len` bytes. An empty result with live writers
+    /// means "would block"; with no writers it means EOF. The caller
+    /// distinguishes via [`PipeTable::has_writers`].
+    pub fn read(&mut self, id: PipeId, len: usize) -> Option<Vec<u8>> {
+        let p = self.pipes.get_mut(&id)?;
+        let n = len.min(p.buf.len());
+        Some(p.buf.drain(..n).collect())
+    }
+
+    /// True if the pipe still has writer references.
+    pub fn has_writers(&self, id: PipeId) -> bool {
+        self.pipes.get(&id).map(|p| p.writers > 0).unwrap_or(false)
+    }
+
+    /// Adds a reference to one end (on fork/dup).
+    pub fn add_ref(&mut self, id: PipeId, write_end: bool) {
+        if let Some(p) = self.pipes.get_mut(&id) {
+            if write_end {
+                p.writers += 1;
+            } else {
+                p.readers += 1;
+            }
+        }
+    }
+
+    /// Drops a reference to one end (on close/exit); removes the pipe
+    /// once both sides are fully closed.
+    pub fn drop_ref(&mut self, id: PipeId, write_end: bool) {
+        let remove = if let Some(p) = self.pipes.get_mut(&id) {
+            if write_end {
+                p.writers = p.writers.saturating_sub(1);
+            } else {
+                p.readers = p.readers.saturating_sub(1);
+            }
+            p.readers == 0 && p.writers == 0
+        } else {
+            false
+        };
+        if remove {
+            self.pipes.remove(&id);
+        }
+    }
+
+    /// Bytes currently buffered in the pipe.
+    pub fn buffered(&self, id: PipeId) -> usize {
+        self.pipes.get(&id).map(|p| p.buf.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_fifo_order() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        assert_eq!(t.write(id, b"abc"), Some(3));
+        assert_eq!(t.write(id, b"de"), Some(2));
+        assert_eq!(t.read(id, 4).unwrap(), b"abcd");
+        assert_eq!(t.read(id, 4).unwrap(), b"e");
+        assert_eq!(t.read(id, 4).unwrap(), b"");
+    }
+
+    #[test]
+    fn write_to_readerless_pipe_is_epipe() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.drop_ref(id, false);
+        assert_eq!(t.write(id, b"x"), None);
+    }
+
+    #[test]
+    fn eof_detection_via_writer_refs() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.write(id, b"tail").unwrap();
+        t.drop_ref(id, true);
+        assert!(!t.has_writers(id));
+        // Drain remains readable after writers close.
+        assert_eq!(t.read(id, 10).unwrap(), b"tail");
+    }
+
+    #[test]
+    fn pipe_removed_when_fully_closed() {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.add_ref(id, true); // a fork duplicated the write end
+        t.drop_ref(id, true);
+        t.drop_ref(id, true);
+        t.drop_ref(id, false);
+        assert_eq!(t.read(id, 1), None);
+        assert_eq!(t.buffered(id), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-based property tests: the simulated base file system against
+//! a trivial in-memory model, under random operation sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sim_os::clock::Clock;
+use sim_os::cost::CostModel;
+use sim_os::fs::basefs::BaseFs;
+use sim_os::fs::{FileSystem, FsError};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create(u8),
+    Write(u8, u16, Vec<u8>),
+    Read(u8, u16, u16),
+    Unlink(u8),
+    Rename(u8, u8),
+    Truncate(u8, u16),
+    Sync,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12).prop_map(Op::Create),
+        (0u8..12, 0u16..4096, proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(f, o, d)| Op::Write(f, o, d)),
+        (0u8..12, 0u16..4096, 0u16..512).prop_map(|(f, o, l)| Op::Read(f, o, l)),
+        (0u8..12).prop_map(Op::Unlink),
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Rename(a, b)),
+        (0u8..12, 0u16..2048).prop_map(|(f, s)| Op::Truncate(f, s)),
+        Just(Op::Sync),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contents always match a plain `HashMap<String, Vec<u8>>` model.
+    #[test]
+    fn basefs_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut fs = BaseFs::new(Clock::new(), CostModel::default());
+        let root = fs.root();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        let name = |f: u8| format!("f{f}");
+
+        for op in ops {
+            match op {
+                Op::Create(f) => {
+                    let n = name(f);
+                    let real = fs.create(root, &n);
+                    if model.contains_key(&n) {
+                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                    } else {
+                        prop_assert!(real.is_ok());
+                        model.insert(n, Vec::new());
+                    }
+                }
+                Op::Write(f, off, data) => {
+                    let n = name(f);
+                    match fs.lookup(root, &n) {
+                        Ok(ino) => {
+                            fs.write(ino, off as u64, &data).unwrap();
+                            let m = model.get_mut(&n).unwrap();
+                            let end = off as usize + data.len();
+                            if m.len() < end {
+                                m.resize(end, 0);
+                            }
+                            m[off as usize..end].copy_from_slice(&data);
+                        }
+                        Err(_) => prop_assert!(!model.contains_key(&n)),
+                    }
+                }
+                Op::Read(f, off, len) => {
+                    let n = name(f);
+                    if let Ok(ino) = fs.lookup(root, &n) {
+                        let got = fs.read(ino, off as u64, len as usize).unwrap();
+                        let m = &model[&n];
+                        let start = (off as usize).min(m.len());
+                        let end = (start + len as usize).min(m.len());
+                        prop_assert_eq!(got, m[start..end].to_vec());
+                    }
+                }
+                Op::Unlink(f) => {
+                    let n = name(f);
+                    let real = fs.unlink(root, &n);
+                    prop_assert_eq!(real.is_ok(), model.remove(&n).is_some());
+                }
+                Op::Rename(a, b) => {
+                    let (na, nb) = (name(a), name(b));
+                    if model.contains_key(&na) && na != nb {
+                        fs.rename(root, &na, root, &nb).unwrap();
+                        let v = model.remove(&na).unwrap();
+                        model.insert(nb, v);
+                    } else if !model.contains_key(&na) {
+                        prop_assert!(fs.rename(root, &na, root, &nb).is_err());
+                    }
+                }
+                Op::Truncate(f, size) => {
+                    let n = name(f);
+                    if let Ok(ino) = fs.lookup(root, &n) {
+                        fs.truncate(ino, size as u64).unwrap();
+                        model.get_mut(&n).unwrap().resize(size as usize, 0);
+                    }
+                }
+                Op::Sync => fs.sync().unwrap(),
+            }
+            // Size accounting stays consistent with the model.
+            let expect: u64 = model.values().map(|v| v.len() as u64).sum();
+            prop_assert_eq!(fs.usage().data_bytes, expect);
+        }
+        // Final contents identical file by file.
+        for (n, data) in &model {
+            let ino = fs.lookup(root, n).unwrap();
+            let got = fs.read(ino, 0, data.len() + 16).unwrap();
+            prop_assert_eq!(&got, data);
+        }
+    }
+
+    /// Virtual time never goes backwards and always advances under
+    /// writes plus sync.
+    #[test]
+    fn clock_monotonicity(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let clock = Clock::new();
+        let mut fs = BaseFs::new(clock.clone(), CostModel::default());
+        let root = fs.root();
+        let mut last = clock.now();
+        for op in ops {
+            match op {
+                Op::Create(f) => {
+                    let _ = fs.create(root, &format!("f{f}"));
+                }
+                Op::Write(f, off, data) => {
+                    if let Ok(ino) = fs.lookup(root, &format!("f{f}")) {
+                        let _ = fs.write(ino, off as u64, &data);
+                    }
+                }
+                _ => {
+                    let _ = fs.sync();
+                }
+            }
+            let now = clock.now();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+}

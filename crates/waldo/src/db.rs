@@ -1,0 +1,527 @@
+//! The provenance database.
+//!
+//! Waldo moves provenance from the Lasagna log into an indexed store
+//! that the query engine reads. The store is an OEM-style object
+//! database: objects (pnodes) carry per-version attribute lists and
+//! ancestry edges, plus secondary indexes by name, by type and by
+//! ancestor (the reverse edge index that makes descendant queries —
+//! "find everything tainted by this file" — cheap).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use dpapi::wire::record_wire_size;
+use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version};
+use lasagna::LogEntry;
+
+/// One version of one object.
+#[derive(Clone, Debug, Default)]
+pub struct VersionEntry {
+    /// Scalar attributes recorded at this version.
+    pub attrs: Vec<(Attribute, Value)>,
+    /// Ancestry edges: this version depends on those objects.
+    pub inputs: Vec<(Attribute, ObjectRef)>,
+    /// Number of data writes logged at this version.
+    pub writes: u64,
+    /// Bytes of data written at this version.
+    pub bytes_written: u64,
+}
+
+/// One object (pnode) across all its versions.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectEntry {
+    /// Version-indexed state.
+    pub versions: BTreeMap<u32, VersionEntry>,
+    /// Highest version seen.
+    pub current: u32,
+}
+
+impl ObjectEntry {
+    fn at(&mut self, v: Version) -> &mut VersionEntry {
+        self.current = self.current.max(v.0);
+        self.versions.entry(v.0).or_default()
+    }
+
+    /// Attributes of a version (empty slice if unknown).
+    pub fn attrs(&self, v: Version) -> &[(Attribute, Value)] {
+        self.versions
+            .get(&v.0)
+            .map(|e| e.attrs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Ancestry edges of a version.
+    pub fn inputs(&self, v: Version) -> &[(Attribute, ObjectRef)] {
+        self.versions
+            .get(&v.0)
+            .map(|e| e.inputs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The first value of `attr` across all versions (names and types
+    /// are version-independent in practice).
+    pub fn first_attr(&self, attr: &Attribute) -> Option<&Value> {
+        self.versions
+            .values()
+            .flat_map(|v| v.attrs.iter())
+            .find(|(a, _)| a == attr)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Approximate on-disk footprint of the store, for Table 3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbSize {
+    /// Bytes of record data (the "provenance database" column).
+    pub db_bytes: u64,
+    /// Bytes of secondary indexes (the "+Indexes" delta).
+    pub index_bytes: u64,
+}
+
+/// Statistics for one ingest batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Entries applied to the store.
+    pub applied: usize,
+    /// Entries buffered inside still-open transactions.
+    pub pending: usize,
+    /// Transactions committed.
+    pub txns_committed: usize,
+}
+
+/// The indexed provenance store.
+#[derive(Debug, Default)]
+pub struct ProvDb {
+    objects: HashMap<Pnode, ObjectEntry>,
+    /// name -> objects that bore it (at any version).
+    name_index: HashMap<String, Vec<Pnode>>,
+    /// type -> objects.
+    type_index: HashMap<String, Vec<Pnode>>,
+    /// ancestor pnode -> (descendant version-ref, edge attribute,
+    /// ancestor version).
+    reverse_index: HashMap<Pnode, Vec<(ObjectRef, Attribute, Version)>>,
+    /// Open provenance transactions (NFS chunked bundles).
+    pending_txns: HashMap<u64, Vec<LogEntry>>,
+    size: DbSize,
+}
+
+impl ProvDb {
+    /// Creates an empty store.
+    pub fn new() -> ProvDb {
+        ProvDb::default()
+    }
+
+    /// Number of objects known.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Approximate store footprint.
+    pub fn size(&self) -> DbSize {
+        self.size
+    }
+
+    /// Transaction ids currently open (orphans if the stream ended).
+    pub fn open_txns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pending_txns.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drops an orphaned transaction's buffered records (the server
+    /// Waldo's garbage collection of §6.1.2).
+    pub fn discard_txn(&mut self, id: u64) -> usize {
+        self.pending_txns.remove(&id).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Ingests a parsed log image.
+    pub fn ingest(&mut self, entries: &[LogEntry]) -> IngestStats {
+        let mut stats = IngestStats::default();
+        let mut current_txn: Option<u64> = None;
+        for e in entries {
+            match e {
+                LogEntry::TxnBegin { id } => {
+                    self.pending_txns.entry(*id).or_default();
+                    current_txn = Some(*id);
+                }
+                LogEntry::TxnEnd { id } => {
+                    if let Some(buf) = self.pending_txns.remove(id) {
+                        for b in &buf {
+                            self.apply(b);
+                            stats.applied += 1;
+                        }
+                        stats.txns_committed += 1;
+                    }
+                    if current_txn == Some(*id) {
+                        current_txn = None;
+                    }
+                }
+                other => match current_txn {
+                    Some(id) => {
+                        self.pending_txns.entry(id).or_default().push(other.clone());
+                        stats.pending += 1;
+                    }
+                    None => {
+                        self.apply(other);
+                        stats.applied += 1;
+                    }
+                },
+            }
+        }
+        stats
+    }
+
+    fn apply(&mut self, entry: &LogEntry) {
+        match entry {
+            LogEntry::Prov { subject, record } => self.apply_record(*subject, record),
+            LogEntry::DataWrite { subject, len, .. } => {
+                let e = self.objects.entry(subject.pnode).or_default().at(subject.version);
+                e.writes += 1;
+                e.bytes_written += u64::from(*len);
+                self.size.db_bytes += 44; // subject + offset + len + digest
+            }
+            LogEntry::TxnBegin { .. } | LogEntry::TxnEnd { .. } => {}
+        }
+    }
+
+    fn apply_record(&mut self, subject: ObjectRef, record: &ProvenanceRecord) {
+        self.size.db_bytes += record_wire_size(record) as u64 + 16;
+        match (&record.attribute, &record.value) {
+            (Attribute::Freeze, Value::Int(v)) => {
+                let obj = self.objects.entry(subject.pnode).or_default();
+                obj.at(Version(*v as u32));
+            }
+            (attr, Value::Xref(ancestor)) if attr.is_ancestry() => {
+                let obj = self.objects.entry(subject.pnode).or_default();
+                obj.at(subject.version)
+                    .inputs
+                    .push((attr.clone(), *ancestor));
+                self.reverse_index.entry(ancestor.pnode).or_default().push((
+                    subject,
+                    attr.clone(),
+                    ancestor.version,
+                ));
+                self.size.index_bytes += 36;
+            }
+            (Attribute::Name, Value::Str(name)) => {
+                let obj = self.objects.entry(subject.pnode).or_default();
+                obj.at(subject.version)
+                    .attrs
+                    .push((Attribute::Name, record.value.clone()));
+                let list = self.name_index.entry(name.clone()).or_default();
+                if !list.contains(&subject.pnode) {
+                    list.push(subject.pnode);
+                    self.size.index_bytes += name.len() as u64 + 12;
+                }
+            }
+            (Attribute::Type, Value::Str(ty)) => {
+                let obj = self.objects.entry(subject.pnode).or_default();
+                obj.at(subject.version)
+                    .attrs
+                    .push((Attribute::Type, record.value.clone()));
+                let list = self.type_index.entry(ty.clone()).or_default();
+                if !list.contains(&subject.pnode) {
+                    list.push(subject.pnode);
+                    self.size.index_bytes += ty.len() as u64 + 12;
+                }
+            }
+            _ => {
+                let obj = self.objects.entry(subject.pnode).or_default();
+                obj.at(subject.version)
+                    .attrs
+                    .push((record.attribute.clone(), record.value.clone()));
+            }
+        }
+    }
+
+    // ---- queries ----------------------------------------------------------
+
+    /// The object entry for `p`.
+    pub fn object(&self, p: Pnode) -> Option<&ObjectEntry> {
+        self.objects.get(&p)
+    }
+
+    /// All objects (unordered).
+    pub fn objects(&self) -> impl Iterator<Item = (&Pnode, &ObjectEntry)> {
+        self.objects.iter()
+    }
+
+    /// Objects that ever bore `name` — exact match. Names are path
+    /// strings; the query layer also supports suffix matching.
+    pub fn find_by_name(&self, name: &str) -> Vec<Pnode> {
+        self.name_index.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Objects whose NAME ends with `suffix` (e.g. a file name without
+    /// its directory).
+    pub fn find_by_name_suffix(&self, suffix: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .name_index
+            .iter()
+            .filter(|(n, _)| n.ends_with(suffix))
+            .flat_map(|(_, ps)| ps.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Objects of TYPE `ty`.
+    pub fn find_by_type(&self, ty: &str) -> Vec<Pnode> {
+        self.type_index.get(ty).cloned().unwrap_or_default()
+    }
+
+    /// Direct ancestry edges of one version, including the implicit
+    /// edge to the previous version of the same object.
+    pub fn inputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
+        let mut out = Vec::new();
+        if let Some(obj) = self.objects.get(&r.pnode) {
+            out.extend(obj.inputs(r.version).iter().cloned());
+            if r.version.0 > 0 {
+                out.push((
+                    Attribute::Other("version".into()),
+                    ObjectRef::new(r.pnode, Version(r.version.0 - 1)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Direct descendants: version-refs that recorded `p` (at the
+    /// given version) as an input.
+    pub fn outputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
+        let mut out: Vec<(Attribute, ObjectRef)> = self
+            .reverse_index
+            .get(&r.pnode)
+            .map(|v| {
+                v.iter()
+                    .filter(|(_, _, av)| *av == r.version)
+                    .map(|(d, a, _)| (a.clone(), *d))
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Implicit: the next version of the object descends from r.
+        if let Some(obj) = self.objects.get(&r.pnode) {
+            if obj.versions.contains_key(&(r.version.0 + 1)) {
+                out.push((
+                    Attribute::Other("version".into()),
+                    ObjectRef::new(r.pnode, Version(r.version.0 + 1)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Every descendant of `p` at any version — the transitive
+    /// closure over outputs (the malware-spread query of §3.2).
+    pub fn descendants(&self, p: Pnode) -> Vec<ObjectRef> {
+        let mut seen: HashSet<ObjectRef> = HashSet::new();
+        // Roots: every version of p recorded as a subject, plus every
+        // version of p some other object referenced as an ancestor
+        // (objects only ever seen as ancestors have no entry).
+        let mut roots: HashSet<ObjectRef> = self
+            .objects
+            .get(&p)
+            .map(|o| {
+                o.versions
+                    .keys()
+                    .map(|v| ObjectRef::new(p, Version(*v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if let Some(refs) = self.reverse_index.get(&p) {
+            for (_, _, av) in refs {
+                roots.insert(ObjectRef::new(p, *av));
+            }
+        }
+        let mut work: Vec<ObjectRef> = roots.iter().copied().collect();
+        while let Some(r) = work.pop() {
+            for (_, d) in self.outputs_of(r) {
+                if seen.insert(d) {
+                    work.push(d);
+                }
+            }
+        }
+        let mut out: Vec<ObjectRef> = seen.into_iter().filter(|r| !roots.contains(r)).collect();
+        out.sort();
+        out
+    }
+
+    /// Every ancestor of `r` — transitive closure over inputs (the
+    /// anomaly-tracing query of §3.1).
+    pub fn ancestors(&self, r: ObjectRef) -> Vec<ObjectRef> {
+        let mut seen: HashSet<ObjectRef> = HashSet::new();
+        let mut work = vec![r];
+        while let Some(x) = work.pop() {
+            for (_, a) in self.inputs_of(x) {
+                if seen.insert(a) {
+                    work.push(a);
+                }
+            }
+        }
+        let mut out: Vec<ObjectRef> = seen.into_iter().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpapi::VolumeId;
+
+    fn p(n: u64) -> Pnode {
+        Pnode::new(VolumeId(1), n)
+    }
+
+    fn r(n: u64, v: u32) -> ObjectRef {
+        ObjectRef::new(p(n), Version(v))
+    }
+
+    fn prov(subject: ObjectRef, attr: Attribute, value: Value) -> LogEntry {
+        LogEntry::Prov {
+            subject,
+            record: ProvenanceRecord::new(attr, value),
+        }
+    }
+
+    #[test]
+    fn name_and_type_indexes() {
+        let mut db = ProvDb::new();
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Name, Value::str("/data/out.gif")),
+            prov(r(1, 0), Attribute::Type, Value::str("FILE")),
+            prov(r(2, 0), Attribute::Type, Value::str("PROC")),
+        ]);
+        assert_eq!(db.find_by_name("/data/out.gif"), vec![p(1)]);
+        assert_eq!(db.find_by_name_suffix("out.gif"), vec![p(1)]);
+        assert_eq!(db.find_by_type("PROC"), vec![p(2)]);
+        assert!(db.find_by_name("missing").is_empty());
+    }
+
+    #[test]
+    fn ancestry_and_reverse_index() {
+        let mut db = ProvDb::new();
+        // file(1) <- proc(2) <- file(3): 1 depends on 2 depends on 3.
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
+            prov(r(2, 0), Attribute::Input, Value::Xref(r(3, 0))),
+        ]);
+        let anc = db.ancestors(r(1, 0));
+        assert!(anc.contains(&r(2, 0)));
+        assert!(anc.contains(&r(3, 0)));
+        let desc = db.descendants(p(3));
+        assert!(desc.contains(&r(2, 0)));
+        assert!(desc.contains(&r(1, 0)));
+    }
+
+    #[test]
+    fn freeze_creates_version_and_implicit_edges() {
+        let mut db = ProvDb::new();
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
+            prov(r(1, 0), Attribute::Freeze, Value::Int(1)),
+            prov(r(1, 1), Attribute::Input, Value::Xref(r(4, 0))),
+        ]);
+        // v1 depends on v0 implicitly, and on 4 explicitly.
+        let inputs = db.inputs_of(r(1, 1));
+        assert!(inputs.iter().any(|(_, a)| *a == r(4, 0)));
+        assert!(inputs.iter().any(|(_, a)| *a == r(1, 0)));
+        // Ancestors of v1 include everything v0 depended on.
+        let anc = db.ancestors(r(1, 1));
+        assert!(anc.contains(&r(2, 0)));
+        // And v1 is a descendant of pnode 2 (via v0).
+        assert!(db.descendants(p(2)).contains(&r(1, 1)));
+    }
+
+    #[test]
+    fn version_specific_reverse_lookups() {
+        let mut db = ProvDb::new();
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 3))),
+        ]);
+        // Outputs of 2@3 include 1@0; outputs of 2@1 do not.
+        assert_eq!(db.outputs_of(r(2, 3)).len(), 1);
+        assert!(db.outputs_of(r(2, 1)).is_empty());
+    }
+
+    #[test]
+    fn transactions_buffer_until_end() {
+        let mut db = ProvDb::new();
+        let stats = db.ingest(&[
+            LogEntry::TxnBegin { id: 9 },
+            prov(r(1, 0), Attribute::Name, Value::str("x")),
+        ]);
+        assert_eq!(stats.applied, 0);
+        assert_eq!(stats.pending, 1);
+        assert!(db.find_by_name("x").is_empty());
+        assert_eq!(db.open_txns(), vec![9]);
+        // The end can arrive in a later log image.
+        let stats = db.ingest(&[LogEntry::TxnEnd { id: 9 }]);
+        assert_eq!(stats.applied, 1);
+        assert_eq!(stats.txns_committed, 1);
+        assert_eq!(db.find_by_name("x"), vec![p(1)]);
+        assert!(db.open_txns().is_empty());
+    }
+
+    #[test]
+    fn orphaned_txns_can_be_discarded() {
+        let mut db = ProvDb::new();
+        db.ingest(&[
+            LogEntry::TxnBegin { id: 5 },
+            prov(r(1, 0), Attribute::Name, Value::str("ghost")),
+        ]);
+        assert_eq!(db.discard_txn(5), 1);
+        assert!(db.find_by_name("ghost").is_empty());
+        assert_eq!(db.discard_txn(5), 0);
+    }
+
+    #[test]
+    fn size_grows_with_ingestion() {
+        let mut db = ProvDb::new();
+        let before = db.size();
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Name, Value::str("/a/long/path/name.dat")),
+            prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
+        ]);
+        let after = db.size();
+        assert!(after.db_bytes > before.db_bytes);
+        assert!(after.index_bytes > before.index_bytes);
+    }
+
+    #[test]
+    fn data_writes_accumulate_per_version() {
+        let mut db = ProvDb::new();
+        db.ingest(&[
+            LogEntry::DataWrite {
+                subject: r(1, 0),
+                offset: 0,
+                len: 100,
+                digest: [0u8; 16],
+            },
+            LogEntry::DataWrite {
+                subject: r(1, 0),
+                offset: 100,
+                len: 50,
+                digest: [0u8; 16],
+            },
+        ]);
+        let obj = db.object(p(1)).unwrap();
+        let v = obj.versions.get(&0).unwrap();
+        assert_eq!(v.writes, 2);
+        assert_eq!(v.bytes_written, 150);
+    }
+
+    #[test]
+    fn first_attr_spans_versions() {
+        let mut db = ProvDb::new();
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Freeze, Value::Int(1)),
+            prov(r(1, 1), Attribute::Name, Value::str("late-name")),
+        ]);
+        let obj = db.object(p(1)).unwrap();
+        assert_eq!(
+            obj.first_attr(&Attribute::Name),
+            Some(&Value::str("late-name"))
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! PQL graph adapter: [`ProvDb`] as a [`pql::GraphSource`].
+//!
+//! Waldo "is also responsible for accessing the database on behalf of
+//! the query engine" (paper §5.6); this module is that access path.
+
+use dpapi::{Attribute, ObjectRef, Value, Version};
+use pql::{EdgeLabel, GraphSource};
+
+use crate::db::ProvDb;
+
+/// The attribute label of the implicit previous-version edge.
+fn version_edge() -> Attribute {
+    Attribute::Other("version".into())
+}
+
+fn edge_matches(label: &EdgeLabel, attr: &Attribute) -> bool {
+    match label {
+        EdgeLabel::Any => true,
+        EdgeLabel::Input => *attr == Attribute::Input || *attr == version_edge(),
+        EdgeLabel::Version => *attr == version_edge(),
+        EdgeLabel::VisitedUrl => *attr == Attribute::VisitedUrl,
+        EdgeLabel::FileUrl => *attr == Attribute::FileUrl,
+        EdgeLabel::CurrentUrl => *attr == Attribute::CurrentUrl,
+        EdgeLabel::Named(n) => match attr {
+            Attribute::Other(o) => o.eq_ignore_ascii_case(n),
+            other => other.as_str().eq_ignore_ascii_case(n),
+        },
+    }
+}
+
+fn attr_for_name(name: &str) -> Attribute {
+    match name.to_ascii_lowercase().as_str() {
+        "name" => Attribute::Name,
+        "type" => Attribute::Type,
+        "argv" => Attribute::Argv,
+        "env" => Attribute::Env,
+        "params" => Attribute::Params,
+        other => Attribute::Other(other.to_ascii_uppercase()),
+    }
+}
+
+impl GraphSource for ProvDb {
+    fn class_members(&self, class: &str) -> Vec<ObjectRef> {
+        let lower = class.to_ascii_lowercase();
+        let pnodes: Vec<dpapi::Pnode> = if lower == "obj" {
+            self.objects().map(|(p, _)| *p).collect()
+        } else {
+            self.find_by_type(&lower.to_ascii_uppercase())
+        };
+        let mut out = Vec::new();
+        for p in pnodes {
+            if let Some(obj) = self.object(p) {
+                for v in obj.versions.keys() {
+                    out.push(ObjectRef::new(p, Version(*v)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn attr(&self, node: ObjectRef, name: &str) -> Option<Value> {
+        match name.to_ascii_lowercase().as_str() {
+            "pnode" => return Some(Value::Int(node.pnode.number as i64)),
+            "version" => return Some(Value::Int(node.version.0 as i64)),
+            "volume" => return Some(Value::Int(node.pnode.volume.0 as i64)),
+            _ => {}
+        }
+        let attr = attr_for_name(name);
+        let obj = self.object(node.pnode)?;
+        // Prefer the value recorded at this exact version, then fall
+        // back to any version (names and types are usually recorded
+        // once, at version 0).
+        obj.attrs(node.version)
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, v)| v.clone())
+            .or_else(|| obj.first_attr(&attr).cloned())
+    }
+
+    fn out_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
+        self.inputs_of(node)
+            .into_iter()
+            .filter(|(a, _)| edge_matches(label, a))
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    fn in_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
+        self.outputs_of(node)
+            .into_iter()
+            .filter(|(a, _)| edge_matches(label, a))
+            .map(|(_, r)| r)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpapi::{Pnode, ProvenanceRecord, VolumeId};
+    use lasagna::LogEntry;
+
+    fn p(n: u64) -> Pnode {
+        Pnode::new(VolumeId(1), n)
+    }
+
+    fn r(n: u64, v: u32) -> ObjectRef {
+        ObjectRef::new(p(n), Version(v))
+    }
+
+    fn prov(subject: ObjectRef, attr: Attribute, value: Value) -> LogEntry {
+        LogEntry::Prov {
+            subject,
+            record: ProvenanceRecord::new(attr, value),
+        }
+    }
+
+    fn sample_db() -> ProvDb {
+        let mut db = ProvDb::new();
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Name, Value::str("/data/atlas-x.gif")),
+            prov(r(1, 0), Attribute::Type, Value::str("FILE")),
+            prov(r(2, 0), Attribute::Name, Value::str("softmean")),
+            prov(r(2, 0), Attribute::Type, Value::str("PROC")),
+            prov(r(3, 0), Attribute::Name, Value::str("/data/anatomy1.img")),
+            prov(r(3, 0), Attribute::Type, Value::str("FILE")),
+            prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
+            prov(r(2, 0), Attribute::Input, Value::Xref(r(3, 0))),
+            // A browser-style edge for label filtering.
+            prov(r(4, 0), Attribute::Type, Value::str("SESSION")),
+            prov(r(1, 0), Attribute::CurrentUrl, Value::Xref(r(4, 0))),
+        ]);
+        db
+    }
+
+    #[test]
+    fn paper_query_runs_against_the_database() {
+        let db = sample_db();
+        let rs = pql::query(
+            r#"select Ancestor
+               from Provenance.file as Atlas
+                    Atlas.input* as Ancestor
+               where Atlas.name = "/data/atlas-x.gif""#,
+            &db,
+        )
+        .unwrap();
+        let nodes = rs.nodes();
+        assert!(nodes.contains(&r(1, 0)));
+        assert!(nodes.contains(&r(2, 0)));
+        assert!(nodes.contains(&r(3, 0)));
+    }
+
+    #[test]
+    fn class_members_split_by_type() {
+        let db = sample_db();
+        assert_eq!(db.class_members("proc"), vec![r(2, 0)]);
+        assert_eq!(db.class_members("session"), vec![r(4, 0)]);
+        assert_eq!(db.class_members("file").len(), 2);
+        assert_eq!(db.class_members("obj").len(), 4);
+    }
+
+    #[test]
+    fn edge_label_filtering() {
+        let db = sample_db();
+        // current_url edges are not input edges.
+        assert_eq!(db.out_edges(r(1, 0), &EdgeLabel::Input), vec![r(2, 0)]);
+        assert_eq!(db.out_edges(r(1, 0), &EdgeLabel::CurrentUrl), vec![r(4, 0)]);
+        assert_eq!(db.out_edges(r(1, 0), &EdgeLabel::Any).len(), 2);
+    }
+
+    #[test]
+    fn pseudo_attributes() {
+        let db = sample_db();
+        assert_eq!(db.attr(r(3, 0), "pnode"), Some(Value::Int(3)));
+        assert_eq!(db.attr(r(3, 0), "version"), Some(Value::Int(0)));
+        assert_eq!(db.attr(r(3, 0), "volume"), Some(Value::Int(1)));
+        assert_eq!(db.attr(r(3, 0), "nonexistent"), None);
+    }
+
+    #[test]
+    fn descendant_query_via_inverse_edges() {
+        let db = sample_db();
+        let rs = pql::query(
+            "select D from Provenance.file as F F.input~+ as D \
+             where F.name = '/data/anatomy1.img'",
+            &db,
+        )
+        .unwrap();
+        let nodes = rs.nodes();
+        assert!(nodes.contains(&r(2, 0)), "proc descends from input");
+        assert!(nodes.contains(&r(1, 0)), "output descends transitively");
+    }
+}

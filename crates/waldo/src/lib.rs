@@ -1,0 +1,13 @@
+//! Waldo: the provenance database daemon.
+//!
+//! Waldo consumes the provenance logs Lasagna rotates, builds the
+//! indexed provenance database, and serves it to the query engine
+//! (PQL). It runs as an ordinary user-level process that the PASS
+//! module exempts from observation.
+
+pub mod daemon;
+pub mod graph;
+pub mod db;
+
+pub use daemon::Waldo;
+pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};

@@ -1,0 +1,147 @@
+//! Blast: the protein-sequence search workload.
+//!
+//! "The workload formats two input data files with a tool called
+//! formatdb, then processes the two files with Blast, and then
+//! massages the output data with a series of Perl scripts" (§7).
+//! Heavily CPU bound: elapsed time is dominated by compute, so both
+//! PASSv2 and PA-NFS overheads stay near 1–2%.
+
+use sim_os::fs::FsResult;
+use sim_os::proc::Pid;
+use sim_os::syscall::{Kernel, OpenFlags};
+
+use crate::{join, Workload};
+
+/// The Blast workload.
+pub struct Blast {
+    /// Size of each input sequence database.
+    pub input_bytes: usize,
+    /// Compute units for the main Blast search.
+    pub search_cpu: u64,
+    /// Number of Perl post-processing scripts.
+    pub perl_stages: usize,
+}
+
+impl Default for Blast {
+    fn default() -> Self {
+        Blast {
+            input_bytes: 4 * 1024 * 1024,
+            search_cpu: 48_000_000,
+            perl_stages: 3,
+        }
+    }
+}
+
+impl Workload for Blast {
+    fn name(&self) -> &'static str {
+        "Blast"
+    }
+
+    fn run(&self, kernel: &mut Kernel, driver: Pid, base: &str) -> FsResult<()> {
+        // Inputs: two species' protein sequences.
+        let setup = kernel.fork(driver)?;
+        kernel.execve(setup, "/bin/cp", &["cp".into()], &[])?;
+        kernel.mkdir_p(setup, &join(base, "blast"))?;
+        for (i, name) in ["speciesA.fasta", "speciesB.fasta"].iter().enumerate() {
+            let body: Vec<u8> = (0..self.input_bytes)
+                .map(|j| b"ACDEFGHIKLMNPQRSTVWY"[(j * (i + 3)) % 20])
+                .collect();
+            kernel.write_file(setup, &join(base, &format!("blast/{name}")), &body)?;
+        }
+        kernel.exit(setup);
+
+        // formatdb over both inputs.
+        for name in ["speciesA", "speciesB"] {
+            let fdb = kernel.fork(driver)?;
+            kernel.execve(fdb, "/usr/bin/formatdb", &["formatdb".into()], &[])?;
+            let src = join(base, &format!("blast/{name}.fasta"));
+            let fd = kernel.open(fdb, &src, OpenFlags::RDONLY)?;
+            let data = kernel.read(fdb, fd, self.input_bytes)?;
+            kernel.close(fdb, fd)?;
+            kernel.compute(self.search_cpu / 50);
+            kernel.write_file(fdb, &join(base, &format!("blast/{name}.phr")), &data[..1024])?;
+            kernel.exit(fdb);
+        }
+
+        // The Blast search itself.
+        let blast = kernel.fork(driver)?;
+        kernel.execve(
+            blast,
+            "/usr/bin/blastall",
+            &["blastall".into(), "-p".into(), "blastp".into()],
+            &[],
+        )?;
+        for name in ["speciesA", "speciesB"] {
+            let db = join(base, &format!("blast/{name}.phr"));
+            let fd = kernel.open(blast, &db, OpenFlags::RDONLY)?;
+            kernel.read(blast, fd, 1024)?;
+            kernel.close(blast, fd)?;
+        }
+        kernel.compute(self.search_cpu);
+        kernel.write_file(blast, &join(base, "blast/hits.raw"), &vec![b'>'; 512 * 1024])?;
+        kernel.exit(blast);
+
+        // Perl massaging pipeline.
+        let mut prev = join(base, "blast/hits.raw");
+        for s in 0..self.perl_stages {
+            let perl = kernel.fork(driver)?;
+            kernel.execve(
+                perl,
+                "/usr/bin/perl",
+                &["perl".into(), format!("stage{s}.pl")],
+                &[],
+            )?;
+            let size = kernel.stat(perl, &prev)?.size as usize;
+            let fd = kernel.open(perl, &prev, OpenFlags::RDONLY)?;
+            let data = kernel.read(perl, fd, size)?;
+            kernel.close(perl, fd)?;
+            kernel.compute(self.search_cpu / 100);
+            let out = join(base, &format!("blast/hits.stage{s}"));
+            kernel.write_file(perl, &out, &data[..data.len() / 2])?;
+            kernel.exit(perl);
+            prev = out;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed_run;
+
+    fn tiny() -> Blast {
+        Blast {
+            input_bytes: 8 * 1024,
+            search_cpu: 1_000_000,
+            perl_stages: 2,
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_staged_outputs() {
+        let mut sys = passv2::System::baseline();
+        let driver = sys.spawn("sh");
+        timed_run(&tiny(), &mut sys.kernel, driver, "/").unwrap();
+        assert!(sys.kernel.read_file(driver, "/blast/hits.stage1").is_ok());
+    }
+
+    #[test]
+    fn blast_is_cpu_dominated() {
+        // The compute term should dominate disk time by far.
+        let mut sys = passv2::System::baseline();
+        let driver = sys.spawn("sh");
+        let report = timed_run(&tiny(), &mut sys.kernel, driver, "/").unwrap();
+        let cpu_ns = 1_000_000u64 * sys.kernel.model().cpu.compute_unit_ns;
+        assert!(
+            report.elapsed_ns > cpu_ns,
+            "elapsed must include the search compute"
+        );
+        assert!(
+            report.elapsed_ns < cpu_ns * 3,
+            "I/O must not dominate a CPU-bound workload: {} vs {}",
+            report.elapsed_ns,
+            cpu_ns
+        );
+    }
+}

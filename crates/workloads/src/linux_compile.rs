@@ -1,0 +1,172 @@
+//! The Linux-compile workload: unpack and build a kernel tree.
+//!
+//! CPU intensive: each compilation unit forks a `cc` process that
+//! reads its source file plus a set of shared headers, burns CPU, and
+//! writes an object file; a final `ld` reads every object and writes
+//! the kernel image. The paper reports 15.6% PASSv2 overhead "due to
+//! provenance writes" — lots of processes, lots of dependencies, a
+//! medium amount of data.
+
+use sim_os::fs::FsResult;
+use sim_os::proc::Pid;
+use sim_os::syscall::{Kernel, OpenFlags};
+
+use crate::{join, Workload};
+
+/// The compile workload.
+pub struct LinuxCompile {
+    /// Number of compilation units ("`.c` files").
+    pub units: usize,
+    /// Number of shared headers.
+    pub headers: usize,
+    /// Source file size in bytes.
+    pub src_bytes: usize,
+    /// Object file size in bytes.
+    pub obj_bytes: usize,
+    /// Compute units burned per compilation.
+    pub cpu_per_unit: u64,
+}
+
+impl Default for LinuxCompile {
+    fn default() -> Self {
+        LinuxCompile {
+            units: 1500,
+            headers: 80,
+            src_bytes: 9 * 1024,
+            obj_bytes: 14 * 1024,
+            cpu_per_unit: 19_000,
+        }
+    }
+}
+
+impl LinuxCompile {
+    fn dir_of(&self, unit: usize) -> usize {
+        unit % 16
+    }
+}
+
+impl Workload for LinuxCompile {
+    fn name(&self) -> &'static str {
+        "Linux Compile"
+    }
+
+    fn run(&self, kernel: &mut Kernel, driver: Pid, base: &str) -> FsResult<()> {
+        // Phase 1: unpack the tree (tar-like: one process, many
+        // creates and writes).
+        let tar = kernel.fork(driver)?;
+        kernel.execve(tar, "/bin/tar", &["tar".into(), "xf".into()], &[])?;
+        kernel.mkdir_p(tar, &join(base, "src"))?;
+        kernel.mkdir_p(tar, &join(base, "include"))?;
+        kernel.mkdir_p(tar, &join(base, "obj"))?;
+        for d in 0..16 {
+            kernel.mkdir_p(tar, &join(base, &format!("src/d{d}")))?;
+            kernel.mkdir_p(tar, &join(base, &format!("obj/d{d}")))?;
+        }
+        for h in 0..self.headers {
+            let body = vec![b'h'; 2048];
+            kernel.write_file(tar, &join(base, &format!("include/h{h}.h")), &body)?;
+        }
+        for u in 0..self.units {
+            let body = vec![(u % 251) as u8; self.src_bytes];
+            let d = self.dir_of(u);
+            kernel.write_file(tar, &join(base, &format!("src/d{d}/f{u}.c")), &body)?;
+        }
+        kernel.exit(tar);
+
+        // Phase 2: compile each unit in its own process.
+        for u in 0..self.units {
+            let cc = kernel.fork(driver)?;
+            kernel.execve(
+                cc,
+                "/usr/bin/cc",
+                &[
+                    "cc".into(),
+                    "-O2".into(),
+                    "-Wall".into(),
+                    "-I./include".into(),
+                    "-c".into(),
+                    format!("f{u}.c"),
+                ],
+                &[
+                    "PATH=/usr/bin:/bin:/usr/local/bin".into(),
+                    "HOME=/root".into(),
+                    "ARCH=i386".into(),
+                    "KBUILD_VERBOSE=0".into(),
+                    "LANG=C".into(),
+                    "SHELL=/bin/sh".into(),
+                ],
+            )?;
+            let d = self.dir_of(u);
+            let src = join(base, &format!("src/d{d}/f{u}.c"));
+            let fd = kernel.open(cc, &src, OpenFlags::RDONLY)?;
+            kernel.read(cc, fd, self.src_bytes)?;
+            kernel.close(cc, fd)?;
+            // Each unit includes a subset of the shared headers.
+            for i in 0..12 {
+                let h = (u * 7 + i * 5) % self.headers;
+                let path = join(base, &format!("include/h{h}.h"));
+                let fd = kernel.open(cc, &path, OpenFlags::RDONLY)?;
+                kernel.read(cc, fd, 2048)?;
+                kernel.close(cc, fd)?;
+            }
+            kernel.compute(self.cpu_per_unit);
+            let obj = join(base, &format!("obj/d{d}/f{u}.o"));
+            let body = vec![(u % 253) as u8; self.obj_bytes];
+            kernel.write_file(cc, &obj, &body)?;
+            kernel.exit(cc);
+        }
+
+        // Phase 3: link.
+        let ld = kernel.fork(driver)?;
+        kernel.execve(ld, "/usr/bin/ld", &["ld".into(), "-o".into(), "vmlinux".into()], &[])?;
+        let mut image = Vec::new();
+        for u in 0..self.units {
+            let d = self.dir_of(u);
+            let obj = join(base, &format!("obj/d{d}/f{u}.o"));
+            let fd = kernel.open(ld, &obj, OpenFlags::RDONLY)?;
+            let data = kernel.read(ld, fd, self.obj_bytes)?;
+            kernel.close(ld, fd)?;
+            image.extend_from_slice(&data[..64.min(data.len())]);
+        }
+        kernel.compute(self.cpu_per_unit * 4);
+        kernel.write_file(ld, &join(base, "vmlinux"), &image)?;
+        kernel.exit(ld);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed_run;
+
+    #[test]
+    fn compile_produces_objects_and_image() {
+        let mut sys = passv2::System::baseline();
+        let driver = sys.spawn("make");
+        let wl = LinuxCompile {
+            units: 12,
+            headers: 6,
+            ..Default::default()
+        };
+        let report = timed_run(&wl, &mut sys.kernel, driver, "/").unwrap();
+        assert!(report.elapsed_ns > 0);
+        assert!(sys.kernel.read_file(driver, "/vmlinux").is_ok());
+        assert!(sys.kernel.read_file(driver, "/obj/d3/f3.o").is_ok());
+    }
+
+    #[test]
+    fn compile_under_pass_generates_provenance() {
+        let mut sys = passv2::System::single_volume();
+        let driver = sys.spawn("make");
+        let wl = LinuxCompile {
+            units: 8,
+            headers: 4,
+            ..Default::default()
+        };
+        timed_run(&wl, &mut sys.kernel, driver, "/").unwrap();
+        let s = sys.pass.analyzer_stats();
+        assert!(s.presented > 50, "many dependencies presented: {s:?}");
+        assert!(s.duplicates > 0, "block-wise reads produce duplicates");
+    }
+}

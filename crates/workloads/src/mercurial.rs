@@ -1,0 +1,159 @@
+//! The Mercurial activity benchmark: a developer applying patches.
+//!
+//! "We start with a vanilla Linux kernel and apply, as patches, each
+//! of the changes that we committed to our own Mercurial-managed
+//! source tree" (§7). `patch` is metadata heavy: it creates a
+//! temporary file, merges data from the patch file and the original
+//! into it, and finally renames the temporary over the original.
+//! Those renames force journal commits that interleave with
+//! provenance-log writes — the workload with the paper's highest
+//! PASSv2 overhead (23.1%).
+
+use sim_os::fs::FsResult;
+use sim_os::proc::Pid;
+use sim_os::syscall::{Kernel, OpenFlags};
+
+use crate::{join, Workload};
+
+/// The patch-application workload.
+pub struct MercurialActivity {
+    /// Files in the source tree.
+    pub tree_files: usize,
+    /// Number of patches applied.
+    pub patches: usize,
+    /// Files touched per patch.
+    pub files_per_patch: usize,
+    /// Base file size.
+    pub file_bytes: usize,
+    /// Compute units for the merge (patch is not CPU heavy).
+    pub cpu_per_file: u64,
+}
+
+impl Default for MercurialActivity {
+    fn default() -> Self {
+        MercurialActivity {
+            tree_files: 160,
+            patches: 120,
+            files_per_patch: 3,
+            file_bytes: 6 * 1024,
+            cpu_per_file: 4_000,
+        }
+    }
+}
+
+impl MercurialActivity {
+    fn tree_path(&self, base: &str, i: usize) -> String {
+        join(base, &format!("tree/d{}/f{}.c", i % 8, i))
+    }
+}
+
+impl Workload for MercurialActivity {
+    fn name(&self) -> &'static str {
+        "Mercurial Activity"
+    }
+
+    fn run(&self, kernel: &mut Kernel, driver: Pid, base: &str) -> FsResult<()> {
+        // Set up the vanilla tree and the patch series.
+        let setup = kernel.fork(driver)?;
+        kernel.execve(setup, "/usr/bin/hg", &["hg".into(), "clone".into()], &[])?;
+        for d in 0..8 {
+            kernel.mkdir_p(setup, &join(base, &format!("tree/d{d}")))?;
+        }
+        kernel.mkdir_p(setup, &join(base, "patches"))?;
+        for i in 0..self.tree_files {
+            let body = vec![(i % 7) as u8 + b'0'; self.file_bytes];
+            kernel.write_file(setup, &self.tree_path(base, i), &body)?;
+        }
+        for p in 0..self.patches {
+            let body = vec![b'@'; 1024];
+            kernel.write_file(setup, &join(base, &format!("patches/{p}.diff")), &body)?;
+        }
+        kernel.exit(setup);
+
+        // Apply each patch in its own `patch` process.
+        for p in 0..self.patches {
+            let patch = kernel.fork(driver)?;
+            kernel.execve(
+                patch,
+                "/usr/bin/patch",
+                &["patch".into(), "-p1".into()],
+                &[],
+            )?;
+            // Read the diff.
+            let diff_path = join(base, &format!("patches/{p}.diff"));
+            let fd = kernel.open(patch, &diff_path, OpenFlags::RDONLY)?;
+            kernel.read(patch, fd, 1024)?;
+            kernel.close(patch, fd)?;
+            for t in 0..self.files_per_patch {
+                let victim = (p * 13 + t * 31) % self.tree_files;
+                let target = self.tree_path(base, victim);
+                // Read the original.
+                let size = kernel.stat(patch, &target)?.size as usize;
+                let fd = kernel.open(patch, &target, OpenFlags::RDONLY)?;
+                let mut data = kernel.read(patch, fd, size)?;
+                kernel.close(patch, fd)?;
+                // Merge into a temporary file.
+                kernel.compute(self.cpu_per_file);
+                data.extend_from_slice(format!("\n// patch {p}\n").as_bytes());
+                let tmp = join(base, &format!("tree/d{}/.tmp{}", victim % 8, victim));
+                let fd = kernel.open(patch, &tmp, OpenFlags::WRONLY_CREATE)?;
+                kernel.write(patch, fd, &data)?;
+                kernel.close(patch, fd)?;
+                // Rename the temporary over the original.
+                kernel.rename(patch, &tmp, &target)?;
+            }
+            kernel.exit(patch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed_run;
+
+    fn tiny() -> MercurialActivity {
+        MercurialActivity {
+            tree_files: 12,
+            patches: 6,
+            files_per_patch: 2,
+            file_bytes: 2048,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn patches_grow_the_touched_files() {
+        let mut sys = passv2::System::baseline();
+        let driver = sys.spawn("sh");
+        timed_run(&tiny(), &mut sys.kernel, driver, "/").unwrap();
+        // File 0 was patched at least once (p=0,t=0 hits victim 0).
+        let f = sys.kernel.read_file(driver, "/tree/d0/f0.c").unwrap();
+        assert!(f.len() > 2048, "patched file must have grown");
+        let text = String::from_utf8_lossy(&f);
+        assert!(text.contains("// patch 0"));
+    }
+
+    #[test]
+    fn temporaries_are_gone_after_run() {
+        let mut sys = passv2::System::baseline();
+        let driver = sys.spawn("sh");
+        timed_run(&tiny(), &mut sys.kernel, driver, "/").unwrap();
+        for d in 0..8 {
+            let entries = sys.kernel.readdir(driver, &format!("/tree/d{d}")).unwrap();
+            assert!(
+                entries.iter().all(|e| !e.name.starts_with(".tmp")),
+                "leftover temporary in d{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn provenance_follows_the_renamed_file() {
+        let mut sys = passv2::System::single_volume();
+        let driver = sys.spawn("sh");
+        timed_run(&tiny(), &mut sys.kernel, driver, "/").unwrap();
+        assert!(sys.pass.stats().records_emitted > 0);
+    }
+}

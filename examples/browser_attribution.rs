@@ -1,0 +1,102 @@
+//! The attribution use case (paper §3.2): a professor downloaded
+//! graphs and quotes from the Web, moved them into her presentation
+//! directory, and some are no longer online. The browser's history is
+//! gone — but the layered provenance still connects each file to its
+//! source URL.
+//!
+//! ```text
+//! cargo run --example browser_attribution
+//! ```
+
+use links::{demo_web, Session};
+use passv2::System;
+
+fn main() {
+    let mut sys = System::single_volume();
+    let pid = sys.spawn("links");
+    sys.kernel.mkdir_p(pid, "/home/downloads").unwrap();
+    sys.kernel.mkdir_p(pid, "/home/presentation").unwrap();
+
+    let mut web = demo_web();
+
+    // The professor browses and downloads a graph and a quote.
+    let mut session = Session::open(&mut sys.kernel, pid).unwrap();
+    session
+        .visit(&mut sys.kernel, &web, "http://uni.example/")
+        .unwrap();
+    session
+        .download(
+            &mut sys.kernel,
+            &web,
+            "http://uni.example/graphs/speedup.gif",
+            "/home/downloads/speedup.gif",
+        )
+        .unwrap();
+    session
+        .download(
+            &mut sys.kernel,
+            &web,
+            "http://uni.example/quotes/knuth.txt",
+            "/home/downloads/quote.txt",
+        )
+        .unwrap();
+
+    // She copies one file and renames the other into the talk
+    // directory. A browser cache would lose track of both.
+    sys.kernel
+        .rename(
+            pid,
+            "/home/downloads/speedup.gif",
+            "/home/presentation/figure-3.gif",
+        )
+        .unwrap();
+    let quote = sys.kernel.read_file(pid, "/home/downloads/quote.txt").unwrap();
+    sys.kernel
+        .write_file(pid, "/home/presentation/epigraph.txt", &quote)
+        .unwrap();
+
+    // The quote page later disappears from the web entirely.
+    web.take_down("http://uni.example/quotes/knuth.txt");
+
+    // Waldo ingests everything.
+    let waldo_pid = sys.kernel.spawn_init("waldo");
+    sys.pass.exempt(waldo_pid);
+    let mut waldo = waldo::Waldo::new(waldo_pid);
+    for (_, logs) in sys.rotate_all_logs() {
+        for log in logs {
+            waldo.ingest_log_file(&mut sys.kernel, &log);
+        }
+    }
+
+    // Attribution query 1: the renamed file keeps its FILE_URL.
+    let figs = waldo.db.find_by_name("/home/presentation/figure-3.gif");
+    assert_eq!(figs.len(), 1, "renamed download must be findable");
+    let url = waldo
+        .db
+        .object(figs[0])
+        .and_then(|o| o.first_attr(&dpapi::Attribute::FileUrl))
+        .expect("FILE_URL survives the rename");
+    println!("figure-3.gif was downloaded from {url}");
+
+    // Attribution query 2: the copied file's ancestry reaches the
+    // original download, whose FILE_URL names the (now offline) page.
+    let copies = waldo.db.find_by_name("/home/presentation/epigraph.txt");
+    assert_eq!(copies.len(), 1);
+    let obj = waldo.db.object(copies[0]).unwrap();
+    let v = dpapi::Version(obj.current);
+    let ancestry = waldo.db.ancestors(dpapi::ObjectRef::new(copies[0], v));
+    let source_url = ancestry.iter().find_map(|a| {
+        waldo
+            .db
+            .object(a.pnode)
+            .and_then(|o| o.first_attr(&dpapi::Attribute::FileUrl))
+            .cloned()
+    });
+    let source_url = source_url.expect("the copy's ancestry reaches the download");
+    println!("epigraph.txt ultimately came from {source_url}");
+    assert_eq!(
+        source_url,
+        dpapi::Value::str("http://uni.example/quotes/knuth.txt")
+    );
+    println!("attribution recovered for both files — even the offline one");
+}

@@ -1,0 +1,19 @@
+//! Layered provenance: a reproduction of PASSv2 (*Layering in
+//! Provenance Systems*, USENIX ATC 2009).
+//!
+//! This meta-crate re-exports every subsystem of the workspace so that
+//! examples and integration tests can reach the whole stack through a
+//! single dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub use dpapi;
+pub use kepler;
+pub use lasagna;
+pub use links;
+pub use pa_nfs;
+pub use pa_python;
+pub use passv2;
+pub use pql;
+pub use sim_os;
+pub use waldo;
+pub use workloads;

@@ -1,0 +1,153 @@
+//! End-to-end write-ahead-provenance recovery: run real activity
+//! through the full stack, simulate a crash, and verify that recovery
+//! identifies exactly the data whose provenance is inconsistent.
+
+use dpapi::VolumeId;
+use lasagna::{recover, InconsistencyReason, Lasagna, LasagnaConfig, PASS_DIR};
+use sim_os::clock::Clock;
+use sim_os::cost::CostModel;
+use sim_os::fs::basefs::BaseFs;
+use sim_os::fs::FileSystem;
+
+fn volume() -> Lasagna {
+    let clock = Clock::new();
+    let model = CostModel::default();
+    Lasagna::new(
+        Box::new(BaseFs::new(clock.clone(), model)),
+        clock,
+        model,
+        LasagnaConfig::new(VolumeId(1)),
+    )
+    .unwrap()
+}
+
+fn collect_logs(v: &mut Lasagna) -> Vec<Vec<u8>> {
+    use sim_os::fs::DpapiVolume;
+    v.force_log_rotation();
+    let lower = v.lower_mut();
+    let root = lower.root();
+    let dir = lower.lookup(root, PASS_DIR).unwrap();
+    let mut images = Vec::new();
+    for e in lower.readdir(dir).unwrap() {
+        let size = lower.getattr(e.ino).unwrap().size as usize;
+        if size > 0 {
+            images.push(lower.read(e.ino, 0, size).unwrap());
+        }
+    }
+    images
+}
+
+#[test]
+fn clean_volume_verifies_completely() {
+    use dpapi::{Bundle, Dpapi};
+    use sim_os::fs::DpapiVolume;
+    let mut v = volume();
+    let root = v.root();
+    for i in 0..20 {
+        let ino = v.create(root, &format!("f{i}")).unwrap();
+        let h = v.handle_for_ino(ino).unwrap();
+        v.pass_write(h, 0, format!("contents {i}").as_bytes(), Bundle::new())
+            .unwrap();
+    }
+    let logs = collect_logs(&mut v);
+    let report = recover(v.lower_mut(), &logs);
+    assert_eq!(report.verified_writes, 20);
+    assert!(report.inconsistent.is_empty());
+    assert_eq!(report.truncated_logs, 0);
+    assert_eq!(report.corrupt_logs, 0);
+}
+
+#[test]
+fn torn_data_write_is_pinpointed() {
+    use dpapi::{Bundle, Dpapi};
+    use sim_os::fs::DpapiVolume;
+    let mut v = volume();
+    let root = v.root();
+    let mut inos = Vec::new();
+    for i in 0..5 {
+        let ino = v.create(root, &format!("f{i}")).unwrap();
+        let h = v.handle_for_ino(ino).unwrap();
+        v.pass_write(h, 0, b"stable data", Bundle::new()).unwrap();
+        inos.push(ino);
+    }
+    let logs = collect_logs(&mut v);
+
+    // The crash tears file f2's data (half-written).
+    let lower = v.lower_mut();
+    lower.write(inos[2], 0, b"TORN").unwrap();
+
+    let report = recover(lower, &logs);
+    assert_eq!(report.verified_writes, 4);
+    assert_eq!(report.inconsistent.len(), 1);
+    assert_eq!(
+        report.inconsistent[0].reason,
+        InconsistencyReason::DigestMismatch
+    );
+}
+
+#[test]
+fn truncated_log_still_recovers_earlier_writes() {
+    use dpapi::{Bundle, Dpapi};
+    use sim_os::fs::DpapiVolume;
+    let mut v = volume();
+    let root = v.root();
+    for i in 0..10 {
+        let ino = v.create(root, &format!("g{i}")).unwrap();
+        let h = v.handle_for_ino(ino).unwrap();
+        v.pass_write(h, 0, b"payload bytes", Bundle::new()).unwrap();
+    }
+    let mut logs = collect_logs(&mut v);
+    // Crash mid-append: chop the final log's tail.
+    if let Some(last) = logs.last_mut() {
+        let n = last.len();
+        last.truncate(n - 7);
+    }
+    let report = recover(v.lower_mut(), &logs);
+    assert_eq!(report.truncated_logs, 1);
+    assert!(
+        report.verified_writes >= 8,
+        "most writes verified: {}",
+        report.verified_writes
+    );
+    // The allocator can resume safely past every seen pnode.
+    assert!(report.max_pnode >= 10);
+}
+
+#[test]
+fn full_system_crash_recovery_via_kernel() {
+    // Run activity through the kernel + module, then recover from the
+    // on-disk logs alone.
+    let mut sys = passv2::System::single_volume();
+    let pid = sys.spawn("worker");
+    sys.kernel.write_file(pid, "/a", b"alpha").unwrap();
+    let data = sys.kernel.read_file(pid, "/a").unwrap();
+    sys.kernel.write_file(pid, "/b", &data).unwrap();
+    sys.kernel.exit(pid);
+
+    // Read the raw logs through an exempt process.
+    let reader = sys.kernel.spawn_init("reader");
+    sys.pass.exempt(reader);
+    let mut logs = Vec::new();
+    for (_, rotated) in sys.rotate_all_logs() {
+        for path in rotated {
+            logs.push(sys.kernel.read_file(reader, &path).unwrap());
+        }
+    }
+    assert!(!logs.is_empty());
+    // Recovery over a replica: rebuild just the file contents.
+    let clock = Clock::new();
+    let model = CostModel::default();
+    let mut replica = BaseFs::new(clock, model);
+    let _root = replica.root();
+    // INO numbers from the live system: a=/a, b=/b were inos 2 and 3
+    // in creation order on a fresh volume (1 is the .pass dir, then
+    // log.0, then the files) — instead of guessing, recreate with the
+    // same sequence the volume used: .pass dir (ino X) etc. We simply
+    // verify structural results (entries parsed, pnodes seen).
+    let report = recover(&mut replica, &logs);
+    assert!(report.entries_scanned > 0);
+    assert!(report.max_pnode >= 2, "both files got pnodes");
+    // On the replica the data is missing, so data writes flag as
+    // UnknownFile/MissingData — recovery never silently passes.
+    assert!(!report.inconsistent.is_empty());
+}
