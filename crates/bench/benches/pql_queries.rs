@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
 use lasagna::LogEntry;
 use std::hint::black_box;
-use waldo::ProvDb;
+use waldo::{ProvDb, WaldoConfig};
 
 fn r(n: u64) -> ObjectRef {
     ObjectRef::new(Pnode::new(VolumeId(1), n), Version(0))
@@ -19,11 +19,15 @@ fn prov(subject: ObjectRef, attr: Attribute, value: Value) -> LogEntry {
 
 /// A layered build graph: `files` source files feeding processes
 /// feeding outputs, chained in generations.
-fn build_db(files: u64) -> ProvDb {
+fn build_entries(files: u64) -> Vec<LogEntry> {
     let mut entries = Vec::new();
     for i in 0..files {
         entries.push(prov(r(i), Attribute::Type, Value::str("FILE")));
-        entries.push(prov(r(i), Attribute::Name, Value::str(format!("/src/f{i}.c"))));
+        entries.push(prov(
+            r(i),
+            Attribute::Name,
+            Value::str(format!("/src/f{i}.c")),
+        ));
     }
     for p in 0..files {
         let proc_id = files + p;
@@ -36,7 +40,11 @@ fn build_db(files: u64) -> ProvDb {
         ));
         let out = 2 * files + p;
         entries.push(prov(r(out), Attribute::Type, Value::str("FILE")));
-        entries.push(prov(r(out), Attribute::Name, Value::str(format!("/obj/f{p}.o"))));
+        entries.push(prov(
+            r(out),
+            Attribute::Name,
+            Value::str(format!("/obj/f{p}.o")),
+        ));
         entries.push(prov(r(out), Attribute::Input, Value::Xref(r(proc_id))));
     }
     // A final link step depending on every object file.
@@ -49,8 +57,17 @@ fn build_db(files: u64) -> ProvDb {
     entries.push(prov(r(image), Attribute::Type, Value::str("FILE")));
     entries.push(prov(r(image), Attribute::Name, Value::str("/vmlinux")));
     entries.push(prov(r(image), Attribute::Input, Value::Xref(r(ld))));
-    let mut db = ProvDb::new();
-    db.ingest(&entries);
+    entries
+}
+
+/// Cache disabled: the `pql/*` benchmarks measure raw traversal cost.
+fn build_db(files: u64) -> ProvDb {
+    let mut db = ProvDb::with_config(WaldoConfig {
+        shards: 8,
+        ingest_batch: 64,
+        ancestry_cache: 0,
+    });
+    db.ingest(&build_entries(files));
     db
 }
 
@@ -73,14 +90,46 @@ fn bench_queries(c: &mut Criterion) {
                 });
             },
         );
+        group.bench_with_input(BenchmarkId::new("name_filter_only", files), &db, |b, db| {
+            b.iter(|| {
+                let rs = pql::query(
+                    "select F.name from Provenance.file as F \
+                         where F.name like '/obj/*'",
+                    db,
+                )
+                .unwrap();
+                black_box(rs.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("count_aggregate", files), &db, |b, db| {
+            b.iter(|| {
+                let rs = pql::query(
+                    "select count(A) from Provenance.file as F F.input+ as A \
+                         where F.name = '/vmlinux'",
+                    db,
+                )
+                .unwrap();
+                black_box(rs.rows[0][0].clone())
+            });
+        });
+    }
+    group.finish();
+
+    // The same ancestry closure with the store's query caches on:
+    // after the first run, edge expansions are answered from the
+    // generation-validated LRU, so repeats measure the cached path.
+    let mut group = c.benchmark_group("pql_cached");
+    for files in [100u64, 400] {
+        let mut cached = ProvDb::new();
+        cached.ingest(&build_entries(files));
         group.bench_with_input(
-            BenchmarkId::new("name_filter_only", files),
-            &db,
+            BenchmarkId::new("full_ancestry_closure", files),
+            &cached,
             |b, db| {
                 b.iter(|| {
                     let rs = pql::query(
-                        "select F.name from Provenance.file as F \
-                         where F.name like '/obj/*'",
+                        "select A from Provenance.file as F F.input* as A \
+                         where F.name = '/vmlinux'",
                         db,
                     )
                     .unwrap();
@@ -88,20 +137,9 @@ fn bench_queries(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("count_aggregate", files),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    let rs = pql::query(
-                        "select count(A) from Provenance.file as F F.input+ as A \
-                         where F.name = '/vmlinux'",
-                        db,
-                    )
-                    .unwrap();
-                    black_box(rs.rows[0][0].clone())
-                });
-            },
+        println!(
+            "pql_cached/closure_cache_stats/{files}: {:?}",
+            cached.closure_cache_stats()
         );
     }
     group.finish();

@@ -1,11 +1,17 @@
 //! Waldo ingest throughput: log entries per second into the indexed
 //! database.
+//!
+//! The `strategy/*` benchmarks compare the two daemon ingestion
+//! strategies end to end over the same 8000-entry stream:
+//! `record_at_a_time` commits after every entry (the original
+//! engine), `batch_64` group-commits every 64 entries through the
+//! sharded store. EXPERIMENTS.md records the measured ratio.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
 use lasagna::LogEntry;
 use std::hint::black_box;
-use waldo::ProvDb;
+use waldo::{ProvDb, WaldoConfig};
 
 fn entries(n: u64) -> Vec<LogEntry> {
     let r = |i: u64| ObjectRef::new(Pnode::new(VolumeId(1), i), Version(0));
@@ -61,7 +67,109 @@ fn bench_ingest(c: &mut Criterion) {
         });
     });
     group.finish();
+
+    // The daemon's ingestion strategies over the same stream: entries
+    // arrive owned (as from `parse_log`), are staged, and commit
+    // either after every record or per group. Cloning the stream is
+    // setup, excluded from the measurement.
+    let mut group = c.benchmark_group("strategy");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("record_at_a_time", |b| {
+        b.iter_batched(
+            || batch.clone(),
+            |owned| {
+                let mut db = ProvDb::with_config(WaldoConfig::record_at_a_time());
+                let mut stats = waldo::IngestStats::default();
+                db.begin_stream();
+                for e in owned {
+                    db.stage(e, None);
+                    db.commit_staged(&mut stats);
+                }
+                black_box(stats.applied)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    for batch_size in [16usize, 64, 256] {
+        group.bench_function(format!("batch_{batch_size}"), |b| {
+            b.iter_batched(
+                || batch.clone(),
+                |owned| {
+                    let mut db = ProvDb::with_config(WaldoConfig {
+                        shards: 8,
+                        ingest_batch: batch_size,
+                        ancestry_cache: 0,
+                    });
+                    let mut stats = waldo::IngestStats::default();
+                    db.begin_stream();
+                    for e in owned {
+                        db.stage(e, None);
+                        if db.staged_len() >= batch_size {
+                            db.commit_staged(&mut stats);
+                        }
+                    }
+                    db.commit_staged(&mut stats);
+                    black_box(stats.applied)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
 }
 
-criterion_group!(benches, bench_ingest);
+/// The full daemon loop with durability: entries come from a log file
+/// on the simulated disk, and every group commit appends its frame to
+/// the database WAL and fsyncs through the kernel. This is where
+/// group commit earns its keep: record-at-a-time pays one
+/// write+fsync per record.
+fn bench_daemon(c: &mut Criterion) {
+    use passv2::System;
+
+    let stream = entries(500);
+    let mut encoded = bytes::BytesMut::new();
+    for e in &stream {
+        lasagna::encode_entry(&mut encoded, e);
+    }
+    let log_bytes = encoded.to_vec();
+
+    let mut group = c.benchmark_group("daemon");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (label, cfg) in [
+        ("record_at_a_time", WaldoConfig::record_at_a_time()),
+        (
+            "batch_64",
+            WaldoConfig {
+                shards: 8,
+                ingest_batch: 64,
+                ancestry_cache: 0,
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    // A plain machine holding the pre-encoded log.
+                    let mut sys = System::baseline();
+                    let pid = sys.spawn("logger");
+                    sys.kernel
+                        .write_file(pid, "/waldo-input.log", &log_bytes)
+                        .unwrap();
+                    sys
+                },
+                |mut sys| {
+                    let waldo_pid = sys.kernel.spawn_init("waldo");
+                    let mut w = waldo::Waldo::with_config(waldo_pid, cfg);
+                    w.attach_db_device(&mut sys.kernel, "/waldo.db").unwrap();
+                    let stats = w.ingest_log_file(&mut sys.kernel, "/waldo-input.log");
+                    black_box((stats.applied, w.db.object_count()))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_daemon);
 criterion_main!(benches);

@@ -54,7 +54,8 @@ fn pa_links_types() -> BTreeSet<String> {
     sys.kernel.mkdir_p(pid, "/home").unwrap();
     let web = demo_web();
     let mut s = Session::open(&mut sys.kernel, pid).unwrap();
-    s.visit(&mut sys.kernel, &web, "http://uni.example/").unwrap();
+    s.visit(&mut sys.kernel, &web, "http://uni.example/")
+        .unwrap();
     s.download(
         &mut sys.kernel,
         &web,
@@ -186,11 +187,7 @@ fn print_section(app: &str, types: &BTreeSet<String>, expected: &[&str]) {
 
 fn main() {
     println!("Table 1: Provenance records collected by each PA application\n");
-    print_section(
-        "PA-NFS",
-        &pa_nfs_types(),
-        &["BEGINTXN", "ENDTXN", "FREEZE"],
-    );
+    print_section("PA-NFS", &pa_nfs_types(), &["BEGINTXN", "ENDTXN", "FREEZE"]);
     print_section(
         "PA-Kepler",
         &pa_kepler_types(),
@@ -201,9 +198,5 @@ fn main() {
         &pa_links_types(),
         &["TYPE", "VISITED_URL", "FILE_URL", "CURRENT_URL", "INPUT"],
     );
-    print_section(
-        "PA-Python",
-        &pa_python_types(),
-        &["TYPE", "NAME", "INPUT"],
-    );
+    print_section("PA-Python", &pa_python_types(), &["TYPE", "NAME", "INPUT"]);
 }

@@ -21,7 +21,7 @@ use sim_os::clock::{Clock, NANOS_PER_SEC};
 use sim_os::cost::CostModel;
 use sim_os::proc::Pid;
 use sim_os::syscall::Kernel;
-use waldo::ProvDb;
+use waldo::{ProvDb, WaldoConfig};
 use workloads::{timed_run, Workload};
 
 /// The four evaluated configurations.
@@ -64,10 +64,19 @@ pub struct Machine {
     pub server: Option<Rc<RefCell<NfsServer>>>,
     /// The driver process.
     pub driver: Pid,
+    /// Storage tuning for the Waldo ingest that sizes the database.
+    pub waldo_cfg: WaldoConfig,
 }
 
-/// Builds a machine for `cfg`.
+/// Builds a machine for `cfg` with default Waldo storage tuning.
 pub fn build(cfg: Config) -> Machine {
+    build_with(cfg, WaldoConfig::default())
+}
+
+/// Builds a machine for `cfg`, threading explicit Waldo storage
+/// tuning through the system so experiments can compare the batched
+/// engine against the record-at-a-time original.
+pub fn build_with(cfg: Config, waldo_cfg: WaldoConfig) -> Machine {
     let model = CostModel::default();
     match cfg {
         Config::Ext3 => {
@@ -81,11 +90,13 @@ pub fn build(cfg: Config) -> Machine {
                 pass: None,
                 server: None,
                 driver,
+                waldo_cfg,
             }
         }
         Config::PassV2 => {
             let mut sys: System = SystemBuilder::new(model)
                 .pass_volume("/", VolumeId(1))
+                .waldo_config(waldo_cfg)
                 .build();
             let driver = sys.spawn("driver");
             Machine {
@@ -93,6 +104,7 @@ pub fn build(cfg: Config) -> Machine {
                 pass: Some(sys.pass),
                 server: None,
                 driver,
+                waldo_cfg,
             }
         }
         Config::Nfs | Config::PaNfs => {
@@ -118,6 +130,7 @@ pub fn build(cfg: Config) -> Machine {
                 pass,
                 server: Some(server),
                 driver,
+                waldo_cfg,
             }
         }
     }
@@ -139,7 +152,12 @@ pub struct Measurement {
 
 /// Runs `workload` on a fresh machine for `cfg` and measures it.
 pub fn measure(cfg: Config, workload: &dyn Workload) -> Measurement {
-    let mut m = build(cfg);
+    measure_with(cfg, workload, WaldoConfig::default())
+}
+
+/// Like [`measure`], with explicit Waldo storage tuning.
+pub fn measure_with(cfg: Config, workload: &dyn Workload, waldo_cfg: WaldoConfig) -> Measurement {
+    let mut m = build_with(cfg, waldo_cfg);
     let report = timed_run(workload, &mut m.kernel, m.driver, "/").expect("workload run");
     let data_bytes = m.kernel.stats().bytes_written;
 
@@ -149,7 +167,7 @@ pub fn measure(cfg: Config, workload: &dyn Workload) -> Measurement {
         if let Some(p) = &m.pass {
             p.exempt(waldo_pid);
         }
-        let mut w = waldo::Waldo::new(waldo_pid);
+        let mut w = waldo::Waldo::with_config(waldo_pid, m.waldo_cfg);
         if let Some(d) = m.kernel.dpapi_at(sim_os::proc::MountId(0)) {
             d.force_log_rotation();
         }
@@ -157,7 +175,7 @@ pub fn measure(cfg: Config, workload: &dyn Workload) -> Measurement {
         let s = w.db.size();
         (s.db_bytes, s.index_bytes)
     } else if cfg == Config::PaNfs {
-        let mut db = ProvDb::new();
+        let mut db = ProvDb::with_config(m.waldo_cfg);
         if let Some(server) = &m.server {
             for image in server.borrow_mut().drain_provenance_logs() {
                 let (entries, _) = parse_log(&image);

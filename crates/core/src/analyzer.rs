@@ -115,12 +115,8 @@ impl CycleAvoidance {
         let source_version = self.version(source);
         // Freeze first: writing to an observed (or self) object opens
         // a new version with a fresh dedup interval.
-        let must_freeze = target == source
-            || self
-                .nodes
-                .get(&target)
-                .map(|t| t.observed)
-                .unwrap_or(false);
+        let must_freeze =
+            target == source || self.nodes.get(&target).map(|t| t.observed).unwrap_or(false);
         let frozen = if must_freeze {
             let t = self.nodes.entry(target).or_default();
             t.version += 1;
@@ -305,12 +301,7 @@ impl GlobalGraph {
                 duplicate: true,
             };
         }
-        if self
-            .edges
-            .get(&t)
-            .map(|e| e.contains(&s))
-            .unwrap_or(false)
-        {
+        if self.edges.get(&t).map(|e| e.contains(&s)).unwrap_or(false) {
             return V1Outcome {
                 merged: false,
                 duplicate: true,

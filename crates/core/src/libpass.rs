@@ -6,8 +6,9 @@
 //! process and forwards each call to the observer's disclosed
 //! provenance entry points.
 
-use dpapi::{Bundle, Dpapi, Handle, Pnode, ProvenanceRecord, ReadResult, Version, VolumeId,
-    WriteResult};
+use dpapi::{
+    Bundle, Dpapi, Handle, Pnode, ProvenanceRecord, ReadResult, Version, VolumeId, WriteResult,
+};
 use sim_os::proc::{Fd, Pid};
 use sim_os::syscall::Kernel;
 
@@ -38,9 +39,7 @@ impl<'k> LibPass<'k> {
     /// it (the "replace `write` with `pass_write`" guideline of
     /// §6.5).
     pub fn handle_for_fd(&mut self, fd: Fd) -> dpapi::Result<Handle> {
-        self.kernel
-            .pass_handle_for_fd(self.pid, fd)
-            .map_err(fs_err)
+        self.kernel.pass_handle_for_fd(self.pid, fd).map_err(fs_err)
     }
 
     /// Convenience: disclose records about one object.

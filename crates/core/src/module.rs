@@ -172,11 +172,7 @@ impl Inner {
         let fresh = !self.nodes.contains_key(&ObjKey::Proc(pid));
         let n = self.node_for_key(ObjKey::Proc(pid));
         if fresh {
-            self.cache_record(
-                n,
-                Attribute::Type,
-                CachedValue::Plain(Value::str("PROC")),
-            );
+            self.cache_record(n, Attribute::Type, CachedValue::Plain(Value::str("PROC")));
         }
         n
     }
@@ -185,11 +181,7 @@ impl Inner {
         let fresh = !self.nodes.contains_key(&ObjKey::Pipe(id));
         let n = self.node_for_key(ObjKey::Pipe(id));
         if fresh {
-            self.cache_record(
-                n,
-                Attribute::Type,
-                CachedValue::Plain(Value::str("PIPE")),
-            );
+            self.cache_record(n, Attribute::Type, CachedValue::Plain(Value::str("PIPE")));
         }
         n
     }
@@ -242,12 +234,7 @@ impl Inner {
     /// returned in a bundle to ride the triggering `pass_write`;
     /// records homed elsewhere are disclosed to their own volume
     /// immediately.
-    fn flush_nodes(
-        &mut self,
-        ctx: &mut HookCtx<'_>,
-        roots: &[NodeId],
-        target: VolumeId,
-    ) -> Bundle {
+    fn flush_nodes(&mut self, ctx: &mut HookCtx<'_>, roots: &[NodeId], target: VolumeId) -> Bundle {
         // Phase 0: closure over cached references.
         let mut closure: Vec<NodeId> = Vec::new();
         let mut seen: HashSet<NodeId> = HashSet::new();
@@ -424,7 +411,10 @@ impl Inner {
                 Ok(WriteResult {
                     written: n,
                     identity: ObjectRef::new(
-                        self.info.get(&file_node).and_then(|i| i.pnode).unwrap_or(Pnode::NULL),
+                        self.info
+                            .get(&file_node)
+                            .and_then(|i| i.pnode)
+                            .unwrap_or(Pnode::NULL),
                         Version(self.analyzer.version(file_node)),
                     ),
                 })
@@ -461,7 +451,10 @@ impl Inner {
             Ok(ReadResult {
                 data,
                 identity: ObjectRef::new(
-                    self.info.get(&file_node).and_then(|i| i.pnode).unwrap_or(Pnode::NULL),
+                    self.info
+                        .get(&file_node)
+                        .and_then(|i| i.pnode)
+                        .unwrap_or(Pnode::NULL),
                     Version(self.analyzer.version(file_node)),
                 ),
             })
@@ -778,9 +771,7 @@ impl ProvenanceKernel for Pass {
                 .map_err(|e| DpapiError::Io(e.to_string()));
         }
         // App object: no data, identity only.
-        let identity = inner
-            .identity(node)
-            .ok_or(DpapiError::InvalidHandle)?;
+        let identity = inner.identity(node).ok_or(DpapiError::InvalidHandle)?;
         Ok(ReadResult {
             data: Vec::new(),
             identity,
@@ -809,8 +800,7 @@ impl ProvenanceKernel for Pass {
             if !described.contains(&n) {
                 described.push(n);
             }
-            let keep = if let (true, Some(r)) = (rec.attribute.is_ancestry(), rec.value.as_xref())
-            {
+            let keep = if let (true, Some(r)) = (rec.attribute.is_ancestry(), rec.value.as_xref()) {
                 match inner.pnode_to_node.get(&r.pnode).copied() {
                     Some(src) => {
                         let out = inner.analyzer.add_dependency(n, src);
@@ -822,7 +812,11 @@ impl ProvenanceKernel for Pass {
                 true
             };
             if keep {
-                inner.cache_record(n, rec.attribute.clone(), CachedValue::Plain(rec.value.clone()));
+                inner.cache_record(
+                    n,
+                    rec.attribute.clone(),
+                    CachedValue::Plain(rec.value.clone()),
+                );
             }
         }
 
@@ -935,4 +929,3 @@ impl ProvenanceKernel for Pass {
         Ok(inner.new_uhandle(node))
     }
 }
-

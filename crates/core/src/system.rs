@@ -4,7 +4,9 @@
 //! libpass (user level), the interceptor and observer (the installed
 //! [`Pass`] module), the analyzer and distributor (inside the
 //! module), Lasagna (mounted volumes) and Waldo (driven externally by
-//! the `waldo` crate via log-rotation polling).
+//! the `waldo` crate via log-rotation polling; the storage engine's
+//! tuning — shard count, ingest batch, ancestry cache — threads
+//! through [`SystemBuilder::waldo_config`]).
 
 use std::rc::Rc;
 
@@ -15,6 +17,7 @@ use sim_os::cost::CostModel;
 use sim_os::fs::basefs::{BaseFs, BaseFsConfig};
 use sim_os::proc::{MountId, Pid};
 use sim_os::syscall::Kernel;
+use waldo::{Waldo, WaldoConfig};
 
 use crate::module::Pass;
 
@@ -26,6 +29,8 @@ pub struct System {
     pub pass: Rc<Pass>,
     /// Mounted PASS volumes: (mount point, mount id, volume id).
     pub volumes: Vec<(String, MountId, VolumeId)>,
+    /// Storage-engine tuning for Waldo daemons this system spawns.
+    pub waldo_cfg: WaldoConfig,
 }
 
 /// Builder for [`System`].
@@ -35,6 +40,7 @@ pub struct SystemBuilder {
     base_cfg: BaseFsConfig,
     mounts: Vec<(String, Option<VolumeId>)>,
     provenance_enabled: bool,
+    waldo_cfg: WaldoConfig,
 }
 
 impl SystemBuilder {
@@ -46,12 +52,20 @@ impl SystemBuilder {
             base_cfg: BaseFsConfig::default(),
             mounts: Vec::new(),
             provenance_enabled: true,
+            waldo_cfg: WaldoConfig::default(),
         }
     }
 
     /// Overrides the base file-system configuration.
     pub fn base_config(mut self, cfg: BaseFsConfig) -> Self {
         self.base_cfg = cfg;
+        self
+    }
+
+    /// Overrides the Waldo storage-engine tuning (shards, ingest
+    /// batch, ancestry cache) used by [`System::spawn_waldo`].
+    pub fn waldo_config(mut self, cfg: WaldoConfig) -> Self {
+        self.waldo_cfg = cfg;
         self
     }
 
@@ -107,6 +121,7 @@ impl SystemBuilder {
             kernel,
             pass,
             volumes,
+            waldo_cfg: self.waldo_cfg,
         }
     }
 }
@@ -132,6 +147,14 @@ impl System {
     /// Spawns a process (fork from init or first process).
     pub fn spawn(&mut self, exe: &str) -> Pid {
         self.kernel.spawn_init(exe)
+    }
+
+    /// Spawns the Waldo daemon: an observation-exempt process whose
+    /// store is wired with this system's [`WaldoConfig`].
+    pub fn spawn_waldo(&mut self) -> Waldo {
+        let pid = self.kernel.spawn_init("waldo");
+        self.pass.exempt(pid);
+        Waldo::with_config(pid, self.waldo_cfg)
     }
 
     /// Forces every PASS volume to rotate its log so Waldo can ingest
@@ -214,7 +237,10 @@ mod tests {
         let fd_in = sys.kernel.open(pid, "/in", OpenFlags::RDONLY).unwrap();
         let data = sys.kernel.read(pid, fd_in, 6).unwrap();
         sys.kernel.close(pid, fd_in).unwrap();
-        let out = sys.kernel.open(pid, "/out", OpenFlags::WRONLY_CREATE).unwrap();
+        let out = sys
+            .kernel
+            .open(pid, "/out", OpenFlags::WRONLY_CREATE)
+            .unwrap();
         sys.kernel.write(pid, out, &data).unwrap();
         sys.kernel.close(pid, out).unwrap();
         // The analyzer saw both the read and write dependencies.

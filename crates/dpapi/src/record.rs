@@ -113,10 +113,7 @@ impl Attribute {
     pub fn is_ancestry(&self) -> bool {
         matches!(
             self,
-            Attribute::Input
-                | Attribute::VisitedUrl
-                | Attribute::FileUrl
-                | Attribute::CurrentUrl
+            Attribute::Input | Attribute::VisitedUrl | Attribute::FileUrl | Attribute::CurrentUrl
         )
     }
 }
@@ -374,7 +371,10 @@ mod tests {
         let h1 = Handle::from_raw(1);
         let h2 = Handle::from_raw(2);
         b.push(h1, ProvenanceRecord::input(xref(10)));
-        b.push(h2, ProvenanceRecord::new(Attribute::Type, Value::str("PROC")));
+        b.push(
+            h2,
+            ProvenanceRecord::new(Attribute::Type, Value::str("PROC")),
+        );
         b.push(h1, ProvenanceRecord::input(xref(11)));
         assert_eq!(b.entries().len(), 2);
         assert_eq!(b.entries()[0].records.len(), 2);

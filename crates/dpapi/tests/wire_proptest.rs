@@ -29,13 +29,9 @@ fn arb_value() -> impl Strategy<Value = Value> {
         ".{0,64}".prop_map(Value::Str),
         any::<bool>().prop_map(Value::Bool),
         proptest::collection::vec(any::<u8>(), 0..128).prop_map(Value::Bytes),
-        proptest::collection::vec(".{0,16}".prop_map(String::from), 0..8)
-            .prop_map(Value::StrList),
+        proptest::collection::vec(".{0,16}".prop_map(String::from), 0..8).prop_map(Value::StrList),
         (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(vol, num, ver)| {
-            Value::Xref(ObjectRef::new(
-                Pnode::new(VolumeId(vol), num),
-                Version(ver),
-            ))
+            Value::Xref(ObjectRef::new(Pnode::new(VolumeId(vol), num), Version(ver)))
         }),
     ]
 }

@@ -77,7 +77,11 @@ pub fn populate_inputs(
     }
     let reference: Vec<u8> = (0..2048u32).map(|j| (j % 251) as u8).collect();
     kernel.write_file(pid, &paths.reference(), &reference)?;
-    kernel.write_file(pid, &format!("{}/reference.hdr", paths.input_dir), b"ref header")?;
+    kernel.write_file(
+        pid,
+        &format!("{}/reference.hdr", paths.input_dir),
+        b"ref header",
+    )?;
     Ok(())
 }
 
@@ -246,7 +250,9 @@ mod tests {
             if seed != 0 {
                 // A colleague silently modifies one input.
                 let body = vec![seed; 2048];
-                sys.kernel.write_file(pid, &paths.anatomy(2), &body).unwrap();
+                sys.kernel
+                    .write_file(pid, &paths.anatomy(2), &body)
+                    .unwrap();
             }
             let wf = fmri_workflow(&paths);
             run(&wf, &mut sys.kernel, pid, &mut NullRecorder).unwrap();

@@ -109,12 +109,7 @@ impl Workflow {
     }
 
     /// Adds an operator with parameters.
-    pub fn add_with_params(
-        &mut self,
-        name: &str,
-        params: &[(&str, &str)],
-        kind: OpKind,
-    ) -> usize {
+    pub fn add_with_params(&mut self, name: &str, params: &[(&str, &str)], kind: OpKind) -> usize {
         let idx = self.add(name, kind);
         self.operators[idx].params = params
             .iter()
@@ -281,7 +276,9 @@ pub fn mix(name: &str, inputs: &[Token]) -> Token {
     let mut out = Vec::with_capacity(256);
     let mut state = h;
     for _ in 0..32 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         out.extend_from_slice(&state.to_le_bytes());
     }
     Token(out)

@@ -148,9 +148,15 @@ impl Recorder for DpapiRecorder {
                 h,
                 ProvenanceRecord::new(Attribute::Type, Value::str("OPERATOR")),
             );
-            bundle.push(h, ProvenanceRecord::new(Attribute::Name, Value::str(&op.name)));
+            bundle.push(
+                h,
+                ProvenanceRecord::new(Attribute::Name, Value::str(&op.name)),
+            );
             if !params.is_empty() {
-                bundle.push(h, ProvenanceRecord::new(Attribute::Params, Value::str(params)));
+                bundle.push(
+                    h,
+                    ProvenanceRecord::new(Attribute::Params, Value::str(params)),
+                );
             }
             let _ = kernel.pass_write(pid, h, 0, &[], bundle);
             let identity = kernel
@@ -221,12 +227,7 @@ mod tests {
         let pid = sys.spawn("kepler");
         sys.kernel.write_file(pid, "/in", b"x").unwrap();
         let mut wf = Workflow::new();
-        let s = wf.add(
-            "src",
-            OpKind::FileSource {
-                path: "/in".into(),
-            },
-        );
+        let s = wf.add("src", OpKind::FileSource { path: "/in".into() });
         let t = wf.add(
             "t",
             OpKind::Transform {
@@ -260,12 +261,7 @@ mod tests {
         let pid = sys.spawn("kepler");
         sys.kernel.write_file(pid, "/in", b"x").unwrap();
         let mut wf = Workflow::new();
-        let s = wf.add(
-            "reader",
-            OpKind::FileSource {
-                path: "/in".into(),
-            },
-        );
+        let s = wf.add("reader", OpKind::FileSource { path: "/in".into() });
         let sink = wf.add_with_params(
             "writer",
             &[("fileName", "/out"), ("confirmOverwrite", "true")],
@@ -307,10 +303,7 @@ mod tests {
             .object(*writer)
             .and_then(|o| o.first_attr(&Attribute::Params))
             .expect("PARAMS recorded");
-        assert_eq!(
-            params,
-            &Value::str("fileName=/out,confirmOverwrite=true")
-        );
+        assert_eq!(params, &Value::str("fileName=/out,confirmOverwrite=true"));
         // /out has the writer operator among its ancestors.
         let outs = waldo.db.find_by_name("/out");
         assert_eq!(outs.len(), 1);

@@ -24,9 +24,7 @@ use dpapi::{
 };
 use sim_os::clock::Clock;
 use sim_os::cost::CostModel;
-use sim_os::fs::{
-    DirEntry, DpapiVolume, FileAttr, FileSystem, FsError, FsResult, FsUsage, Ino,
-};
+use sim_os::fs::{DirEntry, DpapiVolume, FileAttr, FileSystem, FsError, FsResult, FsUsage, Ino};
 
 use crate::log::{encode_entry, LogEntry};
 use crate::md5::md5;
@@ -682,10 +680,7 @@ mod tests {
         let ino = v.create(root, "out").unwrap();
         let h = v.handle_for_ino(ino).unwrap();
         let mut b = Bundle::new();
-        b.push(
-            h,
-            ProvenanceRecord::new(Attribute::Name, Value::str("out")),
-        );
+        b.push(h, ProvenanceRecord::new(Attribute::Name, Value::str("out")));
         v.pass_write(h, 0, b"x", b).unwrap();
         let entries = read_log(&mut v);
         let id = v.identity_of_ino(ino).unwrap();
@@ -796,7 +791,12 @@ mod tests {
         let mut v = volume();
         let root = v.root();
         v.create(root, "visible").unwrap();
-        let names: Vec<String> = v.readdir(root).unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = v
+            .readdir(root)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["visible"]);
         // But still reachable by lookup (Waldo reads logs through it).
         assert!(v.lookup(root, PASS_DIR).is_ok());
@@ -808,7 +808,8 @@ mod tests {
         let root = v.root();
         let ino = v.create(root, "f").unwrap();
         let h = v.handle_for_ino(ino).unwrap();
-        v.pass_write(h, 0, &vec![7u8; 10_000], Bundle::new()).unwrap();
+        v.pass_write(h, 0, &vec![7u8; 10_000], Bundle::new())
+            .unwrap();
         v.sync().unwrap();
         let u = v.usage();
         assert_eq!(u.data_bytes, 10_000);
@@ -822,7 +823,10 @@ mod tests {
         let ino = v.create(root, "f").unwrap();
         let h = v.handle_for_ino(ino).unwrap();
         let mut b = Bundle::new();
-        b.push(h, ProvenanceRecord::new(Attribute::Type, Value::str("FILE")));
+        b.push(
+            h,
+            ProvenanceRecord::new(Attribute::Type, Value::str("FILE")),
+        );
         v.pass_write(h, 0, b"z", b).unwrap();
         let s = v.stats();
         assert_eq!(s.data_writes, 1);
@@ -843,6 +847,9 @@ mod tests {
             v.pass_write(bogus, 0, b"", Bundle::new()),
             Err(DpapiError::InvalidHandle)
         ));
-        assert!(matches!(v.pass_freeze(bogus), Err(DpapiError::InvalidHandle)));
+        assert!(matches!(
+            v.pass_freeze(bogus),
+            Err(DpapiError::InvalidHandle)
+        ));
     }
 }

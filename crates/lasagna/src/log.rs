@@ -70,7 +70,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -157,8 +161,8 @@ pub fn parse_log(data: &[u8]) -> (Vec<LogEntry>, LogTail) {
             return (entries, LogTail::Truncated { at });
         }
         let kind = data[at];
-        let len = u32::from_le_bytes([data[at + 1], data[at + 2], data[at + 3], data[at + 4]])
-            as usize;
+        let len =
+            u32::from_le_bytes([data[at + 1], data[at + 2], data[at + 3], data[at + 4]]) as usize;
         if remaining < 5 + len + 4 {
             return (entries, LogTail::Truncated { at });
         }

@@ -120,8 +120,7 @@ pub fn recover(lower: &mut dyn FileSystem, logs: &[Vec<u8>]) -> RecoveryReport {
     // Pass 2: keep the *last* data write per (pnode, offset) — earlier
     // digests are superseded by overwrites — then verify against the
     // file contents.
-    let mut last_writes: HashMap<(u64, u64), (ObjectRef, u32, crate::md5::Digest)> =
-        HashMap::new();
+    let mut last_writes: HashMap<(u64, u64), (ObjectRef, u32, crate::md5::Digest)> = HashMap::new();
     for e in &entries {
         if let LogEntry::DataWrite {
             subject,
@@ -327,10 +326,7 @@ mod tests {
             },
             |_logs, _fs| {},
         );
-        assert!(report
-            .versions
-            .values()
-            .any(|v| *v == Version(2)));
+        assert!(report.versions.values().any(|v| *v == Version(2)));
     }
 
     #[test]

@@ -7,9 +7,8 @@ use lasagna::{encode_entry, parse_log, LogEntry, LogTail};
 use proptest::prelude::*;
 
 fn arb_entry() -> impl Strategy<Value = LogEntry> {
-    let subject = (1u64..100, 0u32..5).prop_map(|(n, v)| {
-        ObjectRef::new(Pnode::new(VolumeId(1), n), Version(v))
-    });
+    let subject = (1u64..100, 0u32..5)
+        .prop_map(|(n, v)| ObjectRef::new(Pnode::new(VolumeId(1), n), Version(v)));
     prop_oneof![
         (subject.clone(), "[A-Z_]{1,12}", ".{0,32}").prop_map(|(s, a, v)| LogEntry::Prov {
             subject: s,
@@ -17,10 +16,9 @@ fn arb_entry() -> impl Strategy<Value = LogEntry> {
         }),
         (subject.clone(), 1u64..100, 0u32..3).prop_map(|(s, a, v)| LogEntry::Prov {
             subject: s,
-            record: ProvenanceRecord::input(ObjectRef::new(
-                Pnode::new(VolumeId(1), a),
-                Version(v),
-            )),
+            record: ProvenanceRecord::input(
+                ObjectRef::new(Pnode::new(VolumeId(1), a), Version(v),)
+            ),
         }),
         (subject, any::<u64>(), 1u32..65536, any::<[u8; 16]>()).prop_map(
             |(s, off, len, digest)| LogEntry::DataWrite {

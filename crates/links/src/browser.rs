@@ -61,7 +61,9 @@ impl Session {
             handle,
             ProvenanceRecord::new(Attribute::Type, Value::str("SESSION")),
         );
-        kernel.pass_write(pid, handle, 0, &[], bundle).map_err(sys)?;
+        kernel
+            .pass_write(pid, handle, 0, &[], bundle)
+            .map_err(sys)?;
         let identity = kernel.pass_read(pid, handle, 0, 0).map_err(sys)?.identity;
         Ok(Session {
             pid,
@@ -78,7 +80,7 @@ impl Session {
     pub fn restore(kernel: &mut Kernel, pid: Pid, path: &str) -> Result<Session, BrowserError> {
         let saved = kernel.read_file(pid, path).map_err(sys)?;
         let text = String::from_utf8(saved).map_err(sys)?;
-        let mut parts = text.trim().split_whitespace();
+        let mut parts = text.split_whitespace();
         let volume = parts
             .next()
             .and_then(|s| s.parse::<u32>().ok())
@@ -139,7 +141,9 @@ impl Session {
         match web.fetch(url) {
             Fetched::NotFound => Err(BrowserError::NotFound(url.into())),
             Fetched::TooManyRedirects => Err(BrowserError::RedirectLoop(url.into())),
-            Fetched::Ok { url: fin, chain, .. } => {
+            Fetched::Ok {
+                url: fin, chain, ..
+            } => {
                 let mut bundle = Bundle::new();
                 for u in &chain {
                     bundle.push(
@@ -249,7 +253,8 @@ mod tests {
         let web = demo_web();
         sys.kernel.mkdir_p(pid, "/home").unwrap();
         let mut s = Session::open(&mut sys.kernel, pid).unwrap();
-        s.visit(&mut sys.kernel, &web, "http://uni.example/").unwrap();
+        s.visit(&mut sys.kernel, &web, "http://uni.example/")
+            .unwrap();
         s.download(
             &mut sys.kernel,
             &web,
@@ -299,7 +304,8 @@ mod tests {
         let web = demo_web();
         sys.kernel.mkdir_p(pid, "/downloads").unwrap();
         let mut s = Session::open(&mut sys.kernel, pid).unwrap();
-        s.visit(&mut sys.kernel, &web, "http://uni.example/").unwrap();
+        s.visit(&mut sys.kernel, &web, "http://uni.example/")
+            .unwrap();
         s.download(
             &mut sys.kernel,
             &web,
@@ -330,7 +336,8 @@ mod tests {
         sys.kernel.mkdir_p(pid, "/home").unwrap();
         let id = {
             let mut s = Session::open(&mut sys.kernel, pid).unwrap();
-            s.visit(&mut sys.kernel, &web, "http://portal.example/").unwrap();
+            s.visit(&mut sys.kernel, &web, "http://portal.example/")
+                .unwrap();
             s.sync(&mut sys.kernel).unwrap();
             s.save(&mut sys.kernel, "/home/session.dat").unwrap();
             s.identity()

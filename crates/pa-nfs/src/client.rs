@@ -97,9 +97,8 @@ impl NfsClient {
         let req_size = req.wire_size();
         let resp = self.server.borrow_mut().handle(req);
         let resp_size = resp.wire_size();
-        self.clock.advance(
-            self.net.rtt_ns + (req_size + resp_size) as u64 * self.net.per_byte_ns,
-        );
+        self.clock
+            .advance(self.net.rtt_ns + (req_size + resp_size) as u64 * self.net.per_byte_ns);
         self.stats.rpcs += 1;
         self.stats.bytes_sent += req_size as u64;
         self.stats.bytes_received += resp_size as u64;
@@ -146,7 +145,7 @@ impl NfsClient {
 
     /// Translates a client-side bundle into wire records, noticing
     /// freeze records so the local version cache stays correct.
-    fn to_wire(&mut self, bundle: &Bundle) -> dpapi::Result<Vec<WireRecord>> {
+    fn bundle_to_wire(&mut self, bundle: &Bundle) -> dpapi::Result<Vec<WireRecord>> {
         let mut out = Vec::new();
         for (h, rec) in bundle.iter() {
             let subject = self.resolve(h)?;
@@ -214,17 +213,14 @@ impl Dpapi for NfsClient {
         bundle: Bundle,
     ) -> dpapi::Result<WriteResult> {
         let subject = self.resolve(h)?;
-        let records = self.to_wire(&bundle)?;
+        let records = self.bundle_to_wire(&bundle)?;
         let ino = match subject {
             WireObj::File(ino) => ino,
             WireObj::App(p) => {
                 // Provenance-only disclosure for an app object rides
                 // OP_PASSPROV directly.
                 if !records.is_empty() {
-                    self.rpc_dp(Request::PassProv {
-                        txn: None,
-                        records,
-                    })?;
+                    self.rpc_dp(Request::PassProv { txn: None, records })?;
                 }
                 let version = self.app_versions.get(&p).copied().unwrap_or(Version(0));
                 return Ok(WriteResult {

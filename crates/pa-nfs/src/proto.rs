@@ -7,7 +7,7 @@
 //! rather than as an operation, because operations may be reordered
 //! in flight while freeze is order-sensitive with respect to writes.
 //!
-//! Messages are modelled as enums with a [`wire_size`] accounting
+//! Messages are modelled as enums with a `wire_size` accounting
 //! method; the simulation charges network time per message rather
 //! than serializing actual XDR.
 

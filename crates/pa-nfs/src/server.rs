@@ -427,7 +427,10 @@ mod tests {
             len: 0,
         });
         assert!(matches!(resp, Response::Error { .. }));
-        assert!(matches!(s.handle(Request::BeginTxn), Response::Error { .. }));
+        assert!(matches!(
+            s.handle(Request::BeginTxn),
+            Response::Error { .. }
+        ));
     }
 
     #[test]

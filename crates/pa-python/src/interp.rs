@@ -276,10 +276,8 @@ impl Interp {
             Expr::Bool(b) => Ok(PValue::plain(Val::Bool(*b))),
             Expr::None => Ok(PValue::none()),
             Expr::List(items) => {
-                let vals: Result<Vec<PValue>, PyError> = items
-                    .iter()
-                    .map(|e| self.eval(kernel, e, scope))
-                    .collect();
+                let vals: Result<Vec<PValue>, PyError> =
+                    items.iter().map(|e| self.eval(kernel, e, scope)).collect();
                 Ok(PValue::plain(Val::List(Rc::new(RefCell::new(vals?)))))
             }
             Expr::Var(name) => scope
@@ -547,9 +545,7 @@ impl Interp {
                 let Val::Str(p) = &path.v else {
                     return Err(rt("list_dir wants a path string"));
                 };
-                let entries = kernel
-                    .readdir(self.pid, p)
-                    .map_err(|e| rt(e.to_string()))?;
+                let entries = kernel.readdir(self.pid, p).map_err(|e| rt(e.to_string()))?;
                 let prefix = if p == "/" { String::new() } else { p.clone() };
                 let items: Vec<PValue> = entries
                     .into_iter()
@@ -583,12 +579,16 @@ impl Interp {
             Ok(h) => match kernel.pass_read(self.pid, h, 0, size) {
                 Ok(r) => (r.data, Some(r.identity)),
                 Err(_) => (
-                    kernel.read(self.pid, fd, size).map_err(|e| rt(e.to_string()))?,
+                    kernel
+                        .read(self.pid, fd, size)
+                        .map_err(|e| rt(e.to_string()))?,
                     None,
                 ),
             },
             Err(_) => (
-                kernel.read(self.pid, fd, size).map_err(|e| rt(e.to_string()))?,
+                kernel
+                    .read(self.pid, fd, size)
+                    .map_err(|e| rt(e.to_string()))?,
                 None,
             ),
         };
@@ -783,7 +783,9 @@ mod tests {
     fn wrapped_function_creates_invocation_objects() {
         let mut sys = System::single_volume();
         let pid = sys.spawn("pythonette");
-        sys.kernel.write_file(pid, "/in.xml", b"<heat>7</heat>").unwrap();
+        sys.kernel
+            .write_file(pid, "/in.xml", b"<heat>7</heat>")
+            .unwrap();
         let mut interp = Interp::new(pid);
         interp.wrap("crack_heat");
         interp

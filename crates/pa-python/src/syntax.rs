@@ -84,12 +84,10 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SyntaxError> {
             while i < b.len() && (b[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            let n = src[start..i]
-                .parse()
-                .map_err(|_| SyntaxError {
-                    msg: "integer overflow".into(),
-                    pos,
-                })?;
+            let n = src[start..i].parse().map_err(|_| SyntaxError {
+                msg: "integer overflow".into(),
+                pos,
+            })?;
             out.push((Tok::Int(n), pos));
             continue;
         }
@@ -365,7 +363,10 @@ impl Parser {
         }
         // Assignment or expression statement.
         if let Tok::Ident(name) = self.peek().clone() {
-            if matches!(self.toks.get(self.at + 1).map(|t| &t.0), Some(Tok::Sym("="))) {
+            if matches!(
+                self.toks.get(self.at + 1).map(|t| &t.0),
+                Some(Tok::Sym("="))
+            ) {
                 self.bump();
                 self.bump();
                 let e = self.expr()?;
@@ -560,7 +561,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(prog.len(), 2);
-        assert!(matches!(&prog[0], Stmt::Def(name, params, _) if name == "analyze" && params.len() == 1));
+        assert!(
+            matches!(&prog[0], Stmt::Def(name, params, _) if name == "analyze" && params.len() == 1)
+        );
     }
 
     #[test]
@@ -574,10 +577,7 @@ mod tests {
 
     #[test]
     fn if_else_chains() {
-        let prog = parse(
-            "if a == 1 { f(); } else if a == 2 { g(); } else { h(); }",
-        )
-        .unwrap();
+        let prog = parse("if a == 1 { f(); } else if a == 2 { g(); } else { h(); }").unwrap();
         assert_eq!(prog.len(), 1);
     }
 

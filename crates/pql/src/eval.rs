@@ -62,6 +62,34 @@ pub trait GraphSource {
 
     /// Edges from `node` toward its descendants with the given label.
     fn in_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef>;
+
+    /// Every node reachable from `node` in one or more hops over
+    /// edges matching `label` (`node` itself is excluded; the
+    /// provenance graph is acyclic, so it is never re-reached). The
+    /// evaluator uses this for `label*`/`label+` path steps; the
+    /// default is a plain BFS, and storage backends may override it
+    /// with a memoized implementation. The result is sorted.
+    fn closure(&self, node: ObjectRef, label: &EdgeLabel, inverse: bool) -> Vec<ObjectRef> {
+        let mut seen: HashSet<ObjectRef> = HashSet::new();
+        seen.insert(node);
+        let mut out: Vec<ObjectRef> = Vec::new();
+        let mut frontier = vec![node];
+        while let Some(n) = frontier.pop() {
+            let next = if inverse {
+                self.in_edges(n, label)
+            } else {
+                self.out_edges(n, label)
+            };
+            for m in next {
+                if seen.insert(m) {
+                    out.push(m);
+                    frontier.push(m);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
 }
 
 /// One output cell.
@@ -233,11 +261,7 @@ fn bind_sources(query: &Query, graph: &dyn GraphSource) -> Result<Vec<Row>, PqlE
 }
 
 /// Applies a sequence of path steps to a start set.
-fn walk_steps(
-    starts: &[ObjectRef],
-    steps: &[PathStep],
-    graph: &dyn GraphSource,
-) -> Vec<ObjectRef> {
+fn walk_steps(starts: &[ObjectRef], steps: &[PathStep], graph: &dyn GraphSource) -> Vec<ObjectRef> {
     let mut current: Vec<ObjectRef> = starts.to_vec();
     for step in steps {
         current = apply_step(&current, step, graph);
@@ -280,25 +304,46 @@ fn apply_step(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> 
             out
         }
         Quant::Star | Quant::Plus => {
-            // BFS closure. For `*` the start nodes are included; for
-            // `+` only nodes at depth ≥ 1.
-            let mut seen: HashSet<ObjectRef> = nodes.iter().copied().collect();
-            let mut frontier: Vec<ObjectRef> = nodes.to_vec();
-            let mut reached: Vec<ObjectRef> = Vec::new();
-            while !frontier.is_empty() {
-                let next = one_hop(&frontier, step, graph);
-                frontier = Vec::new();
-                for m in next {
-                    if seen.insert(m) {
-                        reached.push(m);
-                        frontier.push(m);
+            // Closure. For `*` the start nodes are included; for `+`
+            // only nodes reachable in ≥ 1 hops. The common case — a
+            // single-pattern step from a single start node, which is
+            // what `bind_sources` produces per row — goes through
+            // `GraphSource::closure` so backends can memoize whole
+            // traversals. Multi-start sets keep the shared BFS: one
+            // pass over the union instead of k independent closures.
+            let reached: Vec<ObjectRef> = if let ([pat], [start]) = (step.edges.as_slice(), nodes) {
+                let label = EdgeLabel::from_name(&pat.label);
+                graph.closure(*start, &label, pat.inverse)
+            } else {
+                // Shared BFS over the union of labels and starts.
+                // Start nodes seed `seen` so they are expanded only
+                // once, but — matching the per-node closure
+                // semantics — a start that is *re-reached* from
+                // another start still counts as reachable.
+                let starts: HashSet<ObjectRef> = nodes.iter().copied().collect();
+                let mut seen: HashSet<ObjectRef> = starts.clone();
+                let mut reached_starts: HashSet<ObjectRef> = HashSet::new();
+                let mut frontier: Vec<ObjectRef> = nodes.to_vec();
+                let mut out: Vec<ObjectRef> = Vec::new();
+                while !frontier.is_empty() {
+                    let next = one_hop(&frontier, step, graph);
+                    frontier = Vec::new();
+                    for m in next {
+                        if seen.insert(m) {
+                            out.push(m);
+                            frontier.push(m);
+                        } else if starts.contains(&m) && reached_starts.insert(m) {
+                            out.push(m);
+                        }
                     }
                 }
-            }
+                out
+            };
             match step.quant {
                 Quant::Star => {
+                    let starts: HashSet<ObjectRef> = nodes.iter().copied().collect();
                     let mut out = nodes.to_vec();
-                    out.extend(reached);
+                    out.extend(reached.into_iter().filter(|m| !starts.contains(m)));
                     out
                 }
                 _ => reached,
@@ -360,9 +405,8 @@ fn eval_expr(
             Ok(OutValue::Val(Value::Bool(compare(op, &l, &r)?)))
         }
         Expr::Aggregate { func, arg } => {
-            let rows = all_rows.ok_or_else(|| {
-                PqlError::Eval("aggregate outside of select context".to_string())
-            })?;
+            let rows = all_rows
+                .ok_or_else(|| PqlError::Eval("aggregate outside of select context".to_string()))?;
             match func.as_str() {
                 "count" => {
                     let mut distinct = HashSet::new();
@@ -453,9 +497,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
     fn inner(p: &[char], t: &[char]) -> bool {
         match (p.first(), t.first()) {
             (None, None) => true,
-            (Some('*'), _) => {
-                inner(&p[1..], t) || (!t.is_empty() && inner(p, &t[1..]))
-            }
+            (Some('*'), _) => inner(&p[1..], t) || (!t.is_empty() && inner(p, &t[1..])),
             (Some('?'), Some(_)) => inner(&p[1..], &t[1..]),
             (Some(c), Some(d)) if c == d => inner(&p[1..], &t[1..]),
             _ => false,
@@ -499,7 +541,10 @@ mod tests {
             }
         }
         fn out_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
-            if !matches!(label, EdgeLabel::Input | EdgeLabel::Any | EdgeLabel::Version) {
+            if !matches!(
+                label,
+                EdgeLabel::Input | EdgeLabel::Any | EdgeLabel::Version
+            ) {
                 return vec![];
             }
             let version_only = matches!(label, EdgeLabel::Version);
@@ -540,18 +585,14 @@ mod tests {
 
     #[test]
     fn plus_excludes_start() {
-        let rs = run(
-            "select A from Provenance.file as F F.input+ as A where F.name = 'out.gif'",
-        );
+        let rs = run("select A from Provenance.file as F F.input+ as A where F.name = 'out.gif'");
         assert!(!rs.nodes().contains(&r(1, 0)));
         assert_eq!(rs.len(), 3);
     }
 
     #[test]
     fn inverse_edges_find_descendants() {
-        let rs = run(
-            "select D from Provenance.file as F F.input~* as D where F.name = 'in.dat'",
-        );
+        let rs = run("select D from Provenance.file as F F.input~* as D where F.name = 'in.dat'");
         // Descendants of either version of in.dat include the proc
         // and out.gif.
         let nodes = rs.nodes();
@@ -561,9 +602,7 @@ mod tests {
 
     #[test]
     fn attribute_projection_and_like() {
-        let rs = run(
-            "select F.name from Provenance.file as F where F.name like '*.gif'",
-        );
+        let rs = run("select F.name from Provenance.file as F where F.name like '*.gif'");
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0][0].as_str(), Some("out.gif"));
     }
@@ -587,25 +626,19 @@ mod tests {
 
     #[test]
     fn subquery_membership() {
-        let rs = run(
-            "select P from Provenance.proc as P \
-             where P.name in (select F.name as n from Provenance.obj as F where F.version = 0)",
-        );
+        let rs = run("select P from Provenance.proc as P \
+             where P.name in (select F.name as n from Provenance.obj as F where F.version = 0)");
         // 'convert' is among version-0 object names.
         assert_eq!(rs.len(), 1);
     }
 
     #[test]
     fn exists_subquery() {
-        let rs = run(
-            "select F from Provenance.file as F \
-             where exists (select P from Provenance.proc as P where P.name = 'convert')",
-        );
+        let rs = run("select F from Provenance.file as F \
+             where exists (select P from Provenance.proc as P where P.name = 'convert')");
         assert_eq!(rs.len(), 3);
-        let rs = run(
-            "select F from Provenance.file as F \
-             where exists (select P from Provenance.proc as P where P.name = 'nope')",
-        );
+        let rs = run("select F from Provenance.file as F \
+             where exists (select P from Provenance.proc as P where P.name = 'nope')");
         assert!(rs.is_empty());
     }
 

@@ -204,7 +204,10 @@ where Atlas.name = "atlas-x.gif""#;
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("SELECT SeLeCt select")[0], TokenKind::Keyword("select"));
+        assert_eq!(
+            kinds("SELECT SeLeCt select")[0],
+            TokenKind::Keyword("select")
+        );
         assert_eq!(kinds("WHERE")[0], TokenKind::Keyword("where"));
     }
 

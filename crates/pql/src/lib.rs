@@ -22,13 +22,66 @@
 //! where Atlas.name = "atlas-x.gif"
 //! ```
 //!
+//! Evaluation is backend-agnostic: any store implementing
+//! [`GraphSource`] (class membership, attributes, labelled edges, and
+//! an optionally overridable reachability [`GraphSource::closure`]
+//! used for `label*`/`label+` steps — the Waldo store overrides it
+//! with a generation-validated cache) can serve queries.
+//!
 //! # Examples
+//!
+//! Parse only:
 //!
 //! ```
 //! let q = pql::parse(
 //!     "select F.name from Provenance.file as F where F.name like '*.gif'",
 //! ).unwrap();
 //! assert_eq!(q.from.len(), 1);
+//! ```
+//!
+//! Run the paper's ancestry query against a toy two-edge graph:
+//!
+//! ```
+//! use dpapi::{ObjectRef, Pnode, Value, Version, VolumeId};
+//! use pql::{EdgeLabel, GraphSource};
+//!
+//! fn node(n: u64) -> ObjectRef {
+//!     ObjectRef::new(Pnode::new(VolumeId(1), n), Version(0))
+//! }
+//!
+//! /// out.gif(1) ← convert(2) ← in.img(3), all of class `file`.
+//! struct Toy;
+//! impl GraphSource for Toy {
+//!     fn class_members(&self, class: &str) -> Vec<ObjectRef> {
+//!         if class.eq_ignore_ascii_case("file") {
+//!             vec![node(1), node(2), node(3)]
+//!         } else {
+//!             Vec::new()
+//!         }
+//!     }
+//!     fn attr(&self, n: ObjectRef, name: &str) -> Option<Value> {
+//!         (name == "name" && n == node(1)).then(|| Value::str("out.gif"))
+//!     }
+//!     fn out_edges(&self, n: ObjectRef, _label: &EdgeLabel) -> Vec<ObjectRef> {
+//!         match n.pnode.number {
+//!             1 => vec![node(2)],
+//!             2 => vec![node(3)],
+//!             _ => Vec::new(),
+//!         }
+//!     }
+//!     fn in_edges(&self, _n: ObjectRef, _label: &EdgeLabel) -> Vec<ObjectRef> {
+//!         Vec::new()
+//!     }
+//! }
+//!
+//! let rs = pql::query(
+//!     "select A from Provenance.file as F F.input* as A \
+//!      where F.name = 'out.gif'",
+//!     &Toy,
+//! )
+//! .unwrap();
+//! let ancestors = rs.nodes();
+//! assert!(ancestors.contains(&node(2)) && ancestors.contains(&node(3)));
 //! ```
 
 pub mod ast;

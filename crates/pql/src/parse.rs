@@ -343,8 +343,7 @@ mod tests {
 
     #[test]
     fn parses_alternation_and_inverse_edges() {
-        let q = parse("select X from Provenance.file as F F.(input|version)*~x as X")
-            .unwrap_err();
+        let q = parse("select X from Provenance.file as F F.(input|version)*~x as X").unwrap_err();
         // `~` binds to the edge, not the group: the above is an error.
         let _ = q;
         let q = parse("select X from Provenance.file as F F.(input~|version)* as X").unwrap();

@@ -140,13 +140,9 @@ mod tests {
         let mut d = disk();
         let data = d.alloc_region(1000);
         let log = d.alloc_region(1000);
-        let mut data_at = data;
-        let mut log_at = log;
-        for _ in 0..10 {
-            d.access(data_at, 1, true);
-            data_at += 1;
-            d.access(log_at, 1, true);
-            log_at += 1;
+        for i in 0..10 {
+            d.access(data + i, 1, true);
+            d.access(log + i, 1, true);
         }
         // Every access after the first had to move the head.
         assert_eq!(d.stats().seeks, 19);

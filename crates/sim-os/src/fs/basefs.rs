@@ -595,7 +595,12 @@ mod tests {
         f.create(root, "b").unwrap();
         f.create(root, "a").unwrap();
         f.mkdir(root, "c").unwrap();
-        let names: Vec<String> = f.readdir(root).unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = f
+            .readdir(root)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 
@@ -644,7 +649,10 @@ mod tests {
         f.write(ino, 0, &vec![0u8; BLOCK_SIZE * 8]).unwrap();
         f.sync().unwrap();
         let written = f.disk_stats().blocks_written;
-        assert!(written >= 8, "expected at least 8 data blocks, got {written}");
+        assert!(
+            written >= 8,
+            "expected at least 8 data blocks, got {written}"
+        );
         // A second sync with nothing dirty writes nothing new.
         f.sync().unwrap();
         assert_eq!(f.disk_stats().blocks_written, written);

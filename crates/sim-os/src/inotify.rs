@@ -124,12 +124,7 @@ mod tests {
     fn poll_drains_the_queue() {
         let mut t = InotifyTable::new();
         let w = t.add_watch(loc(1));
-        t.deliver(
-            loc(1),
-            &InotifyEvent::Removed {
-                name: "old".into(),
-            },
-        );
+        t.deliver(loc(1), &InotifyEvent::Removed { name: "old".into() });
         assert_eq!(t.poll(w).len(), 1);
         assert!(t.poll(w).is_empty());
     }
@@ -139,12 +134,7 @@ mod tests {
         let mut t = InotifyTable::new();
         let w = t.add_watch(loc(3));
         t.remove_watch(w);
-        t.deliver(
-            loc(3),
-            &InotifyEvent::Removed {
-                name: "x".into(),
-            },
-        );
+        t.deliver(loc(3), &InotifyEvent::Removed { name: "x".into() });
         assert!(t.poll(w).is_empty());
     }
 

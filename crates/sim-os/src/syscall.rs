@@ -984,9 +984,7 @@ mod tests {
         let (mut k, pid) = kernel();
         k.mkdir_p(pid, "/watched").unwrap();
         let w = k.inotify_watch("/watched").unwrap();
-        let fd = k
-            .open(pid, "/watched/f", OpenFlags::WRONLY_CREATE)
-            .unwrap();
+        let fd = k.open(pid, "/watched/f", OpenFlags::WRONLY_CREATE).unwrap();
         k.write(pid, fd, b"x").unwrap();
         k.close(pid, fd).unwrap();
         k.unlink(pid, "/watched/f").unwrap();
@@ -1003,7 +1001,7 @@ mod tests {
         let (rfd, _wfd) = k.pipe(pid).unwrap();
         let child = k.fork(pid).unwrap();
         k.exit(pid); // parent's write end closed
-        // Child still holds both ends; write end alive.
+                     // Child still holds both ends; write end alive.
         let _ = rfd;
         k.exit(child);
         assert_eq!(k.procs.live_count(), 0);
@@ -1029,7 +1027,9 @@ mod tests {
 
     impl crate::events::PassModule for SpyModule {
         fn on_fork(&self, _ctx: &mut HookCtx<'_>, parent: Pid, child: Pid) {
-            self.log.borrow_mut().push(format!("fork {parent}->{child}"));
+            self.log
+                .borrow_mut()
+                .push(format!("fork {parent}->{child}"));
         }
         fn on_execve(&self, _ctx: &mut HookCtx<'_>, pid: Pid, image: &ExecImage<'_>) {
             self.log

@@ -23,7 +23,11 @@ enum Op {
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..12).prop_map(Op::Create),
-        (0u8..12, 0u16..4096, proptest::collection::vec(any::<u8>(), 0..256))
+        (
+            0u8..12,
+            0u16..4096,
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
             .prop_map(|(f, o, d)| Op::Write(f, o, d)),
         (0u8..12, 0u16..4096, 0u16..512).prop_map(|(f, o, l)| Op::Read(f, o, l)),
         (0u8..12).prop_map(Op::Unlink),
@@ -49,11 +53,14 @@ proptest! {
                 Op::Create(f) => {
                     let n = name(f);
                     let real = fs.create(root, &n);
-                    if model.contains_key(&n) {
-                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
-                    } else {
-                        prop_assert!(real.is_ok());
-                        model.insert(n, Vec::new());
+                    match model.entry(n) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            prop_assert!(real.is_ok());
+                            e.insert(Vec::new());
+                        }
                     }
                 }
                 Op::Write(f, off, data) => {

@@ -5,31 +5,129 @@
 //! simulation Waldo runs as an ordinary (but observation-exempt)
 //! process: it learns about closed log files from the volume's
 //! rotation queue (the inotify stand-in), reads them through normal
-//! system calls, ingests them into the [`ProvDb`] and removes them.
+//! system calls, ingests them into the sharded [`Store`] and removes
+//! them.
+//!
+//! Ingestion is *batched with group commit*: entries parsed from
+//! rotated logs are staged and committed in groups of
+//! [`WaldoConfig::ingest_batch`] (spanning log files within one poll),
+//! instead of the original record-at-a-time inserts. A log file is
+//! unlinked only once every one of its entries has committed, and the
+//! store keeps a per-file committed high-water mark, so a daemon that
+//! crashes between group commits replays only the uncommitted suffix
+//! of each surviving log — see
+//! `tests/group_commit.rs::crash_mid_batch_recovers_exactly_once`.
 
-use sim_os::proc::{MountId, Pid};
-use sim_os::syscall::Kernel;
+use sim_os::proc::{Fd, MountId, Pid};
+use sim_os::syscall::{Kernel, OpenFlags};
 
-use crate::db::{IngestStats, ProvDb};
+use crate::db::{IngestStats, WaldoConfig};
+use crate::store::Store;
 
 /// The Waldo daemon state.
 pub struct Waldo {
     /// The database Waldo maintains and serves to the query engine.
-    pub db: ProvDb,
+    pub db: Store,
     pid: Pid,
     processed_logs: u64,
+    /// Open fd of the database WAL file, when durability is attached:
+    /// every group commit appends its frame here and fsyncs.
+    db_fd: Option<Fd>,
+    /// Commit frames that failed to persist (write or fsync error).
+    wal_errors: u64,
+    /// True while the latest commit frame has not been durably
+    /// persisted; unlinking is blocked until a (re)persist succeeds.
+    frame_dirty: bool,
 }
 
 impl Waldo {
-    /// Creates a daemon running as `pid`. The caller must exempt the
-    /// pid from provenance observation (otherwise Waldo's own reads of
-    /// the log would generate provenance about provenance).
+    /// Creates a daemon running as `pid`, with the default storage
+    /// configuration. The caller must exempt the pid from provenance
+    /// observation (otherwise Waldo's own reads of the log would
+    /// generate provenance about provenance).
     pub fn new(pid: Pid) -> Waldo {
+        Waldo::with_config(pid, WaldoConfig::default())
+    }
+
+    /// Creates a daemon with explicit storage tuning.
+    pub fn with_config(pid: Pid, cfg: WaldoConfig) -> Waldo {
         Waldo {
-            db: ProvDb::new(),
+            db: Store::with_config(cfg),
             pid,
             processed_logs: 0,
+            db_fd: None,
+            wal_errors: 0,
+            frame_dirty: false,
         }
+    }
+
+    /// Adopts a database that survived a daemon restart (the committed
+    /// state of a crashed predecessor). Staged-but-uncommitted entries
+    /// are discarded — the next poll replays them from the logs that
+    /// were, by design, not yet unlinked.
+    pub fn resume(pid: Pid, mut db: Store) -> Waldo {
+        db.drop_staged();
+        Waldo {
+            db,
+            pid,
+            processed_logs: 0,
+            db_fd: None,
+            wal_errors: 0,
+            frame_dirty: false,
+        }
+    }
+
+    /// Attaches the database's durability device: `path` becomes the
+    /// WAL file every group commit appends its frame to (and fsyncs).
+    /// Without a device the store is memory-only, as before.
+    pub fn attach_db_device(
+        &mut self,
+        kernel: &mut Kernel,
+        path: &str,
+    ) -> Result<(), sim_os::fs::FsError> {
+        let fd = kernel.open(self.pid, path, OpenFlags::WRONLY_CREATE)?;
+        self.db_fd = Some(fd);
+        Ok(())
+    }
+
+    /// Persists the latest commit frame: one append plus one fsync on
+    /// the database device — the per-commit durability cost that group
+    /// commit amortizes. Returns false (and counts the failure) if
+    /// either operation errored; the caller must then keep the source
+    /// logs so the commit remains replayable.
+    fn persist_commit(&mut self, kernel: &mut Kernel) -> bool {
+        let Some(fd) = self.db_fd else { return true };
+        let frame = self.db.last_commit_frame().to_vec();
+        let ok = kernel.write(self.pid, fd, &frame).is_ok() && kernel.fsync(self.pid, fd).is_ok();
+        if !ok {
+            self.wal_errors += 1;
+        }
+        ok
+    }
+
+    /// Commits staged entries and persists the latest frame. Returns
+    /// true when it is safe to unlink fully committed source logs —
+    /// i.e. the newest frame is durably on the WAL device. A frame
+    /// whose persist failed earlier is retried here (each frame
+    /// carries the complete current marks, so persisting the latest
+    /// one supersedes any lost predecessor); until a persist succeeds,
+    /// every call keeps returning false and no log is unlinked.
+    fn commit_and_persist(&mut self, kernel: &mut Kernel, stats: &mut IngestStats) -> bool {
+        let before = self.db.commit_seq();
+        self.db.commit_staged(stats);
+        if self.db.commit_seq() != before {
+            self.frame_dirty = true;
+        }
+        if self.frame_dirty && self.persist_commit(kernel) {
+            self.frame_dirty = false;
+        }
+        !self.frame_dirty
+    }
+
+    /// Commit frames that failed to persist. Nonzero means some fully
+    /// committed logs were retained instead of unlinked.
+    pub fn wal_errors(&self) -> u64 {
+        self.wal_errors
     }
 
     /// The daemon's pid.
@@ -42,8 +140,10 @@ impl Waldo {
         self.processed_logs
     }
 
-    /// Polls one volume for rotated logs, ingesting and removing each.
-    /// `mount_path` is the volume's mount point (`"/"` or `"/mnt/x"`).
+    /// Polls one volume for rotated logs, ingesting (in group-commit
+    /// batches that may span files) and removing each fully committed
+    /// log. `mount_path` is the volume's mount point (`"/"` or
+    /// `"/mnt/x"`).
     pub fn poll_volume(
         &mut self,
         kernel: &mut Kernel,
@@ -54,31 +154,105 @@ impl Waldo {
             Some(d) => d.take_log_rotations(),
             None => return IngestStats::default(),
         };
+        let paths: Vec<String> = rotated
+            .into_iter()
+            .map(|rel| {
+                if mount_path == "/" {
+                    format!("/{rel}")
+                } else {
+                    format!("{mount_path}/{rel}")
+                }
+            })
+            .collect();
+        self.drain_logs(kernel, paths)
+    }
+
+    /// Reads, ingests and unlinks one log file, committing in the
+    /// configured batches. The observable database matches the
+    /// original record-at-a-time daemon; only commit granularity (and
+    /// therefore durability cost) differs.
+    pub fn ingest_log_file(&mut self, kernel: &mut Kernel, path: &str) -> IngestStats {
+        self.drain_logs(kernel, vec![path.to_string()])
+    }
+
+    /// The shared ingestion loop: stages each log's entries (skipping
+    /// any prefix a pre-crash predecessor already committed),
+    /// group-commits every `ingest_batch` entries — batches may span
+    /// files — and unlinks each log as soon as all of its entries have
+    /// committed.
+    fn drain_logs(&mut self, kernel: &mut Kernel, paths: Vec<String>) -> IngestStats {
         let mut total = IngestStats::default();
-        for rel in rotated {
-            let abs = if mount_path == "/" {
-                format!("/{rel}")
-            } else {
-                format!("{mount_path}/{rel}")
+        // (source handle, path, total entries) of each log read so
+        // far, for post-commit unlinking.
+        let mut files: Vec<(usize, String, usize)> = Vec::new();
+        let batch = self.db.config().ingest_batch.max(1);
+        for abs in paths {
+            let Ok(bytes) = kernel.read_file(self.pid, &abs) else {
+                continue;
             };
-            let stats = self.ingest_log_file(kernel, &abs);
-            total.applied += stats.applied;
-            total.pending += stats.pending;
-            total.txns_committed += stats.txns_committed;
+            let (entries, _tail) = lasagna::parse_log(&bytes);
+            let (src, mark) = self.db.register_source(&abs);
+            if mark == 0 {
+                // Fresh file: a new log image starts a new transaction
+                // scope. (A nonzero mark means we are resuming a
+                // partially committed file after a crash — the store's
+                // committed transaction context already sits exactly
+                // at the mark, so no reset.)
+                self.db.begin_stream();
+            }
+            let n = entries.len();
+            for e in entries.into_iter().skip(mark) {
+                self.db.stage(e, Some(src));
+                if self.db.staged_len() >= batch && self.commit_and_persist(kernel, &mut total) {
+                    self.unlink_committed(kernel, &mut files);
+                }
+            }
+            files.push((src, abs, n));
+            self.processed_logs += 1;
+        }
+        if self.commit_and_persist(kernel, &mut total) {
+            self.unlink_committed(kernel, &mut files);
         }
         total
     }
 
-    /// Reads, ingests and unlinks one log file.
-    pub fn ingest_log_file(&mut self, kernel: &mut Kernel, path: &str) -> IngestStats {
-        let Ok(bytes) = kernel.read_file(self.pid, path) else {
+    /// Rescans a volume's log directory after a restart and replays
+    /// every surviving *closed* log (all `log.N` except the
+    /// highest-numbered, which is the active log Lasagna is still
+    /// appending to). `poll_volume` cannot do this: it consumes the
+    /// in-memory rotation queue, which dies with the crashed daemon.
+    /// Logs a predecessor fully committed but did not unlink are
+    /// skipped via their recorded marks and removed; partially
+    /// committed ones resume from their high-water mark.
+    pub fn recover_volume(&mut self, kernel: &mut Kernel, mount_path: &str) -> IngestStats {
+        let dir = if mount_path == "/" {
+            "/.pass".to_string()
+        } else {
+            format!("{mount_path}/.pass")
+        };
+        let Ok(entries) = kernel.readdir(self.pid, &dir) else {
             return IngestStats::default();
         };
-        let (entries, _tail) = lasagna::parse_log(&bytes);
-        let stats = self.db.ingest(&entries);
-        let _ = kernel.unlink(self.pid, path);
-        self.processed_logs += 1;
-        stats
+        let mut logs: Vec<u64> = entries
+            .iter()
+            .filter_map(|e| e.name.strip_prefix("log.").and_then(|n| n.parse().ok()))
+            .collect();
+        logs.sort_unstable();
+        logs.pop(); // the active log stays
+        let paths = logs.into_iter().map(|n| format!("{dir}/log.{n}")).collect();
+        self.drain_logs(kernel, paths)
+    }
+
+    fn unlink_committed(&mut self, kernel: &mut Kernel, files: &mut Vec<(usize, String, usize)>) {
+        files.retain(|(src, path, total)| {
+            if self.db.source_fully_committed(*src, *total) {
+                let _ = kernel.unlink(self.pid, path);
+                self.db.forget_source(*src);
+                false
+            } else {
+                true
+            }
+        });
     }
 }
 
@@ -101,14 +275,14 @@ mod tests {
                 &[],
             )
             .ok();
-        sys.kernel.write_file(pid, "/in.dat", b"input bytes").unwrap();
+        sys.kernel
+            .write_file(pid, "/in.dat", b"input bytes")
+            .unwrap();
         let data = sys.kernel.read_file(pid, "/in.dat").unwrap();
         sys.kernel.write_file(pid, "/out.dat", &data).unwrap();
         sys.kernel.exit(pid);
 
-        let waldo_pid = sys.kernel.spawn_init("waldo");
-        sys.pass.exempt(waldo_pid);
-        let mut waldo = Waldo::new(waldo_pid);
+        let mut waldo = sys.spawn_waldo();
         for (mount, logs) in sys.rotate_all_logs() {
             let _ = mount;
             for log in logs {
@@ -123,9 +297,7 @@ mod tests {
         assert_eq!(outs.len(), 1, "output file must be indexed by name");
         let out_obj = waldo.db.object(outs[0]).unwrap();
         let v = dpapi::Version(out_obj.current);
-        let anc = waldo
-            .db
-            .ancestors(dpapi::ObjectRef::new(outs[0], v));
+        let anc = waldo.db.ancestors(dpapi::ObjectRef::new(outs[0], v));
         let ins = waldo.db.find_by_name("/in.dat");
         assert_eq!(ins.len(), 1);
         assert!(
@@ -134,7 +306,10 @@ mod tests {
         );
         // The process appears as a typed object on the path.
         let procs = waldo.db.find_by_type("PROC");
-        assert!(!procs.is_empty(), "the writing process must be materialized");
+        assert!(
+            !procs.is_empty(),
+            "the writing process must be materialized"
+        );
         assert!(anc.iter().any(|r| procs.contains(&r.pnode)));
     }
 
@@ -143,9 +318,7 @@ mod tests {
         let mut sys = System::single_volume();
         let pid = sys.spawn("sh");
         sys.kernel.write_file(pid, "/f", b"x").unwrap();
-        let waldo_pid = sys.kernel.spawn_init("waldo");
-        sys.pass.exempt(waldo_pid);
-        let mut waldo = Waldo::new(waldo_pid);
+        let mut waldo = sys.spawn_waldo();
 
         let (_, m, _) = sys.volumes[0];
         // Force rotation through the volume, then poll.
@@ -153,7 +326,7 @@ mod tests {
         let stats = waldo.poll_volume(&mut sys.kernel, m, "/");
         assert!(stats.applied > 0);
         // The processed log is gone from the log directory.
-        let entries = sys.kernel.readdir(waldo_pid, "/.pass").unwrap();
+        let entries = sys.kernel.readdir(waldo.pid(), "/.pass").unwrap();
         assert_eq!(
             entries.iter().filter(|e| e.name == "log.0").count(),
             0,
@@ -164,11 +337,56 @@ mod tests {
         assert_eq!(stats.applied, 0);
     }
 
+    /// A tiny ingest batch forces commits (and unlinks) that straddle
+    /// log files; the resulting database is identical to a one-shot
+    /// ingest.
+    #[test]
+    fn small_batches_span_files_and_match_one_shot_ingest() {
+        let run = |cfg: WaldoConfig| {
+            let mut sys = System::single_volume();
+            let pid = sys.spawn("sh");
+            for i in 0..10 {
+                sys.kernel
+                    .write_file(pid, &format!("/f{i}"), b"contents")
+                    .unwrap();
+            }
+            let (_, m, _) = sys.volumes[0];
+            sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+            let waldo_pid = sys.kernel.spawn_init("waldo");
+            sys.pass.exempt(waldo_pid);
+            let mut waldo = Waldo::with_config(waldo_pid, cfg);
+            let stats = waldo.poll_volume(&mut sys.kernel, m, "/");
+            (waldo, stats)
+        };
+        let (batched, bstats) = run(WaldoConfig {
+            shards: 8,
+            ingest_batch: 3,
+            ancestry_cache: 0,
+        });
+        let (oneshot, ostats) = run(WaldoConfig {
+            shards: 1,
+            ingest_batch: 1 << 20,
+            ancestry_cache: 0,
+        });
+        assert_eq!(bstats.applied, ostats.applied);
+        assert!(bstats.group_commits > ostats.group_commits);
+        assert_eq!(batched.db.object_count(), oneshot.db.object_count());
+        assert_eq!(batched.db.size(), oneshot.db.size());
+        for i in 0..10 {
+            assert_eq!(
+                batched.db.find_by_name(&format!("/f{i}")),
+                oneshot.db.find_by_name(&format!("/f{i}")),
+            );
+        }
+    }
+
     #[test]
     fn process_records_include_argv_and_name() {
         let mut sys = System::single_volume();
         let pid = sys.spawn("init");
-        sys.kernel.write_file(pid, "/bin-tool", b"ELF binary").unwrap();
+        sys.kernel
+            .write_file(pid, "/bin-tool", b"ELF binary")
+            .unwrap();
         sys.kernel
             .execve(
                 pid,
@@ -180,9 +398,7 @@ mod tests {
         sys.kernel.write_file(pid, "/result", b"out").unwrap();
         sys.kernel.exit(pid);
 
-        let waldo_pid = sys.kernel.spawn_init("waldo");
-        sys.pass.exempt(waldo_pid);
-        let mut waldo = Waldo::new(waldo_pid);
+        let mut waldo = sys.spawn_waldo();
         for (_, logs) in sys.rotate_all_logs() {
             for log in logs {
                 waldo.ingest_log_file(&mut sys.kernel, &log);
@@ -202,10 +418,7 @@ mod tests {
             .expect("the exec'd process must be recorded with its NAME");
         let obj = waldo.db.object(*tool).unwrap();
         let argv = obj.first_attr(&Attribute::Argv).expect("ARGV recorded");
-        assert_eq!(
-            argv,
-            &Value::StrList(vec!["tool".into(), "--flag".into()])
-        );
+        assert_eq!(argv, &Value::StrList(vec!["tool".into(), "--flag".into()]));
         let env = obj.first_attr(&Attribute::Env).expect("ENV recorded");
         assert_eq!(env, &Value::StrList(vec!["HOME=/root".into()]));
         // Both the binary file and the process bear the name (a

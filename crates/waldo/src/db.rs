@@ -1,17 +1,27 @@
-//! The provenance database.
+//! Core storage types of the provenance database.
 //!
-//! Waldo moves provenance from the Lasagna log into an indexed store
-//! that the query engine reads. The store is an OEM-style object
-//! database: objects (pnodes) carry per-version attribute lists and
-//! ancestry edges, plus secondary indexes by name, by type and by
-//! ancestor (the reverse edge index that makes descendant queries —
-//! "find everything tainted by this file" — cheap).
+//! The store is an OEM-style object database: objects (pnodes) carry
+//! per-version attribute lists and ancestry edges, plus secondary
+//! indexes by name, by type and by ancestor (the reverse edge index
+//! that makes descendant queries — "find everything tainted by this
+//! file" — cheap).
+//!
+//! The engine itself lives in two layers: the `shard` module owns one
+//! hash partition's object table and indexes, and
+//! [`crate::store::Store`] is the facade that routes, batches and
+//! caches across shards. This module keeps the storage value types
+//! they share. `ProvDb`, the name the rest of the workspace uses, is
+//! the sharded store.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
-use dpapi::wire::record_wire_size;
-use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version};
-use lasagna::LogEntry;
+use dpapi::{Attribute, ObjectRef, Value, Version};
+
+pub use crate::store::{Store, WaldoConfig};
+
+/// The provenance database. Historically a single map; now the
+/// sharded, batched [`Store`].
+pub type ProvDb = Store;
 
 /// One version of one object.
 #[derive(Clone, Debug, Default)]
@@ -36,7 +46,7 @@ pub struct ObjectEntry {
 }
 
 impl ObjectEntry {
-    fn at(&mut self, v: Version) -> &mut VersionEntry {
+    pub(crate) fn at(&mut self, v: Version) -> &mut VersionEntry {
         self.current = self.current.max(v.0);
         self.versions.entry(v.0).or_default()
     }
@@ -86,288 +96,16 @@ pub struct IngestStats {
     pub pending: usize,
     /// Transactions committed.
     pub txns_committed: usize,
-}
-
-/// The indexed provenance store.
-#[derive(Debug, Default)]
-pub struct ProvDb {
-    objects: HashMap<Pnode, ObjectEntry>,
-    /// name -> objects that bore it (at any version).
-    name_index: HashMap<String, Vec<Pnode>>,
-    /// type -> objects.
-    type_index: HashMap<String, Vec<Pnode>>,
-    /// ancestor pnode -> (descendant version-ref, edge attribute,
-    /// ancestor version).
-    reverse_index: HashMap<Pnode, Vec<(ObjectRef, Attribute, Version)>>,
-    /// Open provenance transactions (NFS chunked bundles).
-    pending_txns: HashMap<u64, Vec<LogEntry>>,
-    size: DbSize,
-}
-
-impl ProvDb {
-    /// Creates an empty store.
-    pub fn new() -> ProvDb {
-        ProvDb::default()
-    }
-
-    /// Number of objects known.
-    pub fn object_count(&self) -> usize {
-        self.objects.len()
-    }
-
-    /// Approximate store footprint.
-    pub fn size(&self) -> DbSize {
-        self.size
-    }
-
-    /// Transaction ids currently open (orphans if the stream ended).
-    pub fn open_txns(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.pending_txns.keys().copied().collect();
-        v.sort_unstable();
-        v
-    }
-
-    /// Drops an orphaned transaction's buffered records (the server
-    /// Waldo's garbage collection of §6.1.2).
-    pub fn discard_txn(&mut self, id: u64) -> usize {
-        self.pending_txns.remove(&id).map(|v| v.len()).unwrap_or(0)
-    }
-
-    /// Ingests a parsed log image.
-    pub fn ingest(&mut self, entries: &[LogEntry]) -> IngestStats {
-        let mut stats = IngestStats::default();
-        let mut current_txn: Option<u64> = None;
-        for e in entries {
-            match e {
-                LogEntry::TxnBegin { id } => {
-                    self.pending_txns.entry(*id).or_default();
-                    current_txn = Some(*id);
-                }
-                LogEntry::TxnEnd { id } => {
-                    if let Some(buf) = self.pending_txns.remove(id) {
-                        for b in &buf {
-                            self.apply(b);
-                            stats.applied += 1;
-                        }
-                        stats.txns_committed += 1;
-                    }
-                    if current_txn == Some(*id) {
-                        current_txn = None;
-                    }
-                }
-                other => match current_txn {
-                    Some(id) => {
-                        self.pending_txns.entry(id).or_default().push(other.clone());
-                        stats.pending += 1;
-                    }
-                    None => {
-                        self.apply(other);
-                        stats.applied += 1;
-                    }
-                },
-            }
-        }
-        stats
-    }
-
-    fn apply(&mut self, entry: &LogEntry) {
-        match entry {
-            LogEntry::Prov { subject, record } => self.apply_record(*subject, record),
-            LogEntry::DataWrite { subject, len, .. } => {
-                let e = self.objects.entry(subject.pnode).or_default().at(subject.version);
-                e.writes += 1;
-                e.bytes_written += u64::from(*len);
-                self.size.db_bytes += 44; // subject + offset + len + digest
-            }
-            LogEntry::TxnBegin { .. } | LogEntry::TxnEnd { .. } => {}
-        }
-    }
-
-    fn apply_record(&mut self, subject: ObjectRef, record: &ProvenanceRecord) {
-        self.size.db_bytes += record_wire_size(record) as u64 + 16;
-        match (&record.attribute, &record.value) {
-            (Attribute::Freeze, Value::Int(v)) => {
-                let obj = self.objects.entry(subject.pnode).or_default();
-                obj.at(Version(*v as u32));
-            }
-            (attr, Value::Xref(ancestor)) if attr.is_ancestry() => {
-                let obj = self.objects.entry(subject.pnode).or_default();
-                obj.at(subject.version)
-                    .inputs
-                    .push((attr.clone(), *ancestor));
-                self.reverse_index.entry(ancestor.pnode).or_default().push((
-                    subject,
-                    attr.clone(),
-                    ancestor.version,
-                ));
-                self.size.index_bytes += 36;
-            }
-            (Attribute::Name, Value::Str(name)) => {
-                let obj = self.objects.entry(subject.pnode).or_default();
-                obj.at(subject.version)
-                    .attrs
-                    .push((Attribute::Name, record.value.clone()));
-                let list = self.name_index.entry(name.clone()).or_default();
-                if !list.contains(&subject.pnode) {
-                    list.push(subject.pnode);
-                    self.size.index_bytes += name.len() as u64 + 12;
-                }
-            }
-            (Attribute::Type, Value::Str(ty)) => {
-                let obj = self.objects.entry(subject.pnode).or_default();
-                obj.at(subject.version)
-                    .attrs
-                    .push((Attribute::Type, record.value.clone()));
-                let list = self.type_index.entry(ty.clone()).or_default();
-                if !list.contains(&subject.pnode) {
-                    list.push(subject.pnode);
-                    self.size.index_bytes += ty.len() as u64 + 12;
-                }
-            }
-            _ => {
-                let obj = self.objects.entry(subject.pnode).or_default();
-                obj.at(subject.version)
-                    .attrs
-                    .push((record.attribute.clone(), record.value.clone()));
-            }
-        }
-    }
-
-    // ---- queries ----------------------------------------------------------
-
-    /// The object entry for `p`.
-    pub fn object(&self, p: Pnode) -> Option<&ObjectEntry> {
-        self.objects.get(&p)
-    }
-
-    /// All objects (unordered).
-    pub fn objects(&self) -> impl Iterator<Item = (&Pnode, &ObjectEntry)> {
-        self.objects.iter()
-    }
-
-    /// Objects that ever bore `name` — exact match. Names are path
-    /// strings; the query layer also supports suffix matching.
-    pub fn find_by_name(&self, name: &str) -> Vec<Pnode> {
-        self.name_index.get(name).cloned().unwrap_or_default()
-    }
-
-    /// Objects whose NAME ends with `suffix` (e.g. a file name without
-    /// its directory).
-    pub fn find_by_name_suffix(&self, suffix: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .name_index
-            .iter()
-            .filter(|(n, _)| n.ends_with(suffix))
-            .flat_map(|(_, ps)| ps.iter().copied())
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    /// Objects of TYPE `ty`.
-    pub fn find_by_type(&self, ty: &str) -> Vec<Pnode> {
-        self.type_index.get(ty).cloned().unwrap_or_default()
-    }
-
-    /// Direct ancestry edges of one version, including the implicit
-    /// edge to the previous version of the same object.
-    pub fn inputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
-        let mut out = Vec::new();
-        if let Some(obj) = self.objects.get(&r.pnode) {
-            out.extend(obj.inputs(r.version).iter().cloned());
-            if r.version.0 > 0 {
-                out.push((
-                    Attribute::Other("version".into()),
-                    ObjectRef::new(r.pnode, Version(r.version.0 - 1)),
-                ));
-            }
-        }
-        out
-    }
-
-    /// Direct descendants: version-refs that recorded `p` (at the
-    /// given version) as an input.
-    pub fn outputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
-        let mut out: Vec<(Attribute, ObjectRef)> = self
-            .reverse_index
-            .get(&r.pnode)
-            .map(|v| {
-                v.iter()
-                    .filter(|(_, _, av)| *av == r.version)
-                    .map(|(d, a, _)| (a.clone(), *d))
-                    .collect()
-            })
-            .unwrap_or_default();
-        // Implicit: the next version of the object descends from r.
-        if let Some(obj) = self.objects.get(&r.pnode) {
-            if obj.versions.contains_key(&(r.version.0 + 1)) {
-                out.push((
-                    Attribute::Other("version".into()),
-                    ObjectRef::new(r.pnode, Version(r.version.0 + 1)),
-                ));
-            }
-        }
-        out
-    }
-
-    /// Every descendant of `p` at any version — the transitive
-    /// closure over outputs (the malware-spread query of §3.2).
-    pub fn descendants(&self, p: Pnode) -> Vec<ObjectRef> {
-        let mut seen: HashSet<ObjectRef> = HashSet::new();
-        // Roots: every version of p recorded as a subject, plus every
-        // version of p some other object referenced as an ancestor
-        // (objects only ever seen as ancestors have no entry).
-        let mut roots: HashSet<ObjectRef> = self
-            .objects
-            .get(&p)
-            .map(|o| {
-                o.versions
-                    .keys()
-                    .map(|v| ObjectRef::new(p, Version(*v)))
-                    .collect()
-            })
-            .unwrap_or_default();
-        if let Some(refs) = self.reverse_index.get(&p) {
-            for (_, _, av) in refs {
-                roots.insert(ObjectRef::new(p, *av));
-            }
-        }
-        let mut work: Vec<ObjectRef> = roots.iter().copied().collect();
-        while let Some(r) = work.pop() {
-            for (_, d) in self.outputs_of(r) {
-                if seen.insert(d) {
-                    work.push(d);
-                }
-            }
-        }
-        let mut out: Vec<ObjectRef> = seen.into_iter().filter(|r| !roots.contains(r)).collect();
-        out.sort();
-        out
-    }
-
-    /// Every ancestor of `r` — transitive closure over inputs (the
-    /// anomaly-tracing query of §3.1).
-    pub fn ancestors(&self, r: ObjectRef) -> Vec<ObjectRef> {
-        let mut seen: HashSet<ObjectRef> = HashSet::new();
-        let mut work = vec![r];
-        while let Some(x) = work.pop() {
-            for (_, a) in self.inputs_of(x) {
-                if seen.insert(a) {
-                    work.push(a);
-                }
-            }
-        }
-        let mut out: Vec<ObjectRef> = seen.into_iter().collect();
-        out.sort();
-        out
-    }
+    /// Group commits that processed at least one entry (including
+    /// commits that only buffered transaction members).
+    pub group_commits: usize,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpapi::VolumeId;
+    use dpapi::{Pnode, ProvenanceRecord, VolumeId};
+    use lasagna::LogEntry;
 
     fn p(n: u64) -> Pnode {
         Pnode::new(VolumeId(1), n)
@@ -436,9 +174,7 @@ mod tests {
     #[test]
     fn version_specific_reverse_lookups() {
         let mut db = ProvDb::new();
-        db.ingest(&[
-            prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 3))),
-        ]);
+        db.ingest(&[prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 3)))]);
         // Outputs of 2@3 include 1@0; outputs of 2@1 do not.
         assert_eq!(db.outputs_of(r(2, 3)).len(), 1);
         assert!(db.outputs_of(r(2, 1)).is_empty());
@@ -480,7 +216,11 @@ mod tests {
         let mut db = ProvDb::new();
         let before = db.size();
         db.ingest(&[
-            prov(r(1, 0), Attribute::Name, Value::str("/a/long/path/name.dat")),
+            prov(
+                r(1, 0),
+                Attribute::Name,
+                Value::str("/a/long/path/name.dat"),
+            ),
             prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
         ]);
         let after = db.size();
@@ -523,5 +263,96 @@ mod tests {
             obj.first_attr(&Attribute::Name),
             Some(&Value::str("late-name"))
         );
+    }
+
+    // ---- sharded-store semantics -----------------------------------------
+
+    /// The same stream ingested at any batch granularity, with any
+    /// shard count, produces an identical database.
+    #[test]
+    fn batching_and_sharding_do_not_change_results() {
+        let entries: Vec<LogEntry> = (0..40u64)
+            .flat_map(|i| {
+                vec![
+                    prov(r(i, 0), Attribute::Name, Value::str(format!("/f{i}"))),
+                    prov(r(i, 0), Attribute::Type, Value::str("FILE")),
+                    prov(r(i, 0), Attribute::Input, Value::Xref(r(i / 2, 0))),
+                ]
+            })
+            .collect();
+        let mut reference = ProvDb::with_config(WaldoConfig::record_at_a_time());
+        for e in &entries {
+            reference.ingest(std::slice::from_ref(e));
+        }
+        for shards in [1, 4, 64] {
+            let mut db = ProvDb::with_config(WaldoConfig {
+                shards,
+                ingest_batch: 7,
+                ancestry_cache: 16,
+            });
+            db.ingest(&entries);
+            assert_eq!(db.object_count(), reference.object_count());
+            assert_eq!(db.size(), reference.size());
+            for i in 0..40u64 {
+                assert_eq!(
+                    db.find_by_name(&format!("/f{i}")),
+                    reference.find_by_name(&format!("/f{i}")),
+                );
+                assert_eq!(db.ancestors(r(i, 0)), reference.ancestors(r(i, 0)));
+                assert_eq!(db.descendants(p(i)), reference.descendants(p(i)));
+            }
+            assert_eq!(db.find_by_type("FILE"), reference.find_by_type("FILE"));
+        }
+    }
+
+    /// Repeated ancestry queries hit the cache; ingest into a touched
+    /// shard invalidates exactly the affected traversals.
+    #[test]
+    fn ancestry_cache_hits_and_per_shard_invalidation() {
+        let mut db = ProvDb::with_config(WaldoConfig {
+            shards: 8,
+            ingest_batch: 64,
+            ancestry_cache: 128,
+        });
+        db.ingest(&[
+            prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
+            prov(r(2, 0), Attribute::Input, Value::Xref(r(3, 0))),
+        ]);
+        let first = db.ancestors(r(1, 0));
+        let again = db.ancestors(r(1, 0));
+        assert_eq!(first, again);
+        let stats = db.cache_stats();
+        assert_eq!(stats.hits, 1, "second traversal must be a cache hit");
+        assert_eq!(stats.misses, 1);
+
+        // Extend the chain: 3 now depends on 4. The cached traversal
+        // for 1@0 read 3's shard, so it must be recomputed.
+        db.ingest(&[prov(r(3, 0), Attribute::Input, Value::Xref(r(4, 0)))]);
+        let extended = db.ancestors(r(1, 0));
+        assert!(extended.contains(&r(4, 0)), "stale cache entry served");
+        assert!(db.cache_stats().invalidated >= 1);
+    }
+
+    /// A query over shards untouched by an ingest stays cached.
+    #[test]
+    fn unrelated_ingest_keeps_cache_entries() {
+        let mut db = ProvDb::with_config(WaldoConfig {
+            shards: 64,
+            ingest_batch: 64,
+            ancestry_cache: 128,
+        });
+        db.ingest(&[prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0)))]);
+        let _ = db.ancestors(r(1, 0));
+        // Find a pnode routed to a shard the cached traversal did not
+        // touch, and ingest an unrelated record there.
+        let used: Vec<usize> = [1u64, 2].iter().map(|n| db.shard_of(p(*n))).collect();
+        let other = (10..1000u64)
+            .find(|n| !used.contains(&db.shard_of(p(*n))))
+            .expect("some pnode routes elsewhere in 64 shards");
+        db.ingest(&[prov(r(other, 0), Attribute::Name, Value::str("/unrelated"))]);
+        let _ = db.ancestors(r(1, 0));
+        let stats = db.cache_stats();
+        assert_eq!(stats.hits, 1, "unrelated ingest must not invalidate");
+        assert_eq!(stats.invalidated, 0);
     }
 }

@@ -1,12 +1,16 @@
-//! PQL graph adapter: [`ProvDb`] as a [`pql::GraphSource`].
+//! PQL graph adapter: the sharded [`Store`] as a [`pql::GraphSource`].
 //!
 //! Waldo "is also responsible for accessing the database on behalf of
 //! the query engine" (paper §5.6); this module is that access path.
+//! Edge expansions — the query evaluator's hot operation — go through
+//! the store's generation-validated edge cache, so repeating an
+//! ancestry query over an unchanged (or partially changed) database
+//! re-reads only the shards that moved.
 
 use dpapi::{Attribute, ObjectRef, Value, Version};
 use pql::{EdgeLabel, GraphSource};
 
-use crate::db::ProvDb;
+use crate::store::Store;
 
 /// The attribute label of the implicit previous-version edge.
 fn version_edge() -> Attribute {
@@ -39,7 +43,7 @@ fn attr_for_name(name: &str) -> Attribute {
     }
 }
 
-impl GraphSource for ProvDb {
+impl GraphSource for Store {
     fn class_members(&self, class: &str) -> Vec<ObjectRef> {
         let lower = class.to_ascii_lowercase();
         let pnodes: Vec<dpapi::Pnode> = if lower == "obj" {
@@ -79,25 +83,44 @@ impl GraphSource for ProvDb {
     }
 
     fn out_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
-        self.inputs_of(node)
-            .into_iter()
-            .filter(|(a, _)| edge_matches(label, a))
-            .map(|(_, r)| r)
-            .collect()
+        self.edges_cached(node, label, true, || {
+            self.inputs_of(node)
+                .into_iter()
+                .filter(|(a, _)| edge_matches(label, a))
+                .map(|(_, r)| r)
+                .collect()
+        })
     }
 
     fn in_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
-        self.outputs_of(node)
-            .into_iter()
-            .filter(|(a, _)| edge_matches(label, a))
-            .map(|(_, r)| r)
-            .collect()
+        self.edges_cached(node, label, false, || {
+            self.outputs_of(node)
+                .into_iter()
+                .filter(|(a, _)| edge_matches(label, a))
+                .map(|(_, r)| r)
+                .collect()
+        })
+    }
+
+    fn closure(&self, node: ObjectRef, label: &EdgeLabel, inverse: bool) -> Vec<ObjectRef> {
+        self.closure_cached(node, label, inverse, |n| {
+            let raw = if inverse {
+                self.outputs_of(n)
+            } else {
+                self.inputs_of(n)
+            };
+            raw.into_iter()
+                .filter(|(a, _)| edge_matches(label, a))
+                .map(|(_, r)| r)
+                .collect()
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::ProvDb;
     use dpapi::{Pnode, ProvenanceRecord, VolumeId};
     use lasagna::LogEntry;
 
@@ -190,5 +213,28 @@ mod tests {
         let nodes = rs.nodes();
         assert!(nodes.contains(&r(2, 0)), "proc descends from input");
         assert!(nodes.contains(&r(1, 0)), "output descends transitively");
+    }
+
+    /// Re-running a PQL ancestry query against an unchanged store
+    /// answers its `label+` closures from the cache; ingesting
+    /// afterwards invalidates only what the commit touched.
+    #[test]
+    fn repeated_queries_hit_the_closure_cache() {
+        let mut db = sample_db();
+        let q = "select D from Provenance.file as F F.input~+ as D \
+                 where F.name = '/data/anatomy1.img'";
+        let first = pql::query(q, &db).unwrap().nodes();
+        let before = db.closure_cache_stats();
+        let second = pql::query(q, &db).unwrap().nodes();
+        let after = db.closure_cache_stats();
+        assert_eq!(first, second);
+        assert!(
+            after.hits > before.hits,
+            "second run must hit the closure cache: {after:?}"
+        );
+        // New ancestry through pnode 3 must invalidate its closures.
+        db.ingest(&[prov(r(5, 0), Attribute::Input, Value::Xref(r(3, 0)))]);
+        let third = pql::query(q, &db).unwrap().nodes();
+        assert!(third.contains(&r(5, 0)), "stale closure cache served");
     }
 }

@@ -1,0 +1,874 @@
+//! The sharded provenance store.
+//!
+//! [`Store`] is the facade over N independent pnode-hash
+//! shards (`crate::shard`). It owns the three cross-shard concerns:
+//!
+//! * **routing** — a stable splitmix hash of `(volume, pnode number)`
+//!   picks a shard; the same pnode routes to the same shard forever,
+//!   independent of ingest order or batch boundaries;
+//! * **staged, group-committed ingestion** — parsed log entries are
+//!   staged, then applied in one atomic group per
+//!   [`WaldoConfig::ingest_batch`] entries. A commit groups its
+//!   entries by subject pnode and applies each run with one
+//!   object-table lookup (the batched fast path), then routes reverse
+//!   ancestry edges to their ancestors' shards. All durable state —
+//!   shards, open-transaction buffers, per-log-file high-water marks —
+//!   mutates only inside [`Store::commit_staged`], so a crash between
+//!   commits loses exactly the staged suffix and a restarted consumer
+//!   can replay a half-ingested log exactly once;
+//! * **query caches** — transitive `ancestors`/`descendants` closures
+//!   and per-node labelled edge lists are memoized in LRU caches
+//!   validated against per-shard generation counters; a commit bumps
+//!   only the shards it touched, so ingest invalidates precisely the
+//!   cached results that read those shards.
+//!
+//! Queries that existed on the old single-map `ProvDb` keep their
+//! exact semantics: point lookups route to one shard, index scans fan
+//! out and merge in pnode order.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+use dpapi::{Attribute, ObjectRef, Pnode, Version};
+use lasagna::LogEntry;
+use pql::EdgeLabel;
+
+use crate::cache::{CacheStats, ShardSnapshot, TraversalCache};
+use crate::db::{DbSize, IngestStats, ObjectEntry};
+use crate::shard::{ReverseEdge, Shard};
+
+/// Tuning knobs for the storage engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaldoConfig {
+    /// Number of hash shards. Rounded up to a power of two, capped at
+    /// 64 (shard membership must fit the caches' one-word bitmask).
+    pub shards: usize,
+    /// Entries per group commit while draining logs. `1` reproduces
+    /// the record-at-a-time daemon of the original system.
+    pub ingest_batch: usize,
+    /// Capacity of each query cache (ancestry closures and edge
+    /// lists); `0` disables caching.
+    pub ancestry_cache: usize,
+}
+
+impl Default for WaldoConfig {
+    fn default() -> WaldoConfig {
+        WaldoConfig {
+            shards: 8,
+            ingest_batch: 64,
+            ancestry_cache: 4096,
+        }
+    }
+}
+
+impl WaldoConfig {
+    /// The original engine's behavior: one shard, one commit per
+    /// record, no query cache. Kept so experiments can compare
+    /// against it.
+    pub fn record_at_a_time() -> WaldoConfig {
+        WaldoConfig {
+            shards: 1,
+            ingest_batch: 1,
+            ancestry_cache: 0,
+        }
+    }
+
+    fn effective_shards(&self) -> usize {
+        self.shards.clamp(1, 64).next_power_of_two().min(64)
+    }
+}
+
+/// One staged item, waiting for the next group commit.
+#[derive(Debug)]
+enum Staged {
+    /// A parsed entry, optionally tagged with the registered source
+    /// file it was read from (for replay marks).
+    Entry {
+        entry: LogEntry,
+        source: Option<usize>,
+    },
+    /// A log-image boundary: the open-transaction association resets
+    /// here (transaction ids never span log images).
+    StreamReset,
+}
+
+/// Where one to-be-applied entry lives during transaction routing:
+/// in the caller's input slice, or in a buffer flushed out of a
+/// completed transaction.
+enum PlanItem {
+    Input(usize),
+    Flushed(usize),
+}
+
+/// Per-source-file replay bookkeeping.
+#[derive(Clone, Debug)]
+struct SourceFile {
+    path: String,
+    /// Entries of this file whose effects are durably committed (the
+    /// replay high-water mark).
+    committed_mark: usize,
+}
+
+/// Cache key for memoized ancestry closures: (pnode, version,
+/// is_ancestors). Version is 0 for descendant queries, which are
+/// per-pnode.
+type AncestryKey = (Pnode, u32, bool);
+
+/// Cache key for memoized edge lists: (node, label, is_outgoing).
+type EdgeKey = (ObjectRef, EdgeLabel, bool);
+
+/// The sharded, batched, cached provenance store.
+pub struct Store {
+    cfg: WaldoConfig,
+    shards: Vec<Shard>,
+    shard_mask: u64,
+    /// Open provenance transactions (NFS chunked bundles). Committed
+    /// state: mutated only during [`Store::commit_staged`].
+    pending_txns: HashMap<u64, Vec<LogEntry>>,
+    /// The transaction the committed prefix of the stream is inside,
+    /// if any. Committed state, like `pending_txns`.
+    commit_txn: Option<u64>,
+    /// Items staged for the next group commit (lost on crash).
+    staged: Vec<Staged>,
+    /// Count of `Staged::Entry` items in `staged` (kept so batch
+    /// checks are O(1)).
+    staged_entries: usize,
+    /// Files with staged or partially committed entries. Slots of
+    /// forgotten files are recycled via `free_sources`.
+    source_files: Vec<SourceFile>,
+    /// Indices in `source_files` available for reuse.
+    free_sources: Vec<usize>,
+    /// Per-shard generation vector handed to the caches.
+    gens: Vec<u64>,
+    /// Monotonic group-commit sequence number.
+    commit_seq: u64,
+    /// The last commit's durability frame (seq, applied count,
+    /// touched-shard generations, CRC). Writing this frame is the
+    /// per-commit cost that group commit amortizes; a persistent
+    /// backend would fsync it.
+    commit_frame: Vec<u8>,
+    /// Reusable scratch: per-shard buckets of apply-list indices.
+    bucket_scratch: Vec<Vec<u32>>,
+    /// Memoized ancestry/descendant closures.
+    ancestry_cache: RefCell<TraversalCache<AncestryKey, Vec<ObjectRef>>>,
+    /// Memoized per-node labelled edge lists (the PQL hot path).
+    edge_cache: RefCell<TraversalCache<EdgeKey, Vec<ObjectRef>>>,
+    /// Memoized whole reachability closures, keyed like edge lists —
+    /// what repeated PQL `label*`/`label+` queries hit.
+    closure_cache: RefCell<TraversalCache<EdgeKey, Vec<ObjectRef>>>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("cfg", &self.cfg)
+            .field("objects", &self.object_count())
+            .field("staged", &self.staged.len())
+            .field("open_txns", &self.pending_txns.len())
+            .finish()
+    }
+}
+
+impl Default for Store {
+    fn default() -> Store {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// Creates an empty store with the default configuration.
+    pub fn new() -> Store {
+        Store::with_config(WaldoConfig::default())
+    }
+
+    /// Creates an empty store with explicit tuning knobs.
+    pub fn with_config(cfg: WaldoConfig) -> Store {
+        let n = cfg.effective_shards();
+        Store {
+            cfg,
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            shard_mask: (n - 1) as u64,
+            pending_txns: HashMap::new(),
+            commit_txn: None,
+            staged: Vec::new(),
+            staged_entries: 0,
+            source_files: Vec::new(),
+            free_sources: Vec::new(),
+            gens: vec![0; n],
+            commit_seq: 0,
+            commit_frame: Vec::new(),
+            bucket_scratch: (0..n).map(|_| Vec::new()).collect(),
+            ancestry_cache: RefCell::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
+            edge_cache: RefCell::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
+            closure_cache: RefCell::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
+        }
+    }
+
+    /// The configuration the store was built with (shard count
+    /// normalized to the effective power of two).
+    pub fn config(&self) -> WaldoConfig {
+        WaldoConfig {
+            shards: self.shards.len(),
+            ..self.cfg
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `p` is homed on. Stable: depends only on the pnode
+    /// and the shard count, never on ingest order or batching.
+    pub fn shard_of(&self, p: Pnode) -> usize {
+        (mix_pnode(p) & self.shard_mask) as usize
+    }
+
+    fn shard(&self, p: Pnode) -> &Shard {
+        &self.shards[self.shard_of(p)]
+    }
+
+    /// The generation of one shard (bumped per commit touching it).
+    pub fn shard_generation(&self, shard: usize) -> u64 {
+        self.shards[shard].generation
+    }
+
+    /// Ancestry-closure cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ancestry_cache.borrow().stats
+    }
+
+    /// Edge-list cache counters (the PQL hot path).
+    pub fn edge_cache_stats(&self) -> CacheStats {
+        self.edge_cache.borrow().stats
+    }
+
+    /// Closure cache counters (repeated PQL `label*`/`label+` steps).
+    pub fn closure_cache_stats(&self) -> CacheStats {
+        self.closure_cache.borrow().stats
+    }
+
+    // ---- ingestion --------------------------------------------------------
+
+    /// Ingests a parsed log image as one group commit. This is the old
+    /// `ProvDb::ingest` surface — semantics (transaction buffering
+    /// across calls, stats) are unchanged — but entries are applied by
+    /// reference, without passing through the staging queue.
+    pub fn ingest(&mut self, entries: &[LogEntry]) -> IngestStats {
+        let mut stats = IngestStats::default();
+        // Direct ingest may not reorder around entries a daemon staged
+        // earlier: flush them first, as their own commit. Their counts
+        // belong to that commit, not to this call's return value.
+        if !self.staged.is_empty() {
+            let mut flush_stats = IngestStats::default();
+            self.commit_staged(&mut flush_stats);
+        }
+        // A new log image starts a new transaction scope.
+        self.commit_txn = None;
+        // Transaction routing, in arrival order. `plan` records which
+        // entries this commit applies: positions in `entries`, or in
+        // the `flushed` buffers pulled out of completed transactions.
+        // This mirrors the owned-entry routing in `commit_staged` —
+        // kept separate so this path can borrow instead of clone; the
+        // `batching_is_transparent` property test holds the two
+        // equivalent.
+        let mut flushed: Vec<LogEntry> = Vec::new();
+        let mut plan: Vec<PlanItem> = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            match entry {
+                LogEntry::TxnBegin { id } => {
+                    self.pending_txns.entry(*id).or_default();
+                    self.commit_txn = Some(*id);
+                }
+                LogEntry::TxnEnd { id } => {
+                    if let Some(buf) = self.pending_txns.remove(id) {
+                        let start = flushed.len();
+                        flushed.extend(buf);
+                        plan.extend((start..flushed.len()).map(PlanItem::Flushed));
+                        stats.txns_committed += 1;
+                    }
+                    if self.commit_txn == Some(*id) {
+                        self.commit_txn = None;
+                    }
+                }
+                _ => match self.commit_txn {
+                    Some(id) => {
+                        self.pending_txns.entry(id).or_default().push(entry.clone());
+                        stats.pending += 1;
+                    }
+                    None => plan.push(PlanItem::Input(i)),
+                },
+            }
+        }
+        let apply: Vec<&LogEntry> = plan
+            .iter()
+            .map(|p| match p {
+                PlanItem::Input(i) => &entries[*i],
+                PlanItem::Flushed(i) => &flushed[*i],
+            })
+            .collect();
+        let touched = self.apply_group(&apply, &mut stats);
+        if !entries.is_empty() {
+            stats.group_commits += 1;
+            self.write_commit_frame(apply.len() as u64, touched);
+        }
+        stats
+    }
+
+    /// Marks a log-image boundary in the staged stream: the open
+    /// transaction id of one image never carries into the next
+    /// (matching the original per-image semantics). Do **not** call
+    /// this when resuming a partially committed file after a crash —
+    /// the store's committed transaction context is precisely the
+    /// context at the file's high-water mark.
+    pub fn begin_stream(&mut self) {
+        self.staged.push(Staged::StreamReset);
+    }
+
+    /// Registers a log file for replay tracking; returns its source
+    /// handle and the number of leading entries already committed
+    /// (nonzero after a crash between group commits — skip those).
+    pub fn register_source(&mut self, path: &str) -> (usize, usize) {
+        if let Some(i) = self
+            .source_files
+            .iter()
+            .position(|s| !s.path.is_empty() && s.path == path)
+        {
+            return (i, self.source_files[i].committed_mark);
+        }
+        let slot = SourceFile {
+            path: path.to_string(),
+            committed_mark: 0,
+        };
+        match self.free_sources.pop() {
+            Some(i) => {
+                self.source_files[i] = slot;
+                (i, 0)
+            }
+            None => {
+                self.source_files.push(slot);
+                (self.source_files.len() - 1, 0)
+            }
+        }
+    }
+
+    /// Stages one entry for the next group commit. No durable state
+    /// changes here: transaction routing happens at commit time.
+    pub fn stage(&mut self, entry: LogEntry, source: Option<usize>) {
+        self.staged.push(Staged::Entry { entry, source });
+        self.staged_entries += 1;
+    }
+
+    /// Number of entries staged for the next commit.
+    pub fn staged_len(&self) -> usize {
+        self.staged_entries
+    }
+
+    /// Applies every staged entry as one atomic group commit:
+    /// transaction markers are resolved in arrival order, appliable
+    /// entries are grouped by subject pnode per shard (one
+    /// object-table lookup per run), reverse ancestry edges are routed
+    /// to their ancestors' shards, source-file marks advance, and each
+    /// touched shard's generation is bumped exactly once.
+    pub fn commit_staged(&mut self, stats: &mut IngestStats) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        let entries_processed = self.staged_entries;
+        self.staged_entries = 0;
+
+        // Transaction routing, in arrival order. Produces the flat
+        // list of entries this commit applies. Buffered transaction
+        // members are durable once this commit returns (they live in
+        // `pending_txns`), so their source marks advance now; their
+        // effects apply when their TxnEnd commits. Mirrors the
+        // borrowed-entry routing in `ingest` (see the note there).
+        let mut apply: Vec<LogEntry> = Vec::with_capacity(staged.len());
+        for item in staged {
+            let (entry, source) = match item {
+                Staged::StreamReset => {
+                    self.commit_txn = None;
+                    continue;
+                }
+                Staged::Entry { entry, source } => (entry, source),
+            };
+            if let Some(src) = source {
+                self.source_files[src].committed_mark += 1;
+            }
+            match &entry {
+                LogEntry::TxnBegin { id } => {
+                    self.pending_txns.entry(*id).or_default();
+                    self.commit_txn = Some(*id);
+                }
+                LogEntry::TxnEnd { id } => {
+                    if let Some(buf) = self.pending_txns.remove(id) {
+                        apply.extend(buf);
+                        stats.txns_committed += 1;
+                    }
+                    if self.commit_txn == Some(*id) {
+                        self.commit_txn = None;
+                    }
+                }
+                _ => match self.commit_txn {
+                    Some(id) => {
+                        self.pending_txns.entry(id).or_default().push(entry);
+                        stats.pending += 1;
+                    }
+                    None => apply.push(entry),
+                },
+            }
+        }
+        let refs: Vec<&LogEntry> = apply.iter().collect();
+        let touched = self.apply_group(&refs, stats);
+        // A commit that only buffered transaction members (or only
+        // consumed markers) still advanced committed state — the
+        // pending-transaction buffers and source marks — so its
+        // durability frame must be written too, or a consumer
+        // recovering from the last persisted frame would replay those
+        // entries twice.
+        if entries_processed > 0 {
+            stats.group_commits += 1;
+            self.write_commit_frame(apply.len() as u64, touched);
+        }
+    }
+
+    /// Applies one commit's entries as an atomic group: entries are
+    /// bucketed by shard (preserving arrival order) and grouped into
+    /// consecutive same-subject runs, so each run costs one
+    /// object-table lookup; reverse ancestry edges are then routed to
+    /// their ancestors' shards; finally each touched shard's
+    /// generation is bumped exactly once. Returns the touched-shard
+    /// mask; the caller finalizes the commit (sequence number,
+    /// durability frame).
+    fn apply_group(&mut self, apply: &[&LogEntry], stats: &mut IngestStats) -> u64 {
+        let mut touched: u64 = 0;
+        let mut reverse: Vec<ReverseEdge> = Vec::new();
+        let mut buckets = std::mem::take(&mut self.bucket_scratch);
+        for (i, entry) in apply.iter().enumerate() {
+            if let Some(p) = subject_of(entry) {
+                let shard = (mix_pnode(p) & self.shard_mask) as usize;
+                buckets[shard].push(i as u32);
+            }
+        }
+        let mut run: Vec<&LogEntry> = Vec::new();
+        for (i, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            touched |= 1 << i;
+            let shard = &mut self.shards[i];
+            let mut run_start = 0;
+            while run_start < bucket.len() {
+                let pnode = subject_of(apply[bucket[run_start] as usize])
+                    .expect("bucketed entries have subjects");
+                let mut run_end = run_start + 1;
+                while run_end < bucket.len()
+                    && subject_of(apply[bucket[run_end] as usize]) == Some(pnode)
+                {
+                    run_end += 1;
+                }
+                run.clear();
+                run.extend(
+                    bucket[run_start..run_end]
+                        .iter()
+                        .map(|&j| apply[j as usize]),
+                );
+                shard.apply_run(pnode, &run, &mut reverse);
+                stats.applied += run_end - run_start;
+                run_start = run_end;
+            }
+        }
+        for bucket in &mut buckets {
+            bucket.clear();
+        }
+        self.bucket_scratch = buckets;
+        for edge in reverse {
+            let i = (mix_pnode(edge.0) & self.shard_mask) as usize;
+            touched |= 1 << i;
+            self.shards[i].add_reverse_edge(edge);
+        }
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if touched & (1 << i) != 0 {
+                shard.generation += 1;
+                self.gens[i] = shard.generation;
+            }
+        }
+        touched
+    }
+
+    /// Serializes the commit's durability record: sequence number,
+    /// applied-entry count, touched-shard mask, the new generation of
+    /// every touched shard, and the replay high-water mark of every
+    /// active source log, closed with a CRC. Writing and syncing the
+    /// frame (see `Waldo::attach_db_device`) is the per-commit cost
+    /// that batching amortizes.
+    ///
+    /// Scope: recovery in this system pairs a surviving committed
+    /// store (`Waldo::resume` + `Waldo::recover_volume`) with the
+    /// source logs, which are never unlinked before full commit; the
+    /// frame is the accounting a persistent backend would fsync. A
+    /// backend recovering from frames *alone* would additionally need
+    /// the open-transaction buffers persisted — they live in
+    /// `pending_txns`, whose members' marks advance when buffered —
+    /// which is future work, not something frames currently carry.
+    fn write_commit_frame(&mut self, applied: u64, touched: u64) {
+        self.commit_seq += 1;
+        let frame = &mut self.commit_frame;
+        frame.clear();
+        frame.extend_from_slice(&self.commit_seq.to_le_bytes());
+        frame.extend_from_slice(&applied.to_le_bytes());
+        frame.extend_from_slice(&touched.to_le_bytes());
+        for (i, shard) in self.shards.iter().enumerate() {
+            if touched & (1 << i) != 0 {
+                frame.extend_from_slice(&shard.generation.to_le_bytes());
+            }
+        }
+        for src in &self.source_files {
+            if !src.path.is_empty() {
+                frame.extend_from_slice(&lasagna::crc32(src.path.as_bytes()).to_le_bytes());
+                frame.extend_from_slice(&(src.committed_mark as u64).to_le_bytes());
+            }
+        }
+        let crc = lasagna::crc32(frame);
+        frame.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// The durability frame of the most recent group commit.
+    pub fn last_commit_frame(&self) -> &[u8] {
+        &self.commit_frame
+    }
+
+    /// Number of group commits performed over the store's lifetime.
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// Discards staged-but-uncommitted items — the state a crash would
+    /// lose. Committed state (shards, open-transaction buffers, source
+    /// marks) survives, exactly like a database that crashed between
+    /// group commits.
+    pub fn drop_staged(&mut self) {
+        self.staged.clear();
+        self.staged_entries = 0;
+    }
+
+    /// True if every entry of registered source `src` has committed,
+    /// given the file held `total` entries.
+    pub fn source_fully_committed(&self, src: usize, total: usize) -> bool {
+        self.source_files[src].committed_mark >= total
+    }
+
+    /// Forgets replay state for `src` (call after unlinking the file;
+    /// a future log reusing the same path starts fresh, and the slot
+    /// is recycled so long-running daemons don't accumulate
+    /// tombstones).
+    pub fn forget_source(&mut self, src: usize) {
+        self.source_files[src] = SourceFile {
+            path: String::new(),
+            committed_mark: 0,
+        };
+        self.free_sources.push(src);
+    }
+
+    /// Transaction ids currently open (orphans if the stream ended).
+    pub fn open_txns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pending_txns.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drops an orphaned transaction's buffered records (the server
+    /// Waldo's garbage collection of §6.1.2).
+    pub fn discard_txn(&mut self, id: u64) -> usize {
+        if self.commit_txn == Some(id) {
+            self.commit_txn = None;
+        }
+        self.pending_txns.remove(&id).map(|v| v.len()).unwrap_or(0)
+    }
+
+    // ---- queries ----------------------------------------------------------
+
+    /// Number of objects known.
+    pub fn object_count(&self) -> usize {
+        self.shards.iter().map(|s| s.objects.len()).sum()
+    }
+
+    /// Approximate store footprint (summed over shards).
+    pub fn size(&self) -> DbSize {
+        let mut total = DbSize::default();
+        for s in &self.shards {
+            total.db_bytes += s.size.db_bytes;
+            total.index_bytes += s.size.index_bytes;
+        }
+        total
+    }
+
+    /// The object entry for `p`.
+    pub fn object(&self, p: Pnode) -> Option<&ObjectEntry> {
+        self.shard(p).objects.get(&p)
+    }
+
+    /// All objects (unordered).
+    pub fn objects(&self) -> impl Iterator<Item = (&Pnode, &ObjectEntry)> {
+        self.shards.iter().flat_map(|s| s.objects.iter())
+    }
+
+    /// Objects that ever bore `name` — exact match, merged across
+    /// shards in pnode order.
+    pub fn find_by_name(&self, name: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.name_index.get(name))
+            .flat_map(|ps| ps.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Objects whose NAME ends with `suffix` (e.g. a file name without
+    /// its directory).
+    pub fn find_by_name_suffix(&self, suffix: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.name_index.iter())
+            .filter(|(n, _)| n.ends_with(suffix))
+            .flat_map(|(_, ps)| ps.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Objects of TYPE `ty`, merged across shards in pnode order.
+    pub fn find_by_type(&self, ty: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.type_index.get(ty))
+            .flat_map(|ps| ps.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Direct ancestry edges of one version, including the implicit
+    /// edge to the previous version of the same object.
+    pub fn inputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
+        let mut out = Vec::new();
+        if let Some(obj) = self.shard(r.pnode).objects.get(&r.pnode) {
+            out.extend(obj.inputs(r.version).iter().cloned());
+            if r.version.0 > 0 {
+                out.push((
+                    Attribute::Other("version".into()),
+                    ObjectRef::new(r.pnode, Version(r.version.0 - 1)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Direct descendants: version-refs that recorded `p` (at the
+    /// given version) as an input.
+    pub fn outputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
+        let shard = self.shard(r.pnode);
+        let mut out: Vec<(Attribute, ObjectRef)> = shard
+            .reverse_index
+            .get(&r.pnode)
+            .map(|v| {
+                v.iter()
+                    .filter(|(_, _, av)| *av == r.version)
+                    .map(|(d, a, _)| (a.clone(), *d))
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Implicit: the next version of the object descends from r.
+        if let Some(obj) = shard.objects.get(&r.pnode) {
+            if obj.versions.contains_key(&(r.version.0 + 1)) {
+                out.push((
+                    Attribute::Other("version".into()),
+                    ObjectRef::new(r.pnode, Version(r.version.0 + 1)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Labelled edge expansion with memoization — the PQL hot path.
+    /// `outgoing` edges are ancestry inputs; incoming are descendants.
+    pub(crate) fn edges_cached<F>(
+        &self,
+        node: ObjectRef,
+        label: &EdgeLabel,
+        outgoing: bool,
+        compute: F,
+    ) -> Vec<ObjectRef>
+    where
+        F: FnOnce() -> Vec<ObjectRef>,
+    {
+        if self.cfg.ancestry_cache == 0 {
+            return compute();
+        }
+        let key: EdgeKey = (node, label.clone(), outgoing);
+        if let Some(hit) = self.edge_cache.borrow_mut().lookup(&key, &self.gens) {
+            return hit;
+        }
+        let out = compute();
+        let mut snapshot = ShardSnapshot::default();
+        self.touch_snapshot(&mut snapshot, node.pnode);
+        self.edge_cache
+            .borrow_mut()
+            .store(key, out.clone(), snapshot);
+        out
+    }
+
+    /// Memoized labelled reachability closure — what PQL's `label*`
+    /// and `label+` path steps call. `expand` yields one node's
+    /// matching edges; the BFS records every shard it reads so the
+    /// cached closure is invalidated only by commits that touched one
+    /// of them.
+    pub(crate) fn closure_cached<F>(
+        &self,
+        node: ObjectRef,
+        label: &EdgeLabel,
+        inverse: bool,
+        expand: F,
+    ) -> Vec<ObjectRef>
+    where
+        F: Fn(ObjectRef) -> Vec<ObjectRef>,
+    {
+        let cache_on = self.cfg.ancestry_cache > 0;
+        let key: EdgeKey = (node, label.clone(), inverse);
+        if cache_on {
+            if let Some(hit) = self.closure_cache.borrow_mut().lookup(&key, &self.gens) {
+                return hit;
+            }
+        }
+        let mut snapshot = ShardSnapshot::default();
+        let mut seen: HashSet<ObjectRef> = HashSet::new();
+        seen.insert(node);
+        let mut out: Vec<ObjectRef> = Vec::new();
+        let mut frontier = vec![node];
+        while let Some(n) = frontier.pop() {
+            self.touch_snapshot(&mut snapshot, n.pnode);
+            for m in expand(n) {
+                if seen.insert(m) {
+                    out.push(m);
+                    frontier.push(m);
+                }
+            }
+        }
+        out.sort();
+        if cache_on {
+            self.closure_cache
+                .borrow_mut()
+                .store(key, out.clone(), snapshot);
+        }
+        out
+    }
+
+    /// Every descendant of `p` at any version — the transitive
+    /// closure over outputs (the malware-spread query of §3.2).
+    /// Memoized; see the module docs for invalidation.
+    pub fn descendants(&self, p: Pnode) -> Vec<ObjectRef> {
+        let key: AncestryKey = (p, 0, false);
+        if self.cfg.ancestry_cache > 0 {
+            if let Some(hit) = self.ancestry_cache.borrow_mut().lookup(&key, &self.gens) {
+                return hit;
+            }
+        }
+        let mut snapshot = ShardSnapshot::default();
+        self.touch_snapshot(&mut snapshot, p);
+        let mut seen: HashSet<ObjectRef> = HashSet::new();
+        // Roots: every version of p recorded as a subject, plus every
+        // version of p some other object referenced as an ancestor
+        // (objects only ever seen as ancestors have no entry).
+        let mut roots: HashSet<ObjectRef> = self
+            .object(p)
+            .map(|o| {
+                o.versions
+                    .keys()
+                    .map(|v| ObjectRef::new(p, Version(*v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if let Some(refs) = self.shard(p).reverse_index.get(&p) {
+            for (_, _, av) in refs {
+                roots.insert(ObjectRef::new(p, *av));
+            }
+        }
+        let mut work: Vec<ObjectRef> = roots.iter().copied().collect();
+        while let Some(r) = work.pop() {
+            self.touch_snapshot(&mut snapshot, r.pnode);
+            for (_, d) in self.outputs_of(r) {
+                if seen.insert(d) {
+                    work.push(d);
+                }
+            }
+        }
+        let mut out: Vec<ObjectRef> = seen.into_iter().filter(|r| !roots.contains(r)).collect();
+        out.sort();
+        if self.cfg.ancestry_cache > 0 {
+            self.ancestry_cache
+                .borrow_mut()
+                .store(key, out.clone(), snapshot);
+        }
+        out
+    }
+
+    /// Every ancestor of `r` — transitive closure over inputs (the
+    /// anomaly-tracing query of §3.1). Memoized; see the module docs
+    /// for invalidation.
+    pub fn ancestors(&self, r: ObjectRef) -> Vec<ObjectRef> {
+        let key: AncestryKey = (r.pnode, r.version.0, true);
+        if self.cfg.ancestry_cache > 0 {
+            if let Some(hit) = self.ancestry_cache.borrow_mut().lookup(&key, &self.gens) {
+                return hit;
+            }
+        }
+        let mut snapshot = ShardSnapshot::default();
+        let mut seen: HashSet<ObjectRef> = HashSet::new();
+        let mut work = vec![r];
+        while let Some(x) = work.pop() {
+            self.touch_snapshot(&mut snapshot, x.pnode);
+            for (_, a) in self.inputs_of(x) {
+                if seen.insert(a) {
+                    work.push(a);
+                }
+            }
+        }
+        let mut out: Vec<ObjectRef> = seen.into_iter().collect();
+        out.sort();
+        if self.cfg.ancestry_cache > 0 {
+            self.ancestry_cache
+                .borrow_mut()
+                .store(key, out.clone(), snapshot);
+        }
+        out
+    }
+
+    fn touch_snapshot(&self, snapshot: &mut ShardSnapshot, p: Pnode) {
+        let i = self.shard_of(p);
+        snapshot.touch(i, self.shards[i].generation);
+    }
+}
+
+/// The subject pnode an entry's effects are homed on.
+fn subject_of(entry: &LogEntry) -> Option<Pnode> {
+    match entry {
+        LogEntry::Prov { subject, .. } | LogEntry::DataWrite { subject, .. } => Some(subject.pnode),
+        LogEntry::TxnBegin { .. } | LogEntry::TxnEnd { .. } => None,
+    }
+}
+
+/// Stable 64-bit mix of a pnode (splitmix64 finalizer over volume and
+/// number). Deliberately not `std`'s `RandomState`, which would give
+/// every store its own routing.
+fn mix_pnode(p: Pnode) -> u64 {
+    let mut z = (p.number ^ (u64::from(p.volume.0) << 32)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -59,7 +59,11 @@ impl Workload for Blast {
             let data = kernel.read(fdb, fd, self.input_bytes)?;
             kernel.close(fdb, fd)?;
             kernel.compute(self.search_cpu / 50);
-            kernel.write_file(fdb, &join(base, &format!("blast/{name}.phr")), &data[..1024])?;
+            kernel.write_file(
+                fdb,
+                &join(base, &format!("blast/{name}.phr")),
+                &data[..1024],
+            )?;
             kernel.exit(fdb);
         }
 
@@ -78,7 +82,11 @@ impl Workload for Blast {
             kernel.close(blast, fd)?;
         }
         kernel.compute(self.search_cpu);
-        kernel.write_file(blast, &join(base, "blast/hits.raw"), &vec![b'>'; 512 * 1024])?;
+        kernel.write_file(
+            blast,
+            &join(base, "blast/hits.raw"),
+            &vec![b'>'; 512 * 1024],
+        )?;
         kernel.exit(blast);
 
         // Perl massaging pipeline.

@@ -118,7 +118,12 @@ impl Workload for LinuxCompile {
 
         // Phase 3: link.
         let ld = kernel.fork(driver)?;
-        kernel.execve(ld, "/usr/bin/ld", &["ld".into(), "-o".into(), "vmlinux".into()], &[])?;
+        kernel.execve(
+            ld,
+            "/usr/bin/ld",
+            &["ld".into(), "-o".into(), "vmlinux".into()],
+            &[],
+        )?;
         let mut image = Vec::new();
         for u in 0..self.units {
             let d = self.dir_of(u);

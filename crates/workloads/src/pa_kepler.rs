@@ -62,10 +62,7 @@ impl Workload for PaKepler {
                 f: Rc::new(|ins: &[Token]| {
                     // Parse and extract the middle column.
                     let text = String::from_utf8_lossy(&ins[0].0).into_owned();
-                    let col: Vec<&str> = text
-                        .lines()
-                        .filter_map(|l| l.split(',').nth(1))
-                        .collect();
+                    let col: Vec<&str> = text.lines().filter_map(|l| l.split(',').nth(1)).collect();
                     Token(col.join("\n").into_bytes())
                 }),
                 cpu_units: self.cpu_per_stage,
@@ -126,7 +123,10 @@ mod tests {
             provenance_aware: false,
         };
         timed_run(&wl, &mut sys.kernel, driver, "/").unwrap();
-        let out = sys.kernel.read_file(driver, "/kepler/reformatted.txt").unwrap();
+        let out = sys
+            .kernel
+            .read_file(driver, "/kepler/reformatted.txt")
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         // Row 1: middle column is 3 -> 3*2+1 = 7.
         assert_eq!(text.lines().nth(1), Some("7"));

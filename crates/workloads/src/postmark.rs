@@ -156,7 +156,9 @@ mod tests {
             let driver = sys.spawn("sh");
             let mut wl = tiny();
             wl.seed = seed;
-            timed_run(&wl, &mut sys.kernel, driver, "/").unwrap().elapsed_ns
+            timed_run(&wl, &mut sys.kernel, driver, "/")
+                .unwrap()
+                .elapsed_ns
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

@@ -50,7 +50,10 @@ fn main() {
             "/home/presentation/figure-3.gif",
         )
         .unwrap();
-    let quote = sys.kernel.read_file(pid, "/home/downloads/quote.txt").unwrap();
+    let quote = sys
+        .kernel
+        .read_file(pid, "/home/downloads/quote.txt")
+        .unwrap();
     sys.kernel
         .write_file(pid, "/home/presentation/epigraph.txt", &quote)
         .unwrap();

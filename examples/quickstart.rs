@@ -32,7 +32,9 @@ fn main() {
         .unwrap();
     let data = sys.kernel.read_file(pid, "/in.dat").unwrap();
     let transformed: Vec<u8> = data.iter().map(|b| b.to_ascii_uppercase()).collect();
-    sys.kernel.write_file(pid, "/out.dat", &transformed).unwrap();
+    sys.kernel
+        .write_file(pid, "/out.dat", &transformed)
+        .unwrap();
     sys.kernel.exit(pid);
 
     // Waldo ingests the provenance log.

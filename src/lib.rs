@@ -3,8 +3,26 @@
 //!
 //! This meta-crate re-exports every subsystem of the workspace so that
 //! examples and integration tests can reach the whole stack through a
-//! single dependency. See `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-versus-measured record.
+//! single dependency:
+//!
+//! * [`passv2`] — the PASS module (interceptor/observer, analyzer,
+//!   distributor, libpass) and the Figure 2 system assembly;
+//! * [`sim_os`] — the deterministic simulated kernel everything runs
+//!   on;
+//! * [`lasagna`] — the stackable provenance-aware file system and its
+//!   write-ahead provenance log;
+//! * [`waldo`] — the sharded, batch-committed provenance database and
+//!   its polling daemon;
+//! * [`pql`] — the path query language;
+//! * [`dpapi`] — the disclosed-provenance API and wire format;
+//! * [`pa_nfs`], [`pa_python`], [`links`], [`kepler`] — the four
+//!   provenance-aware applications of §6;
+//! * [`workloads`] — the §7 evaluation workloads.
+//!
+//! The repository-level documents this crate is the index for:
+//! `DESIGN.md` (crate-to-component inventory and the storage engine's
+//! shard/batch data flow) and `EXPERIMENTS.md` (the paper-versus-
+//! measured record, with regeneration instructions).
 
 pub use dpapi;
 pub use kepler;

@@ -23,9 +23,7 @@ fn four_layer_stack_produces_one_connected_graph() {
     kernel.install_module(Pass::new_shared());
 
     let pid = kernel.spawn_init("pythonette");
-    kernel
-        .write_file(pid, "/input.xml", b"<v>41</v>")
-        .unwrap();
+    kernel.write_file(pid, "/input.xml", b"<v>41</v>").unwrap();
 
     let mut interp = Interp::new(pid);
     interp.wrap("refine"); // the PA "library" layer
@@ -94,7 +92,9 @@ fn cross_volume_ancestry_via_distributor() {
         .pass_volume("/b", VolumeId(2))
         .build();
     let pid = sys.kernel.spawn_init("mover");
-    sys.kernel.write_file(pid, "/a/src.dat", b"payload").unwrap();
+    sys.kernel
+        .write_file(pid, "/a/src.dat", b"payload")
+        .unwrap();
     let data = sys.kernel.read_file(pid, "/a/src.dat").unwrap();
     sys.kernel.write_file(pid, "/b/dst.dat", &data).unwrap();
     sys.kernel.exit(pid);
@@ -144,7 +144,9 @@ fn pipeline_provenance_through_pipes() {
     sys.kernel.write(producer, wfd, &data).unwrap();
     // consumer: reads the pipe, writes the output file.
     let got = sys.kernel.read(consumer, rfd, 100).unwrap();
-    sys.kernel.write_file(consumer, "/output.txt", &got).unwrap();
+    sys.kernel
+        .write_file(consumer, "/output.txt", &got)
+        .unwrap();
     sys.kernel.exit(consumer);
     sys.kernel.exit(producer);
 

@@ -15,9 +15,7 @@ fn scenario_db() -> (waldo::Waldo, System) {
         ("/bin/report", Some("/out.dat"), Some("/report.txt")),
     ] {
         let pid = sys.kernel.spawn_init(exe);
-        sys.kernel
-            .execve(pid, exe, &[exe.to_string()], &[])
-            .ok();
+        sys.kernel.execve(pid, exe, &[exe.to_string()], &[]).ok();
         let data = match input {
             Some(path) => sys.kernel.read_file(pid, path).unwrap(),
             None => b"seed".to_vec(),
@@ -117,11 +115,7 @@ fn subquery_connects_layers() {
         &w.db,
     )
     .unwrap();
-    let names: Vec<&str> = rs
-        .rows
-        .iter()
-        .filter_map(|r| r[0].as_str())
-        .collect();
+    let names: Vec<&str> = rs.rows.iter().filter_map(|r| r[0].as_str()).collect();
     assert!(names.contains(&"/bin/gen"));
     assert!(names.contains(&"/bin/filter"));
     assert!(names.contains(&"/bin/report"));

@@ -83,17 +83,19 @@ fn process_validation_library_upgrade() {
         write_file(out2, unrelated(d2));       # does not
     "#;
 
-    sys.kernel.write_file(pid, "/data1.xml", b"<t>97</t>").unwrap();
-    sys.kernel.write_file(pid, "/data2.xml", b"<t>82</t>").unwrap();
+    sys.kernel
+        .write_file(pid, "/data1.xml", b"<t>97</t>")
+        .unwrap();
+    sys.kernel
+        .write_file(pid, "/data2.xml", b"<t>82</t>")
+        .unwrap();
 
     // Run 1 with the old library.
     let mut i1 = Interp::new(pid);
     i1.wrap("calc_heat");
     i1.run(
         &mut sys.kernel,
-        &format!(
-            "let out1 = \"/r1-heat.out\"; let out2 = \"/r1-other.out\";{analysis}"
-        ),
+        &format!("let out1 = \"/r1-heat.out\"; let out2 = \"/r1-other.out\";{analysis}"),
     )
     .unwrap();
 
@@ -108,9 +110,7 @@ fn process_validation_library_upgrade() {
     i2.wrap("calc_heat");
     i2.run(
         &mut sys.kernel,
-        &format!(
-            "let out1 = \"/r2-heat.out\"; let out2 = \"/r2-other.out\";{analysis}"
-        ),
+        &format!("let out1 = \"/r2-heat.out\"; let out2 = \"/r2-other.out\";{analysis}"),
     )
     .unwrap();
 
@@ -128,40 +128,40 @@ fn process_validation_library_upgrade() {
     // Outputs affected by the bug: descend from BOTH the library (at
     // its new version — the process read it after the rewrite) AND a
     // calc_heat invocation.
-    let calc_invocations: Vec<dpapi::Pnode> = w
-        .db
-        .find_by_type("FUNCTION")
-        .into_iter()
-        .filter(|p| {
-            w.db.object(*p)
-                .and_then(|o| o.first_attr(&dpapi::Attribute::Name))
-                == Some(&dpapi::Value::str("calc_heat"))
-        })
-        .collect();
+    let calc_invocations: Vec<dpapi::Pnode> =
+        w.db.find_by_type("FUNCTION")
+            .into_iter()
+            .filter(|p| {
+                w.db.object(*p)
+                    .and_then(|o| o.first_attr(&dpapi::Attribute::Name))
+                    == Some(&dpapi::Value::str("calc_heat"))
+            })
+            .collect();
     assert_eq!(calc_invocations.len(), 2, "one calc invocation per run");
 
-    let affected: Vec<String> = ["/r1-heat.out", "/r1-other.out", "/r2-heat.out", "/r2-other.out"]
-        .iter()
-        .filter_map(|name| {
-            let p = *w
-                .db
-                .find_by_name(name)
-                .iter()
-                .find(|p| files.contains(p))?;
-            let obj = w.db.object(p)?;
-            let v = dpapi::Version(obj.current);
-            let anc = w.db.ancestors(dpapi::ObjectRef::new(p, v));
-            // Descends from the library's POST-UPGRADE version?
-            let lib_obj = w.db.object(lib)?;
-            let new_lib_version = dpapi::Version(lib_obj.current);
-            let from_new_lib = anc
-                .iter()
-                .any(|r| r.pnode == lib && r.version == new_lib_version);
-            // Descends from a calc_heat invocation?
-            let from_calc = anc.iter().any(|r| calc_invocations.contains(&r.pnode));
-            (from_new_lib && from_calc).then(|| name.to_string())
-        })
-        .collect();
+    let affected: Vec<String> = [
+        "/r1-heat.out",
+        "/r1-other.out",
+        "/r2-heat.out",
+        "/r2-other.out",
+    ]
+    .iter()
+    .filter_map(|name| {
+        let p = *w.db.find_by_name(name).iter().find(|p| files.contains(p))?;
+        let obj = w.db.object(p)?;
+        let v = dpapi::Version(obj.current);
+        let anc = w.db.ancestors(dpapi::ObjectRef::new(p, v));
+        // Descends from the library's POST-UPGRADE version?
+        let lib_obj = w.db.object(lib)?;
+        let new_lib_version = dpapi::Version(lib_obj.current);
+        let from_new_lib = anc
+            .iter()
+            .any(|r| r.pnode == lib && r.version == new_lib_version);
+        // Descends from a calc_heat invocation?
+        let from_calc = anc.iter().any(|r| calc_invocations.contains(&r.pnode));
+        (from_new_lib && from_calc).then(|| name.to_string())
+    })
+    .collect();
 
     assert_eq!(
         affected,

@@ -1,0 +1,246 @@
+//! A vendored, API-compatible subset of the `bytes` crate.
+//!
+//! The build environment has no network access and no crates.io
+//! registry cache, so the workspace vendors the narrow slice of the
+//! `bytes` API it actually uses: [`Bytes`], [`BytesMut`] and the
+//! [`Buf`]/[`BufMut`] traits with little-endian integer accessors.
+//! Semantics match the real crate for this subset (including panics on
+//! buffer underflow); the zero-copy internals are deliberately not
+//! reproduced — `Bytes` here owns its storage and `split_to` copies.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a contiguous buffer, cursor-style.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+    /// The unread portion of the buffer.
+    fn chunk(&self) -> &[u8];
+    /// Moves the cursor forward `cnt` bytes. Panics on overrun.
+    fn advance(&mut self, cnt: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_out(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_out(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_out(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_out(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_out(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Copies `dst.len()` bytes out and advances. Panics on underflow,
+    /// like the real crate.
+    #[doc(hidden)]
+    fn copy_out(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write access to a growable buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates a buffer holding a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Splits off and returns the first `at` unread bytes.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.remaining(), "split_to out of bounds");
+        let head = self.data[self.pos..self.pos + at].to_vec();
+        self.pos += at;
+        Bytes { data: head, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance out of bounds");
+        self.pos += cnt;
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.data.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_integers() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_u16_le(0xbeef);
+        m.put_u32_le(0xdead_beef);
+        m.put_u64_le(u64::MAX - 1);
+        m.put_i64_le(-42);
+        m.put_slice(b"xyz");
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 0xbeef);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(&*b.split_to(3), b"xyz");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::copy_from_slice(&[1, 2]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,238 @@
+//! A vendored, API-compatible subset of the `criterion` crate.
+//!
+//! Offline build: this reproduces the harness surface the workspace's
+//! benches use — `criterion_group!`/`criterion_main!`, benchmark
+//! groups, `Throughput`, `iter`/`iter_batched` — with a simple
+//! mean-of-N timing loop instead of criterion's statistics engine.
+//! Results print one line per benchmark:
+//!
+//! ```text
+//! waldo/ingest_8000_entries  time: 812.44 µs/iter  thrpt: 9.85 Melem/s
+//! ```
+//!
+//! Set `BENCH_QUICK=1` to shrink the measurement window (used by CI
+//! smoke runs).
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, for derived throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this harness).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A `function_name/parameter` benchmark id.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+fn measurement_window() -> Duration {
+    if std::env::var_os("BENCH_QUICK").is_some() {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by `iter*`.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing an iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: grow the batch until it is measurable.
+        let mut batch: u64 = 1;
+        let t0 = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if t0.elapsed() > Duration::from_millis(20) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let window = measurement_window();
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < window {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.elapsed_per_iter = start.elapsed() / iters.max(1) as u32;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let window = measurement_window();
+        let mut iters: u64 = 0;
+        let mut busy = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < window && iters < 1 << 24 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            busy += t.elapsed();
+            iters += 1;
+        }
+        self.elapsed_per_iter = busy / iters.max(1) as u32;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(tp: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    let (count, unit) = match tp {
+        Throughput::Elements(n) => (n as f64, "elem/s"),
+        Throughput::Bytes(n) => (n as f64, "B/s"),
+    };
+    let rate = count / secs;
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut line = format!(
+        "{label:<44} time: {}/iter",
+        format_duration(b.elapsed_per_iter)
+    );
+    if let Some(tp) = throughput {
+        line.push_str(&format!(
+            "  thrpt: {}",
+            format_throughput(tp, b.elapsed_per_iter)
+        ));
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for throughput lines.
+    pub fn throughput(&mut self, tp: Throughput) {
+        self.throughput = Some(tp);
+    }
+
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(&mut self, id: D, f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+    }
+
+    pub fn bench_with_input<D, I, F>(&mut self, id: D, input: &I, mut f: F)
+    where
+        D: Display,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(&mut self, id: D, f: F) -> &mut Self {
+        run_one(&id.to_string(), None, f);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`);
+            // this simple harness ignores them.
+            $($group();)+
+        }
+    };
+}

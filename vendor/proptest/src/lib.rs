@@ -1,0 +1,574 @@
+//! A vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment is offline, so the workspace vendors the
+//! slice of proptest it uses: the [`proptest!`]/[`prop_oneof!`]/
+//! [`prop_assert!`] macros, [`strategy::Strategy`] with `prop_map`,
+//! [`any`], integer/float range strategies, `&str` "regex" strategies
+//! (a small `[class]{m,n}` subset), [`collection::vec`] and
+//! [`sample::Index`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the
+//!   assertion message) but is not minimized;
+//! * cases are generated from a splitmix64 stream seeded from the test
+//!   name (set `PROPTEST_SEED` to perturb it), so runs are
+//!   deterministic by default;
+//! * `&str` strategies support only `.`/`[set]` classes with an
+//!   optional `{m,n}` repeat — the only forms used in this workspace.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    /// Per-test configuration (case count only).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The deterministic case-generation stream (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name so every test gets an independent
+        /// but reproducible stream. `PROPTEST_SEED` perturbs all
+        /// streams at once.
+        pub fn deterministic(test_name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(n) = s.trim().parse::<u64>() {
+                    h = h.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                }
+            }
+            TestRng { state: h | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategies compose by reference too (`&strat` generates like
+    /// `strat`), which lets the `proptest!` macro avoid consuming the
+    /// caller's expression.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy, so `prop_oneof!` can mix arms of
+    /// different concrete types.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Erases a strategy's type (used by `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        BoxedStrategy(Rc::new(move |rng| s.generate(rng)))
+    }
+
+    /// Uniform choice among same-valued strategies.
+    #[derive(Clone)]
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+}
+
+use strategy::Strategy;
+
+// ---- primitive strategies -------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// `&str` as a pattern strategy: a tiny subset of proptest's regex
+/// strings. Supported: a sequence of `.` or `[chars]` classes (ranges
+/// like `A-Z` allowed inside the set), each optionally followed by
+/// `{m,n}`. `.` draws from printable ASCII plus a few multibyte
+/// characters so UTF-8 handling is exercised.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::test_runner::TestRng;
+
+    const DOT_EXTRA: &[char] = &['é', 'λ', '中', '🦀', '\n', '\t'];
+
+    fn class_char(set: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = set.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+        let mut pick = rng.below(total.max(1));
+        for (a, b) in set {
+            let span = (*b as u64) - (*a as u64) + 1;
+            if pick < span {
+                return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+            }
+            pick -= span;
+        }
+        set.first().map(|(a, _)| *a).unwrap_or('a')
+    }
+
+    fn dot_char(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally multibyte.
+        if rng.below(8) == 0 {
+            DOT_EXTRA[rng.below(DOT_EXTRA.len() as u64) as usize]
+        } else {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('a')
+        }
+    }
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut out = String::new();
+        while i < chars.len() {
+            // Parse one class.
+            enum Class {
+                Dot,
+                Set(Vec<(char, char)>),
+                Lit(char),
+            }
+            let class = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Class::Dot
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let a = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            set.push((a, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            set.push((a, a));
+                            i += 1;
+                        }
+                    }
+                    i += 1; // consume ']'
+                    Class::Set(set)
+                }
+                c => {
+                    i += 1;
+                    Class::Lit(c)
+                }
+            };
+            // Parse an optional {m,n} repeat.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..].iter().position(|c| *c == '}').map(|p| i + p);
+                let close = close.expect("unclosed {m,n} in pattern strategy");
+                let body: String = chars[i + 1..close].iter().collect();
+                let mut parts = body.splitn(2, ',');
+                let lo: usize = parts.next().unwrap_or("0").trim().parse().unwrap_or(0);
+                let hi: usize = parts
+                    .next()
+                    .map(|s| s.trim().parse().unwrap_or(lo))
+                    .unwrap_or(lo);
+                i = close + 1;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match &class {
+                    Class::Dot => out.push(dot_char(rng)),
+                    Class::Set(set) => out.push(class_char(set, rng)),
+                    Class::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- any / Arbitrary ------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// The [`any`] strategy for `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- collections ----------------------------------------------------------
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- sample ---------------------------------------------------------------
+
+pub mod sample {
+    use super::test_runner::TestRng;
+    use super::Arbitrary;
+
+    /// An index into a collection whose length is only known at use
+    /// time (`any::<Index>()` then `.index(len)`).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+// ---- macros ---------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!("proptest case {case} of {} failed: {message}", cfg.cases);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// In a `proptest!` body: fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// In a `proptest!` body: fails the current case unless both sides are
+/// equal (compared by reference, so operands are not consumed).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// The glob import every proptest file starts with.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_subset_generates_within_class() {
+        let mut rng = TestRng::deterministic("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Z_]{1,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(
+                s.chars().all(|c| c == '_' || c.is_ascii_uppercase()),
+                "{s:?}"
+            );
+            let t = Strategy::generate(&".{0,8}", &mut rng);
+            assert!(t.chars().count() <= 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The shim's own machinery: ranges stay in bounds, tuples and
+        /// maps compose, oneof picks only listed arms.
+        #[test]
+        fn shim_self_check(
+            x in 3u32..17,
+            (a, b) in (0u8..4, 10u64..20),
+            v in crate::collection::vec(0i64..5, 0..9),
+            pick in prop_oneof![Just(1u8), Just(2u8), (4u8..6).prop_map(|x| x)],
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(a < 4 && (10..20).contains(&b));
+            prop_assert!(v.len() < 9 && v.iter().all(|e| (0..5).contains(e)));
+            prop_assert!(pick == 1 || pick == 2 || pick == 4 || pick == 5, "got {pick}");
+        }
+    }
+}
