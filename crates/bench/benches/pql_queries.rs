@@ -66,6 +66,7 @@ fn build_db(files: u64) -> ProvDb {
         shards: 8,
         ingest_batch: 64,
         ancestry_cache: 0,
+        ..WaldoConfig::default()
     });
     db.ingest(&build_entries(files));
     db

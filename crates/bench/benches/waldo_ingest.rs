@@ -99,6 +99,7 @@ fn bench_ingest(c: &mut Criterion) {
                         shards: 8,
                         ingest_batch: batch_size,
                         ancestry_cache: 0,
+                        ..WaldoConfig::default()
                     });
                     let mut stats = waldo::IngestStats::default();
                     db.begin_stream();
@@ -143,6 +144,7 @@ fn bench_daemon(c: &mut Criterion) {
                 shards: 8,
                 ingest_batch: 64,
                 ancestry_cache: 0,
+                ..WaldoConfig::default()
             },
         ),
     ] {

@@ -1,0 +1,132 @@
+//! Cold-restart latency: checkpointed restart versus full-log replay.
+//!
+//! Two daemons ingest the same multi-round filesystem history
+//! durably. The *checkpointed* one publishes a checkpoint after every
+//! round but the last, so its WAL is truncated and covered logs are
+//! unlinked; the *replay-only* one never checkpoints, so every log is
+//! retained. Both then suffer a machine crash, and the benchmark
+//! times `Waldo::restart`: segment rehydration plus a short tail
+//! replay against a from-scratch replay of the full log history.
+//! EXPERIMENTS.md records the measured ratio and the on-disk
+//! checkpoint footprint this buys it with.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use passv2::{System, SystemBuilder};
+use sim_os::cost::CostModel;
+use std::hint::black_box;
+use waldo::WaldoConfig;
+
+const ROUNDS: usize = 40;
+const FILES_PER_ROUND: usize = 60;
+
+/// Builds one crashed machine: `checkpointed` controls whether the
+/// daemon published per-round checkpoints before dying.
+fn crashed_machine(checkpointed: bool) -> System {
+    let cfg = WaldoConfig {
+        shards: 8,
+        ingest_batch: 32,
+        ancestry_cache: 0,
+        checkpoint_commits: 0, // checkpoints are driven manually below
+        checkpoint_wal_bytes: 0,
+        ..WaldoConfig::default()
+    };
+    let mut sys = SystemBuilder::new(CostModel::default())
+        .pass_volume("/", dpapi::VolumeId(1))
+        .waldo_config(cfg)
+        .build();
+    let worker = sys.spawn("worker");
+    let mut waldo = sys.spawn_waldo_durable("/waldo-db");
+    let (_, m, _) = sys.volumes[0];
+    for round in 0..ROUNDS {
+        // A realistic mix: most files are hot and rewritten every
+        // round (history outgrows the live store — where checkpoints
+        // pay off), a few are new each round.
+        for i in 0..FILES_PER_ROUND {
+            let path = if i < FILES_PER_ROUND * 3 / 4 {
+                format!("/hot-f{i}")
+            } else {
+                format!("/r{round}-f{i}")
+            };
+            sys.kernel
+                .write_file(worker, &path, b"round payload bytes")
+                .unwrap();
+        }
+        sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+        waldo.poll_volume(&mut sys.kernel, m, "/");
+        if checkpointed && round + 1 < ROUNDS {
+            waldo.checkpoint(&mut sys.kernel).unwrap();
+        }
+    }
+    // The machine crashes: the daemon's memory is gone, disks remain.
+    drop(waldo);
+    sys
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restart");
+    group.bench_function("checkpointed", |b| {
+        b.iter_batched(
+            || crashed_machine(true),
+            |mut sys| {
+                let w = sys.restart_waldo("/waldo-db");
+                black_box(w.db.object_count())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("full_log_replay", |b| {
+        b.iter_batched(
+            || crashed_machine(false),
+            |mut sys| {
+                let w = sys.restart_waldo("/waldo-db");
+                black_box(w.db.object_count())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    // The table behind the timings: what each restart read and did,
+    // and the on-disk checkpoint footprint the fast path pays for.
+    println!();
+    println!(
+        "{:<18} {:>9} {:>10} {:>10} {:>12} {:>10}",
+        "restart path", "ckpt seq", "skipped", "frames", "replayed", "ckpt KB"
+    );
+    for (label, checkpointed) in [("checkpointed", true), ("full_log_replay", false)] {
+        let mut sys = crashed_machine(checkpointed);
+        let probe = sys.kernel.spawn_init("probe");
+        sys.pass.exempt(probe);
+        let ckpt_bytes: u64 = sys
+            .kernel
+            .readdir(probe, "/waldo-db/checkpoints")
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|e| {
+                        sys.kernel
+                            .stat(probe, &format!("/waldo-db/checkpoints/{}", e.name))
+                            .ok()
+                    })
+                    .map(|a| a.size)
+                    .sum()
+            })
+            .unwrap_or(0);
+        let w = sys.restart_waldo("/waldo-db");
+        let r = w.restart_report().expect("cold start").clone();
+        println!(
+            "{:<18} {:>9} {:>10} {:>10} {:>12} {:>10.1}",
+            label,
+            r.loaded_seq.map(|s| s.to_string()).unwrap_or("-".into()),
+            r.checkpoints_skipped,
+            r.wal_frames,
+            r.replayed_entries,
+            ckpt_bytes as f64 / 1024.0,
+        );
+        // Both paths must converge on the same database.
+        assert!(w.db.object_count() > 0);
+    }
+}
+
+criterion_group!(benches, bench_restart);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ fn main() {
         "Benchmark", "Ext3", "Provenance", "Provenance+Indexes"
     );
     println!("{}", "-".repeat(74));
+    let mut measured = Vec::new();
     for wl in standard_workloads() {
         let m = measure(Config::PassV2, wl.as_ref());
         let base = m.data_bytes;
@@ -31,6 +32,41 @@ fn main() {
             prov as f64 / base as f64 * 100.0,
             mb(total),
             total as f64 / base as f64 * 100.0,
+        );
+        measured.push((wl.name().to_string(), m));
+    }
+    println!();
+    println!("Operational counters (PASSv2 daemon: durable WAL + checkpoints,");
+    println!("ancestry of the first 64 objects queried twice to exercise the cache)");
+    println!(
+        "{:<20} {:>6} {:>11} {:>8} {:>6} {:>6} {:>8} {:>9} {:>8} {:>8}",
+        "Benchmark",
+        "shards",
+        "cache h/m",
+        "walerr",
+        "ckpts",
+        "fail",
+        "segs",
+        "seg KB",
+        "trunc",
+        "retired"
+    );
+    println!("{}", "-".repeat(99));
+    for (name, m) in &measured {
+        let o = &m.ops;
+        println!(
+            "{:<20} {:>6} {:>5}/{:<5} {:>8} {:>6} {:>6} {:>8} {:>9.1} {:>8} {:>8}",
+            name,
+            o.effective_shards,
+            o.ancestry_cache.hits,
+            o.ancestry_cache.misses,
+            o.wal_errors,
+            o.checkpoints.checkpoints,
+            o.checkpoints.failures,
+            o.checkpoints.segments_written,
+            o.checkpoints.segment_bytes as f64 / 1024.0,
+            o.checkpoints.frames_truncated,
+            o.checkpoints.logs_retired,
         );
     }
     println!();

@@ -21,7 +21,7 @@ use sim_os::clock::{Clock, NANOS_PER_SEC};
 use sim_os::cost::CostModel;
 use sim_os::proc::Pid;
 use sim_os::syscall::Kernel;
-use waldo::{ProvDb, WaldoConfig};
+use waldo::{CacheStats, CheckpointStats, ProvDb, WaldoConfig};
 use workloads::{timed_run, Workload};
 
 /// The four evaluated configurations.
@@ -136,6 +136,22 @@ pub fn build_with(cfg: Config, waldo_cfg: WaldoConfig) -> Machine {
     }
 }
 
+/// Operational counters of the Waldo daemon that served a run —
+/// previously invisible in the rig, now threaded into the table
+/// binaries (zeroed for configurations without a daemon).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WaldoOps {
+    /// Effective (normalized) shard count of the store.
+    pub effective_shards: usize,
+    /// Ancestry-closure cache counters after the canned query pass.
+    pub ancestry_cache: CacheStats,
+    /// Commit frames that failed to persist to the WAL.
+    pub wal_errors: u64,
+    /// Checkpoint subsystem counters (segments/bytes written, WAL
+    /// frames truncated, logs retired).
+    pub checkpoints: CheckpointStats,
+}
+
 /// The outcome of one measured run.
 #[derive(Clone, Copy, Debug)]
 pub struct Measurement {
@@ -148,6 +164,8 @@ pub struct Measurement {
     pub db_bytes: u64,
     /// Waldo index bytes.
     pub index_bytes: u64,
+    /// Daemon operational counters (PASSv2 only; partial for PA-NFS).
+    pub ops: WaldoOps,
 }
 
 /// Runs `workload` on a fresh machine for `cfg` and measures it.
@@ -161,19 +179,25 @@ pub fn measure_with(cfg: Config, workload: &dyn Workload, waldo_cfg: WaldoConfig
     let report = timed_run(workload, &mut m.kernel, m.driver, "/").expect("workload run");
     let data_bytes = m.kernel.stats().bytes_written;
 
-    // Ingest provenance into Waldo to size the database.
-    let (db_bytes, index_bytes) = if cfg == Config::PassV2 {
+    // Ingest provenance into Waldo to size the database. The PASSv2
+    // daemon runs durably (WAL + checkpoints at `/waldo-db`) so the
+    // checkpoint counters are real, then answers a canned ancestry
+    // pass twice to exercise the query caches.
+    let (db_bytes, index_bytes, ops) = if cfg == Config::PassV2 {
         let waldo_pid = m.kernel.spawn_init("waldo");
         if let Some(p) = &m.pass {
             p.exempt(waldo_pid);
         }
         let mut w = waldo::Waldo::with_config(waldo_pid, m.waldo_cfg);
+        w.attach_db_dir(&mut m.kernel, "/waldo-db")
+            .expect("durable Waldo attach; the table labels this run durable");
         if let Some(d) = m.kernel.dpapi_at(sim_os::proc::MountId(0)) {
             d.force_log_rotation();
         }
         w.poll_volume(&mut m.kernel, sim_os::proc::MountId(0), "/");
         let s = w.db.size();
-        (s.db_bytes, s.index_bytes)
+        let ops = ops_report(&w);
+        (s.db_bytes, s.index_bytes, ops)
     } else if cfg == Config::PaNfs {
         let mut db = ProvDb::with_config(m.waldo_cfg);
         if let Some(server) = &m.server {
@@ -183,9 +207,13 @@ pub fn measure_with(cfg: Config, workload: &dyn Workload, waldo_cfg: WaldoConfig
             }
         }
         let s = db.size();
-        (s.db_bytes, s.index_bytes)
+        let ops = WaldoOps {
+            effective_shards: m.waldo_cfg.effective_shards(),
+            ..WaldoOps::default()
+        };
+        (s.db_bytes, s.index_bytes, ops)
     } else {
-        (0, 0)
+        (0, 0, WaldoOps::default())
     };
 
     Measurement {
@@ -193,6 +221,28 @@ pub fn measure_with(cfg: Config, workload: &dyn Workload, waldo_cfg: WaldoConfig
         data_bytes,
         db_bytes,
         index_bytes,
+        ops,
+    }
+}
+
+/// Runs the canned query pass — the ancestry of the first 64 objects
+/// (by pnode), each twice, the §3 drill-down pattern — and snapshots
+/// the daemon's operational counters. The 64-object cap keeps the
+/// pass O(1) across workload sizes; the printed hit/miss columns are
+/// a fixed sample, not full coverage.
+fn ops_report(w: &waldo::Waldo) -> WaldoOps {
+    let mut pnodes: Vec<dpapi::Pnode> = w.db.objects().map(|(p, _)| *p).collect();
+    pnodes.sort_unstable();
+    for p in pnodes.iter().take(64) {
+        for _ in 0..2 {
+            let _ = w.db.ancestors(dpapi::ObjectRef::new(*p, dpapi::Version(0)));
+        }
+    }
+    WaldoOps {
+        effective_shards: w.db.config().effective_shards(),
+        ancestry_cache: w.db.cache_stats(),
+        wal_errors: w.wal_errors(),
+        checkpoints: w.checkpoint_stats(),
     }
 }
 

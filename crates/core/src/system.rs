@@ -157,6 +157,32 @@ impl System {
         Waldo::with_config(pid, self.waldo_cfg)
     }
 
+    /// Spawns a Waldo daemon with its durable home attached at
+    /// `db_dir` (the WAL plus the checkpoint directory): the
+    /// checkpoint policy of this system's [`WaldoConfig`]
+    /// (`checkpoint_commits` / `checkpoint_wal_bytes`) becomes active
+    /// and fully committed logs are retained until a checkpoint
+    /// covers them.
+    pub fn spawn_waldo_durable(&mut self, db_dir: &str) -> Waldo {
+        let mut w = self.spawn_waldo();
+        w.attach_db_dir(&mut self.kernel, db_dir)
+            .expect("attaching the Waldo database directory on a fresh volume");
+        w
+    }
+
+    /// Cold-starts a Waldo daemon after a simulated **machine** crash
+    /// (nothing in memory survives; the disks do): rebuilds the store
+    /// from `db_dir`'s newest complete checkpoint, then replays
+    /// retained logs across every PASS volume. See `Waldo::restart`.
+    pub fn restart_waldo(&mut self, db_dir: &str) -> Waldo {
+        let pid = self.kernel.spawn_init("waldo");
+        self.pass.exempt(pid);
+        let mounts: Vec<String> = self.volumes.iter().map(|(p, _, _)| p.clone()).collect();
+        let refs: Vec<&str> = mounts.iter().map(String::as_str).collect();
+        Waldo::restart(pid, &mut self.kernel, self.waldo_cfg, db_dir, &refs)
+            .expect("reattaching the Waldo database directory on restart")
+    }
+
     /// Forces every PASS volume to rotate its log so Waldo can ingest
     /// all pending provenance, then returns the rotated log paths per
     /// mount, absolute.
@@ -227,6 +253,23 @@ mod tests {
         sys.pass.exempt(waldo);
         let bytes = sys.kernel.read_file(waldo, &logs[0]).unwrap();
         assert!(!bytes.is_empty());
+    }
+
+    #[test]
+    fn durable_waldo_survives_machine_crash() {
+        let mut sys = System::single_volume();
+        let pid = sys.spawn("/bin/sh");
+        sys.kernel.write_file(pid, "/artifact", b"bytes").unwrap();
+        let (_, m, _) = sys.volumes[0];
+        sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+        let mut w = sys.spawn_waldo_durable("/waldo-db");
+        w.poll_volume(&mut sys.kernel, m, "/");
+        w.checkpoint(&mut sys.kernel).unwrap();
+        let images = w.db.segment_images();
+        drop(w); // machine crash: memory gone, disks survive
+        let restarted = sys.restart_waldo("/waldo-db");
+        assert_eq!(restarted.db.segment_images(), images);
+        assert_eq!(restarted.db.find_by_name("/artifact").len(), 1);
     }
 
     #[test]

@@ -11,18 +11,58 @@
 //! Ingestion is *batched with group commit*: entries parsed from
 //! rotated logs are staged and committed in groups of
 //! [`WaldoConfig::ingest_batch`] (spanning log files within one poll),
-//! instead of the original record-at-a-time inserts. A log file is
-//! unlinked only once every one of its entries has committed, and the
-//! store keeps a per-file committed high-water mark, so a daemon that
-//! crashes between group commits replays only the uncommitted suffix
-//! of each surviving log — see
+//! instead of the original record-at-a-time inserts. The store keeps
+//! a per-file committed high-water mark, so a daemon that crashes
+//! between group commits replays only the uncommitted suffix of each
+//! surviving log — see
 //! `tests/group_commit.rs::crash_mid_batch_recovers_exactly_once`.
+//!
+//! # Durability and cold restart
+//!
+//! With a database directory attached ([`Waldo::attach_db_dir`]) the
+//! daemon is durable against **machine** crashes, not just daemon
+//! crashes:
+//!
+//! * every group commit appends its frame to `<dir>/wal` and fsyncs;
+//! * by the policy in [`WaldoConfig`] (commit count or WAL size) the
+//!   daemon publishes a **checkpoint** under `<dir>/checkpoints` —
+//!   incremental per-shard segments plus an atomically renamed
+//!   manifest (see [`crate::checkpoint`]) — then truncates WAL frames
+//!   at or below the manifest's sequence;
+//! * a fully committed log is unlinked only once a full complement
+//!   of `keep_checkpoints` manifests exists and the **oldest** covers
+//!   its retirement, so even with `keep_checkpoints - 1` damaged
+//!   checkpoints everything stays replayable (caveat: a corrupt
+//!   segment *shared* by every retained checkpoint defeats this —
+//!   see `crate::checkpoint`);
+//! * [`Waldo::restart`] rebuilds the store after a machine crash:
+//!   newest complete checkpoint, surviving WAL frames (validated),
+//!   then replay of retained logs from the per-log marks.
+//!
+//! The legacy [`Waldo::attach_db_device`] keeps the PR 1 behavior (a
+//! WAL with no checkpoints) for comparison; without either, the store
+//! is memory-only and only daemon-crash recovery
+//! ([`Waldo::resume`] + [`Waldo::recover_volume`]) applies.
 
+use sim_os::fs::FsError;
 use sim_os::proc::{Fd, MountId, Pid};
 use sim_os::syscall::{Kernel, OpenFlags};
 
+use crate::checkpoint::{self, CheckpointCrash, CheckpointStats, RestartReport};
 use crate::db::{IngestStats, WaldoConfig};
+use crate::manifest::Manifest;
 use crate::store::Store;
+
+/// A fully committed source log awaiting checkpoint coverage before
+/// it may be unlinked.
+#[derive(Clone, Debug)]
+struct RetiredLog {
+    src: usize,
+    path: String,
+    /// Commit sequence at which the log became fully committed; the
+    /// log is removable once the retention floor reaches it.
+    retired_seq: u64,
+}
 
 /// The Waldo daemon state.
 pub struct Waldo {
@@ -38,6 +78,34 @@ pub struct Waldo {
     /// True while the latest commit frame has not been durably
     /// persisted; unlinking is blocked until a (re)persist succeeds.
     frame_dirty: bool,
+    /// The durable home (`wal` + `checkpoints/`), when attached via
+    /// [`Waldo::attach_db_dir`]. `None` = legacy device or
+    /// memory-only; no checkpoints, no log retention.
+    db_dir: Option<String>,
+    /// Bytes appended to the WAL since its last truncation (drives
+    /// the `checkpoint_wal_bytes` trigger).
+    wal_len: u64,
+    /// Group commits since the last published checkpoint (drives the
+    /// `checkpoint_commits` trigger).
+    commits_since_checkpoint: u64,
+    /// The newest published manifest; its segment refs make the next
+    /// checkpoint incremental.
+    last_manifest: Option<Manifest>,
+    /// Manifest sequences retained on disk, ascending. Once a full
+    /// complement of `keep_checkpoints` exists, the oldest of them is
+    /// the **retention floor** (see [`Waldo::checkpoint`] internals):
+    /// logs retired at or below it survive in every checkpoint a
+    /// restart could fall back to. Until then nothing is unlinked.
+    retained: Vec<u64>,
+    /// Fully committed logs gated on the retention floor.
+    retired_logs: Vec<RetiredLog>,
+    /// True from manifest publication until truncation, garbage
+    /// collection and covered-log unlinking complete — a failure in
+    /// that window is retried by the next [`Waldo::checkpoint`] call
+    /// even when there is nothing new to publish.
+    post_publish_pending: bool,
+    ckpt_stats: CheckpointStats,
+    restart_report: Option<RestartReport>,
 }
 
 impl Waldo {
@@ -58,6 +126,15 @@ impl Waldo {
             db_fd: None,
             wal_errors: 0,
             frame_dirty: false,
+            db_dir: None,
+            wal_len: 0,
+            commits_since_checkpoint: 0,
+            last_manifest: None,
+            retained: Vec::new(),
+            retired_logs: Vec::new(),
+            post_publish_pending: false,
+            ckpt_stats: CheckpointStats::default(),
+            restart_report: None,
         }
     }
 
@@ -67,26 +144,152 @@ impl Waldo {
     /// were, by design, not yet unlinked.
     pub fn resume(pid: Pid, mut db: Store) -> Waldo {
         db.drop_staged();
-        Waldo {
-            db,
-            pid,
-            processed_logs: 0,
-            db_fd: None,
-            wal_errors: 0,
-            frame_dirty: false,
-        }
+        let cfg = db.config();
+        let mut w = Waldo::with_config(pid, cfg);
+        w.db = db;
+        w
     }
 
-    /// Attaches the database's durability device: `path` becomes the
-    /// WAL file every group commit appends its frame to (and fsyncs).
-    /// Without a device the store is memory-only, as before.
-    pub fn attach_db_device(
-        &mut self,
+    /// Cold start after a **machine** crash: nothing survives in
+    /// memory, only `db_dir` (WAL + checkpoints) and the retained
+    /// Lasagna logs on disk. Loads the newest complete checkpoint
+    /// (falling back past damaged ones), validates the surviving WAL
+    /// frames, reattaches the WAL, then replays retained logs from
+    /// the per-log high-water marks by rescanning each mount in
+    /// `mount_paths` (`"/"` or `"/mnt/x"`). The result provably
+    /// equals the store of a daemon that never crashed — see the
+    /// crash matrix in `tests/group_commit.rs`.
+    ///
+    /// With no loadable checkpoint the store starts empty and
+    /// everything is rebuilt from the logs (full replay). Errors mean
+    /// the durable home itself could not be attached (directories or
+    /// WAL unusable) — restarting without durability would silently
+    /// unlink replayed logs, so that is refused rather than degraded.
+    pub fn restart(
+        pid: Pid,
         kernel: &mut Kernel,
-        path: &str,
-    ) -> Result<(), sim_os::fs::FsError> {
+        cfg: WaldoConfig,
+        db_dir: &str,
+        mount_paths: &[&str],
+    ) -> Result<Waldo, FsError> {
+        let dir = checkpoint::checkpoint_dir(db_dir);
+        let mut report = RestartReport::default();
+        let mut w = Waldo::with_config(pid, cfg);
+        if let Some(loaded) = checkpoint::load_latest(kernel, pid, &dir, cfg) {
+            report.loaded_seq = Some(loaded.manifest.seq);
+            report.checkpoints_skipped = loaded.skipped;
+            w.db = loaded.store;
+            w.last_manifest = Some(loaded.manifest);
+        }
+        let wal = checkpoint::wal_path(db_dir);
+        let wal_data = kernel.read_file(pid, &wal).unwrap_or_default();
+        let (frames, _tail) = crate::wal::parse_wal(&wal_data);
+        report.wal_frames = frames.len() as u64;
+        let base = report.loaded_seq.unwrap_or(0);
+        report.wal_frames_beyond_checkpoint = frames.iter().filter(|f| f.seq > base).count() as u64;
+        // Reset the WAL before reattaching: frames at or below the
+        // checkpoint are superseded by it, and frames beyond it
+        // describe commits whose in-memory effects died with the
+        // crash — the replay below re-derives them under fresh,
+        // monotonic sequence numbers. Appending onto the stale frames
+        // instead would duplicate sequences and double-count
+        // `wal_len`. Gated on the file's *bytes*, not on parsed
+        // frames: a torn partial frame (a crash mid-append) parses as
+        // zero frames but would corrupt every frame appended after it.
+        if !wal_data.is_empty() {
+            checkpoint::reset_wal_temp(kernel, pid, &wal)?;
+            checkpoint::rename_wal(kernel, pid, &wal)?;
+            w.ckpt_stats.frames_truncated += frames.len() as u64;
+        }
+        // attach_db_dir below also deletes every manifest ahead of the
+        // store's restored history — which here is exactly the set of
+        // damaged manifests load_latest tried and skipped. They can
+        // never load again, and left on disk they would inflate the
+        // retention floor and shadow fresh checkpoints in GC.
+        w.attach_db_dir(kernel, db_dir)?;
+        // A manifest snapshots source marks *before* covered logs are
+        // unlinked, so it can carry slots for files that no longer
+        // exist; drop those tombstones like the uncrashed daemon did
+        // when it unlinked the files.
+        for (slot, (path, _)) in w.db.source_state().into_iter().enumerate() {
+            if !path.is_empty() && kernel.stat(pid, &path).is_err() {
+                w.db.forget_source(slot);
+            }
+        }
+        let mut replayed = 0usize;
+        for mount in mount_paths {
+            replayed += w.recover_volume(kernel, mount).applied;
+        }
+        report.replayed_entries = replayed;
+        w.restart_report = Some(report);
+        Ok(w)
+    }
+
+    /// What the last [`Waldo::restart`] found (`None` on daemons that
+    /// never cold-started).
+    pub fn restart_report(&self) -> Option<&RestartReport> {
+        self.restart_report.as_ref()
+    }
+
+    /// Attaches the legacy database durability device: `path` becomes
+    /// the WAL file every group commit appends its frame to (and
+    /// fsyncs). No checkpoints, no log retention — the PR 1 behavior,
+    /// kept for comparison. Prefer [`Waldo::attach_db_dir`].
+    pub fn attach_db_device(&mut self, kernel: &mut Kernel, path: &str) -> Result<(), FsError> {
         let fd = kernel.open(self.pid, path, OpenFlags::WRONLY_CREATE)?;
         self.db_fd = Some(fd);
+        Ok(())
+    }
+
+    /// Attaches the daemon's durable home: `db_dir/wal` becomes the
+    /// durability WAL (opened append, surviving restarts) and
+    /// `db_dir/checkpoints` holds segments and manifests. Enables the
+    /// checkpoint policy in [`WaldoConfig`] and gates log unlinking on
+    /// checkpoint coverage.
+    pub fn attach_db_dir(&mut self, kernel: &mut Kernel, db_dir: &str) -> Result<(), FsError> {
+        kernel.mkdir_p(self.pid, db_dir)?;
+        let ckpt = checkpoint::checkpoint_dir(db_dir);
+        kernel.mkdir_p(self.pid, &ckpt)?;
+        let wal = checkpoint::wal_path(db_dir);
+        let seq_now = self.db.commit_seq();
+        // A WAL holding frames ahead of this store's history (a
+        // foreign incarnation's leftovers) or a torn tail must be
+        // reset before appending: sequence numbers would duplicate,
+        // the size trigger would fire off stale bytes, and truncation
+        // (which drops frames *at or below* the checkpoint sequence)
+        // would never release the stale suffix. Frames are pure
+        // accounting — never recovery state — so a reset loses
+        // nothing.
+        let wal_data = kernel.read_file(self.pid, &wal).unwrap_or_default();
+        if !wal_data.is_empty() {
+            let (frames, tail) = crate::wal::parse_wal(&wal_data);
+            if tail != crate::wal::WalTail::Clean || frames.iter().any(|f| f.seq > seq_now) {
+                checkpoint::reset_wal_temp(kernel, self.pid, &wal)?;
+                checkpoint::rename_wal(kernel, self.pid, &wal)?;
+            }
+        }
+        let fd = kernel.open(self.pid, &wal, OpenFlags::APPEND_CREATE)?;
+        self.db_fd = Some(fd);
+        self.wal_len = kernel.stat(self.pid, &wal).map(|a| a.size).unwrap_or(0);
+        // Manifests ahead of this store's own history are likewise
+        // foreign (a fresh daemon attached to a stale directory — use
+        // `Waldo::restart` to *adopt* checkpoints) or were tried and
+        // found damaged by a restart's loader. They must be deleted,
+        // not merely ignored: counted into the retention floor they
+        // would unlink new, uncheckpointed logs; left on disk,
+        // garbage collection would later prefer their high sequences
+        // over this daemon's real checkpoints and a future restart
+        // would resurrect the stale store.
+        let mut retained = Vec::new();
+        for seq in checkpoint::list_manifests(kernel, self.pid, &ckpt) {
+            if seq <= seq_now {
+                retained.push(seq);
+            } else {
+                checkpoint::remove_manifest(kernel, self.pid, &ckpt, seq);
+            }
+        }
+        self.retained = retained;
+        self.db_dir = Some(db_dir.to_string());
         Ok(())
     }
 
@@ -96,9 +299,25 @@ impl Waldo {
     /// either operation errored; the caller must then keep the source
     /// logs so the commit remains replayable.
     fn persist_commit(&mut self, kernel: &mut Kernel) -> bool {
-        let Some(fd) = self.db_fd else { return true };
+        let Some(fd) = self.db_fd else {
+            // Memory-only daemons have nothing to persist; a durable
+            // daemon without a WAL descriptor is an error state (a
+            // failed truncation that could not reopen) and must not
+            // report false durability.
+            if self.db_dir.is_some() {
+                self.wal_errors += 1;
+                return false;
+            }
+            return true;
+        };
         let frame = self.db.last_commit_frame().to_vec();
-        let ok = kernel.write(self.pid, fd, &frame).is_ok() && kernel.fsync(self.pid, fd).is_ok();
+        let wrote = kernel.write(self.pid, fd, &frame).is_ok();
+        if wrote {
+            // The bytes are in the file whether or not the fsync
+            // below succeeds — the size trigger must track the file.
+            self.wal_len += frame.len() as u64;
+        }
+        let ok = wrote && kernel.fsync(self.pid, fd).is_ok();
         if !ok {
             self.wal_errors += 1;
         }
@@ -106,7 +325,7 @@ impl Waldo {
     }
 
     /// Commits staged entries and persists the latest frame. Returns
-    /// true when it is safe to unlink fully committed source logs —
+    /// true when it is safe to retire fully committed source logs —
     /// i.e. the newest frame is durably on the WAL device. A frame
     /// whose persist failed earlier is retried here (each frame
     /// carries the complete current marks, so persisting the latest
@@ -117,6 +336,7 @@ impl Waldo {
         self.db.commit_staged(stats);
         if self.db.commit_seq() != before {
             self.frame_dirty = true;
+            self.commits_since_checkpoint += self.db.commit_seq() - before;
         }
         if self.frame_dirty && self.persist_commit(kernel) {
             self.frame_dirty = false;
@@ -130,6 +350,12 @@ impl Waldo {
         self.wal_errors
     }
 
+    /// Checkpoint-subsystem counters (segments and bytes written, WAL
+    /// frames truncated, logs retired).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt_stats
+    }
+
     /// The daemon's pid.
     pub fn pid(&self) -> Pid {
         self.pid
@@ -140,10 +366,168 @@ impl Waldo {
         self.processed_logs
     }
 
+    // ---- checkpointing ----------------------------------------------------
+
+    /// The retention floor: the sequence of the oldest checkpoint
+    /// that survives garbage collection once a full complement of
+    /// `keep_checkpoints` manifests exists — and 0 (retain
+    /// everything) before then. Unlinking is gated on a *full*
+    /// complement, not merely on the oldest manifest present:
+    /// otherwise the first checkpoint alone would release its logs,
+    /// and one damaged manifest would lose data — the configured
+    /// tolerance is `keep_checkpoints - 1` damaged checkpoints.
+    fn checkpoint_floor(&self) -> u64 {
+        let keep = self.db.config().keep_checkpoints.max(1);
+        if self.retained.len() >= keep {
+            self.retained[self.retained.len() - keep]
+        } else {
+            0
+        }
+    }
+
+    /// True when the configured policy asks for a checkpoint.
+    fn should_checkpoint(&self) -> bool {
+        if self.db_dir.is_none() {
+            return false;
+        }
+        let cfg = self.db.config();
+        (cfg.checkpoint_commits > 0 && self.commits_since_checkpoint >= cfg.checkpoint_commits)
+            || (cfg.checkpoint_wal_bytes > 0 && self.wal_len >= cfg.checkpoint_wal_bytes)
+    }
+
+    /// Publishes a checkpoint now (segments for shards that advanced,
+    /// manifest rename, WAL truncation, garbage collection, covered-
+    /// log unlinking). Returns `Ok(true)` if one was published,
+    /// `Ok(false)` if there was nothing new to checkpoint or no
+    /// database directory is attached.
+    pub fn checkpoint(&mut self, kernel: &mut Kernel) -> Result<bool, FsError> {
+        self.checkpoint_inner(kernel, None)
+    }
+
+    /// Crash-injection variant of [`Waldo::checkpoint`] for the crash
+    /// matrix: performs the checkpoint only up to `crash`, then stops
+    /// as a simulated machine crash would.
+    #[doc(hidden)]
+    pub fn checkpoint_crashing_at(
+        &mut self,
+        kernel: &mut Kernel,
+        crash: CheckpointCrash,
+    ) -> Result<(), FsError> {
+        self.checkpoint_inner(kernel, Some(crash)).map(|_| ())
+    }
+
+    fn checkpoint_inner(
+        &mut self,
+        kernel: &mut Kernel,
+        crash: Option<CheckpointCrash>,
+    ) -> Result<bool, FsError> {
+        let Some(db_dir) = self.db_dir.clone() else {
+            return Ok(false);
+        };
+        let seq = self.db.commit_seq();
+        if seq == 0 || self.last_manifest.as_ref().map(|m| m.seq) == Some(seq) {
+            // Nothing new to publish — but a prior attempt may have
+            // errored after publication (a WAL rename failure),
+            // leaving truncation, garbage collection and covered-log
+            // unlinking undone. Finish that work now instead of
+            // holding the WAL and retained logs hostage until new
+            // commits arrive.
+            if self.post_publish_pending {
+                self.finish_checkpoint(kernel, &db_dir, crash)?;
+            }
+            return Ok(false);
+        }
+        let dir = checkpoint::checkpoint_dir(&db_dir);
+        let (segments, written, bytes) = checkpoint::write_segments(
+            kernel,
+            self.pid,
+            &self.db,
+            &dir,
+            self.last_manifest.as_ref(),
+        )?;
+        self.ckpt_stats.segments_written += written;
+        self.ckpt_stats.segment_bytes += bytes;
+        if crash == Some(CheckpointCrash::AfterSegments) {
+            return Ok(false);
+        }
+        let (txns, commit_txn) = self.db.open_txn_state();
+        let manifest = Manifest {
+            seq,
+            segments,
+            txns,
+            commit_txn,
+            sources: self.db.source_state(),
+        };
+        checkpoint::write_temp_manifest(kernel, self.pid, &dir, &manifest)?;
+        if crash == Some(CheckpointCrash::AfterTempManifest) {
+            return Ok(false);
+        }
+        checkpoint::rename_manifest(kernel, self.pid, &dir, seq)?;
+        self.ckpt_stats.checkpoints += 1;
+        self.last_manifest = Some(manifest);
+        self.commits_since_checkpoint = 0;
+        self.post_publish_pending = true;
+        if crash == Some(CheckpointCrash::AfterPublish) {
+            return Ok(true);
+        }
+        self.finish_checkpoint(kernel, &db_dir, crash)?;
+        Ok(true)
+    }
+
+    /// The post-publication phase of a checkpoint: WAL truncation,
+    /// garbage collection and covered-log unlinking. Idempotent, so a
+    /// failure part-way (or a simulated crash) can be retried by a
+    /// later [`Waldo::checkpoint`] call.
+    fn finish_checkpoint(
+        &mut self,
+        kernel: &mut Kernel,
+        db_dir: &str,
+        crash: Option<CheckpointCrash>,
+    ) -> Result<(), FsError> {
+        let seq = self
+            .last_manifest
+            .as_ref()
+            .map(|m| m.seq)
+            .expect("finish_checkpoint only runs after a publication");
+        let dir = checkpoint::checkpoint_dir(db_dir);
+        // Truncate the WAL: frames at or below the manifest's
+        // sequence are superseded by the checkpoint. Written to a
+        // temporary name and renamed, so a crash leaves either WAL
+        // intact; the open descriptor must be reopened because the
+        // rename replaces the inode.
+        let wal = checkpoint::wal_path(db_dir);
+        let dropped = checkpoint::truncate_wal_temp(kernel, self.pid, &wal, seq)?;
+        if crash == Some(CheckpointCrash::MidWalTruncate) {
+            return Ok(());
+        }
+        if let Some(fd) = self.db_fd.take() {
+            let _ = kernel.close(self.pid, fd);
+        }
+        let renamed = checkpoint::rename_wal(kernel, self.pid, &wal);
+        // Reopen the WAL regardless of the rename's outcome — on
+        // failure the original file still sits at `wal`, and leaving
+        // `db_fd` empty would make `persist_commit` report false
+        // durability ever after.
+        self.db_fd = Some(kernel.open(self.pid, &wal, OpenFlags::APPEND_CREATE)?);
+        renamed?;
+        self.ckpt_stats.frames_truncated += dropped;
+        self.wal_len = kernel.stat(self.pid, &wal).map(|a| a.size).unwrap_or(0);
+        if crash == Some(CheckpointCrash::AfterWalTruncate) {
+            return Ok(());
+        }
+        self.retained =
+            checkpoint::collect_garbage(kernel, self.pid, &dir, self.db.config().keep_checkpoints);
+        self.unlink_covered(kernel);
+        self.post_publish_pending = false;
+        Ok(())
+    }
+
+    // ---- polling ----------------------------------------------------------
+
     /// Polls one volume for rotated logs, ingesting (in group-commit
     /// batches that may span files) and removing each fully committed
-    /// log. `mount_path` is the volume's mount point (`"/"` or
-    /// `"/mnt/x"`).
+    /// log once checkpoint coverage allows. `mount_path` is the
+    /// volume's mount point (`"/"` or `"/mnt/x"`).
     pub fn poll_volume(
         &mut self,
         kernel: &mut Kernel,
@@ -178,12 +562,12 @@ impl Waldo {
     /// The shared ingestion loop: stages each log's entries (skipping
     /// any prefix a pre-crash predecessor already committed),
     /// group-commits every `ingest_batch` entries — batches may span
-    /// files — and unlinks each log as soon as all of its entries have
-    /// committed.
+    /// files — retires each log as soon as all of its entries have
+    /// committed, and publishes checkpoints as the policy fires.
     fn drain_logs(&mut self, kernel: &mut Kernel, paths: Vec<String>) -> IngestStats {
         let mut total = IngestStats::default();
         // (source handle, path, total entries) of each log read so
-        // far, for post-commit unlinking.
+        // far, for post-commit retirement.
         let mut files: Vec<(usize, String, usize)> = Vec::new();
         let batch = self.db.config().ingest_batch.max(1);
         for abs in paths {
@@ -204,16 +588,30 @@ impl Waldo {
             for e in entries.into_iter().skip(mark) {
                 self.db.stage(e, Some(src));
                 if self.db.staged_len() >= batch && self.commit_and_persist(kernel, &mut total) {
-                    self.unlink_committed(kernel, &mut files);
+                    self.retire_committed(kernel, &mut files);
+                    self.maybe_checkpoint(kernel, &mut total);
                 }
             }
             files.push((src, abs, n));
             self.processed_logs += 1;
         }
         if self.commit_and_persist(kernel, &mut total) {
-            self.unlink_committed(kernel, &mut files);
+            self.retire_committed(kernel, &mut files);
+            self.maybe_checkpoint(kernel, &mut total);
         }
         total
+    }
+
+    fn maybe_checkpoint(&mut self, kernel: &mut Kernel, stats: &mut IngestStats) {
+        if self.should_checkpoint() {
+            match self.checkpoint(kernel) {
+                Ok(true) => stats.checkpoints += 1,
+                Ok(false) => {}
+                // A failed checkpoint must be visible: the WAL bound
+                // and log retirement silently stop holding otherwise.
+                Err(_) => self.ckpt_stats.failures += 1,
+            }
+        }
     }
 
     /// Rescans a volume's log directory after a restart and replays
@@ -221,9 +619,9 @@ impl Waldo {
     /// highest-numbered, which is the active log Lasagna is still
     /// appending to). `poll_volume` cannot do this: it consumes the
     /// in-memory rotation queue, which dies with the crashed daemon.
-    /// Logs a predecessor fully committed but did not unlink are
-    /// skipped via their recorded marks and removed; partially
-    /// committed ones resume from their high-water mark.
+    /// Logs a predecessor fully committed are skipped via their
+    /// recorded marks; partially committed ones resume from their
+    /// high-water mark.
     pub fn recover_volume(&mut self, kernel: &mut Kernel, mount_path: &str) -> IngestStats {
         let dir = if mount_path == "/" {
             "/.pass".to_string()
@@ -243,16 +641,60 @@ impl Waldo {
         self.drain_logs(kernel, paths)
     }
 
-    fn unlink_committed(&mut self, kernel: &mut Kernel, files: &mut Vec<(usize, String, usize)>) {
+    /// Moves fully committed logs out of the working set: without a
+    /// database directory they are unlinked immediately (nothing more
+    /// durable than the in-memory store exists to cover them); with
+    /// one they enter the retirement queue until the retention floor
+    /// covers them — unlinking a log before a checkpoint captures its
+    /// effects would make a machine crash unrecoverable.
+    fn retire_committed(&mut self, kernel: &mut Kernel, files: &mut Vec<(usize, String, usize)>) {
+        let durable = self.db_dir.is_some();
+        let seq = self.db.commit_seq();
         files.retain(|(src, path, total)| {
             if self.db.source_fully_committed(*src, *total) {
-                let _ = kernel.unlink(self.pid, path);
-                self.db.forget_source(*src);
+                if durable {
+                    // The same log can be drained twice while it
+                    // awaits coverage (a rotation-queue entry after a
+                    // restart already replayed it); queueing it twice
+                    // would unlink and forget it twice.
+                    if !self.retired_logs.iter().any(|l| l.src == *src) {
+                        self.retired_logs.push(RetiredLog {
+                            src: *src,
+                            path: path.clone(),
+                            retired_seq: seq,
+                        });
+                    }
+                } else if kernel.unlink(self.pid, path).is_ok() {
+                    self.db.forget_source(*src);
+                }
                 false
             } else {
                 true
             }
         });
+        self.unlink_covered(kernel);
+    }
+
+    /// Unlinks retired logs the retention floor has covered.
+    fn unlink_covered(&mut self, kernel: &mut Kernel) {
+        if self.db_dir.is_none() || self.retired_logs.is_empty() {
+            return;
+        }
+        let floor = self.checkpoint_floor();
+        let retired = std::mem::take(&mut self.retired_logs);
+        for log in retired {
+            // Forget the replay mark only once the file is really
+            // gone: forgetting a surviving log would replay it from
+            // scratch on the next recovery, duplicating its records.
+            if log.retired_seq <= floor && kernel.unlink(self.pid, &log.path).is_ok() {
+                self.db.forget_source(log.src);
+                self.ckpt_stats.logs_retired += 1;
+            } else {
+                // Not yet covered — or covered but the unlink
+                // failed; either way, retry on a later sweep.
+                self.retired_logs.push(log);
+            }
+        }
     }
 }
 
@@ -337,6 +779,126 @@ mod tests {
         assert_eq!(stats.applied, 0);
     }
 
+    /// With a database directory attached, a fully committed log is
+    /// retained until a checkpoint covers it, then unlinked.
+    #[test]
+    fn durable_daemon_retains_logs_until_checkpoint_covers_them() {
+        let mut sys = System::single_volume();
+        let pid = sys.spawn("sh");
+        sys.kernel.write_file(pid, "/f", b"x").unwrap();
+        let (_, m, _) = sys.volumes[0];
+        sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+
+        let waldo_pid = sys.kernel.spawn_init("waldo");
+        sys.pass.exempt(waldo_pid);
+        let mut waldo = Waldo::with_config(
+            waldo_pid,
+            WaldoConfig {
+                checkpoint_commits: 0, // manual checkpoints only
+                checkpoint_wal_bytes: 0,
+                // Single-checkpoint retention: the first checkpoint
+                // alone releases covered logs (keep 2, the default,
+                // would hold them until a second one exists).
+                keep_checkpoints: 1,
+                ..WaldoConfig::default()
+            },
+        );
+        waldo.attach_db_dir(&mut sys.kernel, "/waldo-db").unwrap();
+        waldo.poll_volume(&mut sys.kernel, m, "/");
+        // Fully committed, but no checkpoint yet: the log survives.
+        let names = |sys: &mut System| -> Vec<String> {
+            sys.kernel
+                .readdir(waldo_pid, "/.pass")
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect()
+        };
+        assert!(
+            names(&mut sys).contains(&"log.0".to_string()),
+            "log must be retained until checkpointed"
+        );
+        assert!(waldo.checkpoint(&mut sys.kernel).unwrap());
+        assert!(
+            !names(&mut sys).contains(&"log.0".to_string()),
+            "covered log must be unlinked after the checkpoint"
+        );
+        assert_eq!(waldo.checkpoint_stats().logs_retired, 1);
+        // Nothing new: a second checkpoint is a no-op.
+        assert!(!waldo.checkpoint(&mut sys.kernel).unwrap());
+    }
+
+    /// A fresh daemon attached to a directory holding a foreign
+    /// incarnation's checkpoints deletes them instead of inheriting
+    /// their sequences: otherwise their high retention floor would
+    /// unlink new logs and a later restart would resurrect the stale
+    /// store over the live one.
+    #[test]
+    fn fresh_attach_discards_foreign_checkpoints() {
+        let mut sys = System::single_volume();
+        let pid = sys.kernel.spawn_init("setup");
+        sys.pass.exempt(pid);
+        sys.kernel.mkdir_p(pid, "/waldo-db/checkpoints").unwrap();
+        sys.kernel
+            .write_file(pid, "/waldo-db/checkpoints/manifest.100", b"stale garbage")
+            .unwrap();
+        sys.kernel
+            .write_file(pid, "/waldo-db/wal", b"torn foreign frames")
+            .unwrap();
+
+        let waldo_pid = sys.kernel.spawn_init("waldo");
+        sys.pass.exempt(waldo_pid);
+        let mut waldo = Waldo::with_config(
+            waldo_pid,
+            WaldoConfig {
+                checkpoint_commits: 0,
+                checkpoint_wal_bytes: 0,
+                keep_checkpoints: 1,
+                ..WaldoConfig::default()
+            },
+        );
+        waldo.attach_db_dir(&mut sys.kernel, "/waldo-db").unwrap();
+        let names: Vec<String> = sys
+            .kernel
+            .readdir(waldo_pid, "/waldo-db/checkpoints")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert!(
+            !names.contains(&"manifest.100".to_string()),
+            "foreign manifest must be deleted at attach"
+        );
+        assert_eq!(
+            sys.kernel.stat(waldo_pid, "/waldo-db/wal").unwrap().size,
+            0,
+            "foreign/torn WAL must be reset at attach"
+        );
+
+        // The daemon's own first checkpoint proceeds normally and a
+        // cold restart loads it, not the (deleted) foreign one.
+        let worker = sys.spawn("sh");
+        sys.kernel.write_file(worker, "/fresh", b"x").unwrap();
+        let (_, m, _) = sys.volumes[0];
+        sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+        waldo.poll_volume(&mut sys.kernel, m, "/");
+        assert!(waldo.checkpoint(&mut sys.kernel).unwrap());
+        let images = waldo.db.segment_images();
+        let seq = waldo.db.commit_seq();
+        drop(waldo);
+        let pid2 = sys.kernel.spawn_init("waldo2");
+        sys.pass.exempt(pid2);
+        let cfg = WaldoConfig {
+            checkpoint_commits: 0,
+            checkpoint_wal_bytes: 0,
+            keep_checkpoints: 1,
+            ..WaldoConfig::default()
+        };
+        let restarted = Waldo::restart(pid2, &mut sys.kernel, cfg, "/waldo-db", &["/"]).unwrap();
+        assert_eq!(restarted.restart_report().unwrap().loaded_seq, Some(seq));
+        assert_eq!(restarted.db.segment_images(), images);
+    }
+
     /// A tiny ingest batch forces commits (and unlinks) that straddle
     /// log files; the resulting database is identical to a one-shot
     /// ingest.
@@ -362,11 +924,13 @@ mod tests {
             shards: 8,
             ingest_batch: 3,
             ancestry_cache: 0,
+            ..WaldoConfig::default()
         });
         let (oneshot, ostats) = run(WaldoConfig {
             shards: 1,
             ingest_batch: 1 << 20,
             ancestry_cache: 0,
+            ..WaldoConfig::default()
         });
         assert_eq!(bstats.applied, ostats.applied);
         assert!(bstats.group_commits > ostats.group_commits);

@@ -99,6 +99,10 @@ pub struct IngestStats {
     /// Group commits that processed at least one entry (including
     /// commits that only buffered transaction members).
     pub group_commits: usize,
+    /// Checkpoints published while draining (daemon ingest only —
+    /// requires an attached database directory and a firing policy;
+    /// see [`WaldoConfig::checkpoint_commits`]).
+    pub checkpoints: usize,
 }
 
 #[cfg(test)]
@@ -289,6 +293,7 @@ mod tests {
                 shards,
                 ingest_batch: 7,
                 ancestry_cache: 16,
+                ..WaldoConfig::default()
             });
             db.ingest(&entries);
             assert_eq!(db.object_count(), reference.object_count());
@@ -313,6 +318,7 @@ mod tests {
             shards: 8,
             ingest_batch: 64,
             ancestry_cache: 128,
+            ..WaldoConfig::default()
         });
         db.ingest(&[
             prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
@@ -340,6 +346,7 @@ mod tests {
             shards: 64,
             ingest_batch: 64,
             ancestry_cache: 128,
+            ..WaldoConfig::default()
         });
         db.ingest(&[prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0)))]);
         let _ = db.ancestors(r(1, 0));

@@ -20,7 +20,13 @@
 //! * [`cache`] — LRU caches for ancestry closures and per-node edge
 //!   expansions, invalidated *per shard* via generation counters;
 //! * [`daemon::Waldo`] — the polling process that drains rotated logs
-//!   into the store and unlinks each log only once fully committed;
+//!   into the store and unlinks each log only once fully committed
+//!   *and* covered by a checkpoint (when durably attached);
+//! * [`wal`] — the length-prefixed, CRC-closed codec for the
+//!   per-commit durability frames on the database WAL;
+//! * [`checkpoint`] — durable per-shard segments, atomically
+//!   published manifests, WAL truncation and the cold-restart path
+//!   ([`daemon::Waldo::restart`]);
 //! * [`graph`] — the store as a [`pql::GraphSource`], with cached
 //!   edge expansion.
 //!
@@ -66,13 +72,18 @@
 //! ```
 
 pub mod cache;
+pub mod checkpoint;
 pub mod daemon;
 pub mod db;
 pub mod graph;
+pub(crate) mod manifest;
+pub(crate) mod segment;
 pub(crate) mod shard;
 pub mod store;
+pub mod wal;
 
 pub use cache::CacheStats;
+pub use checkpoint::{CheckpointCrash, CheckpointStats, RestartReport};
 pub use daemon::Waldo;
 pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};
 pub use store::{Store, WaldoConfig};

@@ -1,0 +1,271 @@
+//! The checkpoint **manifest**: the atomic commit point of a
+//! checkpoint.
+//!
+//! A manifest binds, for one group-commit sequence number, the
+//! checksum of every shard's segment image to the store-level state a
+//! cold restart needs beyond shard contents: the open-transaction
+//! buffers (entries staged inside `TxnBegin`/`TxnEnd` pairs that had
+//! not closed at checkpoint time), the transaction the committed
+//! stream prefix was inside, and the per-source-log replay high-water
+//! marks — the points restart replays surviving Lasagna logs from.
+//!
+//! ```text
+//! manifest := magic "WMAN", version u16, seq u64, shard_count u32,
+//!             shard_count × (generation u64, len u64, crc u32),
+//!             commit_txn (u8 flag, u64),
+//!             txns u32, n × (id u64, entries u32, bytes u32, log image),
+//!             sources u32, n × (str path, mark u64),
+//!             crc32 u32
+//! ```
+//!
+//! `len == 0` marks an empty shard (generation 0, nothing ever
+//! committed): no segment file exists for it and the loader builds a
+//! fresh shard. The publisher writes the manifest to a temporary name,
+//! fsyncs, then renames — so a manifest either exists completely or
+//! not at all, and a torn image fails its CRC and is skipped in favor
+//! of the previous complete checkpoint.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dpapi::{DpapiError, Result};
+use lasagna::{crc32, parse_log, LogEntry, LogTail};
+
+const MAGIC: &[u8; 4] = b"WMAN";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// One shard's segment as the manifest records it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SegmentRef {
+    /// Shard generation the segment was written at (0 = empty shard,
+    /// no file).
+    pub generation: u64,
+    /// Byte length of the segment file (0 = empty shard).
+    pub len: u64,
+    /// CRC-32 of the whole segment file.
+    pub crc: u32,
+}
+
+impl SegmentRef {
+    /// True if this shard had never been touched at checkpoint time.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A decoded manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Manifest {
+    /// The group-commit sequence number the checkpoint captures.
+    pub seq: u64,
+    /// Per-shard segment references (index = shard number).
+    pub segments: Vec<SegmentRef>,
+    /// Open-transaction buffers at checkpoint time, sorted by id.
+    pub txns: Vec<(u64, Vec<LogEntry>)>,
+    /// The transaction the committed stream prefix was inside.
+    pub commit_txn: Option<u64>,
+    /// Source-log replay slots: `(path, committed mark)`; an empty
+    /// path is a free slot (kept to preserve handle indices).
+    pub sources: Vec<(String, u64)>,
+}
+
+/// Serializes a manifest.
+pub(crate) fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(256);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(MANIFEST_VERSION);
+    buf.put_u64_le(m.seq);
+    buf.put_u32_le(m.segments.len() as u32);
+    for seg in &m.segments {
+        buf.put_u64_le(seg.generation);
+        buf.put_u64_le(seg.len);
+        buf.put_u32_le(seg.crc);
+    }
+    match m.commit_txn {
+        Some(id) => {
+            buf.put_u8(1);
+            buf.put_u64_le(id);
+        }
+        None => {
+            buf.put_u8(0);
+            buf.put_u64_le(0);
+        }
+    }
+    buf.put_u32_le(m.txns.len() as u32);
+    for (id, entries) in &m.txns {
+        buf.put_u64_le(*id);
+        buf.put_u32_le(entries.len() as u32);
+        let mut image = BytesMut::new();
+        for e in entries {
+            lasagna::encode_entry(&mut image, e);
+        }
+        buf.put_u32_le(image.len() as u32);
+        buf.put_slice(&image);
+    }
+    buf.put_u32_le(m.sources.len() as u32);
+    for (path, mark) in &m.sources {
+        buf.put_u32_le(path.len() as u32);
+        buf.put_slice(path.as_bytes());
+        buf.put_u64_le(*mark);
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(DpapiError::Malformed(format!("truncated {what}")));
+    }
+    Ok(())
+}
+
+/// Deserializes a manifest, validating magic, version and CRC.
+pub(crate) fn decode_manifest(data: &[u8]) -> Result<Manifest> {
+    if data.len() < 4 + 2 + 8 + 4 + 4 {
+        return Err(DpapiError::Malformed("manifest too short".into()));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(DpapiError::Malformed("manifest CRC mismatch".into()));
+    }
+    let mut buf = Bytes::copy_from_slice(body);
+    if buf.split_to(4).as_ref() != MAGIC {
+        return Err(DpapiError::Malformed("bad manifest magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != MANIFEST_VERSION {
+        return Err(DpapiError::Malformed(format!(
+            "unsupported manifest version {version}"
+        )));
+    }
+    let seq = buf.get_u64_le();
+    need(&buf, 4, "shard count")?;
+    let n_shards = buf.get_u32_le() as usize;
+    if n_shards == 0 || n_shards > 64 {
+        return Err(DpapiError::Malformed(format!(
+            "implausible shard count {n_shards}"
+        )));
+    }
+    let mut segments = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        need(&buf, 20, "segment ref")?;
+        segments.push(SegmentRef {
+            generation: buf.get_u64_le(),
+            len: buf.get_u64_le(),
+            crc: buf.get_u32_le(),
+        });
+    }
+    need(&buf, 9, "commit txn")?;
+    let flag = buf.get_u8();
+    let id = buf.get_u64_le();
+    let commit_txn = (flag != 0).then_some(id);
+    need(&buf, 4, "txn count")?;
+    let n_txns = buf.get_u32_le() as usize;
+    let mut txns = Vec::with_capacity(n_txns.min(1024));
+    for _ in 0..n_txns {
+        need(&buf, 16, "txn header")?;
+        let id = buf.get_u64_le();
+        let n_entries = buf.get_u32_le() as usize;
+        let image_len = buf.get_u32_le() as usize;
+        need(&buf, image_len, "txn image")?;
+        let image = buf.split_to(image_len);
+        let (entries, tail) = parse_log(&image);
+        if tail != LogTail::Clean || entries.len() != n_entries {
+            return Err(DpapiError::Malformed("damaged txn image".into()));
+        }
+        txns.push((id, entries));
+    }
+    need(&buf, 4, "source count")?;
+    let n_sources = buf.get_u32_le() as usize;
+    let mut sources = Vec::with_capacity(n_sources.min(1024));
+    for _ in 0..n_sources {
+        need(&buf, 4, "source path length")?;
+        let plen = buf.get_u32_le() as usize;
+        need(&buf, plen, "source path")?;
+        let raw = buf.split_to(plen);
+        let path = String::from_utf8(raw.to_vec())
+            .map_err(|_| DpapiError::Malformed("invalid UTF-8 source path".into()))?;
+        let mark = {
+            need(&buf, 8, "source mark")?;
+            buf.get_u64_le()
+        };
+        sources.push((path, mark));
+    }
+    if buf.has_remaining() {
+        return Err(DpapiError::Malformed("trailing bytes in manifest".into()));
+    }
+    Ok(Manifest {
+        seq,
+        segments,
+        txns,
+        commit_txn,
+        sources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
+
+    fn sample() -> Manifest {
+        let sub = ObjectRef::new(Pnode::new(VolumeId(1), 5), Version(0));
+        Manifest {
+            seq: 42,
+            segments: vec![
+                SegmentRef {
+                    generation: 3,
+                    len: 100,
+                    crc: 0xabc,
+                },
+                SegmentRef {
+                    generation: 0,
+                    len: 0,
+                    crc: 0,
+                },
+            ],
+            txns: vec![(
+                9,
+                vec![LogEntry::Prov {
+                    subject: sub,
+                    record: ProvenanceRecord::new(Attribute::Name, Value::str("/x")),
+                }],
+            )],
+            commit_txn: Some(9),
+            sources: vec![
+                ("/.pass/log.3".to_string(), 17),
+                (String::new(), 0),
+                ("/.pass/log.4".to_string(), 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let enc = encode_manifest(&m);
+        assert_eq!(decode_manifest(&enc).unwrap(), m);
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let enc = encode_manifest(&sample());
+        for flip in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[flip] ^= 0x02;
+            assert!(
+                decode_manifest(&bad).is_err(),
+                "flip at byte {flip} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_manifest_is_rejected() {
+        let enc = encode_manifest(&sample());
+        for cut in 0..enc.len() {
+            assert!(decode_manifest(&enc[..cut]).is_err());
+        }
+    }
+}

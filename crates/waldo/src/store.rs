@@ -40,8 +40,8 @@ use crate::shard::{ReverseEdge, Shard};
 /// Tuning knobs for the storage engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WaldoConfig {
-    /// Number of hash shards. Rounded up to a power of two, capped at
-    /// 64 (shard membership must fit the caches' one-word bitmask).
+    /// Number of hash shards. Normalized at construction — see
+    /// [`WaldoConfig::effective_shards`] for the exact rule.
     pub shards: usize,
     /// Entries per group commit while draining logs. `1` reproduces
     /// the record-at-a-time daemon of the original system.
@@ -49,6 +49,20 @@ pub struct WaldoConfig {
     /// Capacity of each query cache (ancestry closures and edge
     /// lists); `0` disables caching.
     pub ancestry_cache: usize,
+    /// Publish a checkpoint every this many group commits (`0`
+    /// disables the commit-count trigger). Checkpoints only happen on
+    /// daemons with a database directory attached
+    /// (`Waldo::attach_db_dir`); memory-only stores ignore this.
+    pub checkpoint_commits: u64,
+    /// Publish a checkpoint once the database WAL has grown past this
+    /// many bytes since the last truncation (`0` disables the size
+    /// trigger). This is the knob that bounds WAL growth.
+    pub checkpoint_wal_bytes: u64,
+    /// Complete checkpoints (manifest + segments) retained on disk,
+    /// at least 1. With 2 (the default), a corrupted newest checkpoint
+    /// falls back to its predecessor at the cost of retaining source
+    /// logs until *two* checkpoints have covered them.
+    pub keep_checkpoints: usize,
 }
 
 impl Default for WaldoConfig {
@@ -57,23 +71,39 @@ impl Default for WaldoConfig {
             shards: 8,
             ingest_batch: 64,
             ancestry_cache: 4096,
+            checkpoint_commits: 32,
+            checkpoint_wal_bytes: 64 * 1024,
+            keep_checkpoints: 2,
         }
     }
 }
 
 impl WaldoConfig {
     /// The original engine's behavior: one shard, one commit per
-    /// record, no query cache. Kept so experiments can compare
-    /// against it.
+    /// record, no query cache, no checkpointing. Kept so experiments
+    /// can compare against it.
     pub fn record_at_a_time() -> WaldoConfig {
         WaldoConfig {
             shards: 1,
             ingest_batch: 1,
             ancestry_cache: 0,
+            checkpoint_commits: 0,
+            checkpoint_wal_bytes: 0,
+            keep_checkpoints: 2,
         }
     }
 
-    fn effective_shards(&self) -> usize {
+    /// The shard count a store built from this configuration actually
+    /// uses: `shards.clamp(1, 64).next_power_of_two()`.
+    ///
+    /// The count is clamped to `1..=64` because shard membership must
+    /// fit the caches' one-word bitmask (see
+    /// [`crate::cache::ShardSnapshot`]), and rounded up to a power of
+    /// two so routing is a mask instead of a modulo. Callers sizing
+    /// fleets should call this instead of reading back
+    /// [`WaldoConfig::shards`]: asking for 6 shards builds 8, asking
+    /// for 100 builds 64.
+    pub fn effective_shards(&self) -> usize {
         self.shards.clamp(1, 64).next_power_of_two().min(64)
     }
 }
@@ -497,41 +527,115 @@ impl Store {
         touched
     }
 
-    /// Serializes the commit's durability record: sequence number,
-    /// applied-entry count, touched-shard mask, the new generation of
-    /// every touched shard, and the replay high-water mark of every
-    /// active source log, closed with a CRC. Writing and syncing the
-    /// frame (see `Waldo::attach_db_device`) is the per-commit cost
-    /// that batching amortizes.
-    ///
-    /// Scope: recovery in this system pairs a surviving committed
-    /// store (`Waldo::resume` + `Waldo::recover_volume`) with the
-    /// source logs, which are never unlinked before full commit; the
-    /// frame is the accounting a persistent backend would fsync. A
-    /// backend recovering from frames *alone* would additionally need
-    /// the open-transaction buffers persisted — they live in
-    /// `pending_txns`, whose members' marks advance when buffered —
-    /// which is future work, not something frames currently carry.
+    /// Serializes the commit's durability record — see
+    /// [`crate::wal`] for the frame format and its recovery scope.
+    /// Writing and syncing the frame (see `Waldo::attach_db_dir`) is
+    /// the per-commit cost that batching amortizes; checkpoints
+    /// (`crate::checkpoint`) later truncate frames at or below the
+    /// published sequence.
     fn write_commit_frame(&mut self, applied: u64, touched: u64) {
         self.commit_seq += 1;
-        let frame = &mut self.commit_frame;
-        frame.clear();
-        frame.extend_from_slice(&self.commit_seq.to_le_bytes());
-        frame.extend_from_slice(&applied.to_le_bytes());
-        frame.extend_from_slice(&touched.to_le_bytes());
-        for (i, shard) in self.shards.iter().enumerate() {
-            if touched & (1 << i) != 0 {
-                frame.extend_from_slice(&shard.generation.to_le_bytes());
-            }
-        }
-        for src in &self.source_files {
-            if !src.path.is_empty() {
-                frame.extend_from_slice(&lasagna::crc32(src.path.as_bytes()).to_le_bytes());
-                frame.extend_from_slice(&(src.committed_mark as u64).to_le_bytes());
-            }
-        }
-        let crc = lasagna::crc32(frame);
-        frame.extend_from_slice(&crc.to_le_bytes());
+        let frame = crate::wal::WalFrame {
+            seq: self.commit_seq,
+            applied,
+            touched,
+            gens: (0..self.shards.len())
+                .filter(|i| touched & (1 << i) != 0)
+                .map(|i| self.shards[i].generation)
+                .collect(),
+            sources: self
+                .source_files
+                .iter()
+                .filter(|s| !s.path.is_empty())
+                .map(|s| (lasagna::crc32(s.path.as_bytes()), s.committed_mark as u64))
+                .collect(),
+        };
+        self.commit_frame.clear();
+        crate::wal::encode_frame(&mut self.commit_frame, &frame);
+    }
+
+    // ---- checkpoint plumbing ----------------------------------------------
+
+    /// The shards themselves, for the checkpoint writer.
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The canonical serialized image of every shard. Because the
+    /// encoding is canonical (see `crate::segment`), two stores hold
+    /// equal contents **iff** their images are byte-identical; the
+    /// crash-matrix and restart tests use this as their
+    /// byte-equivalence oracle. Generation counters are normalized to
+    /// zero in these images: they count how commits were *grouped*
+    /// (which replay after a crash may legitimately do differently),
+    /// not what the shards contain. Checkpoint segments on disk keep
+    /// the real generations — the manifest binds to them.
+    pub fn segment_images(&self) -> Vec<Vec<u8>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| crate::segment::encode_shard(i as u32, s, 0))
+            .collect()
+    }
+
+    /// Committed open-transaction state, sorted by id: the buffers a
+    /// checkpoint must persist for restart to equal the uncrashed
+    /// store, plus the transaction the committed stream prefix is
+    /// inside.
+    pub(crate) fn open_txn_state(&self) -> (Vec<(u64, Vec<LogEntry>)>, Option<u64>) {
+        let mut txns: Vec<(u64, Vec<LogEntry>)> = self
+            .pending_txns
+            .iter()
+            .map(|(id, buf)| (*id, buf.clone()))
+            .collect();
+        txns.sort_unstable_by_key(|(id, _)| *id);
+        (txns, self.commit_txn)
+    }
+
+    /// Source-file replay slots, in slot order: `(path, committed
+    /// mark)`, with an empty path marking a free slot. Preserving slot
+    /// indices keeps a restored store's handles identical.
+    pub(crate) fn source_state(&self) -> Vec<(String, u64)> {
+        self.source_files
+            .iter()
+            .map(|s| (s.path.clone(), s.committed_mark as u64))
+            .collect()
+    }
+
+    /// Rebuilds a store from checkpointed parts: rehydrated shards,
+    /// open-transaction buffers, source replay slots and the commit
+    /// sequence. `shards.len()` must be the power-of-two count the
+    /// segments were written with; it overrides `cfg.shards`.
+    pub(crate) fn restore(
+        cfg: WaldoConfig,
+        shards: Vec<Shard>,
+        txns: Vec<(u64, Vec<LogEntry>)>,
+        commit_txn: Option<u64>,
+        sources: Vec<(String, u64)>,
+        commit_seq: u64,
+    ) -> Store {
+        let n = shards.len();
+        debug_assert!(n.is_power_of_two() && n <= 64);
+        let mut store = Store::with_config(WaldoConfig { shards: n, ..cfg });
+        store.gens = shards.iter().map(|s| s.generation).collect();
+        store.shards = shards;
+        store.pending_txns = txns.into_iter().collect();
+        store.commit_txn = commit_txn;
+        store.free_sources = sources
+            .iter()
+            .enumerate()
+            .filter(|(_, (path, _))| path.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        store.source_files = sources
+            .into_iter()
+            .map(|(path, mark)| SourceFile {
+                path,
+                committed_mark: mark as usize,
+            })
+            .collect();
+        store.commit_seq = commit_seq;
+        store
     }
 
     /// The durability frame of the most recent group commit.
@@ -562,8 +666,14 @@ impl Store {
     /// Forgets replay state for `src` (call after unlinking the file;
     /// a future log reusing the same path starts fresh, and the slot
     /// is recycled so long-running daemons don't accumulate
-    /// tombstones).
+    /// tombstones). Idempotent: forgetting an already-free slot is a
+    /// no-op, so it can never be pushed onto the free list twice —
+    /// a double free would alias two future logs onto one slot and
+    /// corrupt their replay marks.
     pub fn forget_source(&mut self, src: usize) {
+        if self.source_files[src].path.is_empty() {
+            return;
+        }
         self.source_files[src] = SourceFile {
             path: String::new(),
             committed_mark: 0,

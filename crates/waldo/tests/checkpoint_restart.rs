@@ -1,0 +1,320 @@
+//! Checkpoint subsystem properties: the segment/manifest codec
+//! roundtrips arbitrary shard contents byte-exactly, damaged
+//! checkpoints are rejected in favor of the previous complete one
+//! (with a correspondingly longer log replay), and the WAL stays
+//! bounded by the truncation policy.
+
+use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
+use lasagna::LogEntry;
+use proptest::prelude::*;
+use sim_os::clock::Clock;
+use sim_os::cost::CostModel;
+use sim_os::fs::basefs::BaseFs;
+use sim_os::syscall::Kernel;
+use waldo::{IngestStats, Waldo, WaldoConfig};
+
+fn p(volume: u32, n: u64) -> Pnode {
+    Pnode::new(VolumeId(volume), n)
+}
+
+fn prov(subject: ObjectRef, attr: Attribute, value: Value) -> LogEntry {
+    LogEntry::Prov {
+        subject,
+        record: ProvenanceRecord::new(attr, value),
+    }
+}
+
+/// A random provenance stream over a bounded id space — including
+/// transaction markers, so checkpoints capture open-transaction
+/// buffers (ends without begins are no-ops; begins without ends stay
+/// open across the checkpoint).
+fn arb_entry() -> impl Strategy<Value = LogEntry> {
+    let subject =
+        (1u32..4, 1u64..64, 0u32..3).prop_map(|(vol, n, v)| ObjectRef::new(p(vol, n), Version(v)));
+    prop_oneof![
+        (subject.clone(), "[a-z]{1,8}")
+            .prop_map(|(s, name)| { prov(s, Attribute::Name, Value::Str(format!("/{name}"))) }),
+        (subject.clone(), 0u32..3).prop_map(|(s, t)| {
+            let ty = ["FILE", "PROC", "PIPE"][t as usize];
+            prov(s, Attribute::Type, Value::str(ty))
+        }),
+        (subject.clone(), 1u64..64, 0u32..3).prop_map(|(s, n, v)| {
+            prov(
+                s,
+                Attribute::Input,
+                Value::Xref(ObjectRef::new(p(1, n), Version(v))),
+            )
+        }),
+        (subject, 0u64..4096, 1u32..4096).prop_map(|(s, off, len)| LogEntry::DataWrite {
+            subject: s,
+            offset: off,
+            len,
+            digest: [7u8; 16],
+        }),
+        (1u64..4).prop_map(|id| LogEntry::TxnBegin { id }),
+        (1u64..4).prop_map(|id| LogEntry::TxnEnd { id }),
+    ]
+}
+
+/// A bare kernel with one plain volume — enough disk for a daemon's
+/// database directory.
+fn bare_kernel() -> Kernel {
+    let clock = Clock::new();
+    let mut k = Kernel::new(clock.clone(), CostModel::default());
+    k.mount("/", Box::new(BaseFs::new(clock, CostModel::default())));
+    k
+}
+
+fn stage_all(db: &mut waldo::Store, entries: &[LogEntry], batch: usize) {
+    let mut stats = IngestStats::default();
+    for e in entries.iter().cloned() {
+        db.stage(e, None);
+        if db.staged_len() >= batch {
+            db.commit_staged(&mut stats);
+        }
+    }
+    db.commit_staged(&mut stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serialize → checkpoint → cold restart over arbitrary shard
+    /// contents reproduces the store byte-exactly (the canonical
+    /// segment images are the equality oracle), including open
+    /// transactions — and the restarted store behaves identically
+    /// under continued ingestion.
+    #[test]
+    fn checkpoint_roundtrips_arbitrary_stores(
+        entries in proptest::collection::vec(arb_entry(), 1..120),
+        batch in 1usize..24,
+        shards in 1usize..16,
+        split_at in 0usize..120,
+    ) {
+        // At least one committed entry, so there is something to
+        // checkpoint.
+        let split = split_at.max(1).min(entries.len());
+        let cfg = WaldoConfig {
+            shards,
+            ingest_batch: batch,
+            ancestry_cache: 0,
+            checkpoint_commits: 0,
+            checkpoint_wal_bytes: 0,
+            ..WaldoConfig::default()
+        };
+        let mut kernel = bare_kernel();
+        let pid = kernel.spawn_init("waldo");
+        let mut waldo = Waldo::with_config(pid, cfg);
+        waldo.attach_db_dir(&mut kernel, "/waldo-db").unwrap();
+        waldo.db.begin_stream();
+        stage_all(&mut waldo.db, &entries[..split], batch);
+        prop_assert!(waldo.checkpoint(&mut kernel).unwrap());
+
+        // Machine crash: only the kernel's disk survives.
+        let mut original = waldo;
+        let pid2 = kernel.spawn_init("waldo2");
+        let mut restarted = Waldo::restart(pid2, &mut kernel, cfg, "/waldo-db", &[]).unwrap();
+        prop_assert_eq!(restarted.db.segment_images(), original.db.segment_images());
+        prop_assert_eq!(restarted.db.open_txns(), original.db.open_txns());
+        prop_assert_eq!(restarted.db.commit_seq(), original.db.commit_seq());
+        prop_assert_eq!(restarted.db.size(), original.db.size());
+
+        // Both stores ingest the suffix the same way and stay equal.
+        stage_all(&mut original.db, &entries[split..], batch);
+        stage_all(&mut restarted.db, &entries[split..], batch);
+        prop_assert_eq!(restarted.db.segment_images(), original.db.segment_images());
+    }
+}
+
+// ---- corruption and fallback ------------------------------------------
+
+/// Builds three waves of provenance through the full stack with a
+/// checkpoint after each of the first two waves; wave 3 stays in
+/// retained logs only. Returns the system and the uncrashed daemon.
+fn three_wave_history() -> (passv2::System, Waldo) {
+    let mut sys = passv2::System::single_volume();
+    let cfg = WaldoConfig {
+        shards: 8,
+        ingest_batch: 5,
+        ancestry_cache: 0,
+        checkpoint_commits: 0,
+        checkpoint_wal_bytes: 0,
+        ..WaldoConfig::default()
+    };
+    let pid = sys.kernel.spawn_init("waldo");
+    sys.pass.exempt(pid);
+    let mut waldo = Waldo::with_config(pid, cfg);
+    waldo.attach_db_dir(&mut sys.kernel, "/waldo-db").unwrap();
+    let (_, m, _) = sys.volumes[0];
+    let worker = sys.spawn("sh");
+    for wave in 0..3 {
+        for i in 0..6 {
+            sys.kernel
+                .write_file(worker, &format!("/w{wave}-f{i}"), b"wave data")
+                .unwrap();
+        }
+        sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+        waldo.poll_volume(&mut sys.kernel, m, "/");
+        if wave < 2 {
+            assert!(waldo.checkpoint(&mut sys.kernel).unwrap());
+        }
+    }
+    (sys, waldo)
+}
+
+/// Restarts after damaging the newest checkpoint with `damage`;
+/// asserts the fallback loaded the older checkpoint, replayed more,
+/// and still equals the uncrashed store byte-for-byte.
+fn assert_fallback(damage: impl FnOnce(&mut passv2::System, sim_os::proc::Pid)) {
+    let (_, reference) = three_wave_history();
+    let (mut sys, crashed) = three_wave_history();
+    let cfg = crashed.db.config();
+    drop(crashed); // the machine crash
+
+    let pid = sys.kernel.spawn_init("damager");
+    sys.pass.exempt(pid);
+    damage(&mut sys, pid);
+
+    let pid2 = sys.kernel.spawn_init("waldo-restarted");
+    sys.pass.exempt(pid2);
+    let restarted = Waldo::restart(pid2, &mut sys.kernel, cfg, "/waldo-db", &["/"]).unwrap();
+    let report = restarted.restart_report().unwrap();
+    assert_eq!(
+        report.checkpoints_skipped, 1,
+        "the damaged newest checkpoint must be skipped"
+    );
+    assert!(
+        report.replayed_entries > 0,
+        "fallback must replay the wave the lost checkpoint covered"
+    );
+    assert_eq!(
+        restarted.db.segment_images(),
+        reference.db.segment_images(),
+        "fallback restart must still equal the uncrashed store"
+    );
+}
+
+/// Paths of the checkpoint directory, via the kernel.
+fn checkpoint_files(sys: &mut passv2::System, pid: sim_os::proc::Pid) -> Vec<String> {
+    sys.kernel
+        .readdir(pid, "/waldo-db/checkpoints")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect()
+}
+
+fn newest_manifest(names: &[String]) -> String {
+    let seq = names
+        .iter()
+        .filter_map(|n| {
+            n.strip_prefix("manifest.")
+                .and_then(|s| s.parse::<u64>().ok())
+        })
+        .max()
+        .expect("two manifests exist");
+    format!("manifest.{seq}")
+}
+
+#[test]
+fn bitflipped_manifest_falls_back_to_previous_checkpoint() {
+    assert_fallback(|sys, pid| {
+        let names = checkpoint_files(sys, pid);
+        let path = format!("/waldo-db/checkpoints/{}", newest_manifest(&names));
+        let mut data = sys.kernel.read_file(pid, &path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x10;
+        sys.kernel.write_file(pid, &path, &data).unwrap();
+    });
+}
+
+#[test]
+fn torn_manifest_falls_back_to_previous_checkpoint() {
+    assert_fallback(|sys, pid| {
+        let names = checkpoint_files(sys, pid);
+        let path = format!("/waldo-db/checkpoints/{}", newest_manifest(&names));
+        let data = sys.kernel.read_file(pid, &path).unwrap();
+        // A torn publish: only a prefix of the manifest made it.
+        sys.kernel
+            .write_file(pid, &path, &data[..data.len() / 2])
+            .unwrap();
+    });
+}
+
+#[test]
+fn bitflipped_segment_falls_back_to_previous_checkpoint() {
+    assert_fallback(|sys, pid| {
+        // Find a shard with segments at two generations: the newer
+        // belongs to the newest checkpoint only (shared segments would
+        // damage both checkpoints, which retention does not protect).
+        let names = checkpoint_files(sys, pid);
+        let mut by_shard: std::collections::HashMap<&str, Vec<(u64, &String)>> =
+            std::collections::HashMap::new();
+        for n in &names {
+            if let Some(rest) = n.strip_suffix(".seg") {
+                if let Some((shard, gen)) = rest.split_once(".g") {
+                    if let Ok(g) = gen.parse::<u64>() {
+                        by_shard.entry(shard).or_default().push((g, n));
+                    }
+                }
+            }
+        }
+        let victim = by_shard
+            .values_mut()
+            .find(|v| v.len() >= 2)
+            .map(|v| {
+                v.sort();
+                v.last().unwrap().1.clone()
+            })
+            .expect("some shard advanced between the two checkpoints");
+        let path = format!("/waldo-db/checkpoints/{victim}");
+        let mut data = sys.kernel.read_file(pid, &path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x01;
+        sys.kernel.write_file(pid, &path, &data).unwrap();
+    });
+}
+
+// ---- WAL truncation policy --------------------------------------------
+
+/// The size trigger keeps the WAL bounded: many polling rounds never
+/// grow it past the configured threshold plus one in-flight frame.
+#[test]
+fn wal_is_bounded_by_truncation_policy() {
+    let mut sys = passv2::System::single_volume();
+    let cfg = WaldoConfig {
+        shards: 8,
+        ingest_batch: 4,
+        ancestry_cache: 0,
+        checkpoint_commits: 0,
+        checkpoint_wal_bytes: 512,
+        ..WaldoConfig::default()
+    };
+    let pid = sys.kernel.spawn_init("waldo");
+    sys.pass.exempt(pid);
+    let mut waldo = Waldo::with_config(pid, cfg);
+    waldo.attach_db_dir(&mut sys.kernel, "/waldo-db").unwrap();
+    let (_, m, _) = sys.volumes[0];
+    let worker = sys.spawn("sh");
+    let mut checkpoints = 0;
+    for round in 0..12 {
+        for i in 0..5 {
+            sys.kernel
+                .write_file(worker, &format!("/r{round}-f{i}"), b"payload")
+                .unwrap();
+        }
+        sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+        let stats = waldo.poll_volume(&mut sys.kernel, m, "/");
+        checkpoints += stats.checkpoints;
+        let wal = sys.kernel.stat(pid, "/waldo-db/wal").unwrap().size;
+        assert!(
+            wal <= 512 + 256,
+            "round {round}: WAL grew to {wal} bytes despite the 512-byte policy"
+        );
+    }
+    assert!(checkpoints > 1, "the size trigger must have fired");
+    let s = waldo.checkpoint_stats();
+    assert!(s.frames_truncated > 0, "truncation must drop frames");
+    assert!(s.segments_written > 0);
+    assert!(s.checkpoints as usize >= checkpoints);
+}

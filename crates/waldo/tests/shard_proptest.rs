@@ -61,7 +61,12 @@ proptest! {
         n in 0u64..1_000_000,
         shards in 1usize..64,
     ) {
-        let cfg = WaldoConfig { shards, ingest_batch: 64, ancestry_cache: 0 };
+        let cfg = WaldoConfig {
+            shards,
+            ingest_batch: 64,
+            ancestry_cache: 0,
+            ..WaldoConfig::default()
+        };
         let a = Store::with_config(cfg);
         let b = Store::with_config(cfg);
         let node = p(vol, n);
@@ -86,6 +91,7 @@ proptest! {
             shards: 8,
             ingest_batch: 64,
             ancestry_cache: 0,
+            ..WaldoConfig::default()
         });
         let mut used = std::collections::HashSet::new();
         for i in 0..256u64 {
@@ -107,6 +113,7 @@ proptest! {
             shards: 1,
             ingest_batch: 1 << 20,
             ancestry_cache: 0,
+            ..WaldoConfig::default()
         });
         whole.ingest(&entries);
 
@@ -114,6 +121,7 @@ proptest! {
             shards,
             ingest_batch: batch,
             ancestry_cache: 8,
+            ..WaldoConfig::default()
         });
         // Drive the staging path the daemon uses, committing at the
         // configured granularity.

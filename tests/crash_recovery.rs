@@ -151,3 +151,50 @@ fn full_system_crash_recovery_via_kernel() {
     // UnknownFile/MissingData — recovery never silently passes.
     assert!(!report.inconsistent.is_empty());
 }
+
+#[test]
+fn machine_crash_with_checkpoint_cold_restarts_waldo() {
+    // The full stack: syscalls → Lasagna logs → durable Waldo with
+    // checkpoints → machine crash → cold restart → identical queries.
+    let mut sys = passv2::System::single_volume();
+    let worker = sys.spawn("worker");
+    let (_, m, _) = sys.volumes[0];
+    let mut waldo = sys.spawn_waldo_durable("/waldo-db");
+
+    // Wave 1 is checkpointed; wave 2 survives only in retained logs.
+    sys.kernel
+        .write_file(worker, "/src.c", b"int main(){}")
+        .unwrap();
+    let data = sys.kernel.read_file(worker, "/src.c").unwrap();
+    sys.kernel.write_file(worker, "/src.o", &data).unwrap();
+    sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+    waldo.poll_volume(&mut sys.kernel, m, "/");
+    waldo.checkpoint(&mut sys.kernel).unwrap();
+
+    let obj = sys.kernel.read_file(worker, "/src.o").unwrap();
+    sys.kernel.write_file(worker, "/a.out", &obj).unwrap();
+    sys.kernel.dpapi_at(m).unwrap().force_log_rotation();
+    waldo.poll_volume(&mut sys.kernel, m, "/");
+
+    let reference_images = waldo.db.segment_images();
+    drop(waldo); // machine crash: daemon memory gone, disks survive
+
+    let restarted = sys.restart_waldo("/waldo-db");
+    let report = restarted.restart_report().expect("cold start ran");
+    assert!(report.loaded_seq.is_some(), "checkpoint must load");
+    assert!(report.replayed_entries > 0, "wave 2 must replay from logs");
+    assert_eq!(restarted.db.segment_images(), reference_images);
+
+    // The rebuilt database answers the paper's lineage query: the
+    // binary's ancestry reaches the source file.
+    let outs = restarted.db.find_by_name("/a.out");
+    assert_eq!(outs.len(), 1);
+    let v = dpapi::Version(restarted.db.object(outs[0]).unwrap().current);
+    let anc = restarted.db.ancestors(dpapi::ObjectRef::new(outs[0], v));
+    let srcs = restarted.db.find_by_name("/src.c");
+    assert_eq!(srcs.len(), 1);
+    assert!(
+        anc.iter().any(|r| r.pnode == srcs[0]),
+        "/a.out ancestry must reach /src.c after cold restart"
+    );
+}
