@@ -1,8 +1,14 @@
-//! PQL query latency versus provenance graph size.
+//! PQL query latency versus provenance graph size — and the planner's
+//! effect on it: indexed pushdown vs class scan vs the naive
+//! evaluator, at growing graph sizes. The gap between `indexed` and
+//! `scan`/`naive` must grow with the graph (indexed work is
+//! proportional to the result, scans to the volume); CI runs this in
+//! quick mode so the query path can't silently regress to scans.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
 use lasagna::LogEntry;
+use pql::{EdgeLabel, GraphSource};
 use std::hint::black_box;
 use waldo::{ProvDb, WaldoConfig};
 
@@ -70,6 +76,70 @@ fn build_db(files: u64) -> ProvDb {
     });
     db.ingest(&build_entries(files));
     db
+}
+
+/// The store with its `lookup_attr` / `class_size` overrides hidden:
+/// the planner still plans (pushdown, reorder, streaming) but every
+/// pushed predicate resolves through the trait's scan-based default —
+/// isolating what the *index* buys over the *plan*.
+struct ScanOnly<'a>(&'a ProvDb);
+
+impl GraphSource for ScanOnly<'_> {
+    fn class_members(&self, class: &str) -> Vec<ObjectRef> {
+        self.0.class_members(class)
+    }
+    fn attr(&self, node: ObjectRef, name: &str) -> Option<Value> {
+        GraphSource::attr(self.0, node, name)
+    }
+    fn out_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
+        self.0.out_edges(node, label)
+    }
+    fn in_edges(&self, node: ObjectRef, label: &EdgeLabel) -> Vec<ObjectRef> {
+        self.0.in_edges(node, label)
+    }
+    fn closure(&self, node: ObjectRef, label: &EdgeLabel, inverse: bool) -> Vec<ObjectRef> {
+        self.0.closure(node, label, inverse)
+    }
+    // lookup_attr / class_size deliberately not forwarded: the
+    // defaults scan.
+}
+
+/// Indexed pushdown vs planner-without-index vs the naive evaluator,
+/// on the paper's §5.7 query shape, at growing graph sizes.
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pql_planner");
+    for files in [100u64, 400, 1600] {
+        let db = build_db(files);
+        // A selective target (one object file, shallow ancestry): the
+        // root lookup dominates, so the indexed-vs-scan gap tracks
+        // graph size. `/vmlinux` (whole-graph ancestry) is measured
+        // separately in the `pql/*` group.
+        let query = "select A from Provenance.file as F F.input* as A \
+                     where F.name = '/obj/f17.o'";
+        let parsed = pql::parse(query).unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed", files), &db, |b, db| {
+            b.iter(|| {
+                let out = pql::plan::execute(&parsed, db).unwrap();
+                assert!(out.stats.index_hits >= 1);
+                black_box(out.result.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scan", files), &db, |b, db| {
+            let scan = ScanOnly(db);
+            b.iter(|| {
+                let out = pql::plan::execute(&parsed, &scan).unwrap();
+                assert_eq!(out.stats.index_hits, 0);
+                black_box(out.result.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", files), &db, |b, db| {
+            b.iter(|| {
+                let rs = pql::execute_naive(&parsed, db).unwrap();
+                black_box(rs.len())
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_queries(c: &mut Criterion) {
@@ -146,5 +216,5 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+criterion_group!(benches, bench_queries, bench_planner);
 criterion_main!(benches);

@@ -70,6 +70,27 @@ fn main() {
         );
     }
     println!();
+    println!("Query planner (one §5.7-style name-equality ancestry query per run:");
+    println!("root binding via the attribute index, not a volume scan)");
+    println!(
+        "{:<20} {:>8} {:>6} {:>7} {:>8} {:>10} {:>9}",
+        "Benchmark", "idx hit", "scans", "pushed", "pruned", "clo saved", "fallback"
+    );
+    println!("{}", "-".repeat(74));
+    for (name, m) in &measured {
+        let p = &m.ops.planner;
+        println!(
+            "{:<20} {:>8} {:>6} {:>7} {:>8} {:>10} {:>9}",
+            name,
+            p.index_hits,
+            p.scan_bindings,
+            p.predicates_pushed,
+            p.rows_pruned,
+            p.closure_calls_saved,
+            p.naive_fallbacks,
+        );
+    }
+    println!();
     println!("Paper reference (MB):");
     println!("  Linux Compile      1287.9   88.9 (6.9%)   236.8 (18.4%)");
     println!("  Postmark           1289.5    0.8 (0.1%)     1.7 ( 0.1%)");

@@ -150,6 +150,9 @@ pub struct WaldoOps {
     /// Checkpoint subsystem counters (segments/bytes written, WAL
     /// frames truncated, logs retired).
     pub checkpoints: CheckpointStats,
+    /// PQL planner counters from the canned query pass (index hits,
+    /// rows pruned, closure calls saved).
+    pub planner: pql::PlanStats,
 }
 
 /// The outcome of one measured run.
@@ -229,7 +232,9 @@ pub fn measure_with(cfg: Config, workload: &dyn Workload, waldo_cfg: WaldoConfig
 /// (by pnode), each twice, the §3 drill-down pattern — and snapshots
 /// the daemon's operational counters. The 64-object cap keeps the
 /// pass O(1) across workload sizes; the printed hit/miss columns are
-/// a fixed sample, not full coverage.
+/// a fixed sample, not full coverage. A planned PQL ancestry query
+/// with a `name` equality predicate (the paper's §5.7 shape) runs
+/// against the first named object so the planner counters are real.
 fn ops_report(w: &waldo::Waldo) -> WaldoOps {
     let mut pnodes: Vec<dpapi::Pnode> = w.db.objects().map(|(p, _)| *p).collect();
     pnodes.sort_unstable();
@@ -238,11 +243,29 @@ fn ops_report(w: &waldo::Waldo) -> WaldoOps {
             let _ = w.db.ancestors(dpapi::ObjectRef::new(*p, dpapi::Version(0)));
         }
     }
+    let planner = pnodes
+        .iter()
+        .find_map(|p| {
+            let name = w.db.object(*p)?.first_attr(&dpapi::Attribute::Name)?;
+            let dpapi::Value::Str(name) = name else {
+                return None;
+            };
+            if name.contains('\'') {
+                // No escape syntax in PQL string literals; pick
+                // another object rather than emit a broken query.
+                return None;
+            }
+            let q =
+                format!("select A from Provenance.obj as F F.input* as A where F.name = '{name}'");
+            pql::query_with_stats(&q, &w.db).ok().map(|out| out.stats)
+        })
+        .unwrap_or_default();
     WaldoOps {
         effective_shards: w.db.config().effective_shards(),
         ancestry_cache: w.db.cache_stats(),
         wal_errors: w.wal_errors(),
         checkpoints: w.checkpoint_stats(),
+        planner,
     }
 }
 

@@ -183,6 +183,20 @@ impl System {
             .expect("reattaching the Waldo database directory on restart")
     }
 
+    /// Answers a PQL query from `waldo`'s database through the
+    /// planned, index-backed pipeline, returning the rows together
+    /// with the planner statistics (index hits, rows pruned, closure
+    /// calls saved). The counters also accumulate on the daemon
+    /// (`Waldo::query_ops`), so long-running systems can report them
+    /// alongside the ingest-side op counters.
+    ///
+    /// This is the top of the paper's query stack: PQL → Waldo →
+    /// sharded store, with `where` predicates pushed down into the
+    /// store's secondary indexes instead of scanning the volume.
+    pub fn query(&self, waldo: &mut Waldo, text: &str) -> Result<pql::QueryOutput, pql::PqlError> {
+        waldo.query(text)
+    }
+
     /// Forces every PASS volume to rotate its log so Waldo can ingest
     /// all pending provenance, then returns the rotated log paths per
     /// mount, absolute.

@@ -1,14 +1,24 @@
-//! The PQL evaluator.
+//! The naive PQL evaluator — the semantic reference.
 //!
 //! Queries run against any [`GraphSource`] — an OEM-style object
 //! graph with attributed nodes and labeled, directed edges. The
 //! `waldo` crate implements the trait for its provenance database.
+//!
+//! [`execute`] here is the *naive* evaluator: it materializes the
+//! full cartesian expansion of the `from` clause and only then
+//! applies `where`. It is kept as the executable specification the
+//! planned pipeline ([`crate::plan`]) is differentially tested
+//! against; production queries go through [`crate::query`], which
+//! plans.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 use dpapi::{ObjectRef, Value};
 
 use crate::ast::*;
+use crate::plan::{AttrLookup, AttrPredicate, PlanStats};
 use crate::PqlError;
 
 /// An edge label in the provenance graph.
@@ -51,6 +61,10 @@ impl EdgeLabel {
 pub trait GraphSource {
     /// All members of a class (`file`, `proc`, `pipe`, `session`,
     /// `operator`, `function`, or `obj` for every object).
+    ///
+    /// **Contract:** the result is sorted ascending. The evaluator
+    /// relies on this for deterministic row order instead of
+    /// re-sorting every scan.
     fn class_members(&self, class: &str) -> Vec<ObjectRef>;
 
     /// An attribute of a node. Implementations should also answer the
@@ -89,6 +103,28 @@ pub trait GraphSource {
         }
         out.sort();
         out
+    }
+
+    /// Members of `class` whose attribute `attr` satisfies `pred` —
+    /// the planner's pushdown hook ([`crate::plan`]).
+    ///
+    /// The default is scan-based (class scan plus post-filter,
+    /// `indexed = false`), so toy sources keep working untouched.
+    /// Storage backends with secondary indexes override it to answer
+    /// from the index and report `indexed = true`; the result must
+    /// equal the default's — same refs, same (sorted) order — since
+    /// the planner substitutes one for the other freely.
+    fn lookup_attr(&self, class: &str, attr: &str, pred: &AttrPredicate) -> AttrLookup {
+        crate::plan::scan_lookup(self, class, attr, pred)
+    }
+
+    /// Approximate member count of `class`, if the backend can answer
+    /// it without a scan. Purely a planner-statistics hint (it feeds
+    /// the `rows_pruned` / `closure_calls_saved` estimates in
+    /// [`PlanStats`]); `None` (the default) just zeroes those
+    /// estimates.
+    fn class_size(&self, _class: &str) -> Option<usize> {
+        None
     }
 }
 
@@ -168,16 +204,58 @@ impl ResultSet {
     }
 }
 
-type Row = HashMap<String, ObjectRef>;
+pub(crate) type Row = HashMap<String, ObjectRef>;
 
-/// Executes a parsed query against a graph.
+/// Deduplicates output rows without cloning them into a set: rows are
+/// hashed once, and the hash buckets index into the already-kept rows
+/// for the (rare) equality probes.
+#[derive(Default)]
+pub(crate) struct RowDedup {
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl RowDedup {
+    /// True if `row` is new among `kept` (and records it, assuming
+    /// the caller pushes it onto `kept` next).
+    pub(crate) fn is_new(&mut self, kept: &[Vec<OutValue>], row: &[OutValue]) -> bool {
+        let mut h = DefaultHasher::new();
+        row.hash(&mut h);
+        let bucket = self.buckets.entry(h.finish()).or_default();
+        if bucket.iter().any(|&i| kept[i] == row) {
+            return false;
+        }
+        bucket.push(kept.len());
+        true
+    }
+}
+
+/// The output column names a query projects.
+pub(crate) fn column_names(query: &Query) -> Vec<String> {
+    query
+        .select
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.alias.clone().unwrap_or_else(|| match &s.expr {
+                Expr::Var(v) => v.clone(),
+                Expr::Attr(v, a) => format!("{v}.{a}"),
+                _ => format!("col{i}"),
+            })
+        })
+        .collect()
+}
+
+/// Executes a parsed query against a graph, naively: full cartesian
+/// `from` expansion, then `where`, then projection. This is the
+/// reference evaluator; [`crate::execute`] plans instead.
 pub fn execute(query: &Query, graph: &dyn GraphSource) -> Result<ResultSet, PqlError> {
+    let ctx = ExprCtx { graph, stats: None };
     let rows = bind_sources(query, graph)?;
     let rows = match &query.where_clause {
         Some(cond) => {
             let mut kept = Vec::new();
             for row in rows {
-                if truthy(&eval_expr(cond, &row, graph, None)?) {
+                if truthy(&ctx.eval(cond, &row, None)?) {
                     kept.push(row);
                 }
             }
@@ -191,34 +269,22 @@ pub fn execute(query: &Query, graph: &dyn GraphSource) -> Result<ResultSet, PqlE
         .iter()
         .any(|s| matches!(s.expr, Expr::Aggregate { .. }));
 
-    let columns: Vec<String> = query
-        .select
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            s.alias.clone().unwrap_or_else(|| match &s.expr {
-                Expr::Var(v) => v.clone(),
-                Expr::Attr(v, a) => format!("{v}.{a}"),
-                _ => format!("col{i}"),
-            })
-        })
-        .collect();
-
+    let columns = column_names(query);
     let mut out_rows: Vec<Vec<OutValue>> = Vec::new();
-    let mut seen: HashSet<Vec<OutValue>> = HashSet::new();
+    let mut dedup = RowDedup::default();
     if has_aggregate {
         let mut row_out = Vec::new();
         for item in &query.select {
-            row_out.push(eval_expr(&item.expr, &Row::new(), graph, Some(&rows))?);
+            row_out.push(ctx.eval(&item.expr, &Row::new(), Some(&rows))?);
         }
         out_rows.push(row_out);
     } else {
         for row in &rows {
             let mut row_out = Vec::new();
             for item in &query.select {
-                row_out.push(eval_expr(&item.expr, row, graph, None)?);
+                row_out.push(ctx.eval(&item.expr, row, None)?);
             }
-            if seen.insert(row_out.clone()) {
+            if dedup.is_new(&out_rows, &row_out) {
                 out_rows.push(row_out);
             }
         }
@@ -236,11 +302,8 @@ fn bind_sources(query: &Query, graph: &dyn GraphSource) -> Result<Vec<Row>, PqlE
         let mut next: Vec<Row> = Vec::new();
         for row in &rows {
             let starts: Vec<ObjectRef> = match &source.root {
-                PathRoot::Class(c) => {
-                    let mut v = graph.class_members(c);
-                    v.sort();
-                    v
-                }
+                // Sorted by the `class_members` contract.
+                PathRoot::Class(c) => graph.class_members(c),
                 PathRoot::Var(v) => match row.get(v) {
                     Some(r) => vec![*r],
                     None => {
@@ -261,7 +324,11 @@ fn bind_sources(query: &Query, graph: &dyn GraphSource) -> Result<Vec<Row>, PqlE
 }
 
 /// Applies a sequence of path steps to a start set.
-fn walk_steps(starts: &[ObjectRef], steps: &[PathStep], graph: &dyn GraphSource) -> Vec<ObjectRef> {
+pub(crate) fn walk_steps(
+    starts: &[ObjectRef],
+    steps: &[PathStep],
+    graph: &dyn GraphSource,
+) -> Vec<ObjectRef> {
     let mut current: Vec<ObjectRef> = starts.to_vec();
     for step in steps {
         current = apply_step(&current, step, graph);
@@ -269,16 +336,28 @@ fn walk_steps(starts: &[ObjectRef], steps: &[PathStep], graph: &dyn GraphSource)
     current
 }
 
-fn one_hop(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> Vec<ObjectRef> {
+/// The parsed edge labels of one step, resolved once — `one_hop` used
+/// to re-parse the label string for every node × pattern.
+fn step_labels(step: &PathStep) -> Vec<(EdgeLabel, bool)> {
+    step.edges
+        .iter()
+        .map(|pat| (EdgeLabel::from_name(&pat.label), pat.inverse))
+        .collect()
+}
+
+fn one_hop(
+    nodes: &[ObjectRef],
+    labels: &[(EdgeLabel, bool)],
+    graph: &dyn GraphSource,
+) -> Vec<ObjectRef> {
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     for &n in nodes {
-        for pat in &step.edges {
-            let label = EdgeLabel::from_name(&pat.label);
-            let next = if pat.inverse {
-                graph.in_edges(n, &label)
+        for (label, inverse) in labels {
+            let next = if *inverse {
+                graph.in_edges(n, label)
             } else {
-                graph.out_edges(n, &label)
+                graph.out_edges(n, label)
             };
             for m in next {
                 if seen.insert(m) {
@@ -291,12 +370,13 @@ fn one_hop(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> Vec
 }
 
 fn apply_step(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> Vec<ObjectRef> {
+    let labels = step_labels(step);
     match step.quant {
-        Quant::One => one_hop(nodes, step, graph),
+        Quant::One => one_hop(nodes, &labels, graph),
         Quant::Opt => {
             let mut out: Vec<ObjectRef> = nodes.to_vec();
             let mut seen: HashSet<ObjectRef> = nodes.iter().copied().collect();
-            for m in one_hop(nodes, step, graph) {
+            for m in one_hop(nodes, &labels, graph) {
                 if seen.insert(m) {
                     out.push(m);
                 }
@@ -311,34 +391,34 @@ fn apply_step(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> 
             // `GraphSource::closure` so backends can memoize whole
             // traversals. Multi-start sets keep the shared BFS: one
             // pass over the union instead of k independent closures.
-            let reached: Vec<ObjectRef> = if let ([pat], [start]) = (step.edges.as_slice(), nodes) {
-                let label = EdgeLabel::from_name(&pat.label);
-                graph.closure(*start, &label, pat.inverse)
-            } else {
-                // Shared BFS over the union of labels and starts.
-                // Start nodes seed `seen` so they are expanded only
-                // once, but — matching the per-node closure
-                // semantics — a start that is *re-reached* from
-                // another start still counts as reachable.
-                let starts: HashSet<ObjectRef> = nodes.iter().copied().collect();
-                let mut seen: HashSet<ObjectRef> = starts.clone();
-                let mut reached_starts: HashSet<ObjectRef> = HashSet::new();
-                let mut frontier: Vec<ObjectRef> = nodes.to_vec();
-                let mut out: Vec<ObjectRef> = Vec::new();
-                while !frontier.is_empty() {
-                    let next = one_hop(&frontier, step, graph);
-                    frontier = Vec::new();
-                    for m in next {
-                        if seen.insert(m) {
-                            out.push(m);
-                            frontier.push(m);
-                        } else if starts.contains(&m) && reached_starts.insert(m) {
-                            out.push(m);
+            let reached: Vec<ObjectRef> =
+                if let ([(label, inverse)], [start]) = (labels.as_slice(), nodes) {
+                    graph.closure(*start, label, *inverse)
+                } else {
+                    // Shared BFS over the union of labels and starts.
+                    // Start nodes seed `seen` so they are expanded only
+                    // once, but — matching the per-node closure
+                    // semantics — a start that is *re-reached* from
+                    // another start still counts as reachable.
+                    let starts: HashSet<ObjectRef> = nodes.iter().copied().collect();
+                    let mut seen: HashSet<ObjectRef> = starts.clone();
+                    let mut reached_starts: HashSet<ObjectRef> = HashSet::new();
+                    let mut frontier: Vec<ObjectRef> = nodes.to_vec();
+                    let mut out: Vec<ObjectRef> = Vec::new();
+                    while !frontier.is_empty() {
+                        let next = one_hop(&frontier, &labels, graph);
+                        frontier = Vec::new();
+                        for m in next {
+                            if seen.insert(m) {
+                                out.push(m);
+                                frontier.push(m);
+                            } else if starts.contains(&m) && reached_starts.insert(m) {
+                                out.push(m);
+                            }
                         }
                     }
-                }
-                out
-            };
+                    out
+                };
             match step.quant {
                 Quant::Star => {
                     let starts: HashSet<ObjectRef> = nodes.iter().copied().collect();
@@ -352,112 +432,133 @@ fn apply_step(nodes: &[ObjectRef], step: &PathStep, graph: &dyn GraphSource) -> 
     }
 }
 
-fn truthy(v: &OutValue) -> bool {
+pub(crate) fn truthy(v: &OutValue) -> bool {
     matches!(v, OutValue::Val(Value::Bool(true)))
 }
 
-fn eval_expr(
-    expr: &Expr,
-    row: &Row,
-    graph: &dyn GraphSource,
-    all_rows: Option<&[Row]>,
-) -> Result<OutValue, PqlError> {
-    match expr {
-        Expr::Lit(Literal::Str(s)) => Ok(OutValue::Val(Value::Str(s.clone()))),
-        Expr::Lit(Literal::Int(i)) => Ok(OutValue::Val(Value::Int(*i))),
-        Expr::Lit(Literal::Bool(b)) => Ok(OutValue::Val(Value::Bool(*b))),
-        Expr::Var(v) => row
-            .get(v)
-            .map(|r| OutValue::Node(*r))
-            .ok_or_else(|| PqlError::Eval(format!("unbound variable `{v}`"))),
-        Expr::Attr(v, attr) => {
-            let node = row
+/// Expression evaluation context, shared by the naive evaluator and
+/// the planned pipeline. The only behavioral difference between the
+/// two is how sub-queries run: with `stats` attached they go back
+/// through the planner (accumulating into the same counters), without
+/// it they recurse into the naive [`execute`].
+pub(crate) struct ExprCtx<'a> {
+    pub graph: &'a dyn GraphSource,
+    pub stats: Option<&'a std::cell::RefCell<PlanStats>>,
+}
+
+impl ExprCtx<'_> {
+    fn subquery(&self, query: &Query) -> Result<ResultSet, PqlError> {
+        match self.stats {
+            Some(stats) => crate::plan::execute_accum(query, self.graph, stats),
+            None => execute(query, self.graph),
+        }
+    }
+
+    pub(crate) fn eval(
+        &self,
+        expr: &Expr,
+        row: &Row,
+        all_rows: Option<&[Row]>,
+    ) -> Result<OutValue, PqlError> {
+        match expr {
+            Expr::Lit(Literal::Str(s)) => Ok(OutValue::Val(Value::Str(s.clone()))),
+            Expr::Lit(Literal::Int(i)) => Ok(OutValue::Val(Value::Int(*i))),
+            Expr::Lit(Literal::Bool(b)) => Ok(OutValue::Val(Value::Bool(*b))),
+            Expr::Var(v) => row
                 .get(v)
-                .ok_or_else(|| PqlError::Eval(format!("unbound variable `{v}`")))?;
-            Ok(graph
-                .attr(*node, attr)
-                .map(OutValue::Val)
-                .unwrap_or(OutValue::Null))
-        }
-        Expr::Not(e) => {
-            let v = eval_expr(e, row, graph, all_rows)?;
-            Ok(OutValue::Val(Value::Bool(!truthy(&v))))
-        }
-        Expr::Binary { op, lhs, rhs } => {
-            if op == "and" {
-                let l = eval_expr(lhs, row, graph, all_rows)?;
-                if !truthy(&l) {
-                    return Ok(OutValue::Val(Value::Bool(false)));
-                }
-                let r = eval_expr(rhs, row, graph, all_rows)?;
-                return Ok(OutValue::Val(Value::Bool(truthy(&r))));
+                .map(|r| OutValue::Node(*r))
+                .ok_or_else(|| PqlError::Eval(format!("unbound variable `{v}`"))),
+            Expr::Attr(v, attr) => {
+                let node = row
+                    .get(v)
+                    .ok_or_else(|| PqlError::Eval(format!("unbound variable `{v}`")))?;
+                Ok(self
+                    .graph
+                    .attr(*node, attr)
+                    .map(OutValue::Val)
+                    .unwrap_or(OutValue::Null))
             }
-            if op == "or" {
-                let l = eval_expr(lhs, row, graph, all_rows)?;
-                if truthy(&l) {
-                    return Ok(OutValue::Val(Value::Bool(true)));
-                }
-                let r = eval_expr(rhs, row, graph, all_rows)?;
-                return Ok(OutValue::Val(Value::Bool(truthy(&r))));
+            Expr::Not(e) => {
+                let v = self.eval(e, row, all_rows)?;
+                Ok(OutValue::Val(Value::Bool(!truthy(&v))))
             }
-            let l = eval_expr(lhs, row, graph, all_rows)?;
-            let r = eval_expr(rhs, row, graph, all_rows)?;
-            Ok(OutValue::Val(Value::Bool(compare(op, &l, &r)?)))
-        }
-        Expr::Aggregate { func, arg } => {
-            let rows = all_rows
-                .ok_or_else(|| PqlError::Eval("aggregate outside of select context".to_string()))?;
-            match func.as_str() {
-                "count" => {
-                    let mut distinct = HashSet::new();
-                    for row in rows {
-                        let v = eval_expr(arg, row, graph, None)?;
-                        if v != OutValue::Null {
-                            distinct.insert(v);
+            Expr::Binary { op, lhs, rhs } => {
+                if op == "and" {
+                    let l = self.eval(lhs, row, all_rows)?;
+                    if !truthy(&l) {
+                        return Ok(OutValue::Val(Value::Bool(false)));
+                    }
+                    let r = self.eval(rhs, row, all_rows)?;
+                    return Ok(OutValue::Val(Value::Bool(truthy(&r))));
+                }
+                if op == "or" {
+                    let l = self.eval(lhs, row, all_rows)?;
+                    if truthy(&l) {
+                        return Ok(OutValue::Val(Value::Bool(true)));
+                    }
+                    let r = self.eval(rhs, row, all_rows)?;
+                    return Ok(OutValue::Val(Value::Bool(truthy(&r))));
+                }
+                let l = self.eval(lhs, row, all_rows)?;
+                let r = self.eval(rhs, row, all_rows)?;
+                Ok(OutValue::Val(Value::Bool(compare(op, &l, &r)?)))
+            }
+            Expr::Aggregate { func, arg } => {
+                let rows = all_rows.ok_or_else(|| {
+                    PqlError::Eval("aggregate outside of select context".to_string())
+                })?;
+                match func.as_str() {
+                    "count" => {
+                        let mut distinct = HashSet::new();
+                        for row in rows {
+                            let v = self.eval(arg, row, None)?;
+                            if v != OutValue::Null {
+                                distinct.insert(v);
+                            }
+                        }
+                        Ok(OutValue::Val(Value::Int(distinct.len() as i64)))
+                    }
+                    "min" | "max" => {
+                        let mut vals: Vec<i64> = Vec::new();
+                        let mut strs: Vec<String> = Vec::new();
+                        for row in rows {
+                            match self.eval(arg, row, None)? {
+                                OutValue::Val(Value::Int(i)) => vals.push(i),
+                                OutValue::Val(Value::Str(s)) => strs.push(s),
+                                _ => {}
+                            }
+                        }
+                        if !vals.is_empty() {
+                            let v = if func == "min" {
+                                vals.into_iter().min()
+                            } else {
+                                vals.into_iter().max()
+                            };
+                            Ok(OutValue::Val(Value::Int(v.unwrap())))
+                        } else if !strs.is_empty() {
+                            let v = if func == "min" {
+                                strs.into_iter().min()
+                            } else {
+                                strs.into_iter().max()
+                            };
+                            Ok(OutValue::Val(Value::Str(v.unwrap())))
+                        } else {
+                            Ok(OutValue::Null)
                         }
                     }
-                    Ok(OutValue::Val(Value::Int(distinct.len() as i64)))
+                    other => Err(PqlError::Eval(format!("unknown aggregate `{other}`"))),
                 }
-                "min" | "max" => {
-                    let mut vals: Vec<i64> = Vec::new();
-                    let mut strs: Vec<String> = Vec::new();
-                    for row in rows {
-                        match eval_expr(arg, row, graph, None)? {
-                            OutValue::Val(Value::Int(i)) => vals.push(i),
-                            OutValue::Val(Value::Str(s)) => strs.push(s),
-                            _ => {}
-                        }
-                    }
-                    if !vals.is_empty() {
-                        let v = if func == "min" {
-                            vals.into_iter().min()
-                        } else {
-                            vals.into_iter().max()
-                        };
-                        Ok(OutValue::Val(Value::Int(v.unwrap())))
-                    } else if !strs.is_empty() {
-                        let v = if func == "min" {
-                            strs.into_iter().min()
-                        } else {
-                            strs.into_iter().max()
-                        };
-                        Ok(OutValue::Val(Value::Str(v.unwrap())))
-                    } else {
-                        Ok(OutValue::Null)
-                    }
-                }
-                other => Err(PqlError::Eval(format!("unknown aggregate `{other}`"))),
             }
-        }
-        Expr::InSubquery { expr, query } => {
-            let v = eval_expr(expr, row, graph, all_rows)?;
-            let sub = execute(query, graph)?;
-            let found = sub.rows.iter().any(|r| r.first() == Some(&v));
-            Ok(OutValue::Val(Value::Bool(found)))
-        }
-        Expr::Exists(query) => {
-            let sub = execute(query, graph)?;
-            Ok(OutValue::Val(Value::Bool(!sub.is_empty())))
+            Expr::InSubquery { expr, query } => {
+                let v = self.eval(expr, row, all_rows)?;
+                let sub = self.subquery(query)?;
+                let found = sub.rows.iter().any(|r| r.first() == Some(&v));
+                Ok(OutValue::Val(Value::Bool(found)))
+            }
+            Expr::Exists(query) => {
+                let sub = self.subquery(query)?;
+                Ok(OutValue::Val(Value::Bool(!sub.is_empty())))
+            }
         }
     }
 }

@@ -28,6 +28,14 @@
 //! used for `label*`/`label+` steps — the Waldo store overrides it
 //! with a generation-validated cache) can serve queries.
 //!
+//! Queries run through the [`plan`] module: sargable `where`
+//! predicates (equality and prefix-`like`) are pushed down into
+//! [`GraphSource::lookup_attr`] — index-backed in Waldo, scan-based
+//! by default — bindings are reordered by estimated selectivity, and
+//! rows stream through binding → filter → project instead of
+//! materializing the full `from` product. [`query_with_stats`]
+//! additionally returns the planner counters ([`PlanStats`]).
+//!
 //! # Examples
 //!
 //! Parse only:
@@ -88,12 +96,14 @@ pub mod ast;
 pub mod eval;
 pub mod lex;
 pub mod parse;
+pub mod plan;
 
 use std::fmt;
 
 pub use ast::{EdgePattern, Expr, Literal, PathRoot, PathStep, Quant, Query, SelectItem, Source};
-pub use eval::{execute, glob_match, EdgeLabel, GraphSource, OutValue, ResultSet};
+pub use eval::{execute as execute_naive, glob_match, EdgeLabel, GraphSource, OutValue, ResultSet};
 pub use parse::parse;
+pub use plan::{query_with_stats, scan_lookup, AttrLookup, AttrPredicate, PlanStats, QueryOutput};
 
 /// Errors from parsing or evaluating a query.
 #[derive(Clone, Debug, PartialEq)]
@@ -120,7 +130,17 @@ impl fmt::Display for PqlError {
 
 impl std::error::Error for PqlError {}
 
-/// Parses and executes `text` against `graph` in one call.
+/// Executes a parsed query against `graph` through the planned,
+/// index-backed pipeline ([`plan`]), discarding planner statistics.
+/// Use [`plan::execute`] to keep them, or [`eval::execute`]
+/// (re-exported as [`execute_naive`]) for the naive reference
+/// evaluator.
+pub fn execute(query: &Query, graph: &dyn GraphSource) -> Result<ResultSet, PqlError> {
+    plan::execute(query, graph).map(|out| out.result)
+}
+
+/// Parses and executes `text` against `graph` in one call (planned;
+/// see [`query_with_stats`] to also get the planner counters).
 pub fn query(text: &str, graph: &dyn GraphSource) -> Result<ResultSet, PqlError> {
     execute(&parse(text)?, graph)
 }

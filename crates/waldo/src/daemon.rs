@@ -53,6 +53,18 @@ use crate::db::{IngestStats, WaldoConfig};
 use crate::manifest::Manifest;
 use crate::store::Store;
 
+/// Cumulative query-side counters of one daemon: how many PQL
+/// queries it served and what the planner did across all of them —
+/// surfaced alongside the ingest-side op counters (cache hit rates,
+/// WAL errors, checkpoint stats) by the bench rig.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryOps {
+    /// Queries served through [`Waldo::query`].
+    pub queries: u64,
+    /// Planner counters, accumulated ([`pql::PlanStats::absorb`]).
+    pub planner: pql::PlanStats,
+}
+
 /// A fully committed source log awaiting checkpoint coverage before
 /// it may be unlinked.
 #[derive(Clone, Debug)]
@@ -106,6 +118,8 @@ pub struct Waldo {
     post_publish_pending: bool,
     ckpt_stats: CheckpointStats,
     restart_report: Option<RestartReport>,
+    /// Cumulative planner counters for queries served by this daemon.
+    query_ops: QueryOps,
 }
 
 impl Waldo {
@@ -135,7 +149,26 @@ impl Waldo {
             post_publish_pending: false,
             ckpt_stats: CheckpointStats::default(),
             restart_report: None,
+            query_ops: QueryOps::default(),
         }
+    }
+
+    /// Serves one PQL query from the daemon's database through the
+    /// planned, index-backed pipeline (`pql::plan`), accumulating the
+    /// planner counters into [`Waldo::query_ops`]. This is the query
+    /// path of the paper's §5.6 — "Waldo is also responsible for
+    /// accessing the database on behalf of the query engine" — now
+    /// with predicate pushdown into the store's secondary indexes.
+    pub fn query(&mut self, text: &str) -> Result<pql::QueryOutput, pql::PqlError> {
+        let out = pql::query_with_stats(text, &self.db)?;
+        self.query_ops.queries += 1;
+        self.query_ops.planner.absorb(&out.stats);
+        Ok(out)
+    }
+
+    /// Cumulative query/planner counters for this daemon's lifetime.
+    pub fn query_ops(&self) -> QueryOps {
+        self.query_ops
     }
 
     /// Adopts a database that survived a daemon restart (the committed

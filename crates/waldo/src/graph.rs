@@ -5,10 +5,15 @@
 //! Edge expansions — the query evaluator's hot operation — go through
 //! the store's generation-validated edge cache, so repeating an
 //! ancestry query over an unchanged (or partially changed) database
-//! re-reads only the shards that moved.
+//! re-reads only the shards that moved. Planner pushdown
+//! ([`GraphSource::lookup_attr`]) answers sargable `where` predicates
+//! from the per-shard secondary indexes — name, type, and the
+//! generalized string-attribute index — instead of scanning
+//! `class_members`, which is what makes the paper's §5.7
+//! name-equality ancestry query O(result) instead of O(volume).
 
-use dpapi::{Attribute, ObjectRef, Value, Version};
-use pql::{EdgeLabel, GraphSource};
+use dpapi::{Attribute, ObjectRef, Pnode, Value, Version};
+use pql::{AttrLookup, AttrPredicate, EdgeLabel, GraphSource};
 
 use crate::store::Store;
 
@@ -113,6 +118,71 @@ impl GraphSource for Store {
                 .filter(|(a, _)| edge_matches(label, a))
                 .map(|(_, r)| r)
                 .collect()
+        })
+    }
+
+    /// Index-backed predicate pushdown: equality and prefix lookups
+    /// on NAME, TYPE and any string application attribute answer from
+    /// the per-shard secondary indexes instead of scanning
+    /// `class_members`. The narrow candidate set is then verified
+    /// per version-ref against the exact scan semantics (`attr` +
+    /// predicate), so the result is identical to the default's —
+    /// same refs, same sorted order — just without the scan.
+    fn lookup_attr(&self, class: &str, attr: &str, pred: &AttrPredicate) -> AttrLookup {
+        let candidates: Option<Vec<Pnode>> = match (attr.to_ascii_lowercase().as_str(), pred) {
+            ("name", AttrPredicate::Eq(Value::Str(s))) => Some(self.find_by_name(s)),
+            ("name", AttrPredicate::LikePrefix(p)) => Some(self.find_by_name_prefix(p)),
+            ("type", AttrPredicate::Eq(Value::Str(s))) => Some(self.find_by_type(s)),
+            ("type", AttrPredicate::LikePrefix(p)) => Some(self.find_by_type_prefix(p)),
+            (lower, AttrPredicate::Eq(Value::Str(s))) => {
+                // Application attributes are stored (and indexed)
+                // under their canonical upper-case record name.
+                Some(self.find_by_attr(&lower.to_ascii_uppercase(), s))
+            }
+            (lower, AttrPredicate::LikePrefix(p)) => {
+                Some(self.find_by_attr_prefix(&lower.to_ascii_uppercase(), p))
+            }
+            // Non-string equality (pnode/version/volume pseudo-attrs,
+            // integer app attributes): no index covers it.
+            _ => None,
+        };
+        let Some(pnodes) = candidates else {
+            // Fall back to the trait's scan-based behavior (the one
+            // shared copy of the scan semantics).
+            return pql::plan::scan_lookup(self, class, attr, pred);
+        };
+        let class_upper = class.to_ascii_uppercase();
+        let any_class = class.eq_ignore_ascii_case("obj");
+        let mut nodes = Vec::new();
+        for p in pnodes {
+            if !any_class && !self.has_type(p, &class_upper) {
+                continue;
+            }
+            let Some(obj) = self.object(p) else { continue };
+            for v in obj.versions.keys() {
+                let r = ObjectRef::new(p, Version(*v));
+                if pred.matches(GraphSource::attr(self, r, attr).as_ref()) {
+                    nodes.push(r);
+                }
+            }
+        }
+        nodes.sort();
+        AttrLookup {
+            nodes,
+            indexed: true,
+        }
+    }
+
+    /// Planner-statistics hint: the class's member count, from the
+    /// TYPE index set sizes alone — O(shards), no object or attribute
+    /// reads, so the hint never erodes an O(result) indexed lookup.
+    /// Counts pnodes, not version-refs; for the pruning *estimates*
+    /// it feeds that is close enough.
+    fn class_size(&self, class: &str) -> Option<usize> {
+        Some(if class.eq_ignore_ascii_case("obj") {
+            self.object_count()
+        } else {
+            self.type_index_size(&class.to_ascii_uppercase())
         })
     }
 }

@@ -12,7 +12,8 @@
 //!
 //! * `shard` *(internal)* — N independent pnode-hash partitions,
 //!   each owning its object table and secondary indexes (by name, by
-//!   type, and the reverse ancestry index);
+//!   type, the generalized string-attribute index serving PQL
+//!   predicate pushdown, and the reverse ancestry index);
 //! * [`store::Store`] — the facade: stable shard routing, staged
 //!   ingestion with **group commit** (one atomic apply per
 //!   [`store::WaldoConfig::ingest_batch`] entries, with per-log-file
@@ -24,11 +25,14 @@
 //!   *and* covered by a checkpoint (when durably attached);
 //! * [`wal`] — the length-prefixed, CRC-closed codec for the
 //!   per-commit durability frames on the database WAL;
-//! * [`checkpoint`] — durable per-shard segments, atomically
-//!   published manifests, WAL truncation and the cold-restart path
+//! * [`checkpoint`] — durable per-shard segments (format v2 carries
+//!   the attribute index, so indexed queries survive cold restart
+//!   without a rebuild scan), atomically published manifests, WAL
+//!   truncation and the cold-restart path
 //!   ([`daemon::Waldo::restart`]);
 //! * [`graph`] — the store as a [`pql::GraphSource`], with cached
-//!   edge expansion.
+//!   edge expansion and index-backed predicate pushdown
+//!   (`lookup_attr`), the fast path behind [`daemon::Waldo::query`].
 //!
 //! # Example
 //!
@@ -84,6 +88,6 @@ pub mod wal;
 
 pub use cache::CacheStats;
 pub use checkpoint::{CheckpointCrash, CheckpointStats, RestartReport};
-pub use daemon::Waldo;
+pub use daemon::{QueryOps, Waldo};
 pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};
 pub use store::{Store, WaldoConfig};

@@ -30,8 +30,13 @@ use dpapi::{DpapiError, Result};
 use lasagna::{crc32, parse_log, LogEntry, LogTail};
 
 const MAGIC: &[u8; 4] = b"WMAN";
-/// Current manifest format version.
-pub const MANIFEST_VERSION: u16 = 1;
+/// Current manifest format version. v2 declares that the referenced
+/// segments carry the generalized attribute index (segment format
+/// v2); the manifest *layout* is unchanged, so v1 manifests — whose
+/// segments rebuild that index at load — are still accepted.
+pub const MANIFEST_VERSION: u16 = 2;
+/// Oldest manifest version the decoder accepts.
+pub const MANIFEST_MIN_VERSION: u16 = 1;
 
 /// One shard's segment as the manifest records it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,7 +139,7 @@ pub(crate) fn decode_manifest(data: &[u8]) -> Result<Manifest> {
         return Err(DpapiError::Malformed("bad manifest magic".into()));
     }
     let version = buf.get_u16_le();
-    if version != MANIFEST_VERSION {
+    if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
         return Err(DpapiError::Malformed(format!(
             "unsupported manifest version {version}"
         )));
@@ -259,6 +264,24 @@ mod tests {
                 "flip at byte {flip} went undetected"
             );
         }
+    }
+
+    /// The layout did not change between v1 and v2: a v1-stamped
+    /// manifest (pre-attribute-index checkpoints) still decodes, and
+    /// a future version is rejected.
+    #[test]
+    fn old_manifest_version_accepted_future_rejected() {
+        let m = sample();
+        let restamp = |version: u8| {
+            let mut enc = encode_manifest(&m);
+            enc[4] = version;
+            let body = enc.len() - 4;
+            let crc = crc32(&enc[..body]).to_le_bytes();
+            enc[body..].copy_from_slice(&crc);
+            enc
+        };
+        assert_eq!(decode_manifest(&restamp(1)).unwrap(), m);
+        assert!(decode_manifest(&restamp(3)).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```text
 //! segment := magic "WSEG", version u16, shard u32, generation u64,
 //!            db_bytes u64, index_bytes u64,
-//!            objects, names, types, reverse,
+//!            objects, names, types, reverse, attrs,   (attrs: v2+)
 //!            crc32(everything before) u32
 //! objects := u32 n, n × (pnode, current u32,
 //!            u32 nv, nv × (v u32, u32 na, na × record,
@@ -18,9 +18,18 @@
 //!                          writes u64, bytes_written u64))
 //! names   := u32 n, n × (str, u32 k, k × pnode)     (types likewise)
 //! reverse := u32 n, n × (pnode, u32 k, k × (objref, attr, aversion u32))
+//! attrs   := u32 n, n × (str attr-name,
+//!                        u32 m, m × (str value, u32 k, k × pnode))
 //! pnode   := volume u32, number u64
 //! attr    := u16 len, len bytes          record := dpapi::wire record
 //! ```
+//!
+//! Format **v2** appends the generalized attribute index (the PQL
+//! pushdown index, `Shard::attr_index`) after the reverse section, so
+//! indexed queries survive a cold restart without a rebuild scan.
+//! **v1** images (no `attrs` section) still decode: the loader
+//! rebuilds the attribute index from the object table it just
+//! rehydrated — the upgrade path for pre-v2 checkpoints.
 //!
 //! The encoding is **canonical**: objects sort by pnode, index entries
 //! by key, and reverse-edge lists by `(descendant, ancestor version,
@@ -37,8 +46,12 @@ use crate::db::{ObjectEntry, VersionEntry};
 use crate::shard::Shard;
 
 const MAGIC: &[u8; 4] = b"WSEG";
-/// Current segment format version.
-pub const SEGMENT_VERSION: u16 = 1;
+/// Current segment format version: v2 carries the generalized
+/// attribute index; v1 images are still readable (the index is
+/// rebuilt from the object table at load).
+pub const SEGMENT_VERSION: u16 = 2;
+/// Oldest format version the decoder accepts.
+pub const SEGMENT_MIN_VERSION: u16 = 1;
 
 fn put_pnode(buf: &mut BytesMut, p: Pnode) {
     buf.put_u32_le(p.volume.0);
@@ -88,17 +101,28 @@ fn get_u64(buf: &mut Bytes, what: &str) -> Result<u64> {
     Ok(buf.get_u64_le())
 }
 
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes, what: &str) -> Result<String> {
+    let len = get_u32(buf, what)? as usize;
+    if buf.remaining() < len {
+        return Err(DpapiError::Malformed(format!("truncated {what}")));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| DpapiError::Malformed(format!("invalid UTF-8 {what}")))
+}
+
 fn put_index(
     buf: &mut BytesMut,
-    index: &std::collections::HashMap<String, std::collections::BTreeSet<Pnode>>,
+    index: &std::collections::BTreeMap<String, std::collections::BTreeSet<Pnode>>,
 ) {
-    let mut keys: Vec<&String> = index.keys().collect();
-    keys.sort_unstable();
-    buf.put_u32_le(keys.len() as u32);
-    for key in keys {
-        buf.put_u32_le(key.len() as u32);
-        buf.put_slice(key.as_bytes());
-        let set = &index[key];
+    buf.put_u32_le(index.len() as u32);
+    for (key, set) in index {
+        put_str(buf, key);
         buf.put_u32_le(set.len() as u32);
         for p in set {
             put_pnode(buf, *p);
@@ -108,17 +132,11 @@ fn put_index(
 
 fn get_index(
     buf: &mut Bytes,
-) -> Result<std::collections::HashMap<String, std::collections::BTreeSet<Pnode>>> {
+) -> Result<std::collections::BTreeMap<String, std::collections::BTreeSet<Pnode>>> {
     let n = get_u32(buf, "index size")? as usize;
-    let mut index = std::collections::HashMap::with_capacity(n.min(4096));
+    let mut index = std::collections::BTreeMap::new();
     for _ in 0..n {
-        let klen = get_u32(buf, "index key")? as usize;
-        if buf.remaining() < klen {
-            return Err(DpapiError::Malformed("truncated index key".into()));
-        }
-        let raw = buf.split_to(klen);
-        let key = String::from_utf8(raw.to_vec())
-            .map_err(|_| DpapiError::Malformed("invalid UTF-8 index key".into()))?;
+        let key = get_str(buf, "index key")?;
         let k = get_u32(buf, "index entry count")? as usize;
         let mut set = std::collections::BTreeSet::new();
         for _ in 0..k {
@@ -138,9 +156,23 @@ fn get_index(
 /// counter tracks how commits were *grouped*, not what the shard
 /// contains, and replay after a crash may group commits differently.
 pub(crate) fn encode_shard(shard_index: u32, shard: &Shard, generation: u64) -> Vec<u8> {
+    encode_shard_versioned(shard_index, shard, generation, SEGMENT_VERSION)
+}
+
+/// Versioned encoder: v2 (current) appends the attribute-index
+/// section, v1 reproduces the pre-index layout byte for byte. v1
+/// encoding exists for the upgrade-path tests — production
+/// checkpoints always write the current version.
+pub(crate) fn encode_shard_versioned(
+    shard_index: u32,
+    shard: &Shard,
+    generation: u64,
+    version: u16,
+) -> Vec<u8> {
+    debug_assert!((SEGMENT_MIN_VERSION..=SEGMENT_VERSION).contains(&version));
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(SEGMENT_VERSION);
+    buf.put_u16_le(version);
     buf.put_u32_le(shard_index);
     buf.put_u64_le(generation);
     buf.put_u64_le(shard.size.db_bytes);
@@ -194,6 +226,21 @@ pub(crate) fn encode_shard(shard_index: u32, shard: &Shard, generation: u64) -> 
         }
     }
 
+    if version >= 2 {
+        buf.put_u32_le(shard.attr_index.len() as u32);
+        for (attr, values) in &shard.attr_index {
+            put_str(&mut buf, attr);
+            buf.put_u32_le(values.len() as u32);
+            for (value, set) in values {
+                put_str(&mut buf, value);
+                buf.put_u32_le(set.len() as u32);
+                for p in set {
+                    put_pnode(&mut buf, *p);
+                }
+            }
+        }
+    }
+
     let crc = lasagna::crc32(&buf);
     buf.put_u32_le(crc);
     buf.to_vec()
@@ -217,7 +264,7 @@ pub(crate) fn decode_shard(data: &[u8]) -> Result<(u32, Shard)> {
         return Err(DpapiError::Malformed("bad segment magic".into()));
     }
     let version = buf.get_u16_le();
-    if version != SEGMENT_VERSION {
+    if !(SEGMENT_MIN_VERSION..=SEGMENT_VERSION).contains(&version) {
         return Err(DpapiError::Malformed(format!(
             "unsupported segment version {version}"
         )));
@@ -277,6 +324,30 @@ pub(crate) fn decode_shard(data: &[u8]) -> Result<(u32, Shard)> {
         shard.reverse_index.insert(ancestor, edges);
     }
 
+    if version >= 2 {
+        let n_attrs = get_u32(&mut buf, "attr index size")? as usize;
+        for _ in 0..n_attrs {
+            let attr = get_str(&mut buf, "attr index name")?;
+            let m = get_u32(&mut buf, "attr value count")? as usize;
+            let mut values = std::collections::BTreeMap::new();
+            for _ in 0..m {
+                let value = get_str(&mut buf, "attr index value")?;
+                let k = get_u32(&mut buf, "attr entry count")? as usize;
+                let mut set = std::collections::BTreeSet::new();
+                for _ in 0..k {
+                    set.insert(get_pnode(&mut buf)?);
+                }
+                values.insert(value, set);
+            }
+            shard.attr_index.insert(attr, values);
+        }
+    } else {
+        // v1 image: the attribute index predates the format — rebuild
+        // it from the object table just rehydrated (the one-time
+        // upgrade scan v2 makes unnecessary).
+        shard.rebuild_attr_index();
+    }
+
     if buf.has_remaining() {
         return Err(DpapiError::Malformed("trailing bytes in segment".into()));
     }
@@ -287,6 +358,16 @@ pub(crate) fn decode_shard(data: &[u8]) -> Result<(u32, Shard)> {
 /// file, including its trailing self-check.
 pub(crate) fn segment_crc(data: &[u8]) -> u32 {
     lasagna::crc32(data)
+}
+
+/// The format version stamped in a segment image's header (0 for
+/// images too short to carry one — callers only compare against
+/// [`SEGMENT_VERSION`], and such images fail decode anyway).
+pub(crate) fn image_format_version(data: &[u8]) -> u16 {
+    if data.len() < 6 || &data[..4] != MAGIC {
+        return 0;
+    }
+    u16::from_le_bytes([data[4], data[5]])
 }
 
 #[cfg(test)]
@@ -312,6 +393,15 @@ mod tests {
             LogEntry::Prov {
                 subject: sub,
                 record: ProvenanceRecord::input(ObjectRef::new(p2, Version(3))),
+            },
+            // An application attribute, so the v2 attribute index is
+            // populated and round-tripped.
+            LogEntry::Prov {
+                subject: sub,
+                record: ProvenanceRecord::new(
+                    Attribute::Other("PHASE".into()),
+                    Value::str("align"),
+                ),
             },
             LogEntry::DataWrite {
                 subject: sub,
@@ -341,8 +431,45 @@ mod tests {
         assert_eq!(back.objects.len(), shard.objects.len());
         assert_eq!(back.name_index, shard.name_index);
         assert_eq!(back.type_index, shard.type_index);
+        assert_eq!(back.attr_index, shard.attr_index);
+        assert!(
+            !back.attr_index.is_empty(),
+            "the sample must exercise the attribute index"
+        );
         // Canonical re-encode is byte-identical.
         assert_eq!(encode_shard(3, &back, back.generation), img);
+    }
+
+    /// A v1 image (no attribute-index section) decodes, the index is
+    /// rebuilt from the object table, and re-encoding upgrades it to
+    /// bytes identical to a direct v2 encoding of the same shard.
+    #[test]
+    fn v1_segment_upgrades_and_rebuilds_the_attr_index() {
+        let shard = sample_shard();
+        let v1 = encode_shard_versioned(3, &shard, shard.generation, 1);
+        let v2 = encode_shard(3, &shard, shard.generation);
+        assert_ne!(v1, v2, "v2 must actually extend the format");
+        let (idx, back) = decode_shard(&v1).unwrap();
+        assert_eq!(idx, 3);
+        assert_eq!(
+            back.attr_index, shard.attr_index,
+            "index rebuilt from objects"
+        );
+        assert_eq!(encode_shard(3, &back, back.generation), v2);
+    }
+
+    /// Unknown future versions are rejected outright.
+    #[test]
+    fn future_segment_version_is_rejected() {
+        let shard = sample_shard();
+        let mut img = encode_shard(9, &shard, shard.generation);
+        // Patch the version field (offset 4, little-endian u16) and
+        // re-close the CRC so only the version check can fail.
+        img[4] = 3;
+        let body_len = img.len() - 4;
+        let crc = lasagna::crc32(&img[..body_len]).to_le_bytes();
+        img[body_len..].copy_from_slice(&crc);
+        assert!(decode_shard(&img).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! routes between them — which is what later lets shards move to
 //! independent backends or threads.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use dpapi::wire::record_wire_size;
 use dpapi::{Attribute, ObjectRef, Pnode, Value, Version};
@@ -24,14 +24,26 @@ use crate::db::{DbSize, ObjectEntry};
 pub(crate) type ReverseEdge = (Pnode, ObjectRef, Attribute, Version);
 
 /// One hash partition of the store.
+///
+/// The secondary indexes are ordered maps (`BTreeMap`): prefix
+/// queries become range scans and checkpoint serialization iterates
+/// them canonically without a sort pass.
 #[derive(Debug, Default)]
 pub(crate) struct Shard {
     /// Objects homed on this shard.
     pub objects: HashMap<Pnode, ObjectEntry>,
     /// name -> objects of this shard that bore it (at any version).
-    pub name_index: HashMap<String, BTreeSet<Pnode>>,
+    pub name_index: BTreeMap<String, BTreeSet<Pnode>>,
     /// type -> objects of this shard.
-    pub type_index: HashMap<String, BTreeSet<Pnode>>,
+    pub type_index: BTreeMap<String, BTreeSet<Pnode>>,
+    /// Generalized attribute index: attribute name -> string value ->
+    /// objects of this shard that bore it (at any version). Covers
+    /// every string-valued attribute the dedicated name/type indexes
+    /// do not — application attributes foremost — so PQL predicate
+    /// pushdown (`GraphSource::lookup_attr`) answers them without a
+    /// volume scan. Maintained on the commit path and persisted in
+    /// checkpoint segments (format v2).
+    pub attr_index: BTreeMap<String, BTreeMap<String, BTreeSet<Pnode>>>,
     /// ancestor pnode (homed here) -> (descendant version-ref, edge
     /// attribute, ancestor version).
     pub reverse_index: HashMap<Pnode, Vec<(ObjectRef, Attribute, Version)>>,
@@ -115,6 +127,20 @@ impl Shard {
                                     index_bytes += ty.len() as u64 + 12;
                                 }
                             }
+                            (attr, Value::Str(s)) => {
+                                ve.attrs
+                                    .push((record.attribute.clone(), record.value.clone()));
+                                let fresh = self
+                                    .attr_index
+                                    .entry(attr.as_str().to_string())
+                                    .or_default()
+                                    .entry(s.clone())
+                                    .or_default()
+                                    .insert(pnode);
+                                if fresh {
+                                    index_bytes += (attr.as_str().len() + s.len()) as u64 + 12;
+                                }
+                            }
                             _ => {
                                 ve.attrs
                                     .push((record.attribute.clone(), record.value.clone()));
@@ -134,6 +160,34 @@ impl Shard {
         }
         self.size.db_bytes += db_bytes;
         self.size.index_bytes += index_bytes;
+    }
+
+    /// Rebuilds the generalized attribute index from the object
+    /// table — the upgrade path for v1 checkpoint segments, which
+    /// predate it. Walks every version's attributes of every object
+    /// (the in-memory equivalent of the replay scan v2 segments make
+    /// unnecessary) and re-derives exactly what `apply_run` would
+    /// have maintained; footprint accounting is left untouched, as v1
+    /// images never charged for this index.
+    pub fn rebuild_attr_index(&mut self) {
+        self.attr_index.clear();
+        for (pnode, obj) in &self.objects {
+            for entry in obj.versions.values() {
+                for (attr, value) in &entry.attrs {
+                    if matches!(attr, Attribute::Name | Attribute::Type) {
+                        continue;
+                    }
+                    if let Value::Str(s) = value {
+                        self.attr_index
+                            .entry(attr.as_str().to_string())
+                            .or_default()
+                            .entry(s.clone())
+                            .or_default()
+                            .insert(*pnode);
+                    }
+                }
+            }
+        }
     }
 
     /// Records a reverse ancestry edge whose ancestor is homed here.

@@ -764,6 +764,98 @@ impl Store {
         out
     }
 
+    /// Objects whose NAME starts with `prefix` — a range scan over
+    /// each shard's ordered name index (no attribute reads), merged
+    /// in pnode order. Serves PQL `name like 'prefix*'` pushdown.
+    pub fn find_by_name_prefix(&self, prefix: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.name_index
+                    .range(prefix.to_string()..)
+                    .take_while(move |(k, _)| k.starts_with(prefix))
+                    .flat_map(|(_, ps)| ps.iter().copied())
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Objects whose TYPE starts with `prefix` — range scan over the
+    /// ordered type index.
+    pub fn find_by_type_prefix(&self, prefix: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.type_index
+                    .range(prefix.to_string()..)
+                    .take_while(move |(k, _)| k.starts_with(prefix))
+                    .flat_map(|(_, ps)| ps.iter().copied())
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Objects that ever bore string attribute `attr` (by its
+    /// canonical record name, e.g. `PHASE`) with exactly `value` —
+    /// the generalized attribute index, merged in pnode order.
+    /// NAME and TYPE have their dedicated indexes
+    /// ([`Store::find_by_name`], [`Store::find_by_type`]).
+    pub fn find_by_attr(&self, attr: &str, value: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.attr_index.get(attr))
+            .filter_map(|vals| vals.get(value))
+            .flat_map(|ps| ps.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Objects whose string attribute `attr` starts with `prefix`.
+    pub fn find_by_attr_prefix(&self, attr: &str, prefix: &str) -> Vec<Pnode> {
+        let mut out: Vec<Pnode> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.attr_index.get(attr))
+            .flat_map(|vals| {
+                vals.range(prefix.to_string()..)
+                    .take_while(move |(k, _)| k.starts_with(prefix))
+                    .flat_map(|(_, ps)| ps.iter().copied())
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of objects in the TYPE index under `ty` — summed set
+    /// sizes across shards, O(shards). (Pnodes, not version-refs; the
+    /// planner uses this as a pruning estimate.)
+    pub fn type_index_size(&self, ty: &str) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|s| s.type_index.get(ty))
+            .map(|ps| ps.len())
+            .sum()
+    }
+
+    /// True if `p` is in the TYPE index under `ty` — the class
+    /// membership test index-backed lookups filter with.
+    pub fn has_type(&self, p: Pnode, ty: &str) -> bool {
+        self.shard(p)
+            .type_index
+            .get(ty)
+            .map(|ps| ps.contains(&p))
+            .unwrap_or(false)
+    }
+
     /// Direct ancestry edges of one version, including the implicit
     /// edge to the previous version of the same object.
     pub fn inputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {

@@ -44,6 +44,14 @@ fn stream() -> Vec<LogEntry> {
             Value::str(format!("/txn{i}")),
         ));
         s.push(prov(r(i, 0), Attribute::Input, Value::Xref(r(i - 6, 0))));
+        // An application attribute, so recovery equivalence also
+        // covers the generalized attribute index (manifest/segment
+        // format v2).
+        s.push(prov(
+            r(i, 0),
+            Attribute::Other("PHASE".into()),
+            Value::str(if i % 2 == 0 { "align" } else { "slice" }),
+        ));
     }
     s.push(LogEntry::TxnEnd { id: 42 });
     for i in 11..16u64 {
@@ -365,7 +373,7 @@ fn machine_crash_matrix_restarts_byte_equivalent() {
 fn open_transaction_survives_checkpoint_and_restart() {
     let entries = stream();
     // Split inside the transaction (entry 14 is mid-txn: begin at 12,
-    // end at 23).
+    // end at 27).
     let split = 15;
     let cfg = WaldoConfig {
         shards: 4,

@@ -47,16 +47,32 @@ fn main() {
         }
     }
 
-    // Ask PQL where /out.dat came from.
-    let result = pql::query(
-        r#"select Ancestor
-           from Provenance.file as Out
-                Out.input* as Ancestor
-           where Out.name = "/out.dat""#,
-        &waldo.db,
-    )
-    .expect("query");
+    // Ask PQL where /out.dat came from — through `System::query`,
+    // the planned pipeline: the `name` predicate is pushed down into
+    // Waldo's attribute index instead of scanning the volume.
+    let out = sys
+        .query(
+            &mut waldo,
+            r#"select Ancestor
+               from Provenance.file as Out
+                    Out.input* as Ancestor
+               where Out.name = "/out.dat""#,
+        )
+        .expect("query");
+    let result = out.result;
 
+    println!(
+        "planner: {} index hit(s), {} predicate(s) pushed, {} row(s) pruned, \
+         {} closure walk(s) saved",
+        out.stats.index_hits,
+        out.stats.predicates_pushed,
+        out.stats.rows_pruned,
+        out.stats.closure_calls_saved,
+    );
+    assert_eq!(
+        out.stats.scan_bindings, 0,
+        "the root binding resolves via the index, not a scan"
+    );
     println!("ancestry of /out.dat ({} objects):", result.len());
     for node in result.nodes() {
         let name = waldo

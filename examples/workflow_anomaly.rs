@@ -96,8 +96,12 @@ fn main() {
         }
     }
 
-    // The paper's query: all ancestors of the changed output.
-    let result = pql::query(
+    // The paper's query: all ancestors of the changed output. This
+    // machine assembles its kernel by hand (no `System`), so it calls
+    // the planned pipeline directly — `query_with_stats` is what
+    // `System::query` wraps. The name predicate resolves through the
+    // store's attribute index; no volume scan.
+    let out = pql::query_with_stats(
         &format!(
             r#"select Ancestor
                from Provenance.file as Atlas
@@ -108,6 +112,12 @@ fn main() {
         &db,
     )
     .expect("query");
+    println!(
+        "planner: {} index hit(s), {} row(s) pruned at the root, {} closure walk(s) saved",
+        out.stats.index_hits, out.stats.rows_pruned, out.stats.closure_calls_saved
+    );
+    assert_eq!(out.stats.scan_bindings, 0, "indexed, not scanned");
+    let result = out.result;
 
     // The ancestry must span: output file (server 2), Kepler operators
     // (disclosed via DPAPI), and both versions of the modified input
