@@ -1,5 +1,14 @@
 //! PA-NFS provenance shipping: inline OP_PASSWRITE versus chunked
-//! BEGINTXN/PASSPROV transactions, and the cost of freeze-as-record.
+//! BEGINTXN/PASSPROV transactions, the cost of freeze-as-record, and
+//! — since DPAPI v2 — batched `OP_PASSCOMMIT` disclosure transactions
+//! versus per-op RPCs.
+//!
+//! The `batch_invariants` check runs before the timing loops (in
+//! quick mode too, so CI executes it): a 32-op disclosure transaction
+//! must beat 32 single-shot calls by >=1.5x on both wire bytes and
+//! RPC count, and the batch-path op counters must be non-zero —
+//! otherwise the stack has silently regressed to per-record
+//! disclosure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpapi::{Attribute, Bundle, Dpapi, ProvenanceRecord, Value, VolumeId};
@@ -33,7 +42,80 @@ fn records_bundle(client: &mut pa_nfs::NfsClient, ino: sim_os::fs::Ino, n: usize
     b
 }
 
+/// Builds an N-op disclosure transaction (one single-record write per
+/// op — the per-event shape the batch API amortizes).
+fn batch_txn(client: &mut pa_nfs::NfsClient, ino: sim_os::fs::Ino, n: usize) -> dpapi::Txn {
+    let h = client.handle_for_ino(ino).unwrap();
+    let mut txn = dpapi::pass_begin();
+    for i in 0..n {
+        let b = Bundle::single(
+            h,
+            ProvenanceRecord::new(
+                Attribute::Other(format!("ATTR{}", i % 7)),
+                Value::str(format!("value payload number {i} with some length to it")),
+            ),
+        );
+        txn.disclose(h, b);
+    }
+    txn
+}
+
+/// Hard acceptance gates for the batched disclosure path, run before
+/// any timing (so BENCH_QUICK CI jobs enforce them).
+fn batch_invariants() {
+    const N: usize = 32;
+    // Per-op: N single-record OP_PASSWRITE RPCs.
+    let (mut single, ino) = setup();
+    let h = single.handle_for_ino(ino).unwrap();
+    let base = single.stats();
+    for i in 0..N {
+        let b = Bundle::single(
+            h,
+            ProvenanceRecord::new(
+                Attribute::Other(format!("ATTR{}", i % 7)),
+                Value::str(format!("value payload number {i} with some length to it")),
+            ),
+        );
+        single.pass_write(h, 0, &[], b).unwrap();
+    }
+    let s = single.stats();
+    let single_rpcs = s.rpcs - base.rpcs;
+    let single_bytes = (s.bytes_sent + s.bytes_received) - (base.bytes_sent + base.bytes_received);
+
+    // Batched: the same disclosures as one OP_PASSCOMMIT.
+    let (mut batched, ino) = setup();
+    let txn = batch_txn(&mut batched, ino, N);
+    let base = batched.stats();
+    batched.pass_commit(txn).unwrap();
+    let b = batched.stats();
+    let batch_rpcs = b.rpcs - base.rpcs;
+    let batch_bytes = (b.bytes_sent + b.bytes_received) - (base.bytes_sent + base.bytes_received);
+
+    assert!(
+        b.batch_rpcs > 0 && b.batched_ops >= N as u64,
+        "batch-path op counters must be non-zero: {b:?}"
+    );
+    assert!(
+        single_rpcs as f64 >= 1.5 * batch_rpcs as f64,
+        "batched disclosure must beat per-op on RPC count at N={N}: \
+         {single_rpcs} vs {batch_rpcs}"
+    );
+    assert!(
+        single_bytes as f64 >= 1.5 * batch_bytes as f64,
+        "batched disclosure must beat per-op on wire bytes at N={N}: \
+         {single_bytes} vs {batch_bytes}"
+    );
+    println!(
+        "nfs_txn/batch_invariants: N={N} rpcs {single_rpcs}->{batch_rpcs} \
+         ({:.1}x), wire bytes {single_bytes}->{batch_bytes} ({:.2}x)",
+        single_rpcs as f64 / batch_rpcs as f64,
+        single_bytes as f64 / batch_bytes as f64,
+    );
+}
+
 fn bench_nfs(c: &mut Criterion) {
+    batch_invariants();
+
     let mut group = c.benchmark_group("pa_nfs");
     // Small bundles ride OP_PASSWRITE inline; large ones must chunk
     // through a provenance transaction (64 KB wire block).
@@ -61,6 +143,48 @@ fn bench_nfs(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         );
     });
+    group.finish();
+
+    // Per-op single-shot RPCs versus one OP_PASSCOMMIT COMPOUND for
+    // the same N disclosures.
+    let mut group = c.benchmark_group("nfs_batch");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("per_op", n), &n, |b, &n| {
+            b.iter_batched(
+                setup,
+                |(mut client, ino)| {
+                    let h = client.handle_for_ino(ino).unwrap();
+                    for i in 0..n {
+                        let bundle = Bundle::single(
+                            h,
+                            ProvenanceRecord::new(
+                                Attribute::Other(format!("ATTR{}", i % 7)),
+                                Value::str(format!(
+                                    "value payload number {i} with some length to it"
+                                )),
+                            ),
+                        );
+                        client.pass_write(h, 0, &[], bundle).unwrap();
+                    }
+                    black_box(client.stats().rpcs)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            b.iter_batched(
+                setup,
+                |(mut client, ino)| {
+                    let txn = batch_txn(&mut client, ino, n);
+                    black_box(client.pass_commit(txn).unwrap());
+                    let stats = client.stats();
+                    assert!(stats.batched_ops >= n as u64);
+                    black_box(stats.rpcs)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
     group.finish();
 }
 

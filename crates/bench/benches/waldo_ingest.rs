@@ -44,7 +44,64 @@ fn entries(n: u64) -> Vec<LogEntry> {
         .collect()
 }
 
+/// End-to-end batch smoke, run before any timing (in quick mode too,
+/// so CI enforces it): a multi-op disclosure transaction committed at
+/// user level must surface in Waldo as a committed transaction — the
+/// batch boundary flowing intact from `pass_commit` through the
+/// Lasagna group frame into the store's group commit. Non-zero
+/// batch-path op counters at every layer gate the whole pipeline.
+fn batch_pipeline_invariants() {
+    use dpapi::{Attribute, Bundle, ProvenanceRecord, Value};
+    use passv2::System;
+
+    let mut sys = System::single_volume();
+    let pid = sys.spawn("app");
+    let app = sys.kernel.pass_mkobj(pid, None).unwrap();
+    let mut txn = dpapi::pass_begin();
+    for i in 0..8 {
+        txn.disclose(
+            app,
+            Bundle::single(
+                app,
+                ProvenanceRecord::new(Attribute::Other(format!("STEP{i}")), Value::str("batched")),
+            ),
+        );
+    }
+    txn.sync(app);
+    sys.kernel.pass_commit(pid, txn).unwrap();
+    let kstats = sys.kernel.stats();
+    assert!(
+        kstats.dpapi_txns >= 1 && kstats.dpapi_txn_ops >= 9,
+        "kernel batch counters must be non-zero: {kstats:?}"
+    );
+    let pstats = sys.pass.stats();
+    assert!(
+        pstats.txn_commits >= 1 && pstats.txn_ops >= 9,
+        "module batch counters must be non-zero: {pstats:?}"
+    );
+    let mut waldo = sys.spawn_waldo();
+    let mut total = waldo::IngestStats::default();
+    for (_, logs) in sys.rotate_all_logs() {
+        for log in logs {
+            let s = waldo.ingest_log_file(&mut sys.kernel, &log);
+            total.applied += s.applied;
+            total.txns_committed += s.txns_committed;
+        }
+    }
+    assert!(
+        total.txns_committed >= 1,
+        "the batch boundary must reach Waldo's group commit as a \
+         transaction: {total:?}"
+    );
+    println!(
+        "waldo_ingest/batch_pipeline: kernel txns={} ops={}, waldo applied={} txns_committed={}",
+        kstats.dpapi_txns, kstats.dpapi_txn_ops, total.applied, total.txns_committed
+    );
+}
+
 fn bench_ingest(c: &mut Criterion) {
+    batch_pipeline_invariants();
+
     let batch = entries(2000);
     let mut group = c.benchmark_group("waldo");
     group.throughput(Throughput::Elements(batch.len() as u64));
@@ -130,7 +187,7 @@ fn bench_daemon(c: &mut Criterion) {
     let stream = entries(500);
     let mut encoded = bytes::BytesMut::new();
     for e in &stream {
-        lasagna::encode_entry(&mut encoded, e);
+        lasagna::encode_entry(&mut encoded, e).unwrap();
     }
     let log_bytes = encoded.to_vec();
 

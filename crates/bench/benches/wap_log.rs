@@ -37,7 +37,7 @@ fn bench_log(c: &mut Criterion) {
     let entries = sample_entries(1000);
     let mut image = bytes::BytesMut::new();
     for e in &entries {
-        encode_entry(&mut image, e);
+        encode_entry(&mut image, e).unwrap();
     }
     let image = image.to_vec();
 
@@ -47,7 +47,7 @@ fn bench_log(c: &mut Criterion) {
         b.iter(|| {
             let mut buf = bytes::BytesMut::new();
             for e in &entries {
-                encode_entry(&mut buf, e);
+                encode_entry(&mut buf, e).unwrap();
             }
             black_box(buf.len())
         });

@@ -5,10 +5,15 @@
 //! the simulation, a [`LibPass`] borrows the kernel on behalf of one
 //! process and forwards each call to the observer's disclosed
 //! provenance entry points.
+//!
+//! Since DPAPI v2 libpass is transaction-native: it implements
+//! [`Dpapi::pass_commit`] as **one** `pass_commit` system call for the
+//! whole batch, and the classic single-shot calls arrive through the
+//! trait's one-op-transaction defaults — so an application that
+//! batches its disclosures pays one syscall where it used to pay one
+//! per call, with no change to applications that don't.
 
-use dpapi::{
-    Bundle, Dpapi, Handle, Pnode, ProvenanceRecord, ReadResult, Version, VolumeId, WriteResult,
-};
+use dpapi::{Bundle, Dpapi, Handle, OpResult, ProvenanceRecord, ReadResult, Txn, WriteResult};
 use sim_os::proc::{Fd, Pid};
 use sim_os::syscall::Kernel;
 
@@ -39,7 +44,9 @@ impl<'k> LibPass<'k> {
     /// it (the "replace `write` with `pass_write`" guideline of
     /// §6.5).
     pub fn handle_for_fd(&mut self, fd: Fd) -> dpapi::Result<Handle> {
-        self.kernel.pass_handle_for_fd(self.pid, fd).map_err(fs_err)
+        self.kernel
+            .pass_handle_for_fd(self.pid, fd)
+            .map_err(dpapi::DpapiError::from)
     }
 
     /// Convenience: disclose records about one object.
@@ -56,53 +63,40 @@ impl<'k> LibPass<'k> {
     }
 }
 
-fn fs_err(e: sim_os::fs::FsError) -> dpapi::DpapiError {
-    match e {
-        sim_os::fs::FsError::Provenance(d) => d,
-        other => dpapi::DpapiError::Io(other.to_string()),
-    }
-}
-
 impl Dpapi for LibPass<'_> {
     fn pass_read(&mut self, h: Handle, offset: u64, len: usize) -> dpapi::Result<ReadResult> {
         self.kernel
             .pass_read(self.pid, h, offset, len)
-            .map_err(fs_err)
+            .map_err(dpapi::DpapiError::from)
     }
 
+    /// Zero-copy override of the one-op default for the §6.5
+    /// "replace `write` with `pass_write`" application path: forwards
+    /// the borrowed data slice straight to the `pass_write` syscall
+    /// instead of cloning it into a one-op transaction.
     fn pass_write(
         &mut self,
         h: Handle,
         offset: u64,
         data: &[u8],
-        bundle: Bundle,
+        bundle: dpapi::Bundle,
     ) -> dpapi::Result<WriteResult> {
         self.kernel
             .pass_write(self.pid, h, offset, data, bundle)
-            .map_err(fs_err)
+            .map_err(dpapi::DpapiError::from)
     }
 
-    fn pass_freeze(&mut self, h: Handle) -> dpapi::Result<Version> {
-        self.kernel.pass_freeze(self.pid, h).map_err(fs_err)
-    }
-
-    fn pass_mkobj(&mut self, volume_hint: Option<VolumeId>) -> dpapi::Result<Handle> {
+    /// One system call for the whole transaction; the kernel module
+    /// validates, analyzes and logs the batch as a unit.
+    fn pass_commit(&mut self, txn: Txn) -> dpapi::Result<Vec<OpResult>> {
         self.kernel
-            .pass_mkobj(self.pid, volume_hint)
-            .map_err(fs_err)
-    }
-
-    fn pass_reviveobj(&mut self, pnode: Pnode, version: Version) -> dpapi::Result<Handle> {
-        self.kernel
-            .pass_reviveobj(self.pid, pnode, version)
-            .map_err(fs_err)
-    }
-
-    fn pass_sync(&mut self, h: Handle) -> dpapi::Result<()> {
-        self.kernel.pass_sync(self.pid, h).map_err(fs_err)
+            .pass_commit(self.pid, txn)
+            .map_err(dpapi::DpapiError::from)
     }
 
     fn pass_close(&mut self, h: Handle) -> dpapi::Result<()> {
-        self.kernel.pass_close(self.pid, h).map_err(fs_err)
+        self.kernel
+            .pass_close(self.pid, h)
+            .map_err(dpapi::DpapiError::from)
     }
 }

@@ -15,8 +15,8 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use dpapi::{
-    Attribute, Bundle, DpapiError, Handle, ObjectRef, Pnode, ProvenanceRecord, ReadResult, Value,
-    Version, VolumeId, WriteResult,
+    wire, Attribute, Bundle, DpapiError, DpapiOp, Handle, ObjectRef, OpResult, Pnode,
+    ProvenanceRecord, ReadResult, Txn, Value, Version, VolumeId, WriteResult,
 };
 use sim_os::events::{ExecImage, HookCtx, PassModule, ProvenanceKernel};
 use sim_os::fs::{FsError, FsResult};
@@ -80,6 +80,10 @@ pub struct PassStats {
     pub materializations: u64,
     /// User-level DPAPI calls served.
     pub dpapi_calls: u64,
+    /// Disclosure transactions committed through `dp_commit`.
+    pub txn_commits: u64,
+    /// Operations carried by those transactions.
+    pub txn_ops: u64,
 }
 
 struct Inner {
@@ -478,6 +482,347 @@ impl Inner {
     fn default_volume(&self, ctx: &mut HookCtx<'_>) -> Option<VolumeId> {
         ctx.pass_volumes().first().map(|(_, v)| *v)
     }
+
+    /// Creates a provenance-only object (the `dp_mkobj` body, shared
+    /// with transaction commits). Allocates the pnode eagerly (cheap
+    /// server state, no log entry); records remain cached until the
+    /// object joins a persistent ancestry or `pass_sync` is called.
+    fn mkobj_for(
+        &mut self,
+        ctx: &mut HookCtx<'_>,
+        volume: Option<VolumeId>,
+    ) -> dpapi::Result<Handle> {
+        let node = self.new_node();
+        self.nodes.insert(ObjKey::App(node), node);
+        let home = volume
+            .or_else(|| self.default_volume(ctx))
+            .ok_or(DpapiError::NotPassVolume)?;
+        let vol = ctx.find_volume(home).ok_or(DpapiError::NotPassVolume)?;
+        let vh = vol.pass_mkobj(Some(home))?;
+        let identity = vol.pass_read(vh, 0, 0)?.identity;
+        {
+            let info = self.info.get_mut(&node).expect("node info");
+            info.pnode = Some(identity.pnode);
+            info.home = Some(home);
+            info.home_handle = Some(vh);
+            info.volume_hint = volume;
+        }
+        self.pnode_to_node.insert(identity.pnode, node);
+        Ok(self.new_uhandle(node))
+    }
+
+    /// Revives an object by identity (the `dp_reviveobj` body, shared
+    /// with transaction commits).
+    fn revive_for(
+        &mut self,
+        ctx: &mut HookCtx<'_>,
+        pnode: Pnode,
+        version: Version,
+    ) -> dpapi::Result<Handle> {
+        let vol = ctx
+            .find_volume(pnode.volume)
+            .ok_or(DpapiError::UnknownPnode(pnode))?;
+        let vh = vol.pass_reviveobj(pnode, version)?;
+        let node = match self.pnode_to_node.get(&pnode).copied() {
+            Some(n) => n,
+            None => {
+                let n = self.new_node();
+                self.nodes.insert(ObjKey::App(n), n);
+                let info = self.info.get_mut(&n).expect("node info");
+                info.pnode = Some(pnode);
+                info.home = Some(pnode.volume);
+                info.home_handle = Some(vh);
+                self.pnode_to_node.insert(pnode, n);
+                self.analyzer.set_version(n, version.0);
+                n
+            }
+        };
+        Ok(self.new_uhandle(node))
+    }
+
+    /// Re-keys a user bundle from user handles onto module nodes,
+    /// running every ancestry record through the analyzer and caching
+    /// the survivors (the first half of `dp_write`, shared with
+    /// transaction commits). Returns the described nodes.
+    fn rekey_user_bundle(
+        &mut self,
+        subject: NodeId,
+        pid: Pid,
+        bundle: &Bundle,
+    ) -> dpapi::Result<Vec<NodeId>> {
+        let proc_node = self.node_for_proc(pid);
+        let mut described: Vec<NodeId> = vec![subject, proc_node];
+        for (uh, rec) in bundle.iter() {
+            let n = self.resolve_uhandle(uh)?;
+            if !described.contains(&n) {
+                described.push(n);
+            }
+            let keep = if let (true, Some(r)) = (rec.attribute.is_ancestry(), rec.value.as_xref()) {
+                match self.pnode_to_node.get(&r.pnode).copied() {
+                    Some(src) => {
+                        let out = self.analyzer.add_dependency(n, src);
+                        !out.duplicate
+                    }
+                    None => true, // unknown ancestor (revived elsewhere): keep as-is
+                }
+            } else {
+                true
+            };
+            if keep {
+                self.cache_record(
+                    n,
+                    rec.attribute.clone(),
+                    CachedValue::Plain(rec.value.clone()),
+                );
+            }
+        }
+        Ok(described)
+    }
+}
+
+impl Inner {
+    /// Phase-1 check of one transaction op against pre-transaction
+    /// state: handles must resolve, records must be representable on
+    /// the wire, target volumes must exist. Nothing is mutated.
+    ///
+    /// Validation is deliberately against *pre-transaction* state:
+    /// a handle minted by an earlier `Mkobj` of the same batch is not
+    /// yet visible (see the handle-scope rule in [`dpapi::txn`]).
+    fn validate_user_op(&self, ctx: &mut HookCtx<'_>, op: &DpapiOp) -> dpapi::Result<()> {
+        match op {
+            DpapiOp::Write { handle, bundle, .. } => {
+                self.resolve_uhandle(*handle)?;
+                for (uh, rec) in bundle.iter() {
+                    self.resolve_uhandle(uh)?;
+                    wire::validate_record(rec)?;
+                }
+                Ok(())
+            }
+            DpapiOp::Mkobj { volume_hint } => {
+                let home = volume_hint
+                    .or_else(|| self.default_volume(ctx))
+                    .ok_or(DpapiError::NotPassVolume)?;
+                if ctx.find_volume(home).is_none() {
+                    return Err(DpapiError::NotPassVolume);
+                }
+                Ok(())
+            }
+            DpapiOp::Freeze { handle } => self.resolve_uhandle(*handle).map(|_| ()),
+            DpapiOp::Revive { pnode, .. } => {
+                if ctx.find_volume(pnode.volume).is_none() {
+                    return Err(DpapiError::UnknownPnode(*pnode));
+                }
+                Ok(())
+            }
+            DpapiOp::Sync { handle } => {
+                let node = self.resolve_uhandle(*handle)?;
+                let info = self.info.get(&node).ok_or(DpapiError::InvalidHandle)?;
+                if info.home.or_else(|| self.default_volume(ctx)).is_none() {
+                    return Err(DpapiError::NotPassVolume);
+                }
+                if info.home_handle.is_none() {
+                    return Err(DpapiError::InvalidHandle);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Phase-2 translation of one validated op: analyzer and
+    /// distributor work happens now, in op order; every volume-bound
+    /// disclosure is deferred into the op's target volume's [`VolTxn`].
+    /// Returns `Some(result)` for ops resolved module-side, `None` for
+    /// ops whose result is backfilled from the volume commit.
+    fn translate_op(
+        &mut self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        user_op: usize,
+        op: DpapiOp,
+        vol_txns: &mut Vec<VolTxn>,
+    ) -> dpapi::Result<Option<OpResult>> {
+        match op {
+            DpapiOp::Mkobj { volume_hint } => {
+                Ok(Some(OpResult::Made(self.mkobj_for(ctx, volume_hint)?)))
+            }
+            DpapiOp::Revive { pnode, version } => Ok(Some(OpResult::Revived(
+                self.revive_for(ctx, pnode, version)?,
+            ))),
+            DpapiOp::Freeze { handle } => {
+                let node = self.resolve_uhandle(handle)?;
+                let new_version = self.analyzer.freeze(node);
+                // Mirror the freeze at the volume, deferred into the
+                // batch (order relative to the batch's writes is
+                // preserved inside the volume transaction).
+                let info = self
+                    .info
+                    .get(&node)
+                    .map(|i| (i.home, i.home_handle, i.pass_file));
+                if let Some((home, home_handle, pass_file)) = info {
+                    if let Some(loc) = pass_file {
+                        if let Some(vol_id) = ctx.volume_of(loc.mount) {
+                            let vh = ctx
+                                .dpapi(loc.mount)
+                                .ok_or(DpapiError::NotPassVolume)?
+                                .handle_for_ino(loc.ino)?;
+                            let vt = vol_txn_for(vol_txns, vol_id);
+                            vt.txn.freeze(vh);
+                            vt.slots.push((user_op, false));
+                        }
+                    } else if let (Some(home), Some(vh)) = (home, home_handle) {
+                        if ctx.find_volume(home).is_some() {
+                            let vt = vol_txn_for(vol_txns, home);
+                            vt.txn.freeze(vh);
+                            vt.slots.push((user_op, false));
+                        }
+                    }
+                }
+                Ok(Some(OpResult::Frozen(Version(new_version))))
+            }
+            DpapiOp::Sync { handle } => {
+                let node = self.resolve_uhandle(handle)?;
+                let home = self
+                    .info
+                    .get(&node)
+                    .and_then(|i| i.home)
+                    .or_else(|| self.default_volume(ctx))
+                    .ok_or(DpapiError::NotPassVolume)?;
+                let side = self.flush_nodes(ctx, &[node], home);
+                let vh = self
+                    .info
+                    .get(&node)
+                    .and_then(|i| i.home_handle)
+                    .ok_or(DpapiError::InvalidHandle)?;
+                let vt = vol_txn_for(vol_txns, home);
+                if !side.is_empty() {
+                    vt.txn.disclose(vh, side);
+                    vt.slots.push((user_op, false));
+                }
+                vt.txn.sync(vh);
+                vt.slots.push((user_op, false));
+                Ok(Some(OpResult::Synced))
+            }
+            DpapiOp::Write {
+                handle,
+                offset,
+                data,
+                bundle,
+            } => {
+                let subject = self.resolve_uhandle(handle)?;
+                let proc_node = self.node_for_proc(pid);
+                let described = self.rekey_user_bundle(subject, pid, &bundle)?;
+                if let Some(loc) = self.info.get(&subject).and_then(|i| i.pass_file) {
+                    // Writing to a real file: the deferred twin of
+                    // `provenanced_write` — same analyzer work and
+                    // bundle construction, with the volume write
+                    // queued into the batch instead of issued.
+                    let file_node = self.node_for_file(ctx, loc);
+                    let out = self.analyzer.add_dependency(file_node, proc_node);
+                    let Some(vol_id) = ctx.volume_of(loc.mount) else {
+                        // Non-PASS volume (mirrors `provenanced_write`'s
+                        // fallback): write plainly now, cache the
+                        // dependency for a later flush. No volume log
+                        // exists, so there is nothing to defer.
+                        let n = ctx
+                            .fs(loc.mount)
+                            .write(loc.ino, offset, &data)
+                            .map_err(DpapiError::from)?;
+                        if !out.duplicate {
+                            self.cache_record(
+                                file_node,
+                                Attribute::Input,
+                                CachedValue::Ref(proc_node, out.source_version),
+                            );
+                        }
+                        return Ok(Some(OpResult::Written(WriteResult {
+                            written: n,
+                            identity: ObjectRef::new(
+                                self.info
+                                    .get(&file_node)
+                                    .and_then(|i| i.pnode)
+                                    .unwrap_or(Pnode::NULL),
+                                Version(self.analyzer.version(file_node)),
+                            ),
+                        })));
+                    };
+                    let h = ctx
+                        .dpapi(loc.mount)
+                        .ok_or(DpapiError::NotPassVolume)?
+                        .handle_for_ino(loc.ino)?;
+                    let mut vbundle = Bundle::new();
+                    if let Some(newv) = out.frozen {
+                        vbundle.push(h, ProvenanceRecord::freeze(Version(newv)));
+                        self.stats.records_emitted += 1;
+                    }
+                    if !out.duplicate {
+                        let side = self.flush_nodes(ctx, &[proc_node, file_node], vol_id);
+                        vbundle.merge(side);
+                        if let Some(src_id) = self.identity(proc_node) {
+                            let edge = ObjectRef::new(src_id.pnode, Version(out.source_version));
+                            vbundle.push(h, ProvenanceRecord::input(edge));
+                            self.stats.records_emitted += 1;
+                        }
+                    }
+                    {
+                        let vt = vol_txn_for(vol_txns, vol_id);
+                        vt.txn.write(h, offset, data, vbundle);
+                        vt.slots.push((user_op, true));
+                    }
+                    // Flush the described objects' caches (they are now
+                    // part of a persistent object's ancestry), riding
+                    // the same volume transaction.
+                    let side2 = self.flush_nodes(ctx, &described, vol_id);
+                    if !side2.is_empty() {
+                        let vt = vol_txn_for(vol_txns, vol_id);
+                        vt.txn.disclose(h, side2);
+                        vt.slots.push((user_op, false));
+                    }
+                    Ok(None)
+                } else {
+                    // Provenance-only disclosure about app objects:
+                    // implicit dependency on the disclosing process,
+                    // records stay cached until a persistent
+                    // descendant appears.
+                    let out = self.analyzer.add_dependency(subject, proc_node);
+                    if !out.duplicate {
+                        self.cache_record(
+                            subject,
+                            Attribute::Input,
+                            CachedValue::Ref(proc_node, out.source_version),
+                        );
+                    }
+                    let identity = self.identity(subject).ok_or(DpapiError::InvalidHandle)?;
+                    Ok(Some(OpResult::Written(WriteResult {
+                        written: 0,
+                        identity,
+                    })))
+                }
+            }
+        }
+    }
+}
+
+/// A per-volume disclosure transaction a user-level commit is being
+/// translated into, plus the mapping from volume-op index back to the
+/// originating user op (and whether that op's result is backfilled
+/// from the volume's).
+struct VolTxn {
+    vol: VolumeId,
+    txn: Txn,
+    /// `(user_op, backfill)` per volume op, in order.
+    slots: Vec<(usize, bool)>,
+}
+
+fn vol_txn_for(vol_txns: &mut Vec<VolTxn>, vol: VolumeId) -> &mut VolTxn {
+    if let Some(i) = vol_txns.iter().position(|t| t.vol == vol) {
+        return &mut vol_txns[i];
+    }
+    vol_txns.push(VolTxn {
+        vol,
+        txn: Txn::new(),
+        slots: Vec::new(),
+    });
+    vol_txns.last_mut().expect("just pushed")
 }
 
 impl PassModule for Pass {
@@ -702,26 +1047,7 @@ impl ProvenanceKernel for Pass {
     ) -> dpapi::Result<Handle> {
         let mut inner = self.inner.borrow_mut();
         inner.stats.dpapi_calls += 1;
-        let node = inner.new_node();
-        inner.nodes.insert(ObjKey::App(node), node);
-        let home = volume
-            .or_else(|| inner.default_volume(ctx))
-            .ok_or(DpapiError::NotPassVolume)?;
-        // Allocate the pnode eagerly (cheap server state); records
-        // remain cached until the object joins a persistent ancestry
-        // or pass_sync is called.
-        let vol = ctx.find_volume(home).ok_or(DpapiError::NotPassVolume)?;
-        let vh = vol.pass_mkobj(Some(home))?;
-        let identity = vol.pass_read(vh, 0, 0)?.identity;
-        {
-            let info = inner.info.get_mut(&node).expect("node info");
-            info.pnode = Some(identity.pnode);
-            info.home = Some(home);
-            info.home_handle = Some(vh);
-            info.volume_hint = volume;
-        }
-        inner.pnode_to_node.insert(identity.pnode, node);
-        Ok(inner.new_uhandle(node))
+        inner.mkobj_for(ctx, volume)
     }
 
     fn dp_reviveobj(
@@ -733,25 +1059,7 @@ impl ProvenanceKernel for Pass {
     ) -> dpapi::Result<Handle> {
         let mut inner = self.inner.borrow_mut();
         inner.stats.dpapi_calls += 1;
-        let vol = ctx
-            .find_volume(pnode.volume)
-            .ok_or(DpapiError::UnknownPnode(pnode))?;
-        let vh = vol.pass_reviveobj(pnode, version)?;
-        let node = match inner.pnode_to_node.get(&pnode).copied() {
-            Some(n) => n,
-            None => {
-                let n = inner.new_node();
-                inner.nodes.insert(ObjKey::App(n), n);
-                let info = inner.info.get_mut(&n).expect("node info");
-                info.pnode = Some(pnode);
-                info.home = Some(pnode.volume);
-                info.home_handle = Some(vh);
-                inner.pnode_to_node.insert(pnode, n);
-                inner.analyzer.set_version(n, version.0);
-                n
-            }
-        };
-        Ok(inner.new_uhandle(node))
+        inner.revive_for(ctx, pnode, version)
     }
 
     fn dp_read(
@@ -794,31 +1102,7 @@ impl ProvenanceKernel for Pass {
 
         // Re-key the user bundle from user handles onto nodes, running
         // every ancestry record through the analyzer.
-        let mut described: Vec<NodeId> = vec![subject, proc_node];
-        for (uh, rec) in bundle.iter() {
-            let n = inner.resolve_uhandle(uh)?;
-            if !described.contains(&n) {
-                described.push(n);
-            }
-            let keep = if let (true, Some(r)) = (rec.attribute.is_ancestry(), rec.value.as_xref()) {
-                match inner.pnode_to_node.get(&r.pnode).copied() {
-                    Some(src) => {
-                        let out = inner.analyzer.add_dependency(n, src);
-                        !out.duplicate
-                    }
-                    None => true, // unknown ancestor (revived elsewhere): keep as-is
-                }
-            } else {
-                true
-            };
-            if keep {
-                inner.cache_record(
-                    n,
-                    rec.attribute.clone(),
-                    CachedValue::Plain(rec.value.clone()),
-                );
-            }
-        }
+        let described = inner.rekey_user_bundle(subject, pid, &bundle)?;
 
         if let Some(loc) = inner.info.get(&subject).and_then(|i| i.pass_file) {
             // Writing to a real file: everything flushes now, riding
@@ -927,5 +1211,97 @@ impl ProvenanceKernel for Pass {
         inner.stats.dpapi_calls += 1;
         let node = inner.node_for_file(ctx, loc);
         Ok(inner.new_uhandle(node))
+    }
+
+    /// Commits a user-level disclosure transaction as a unit.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Validate** every op against pre-transaction state —
+    ///    handles resolve, records are wire-representable, target
+    ///    volumes exist. A failure aborts with the op's index and no
+    ///    durable effect.
+    /// 2. **Analyze and translate**: ops run through the analyzer and
+    ///    distributor in order (so the batch's dependency edges,
+    ///    freezes and dedup decisions are computed over the whole
+    ///    batch *before* anything is disclosed), while every
+    ///    volume-bound disclosure is deferred into a per-volume
+    ///    [`Txn`].
+    /// 3. **Commit** each per-volume transaction with a single
+    ///    `pass_commit`, which the volume frames as one contiguous log
+    ///    group. Volume-assigned results (write identities) are then
+    ///    backfilled into the per-op result vector.
+    ///
+    /// Atomicity is per target volume (the common single-volume case
+    /// is fully atomic): validation makes a phase-3 failure all but
+    /// impossible, but on a transaction spanning volumes such a
+    /// failure would leave volumes committed earlier in phase 3
+    /// durable — callers needing cross-volume atomicity must use one
+    /// volume per transaction until a prepare/seal protocol exists
+    /// (see ROADMAP). Pnode allocation for `mkobj`/`revive` is eager
+    /// because it is pure server state with no log footprint, exactly
+    /// as in the single-shot calls.
+    fn dp_commit(&self, ctx: &mut HookCtx<'_>, pid: Pid, txn: Txn) -> dpapi::Result<Vec<OpResult>> {
+        let ops = txn.into_ops();
+        let n_ops = ops.len() as u64;
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.dpapi_calls += 1;
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        // ---- Phase 1: validate against pre-transaction state ------------
+        for (i, op) in ops.iter().enumerate() {
+            inner
+                .validate_user_op(ctx, op)
+                .map_err(|e| DpapiError::aborted_at(i, e))?;
+        }
+        // ---- Phase 2: analyze the batch; defer volume disclosure --------
+        let mut vol_txns: Vec<VolTxn> = Vec::new();
+        let mut results: Vec<Option<OpResult>> = Vec::with_capacity(ops.len());
+        for _ in 0..ops.len() {
+            results.push(None);
+        }
+        for (i, op) in ops.into_iter().enumerate() {
+            let r = inner
+                .translate_op(ctx, pid, i, op, &mut vol_txns)
+                .map_err(|e| DpapiError::aborted_at(i, e))?;
+            results[i] = r;
+        }
+        // ---- Phase 3: one group commit per touched volume ---------------
+        for vt in vol_txns {
+            let first_op = vt.slots.first().map(|s| s.0).unwrap_or(0);
+            let Some(v) = ctx.find_volume(vt.vol) else {
+                return Err(DpapiError::aborted_at(first_op, DpapiError::NotPassVolume));
+            };
+            match v.pass_commit(vt.txn) {
+                Ok(rs) => {
+                    for (j, r) in rs.into_iter().enumerate() {
+                        if let Some(&(user_op, backfill)) = vt.slots.get(j) {
+                            if backfill {
+                                results[user_op] = Some(r);
+                            }
+                        }
+                    }
+                }
+                Err(DpapiError::TxnAborted { failed_op, cause }) => {
+                    let user_op = vt.slots.get(failed_op).map(|s| s.0).unwrap_or(first_op);
+                    return Err(DpapiError::aborted_at(user_op, *cause));
+                }
+                Err(e) => return Err(DpapiError::aborted_at(first_op, e)),
+            }
+        }
+        // Count the transaction only once it actually committed, so
+        // the batch-path counters (which CI gates on being non-zero)
+        // cannot be satisfied by aborted batches.
+        inner.stats.txn_commits += 1;
+        inner.stats.txn_ops += n_ops;
+        results
+            .into_iter()
+            .map(|r| {
+                r.ok_or_else(|| {
+                    DpapiError::Inconsistent("transaction op produced no result".into())
+                })
+            })
+            .collect()
     }
 }

@@ -1,9 +1,18 @@
-//! The `Dpapi` trait: the six calls every provenance-aware layer
+//! The `Dpapi` trait: the calls every provenance-aware layer
 //! implements and/or invokes.
+//!
+//! Since DPAPI v2 the trait is built around *disclosure transactions*
+//! ([`crate::Txn`]): [`Dpapi::pass_commit`] is the one required
+//! disclosure entry point, and the classic single-shot calls
+//! (`pass_write`, `pass_mkobj`, `pass_freeze`, `pass_reviveobj`,
+//! `pass_sync`) are provided as default methods that commit a one-op
+//! transaction — so every existing call site keeps working while
+//! every layer gains batching for free.
 
-use crate::error::Result;
+use crate::error::{DpapiError, Result};
 use crate::id::{ObjectRef, Pnode, Version, VolumeId};
 use crate::record::Bundle;
+use crate::txn::{DpapiOp, OpResult, Txn};
 
 /// An opaque handle naming an open object at some layer.
 ///
@@ -63,7 +72,7 @@ pub struct ReadResult {
 }
 
 /// The result of a `pass_write`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WriteResult {
     /// Bytes of data accepted (0 for provenance-only writes).
     pub written: usize,
@@ -84,7 +93,21 @@ pub struct WriteResult {
 pub trait Dpapi {
     /// Reads up to `len` bytes at `offset`, returning both the data
     /// and the exact identity (pnode, version) of what was read.
+    ///
+    /// Reads disclose nothing, so they are not part of the
+    /// transaction op vector.
     fn pass_read(&mut self, h: Handle, offset: u64, len: usize) -> Result<ReadResult>;
+
+    /// Commits a disclosure transaction: applies every operation of
+    /// `txn`, in order, atomically — all of them or none.
+    ///
+    /// On success the returned vector is index-aligned with the
+    /// transaction's operations. On failure the error is
+    /// [`DpapiError::TxnAborted`], naming the index of the operation
+    /// that failed validation, and no effect of the transaction is
+    /// observable. See [`crate::txn`] for the full contract (atomicity,
+    /// write-ahead-provenance ordering of data, handle scope).
+    fn pass_commit(&mut self, txn: Txn) -> Result<Vec<OpResult>>;
 
     /// Writes `data` at `offset` together with a bundle of provenance
     /// records describing it, so data and provenance move together.
@@ -92,18 +115,36 @@ pub trait Dpapi {
     /// Provenance-only writes pass an empty `data` slice; data-only
     /// writes pass an empty bundle (PASSv2 will still observe the
     /// write and generate implicit provenance at the OS layer).
+    ///
+    /// Default: a one-op transaction through [`Dpapi::pass_commit`].
     fn pass_write(
         &mut self,
         h: Handle,
         offset: u64,
         data: &[u8],
         bundle: Bundle,
-    ) -> Result<WriteResult>;
+    ) -> Result<WriteResult> {
+        let mut txn = Txn::new();
+        txn.write(h, offset, data.to_vec(), bundle);
+        match single_op(self_commit(self, txn)?) {
+            Some(OpResult::Written(w)) => Ok(w),
+            other => Err(bad_shape("write", other)),
+        }
+    }
 
     /// Requests a new version of the object to break a dependency
     /// cycle. Versions are materialized at the bottom layer (the
     /// storage system), but cycle-breaking may occur at any layer.
-    fn pass_freeze(&mut self, h: Handle) -> Result<Version>;
+    ///
+    /// Default: a one-op transaction through [`Dpapi::pass_commit`].
+    fn pass_freeze(&mut self, h: Handle) -> Result<Version> {
+        let mut txn = Txn::new();
+        txn.freeze(h);
+        match single_op(self_commit(self, txn)?) {
+            Some(OpResult::Frozen(v)) => Ok(v),
+            other => Err(bad_shape("freeze", other)),
+        }
+    }
 
     /// Creates a provenance-only object: something that has identity
     /// and provenance but no file-system manifestation (a browser
@@ -112,22 +153,103 @@ pub trait Dpapi {
     /// `volume_hint` selects the PASS volume that will hold the
     /// object's provenance if it never acquires a persistent ancestor;
     /// `None` lets the distributor choose.
-    fn pass_mkobj(&mut self, volume_hint: Option<VolumeId>) -> Result<Handle>;
+    ///
+    /// Default: a one-op transaction through [`Dpapi::pass_commit`].
+    fn pass_mkobj(&mut self, volume_hint: Option<VolumeId>) -> Result<Handle> {
+        let mut txn = Txn::new();
+        txn.mkobj(volume_hint);
+        match single_op(self_commit(self, txn)?) {
+            Some(OpResult::Made(h)) => Ok(h),
+            other => Err(bad_shape("mkobj", other)),
+        }
+    }
 
     /// Re-opens an object previously created via `pass_mkobj`, given
     /// its pnode and version (e.g. a browser session restored from
     /// disk after a restart).
-    fn pass_reviveobj(&mut self, pnode: Pnode, version: Version) -> Result<Handle>;
+    ///
+    /// Default: a one-op transaction through [`Dpapi::pass_commit`].
+    fn pass_reviveobj(&mut self, pnode: Pnode, version: Version) -> Result<Handle> {
+        let mut txn = Txn::new();
+        txn.revive(pnode, version);
+        match single_op(self_commit(self, txn)?) {
+            Some(OpResult::Revived(h)) => Ok(h),
+            other => Err(bad_shape("revive", other)),
+        }
+    }
 
     /// Forces the provenance of an object created via `pass_mkobj` to
     /// persistent storage even if it is not (yet) in the ancestry of
     /// any persistent object.
-    fn pass_sync(&mut self, h: Handle) -> Result<()>;
+    ///
+    /// Default: a one-op transaction through [`Dpapi::pass_commit`].
+    fn pass_sync(&mut self, h: Handle) -> Result<()> {
+        let mut txn = Txn::new();
+        txn.sync(h);
+        match single_op(self_commit(self, txn)?) {
+            Some(OpResult::Synced) => Ok(()),
+            other => Err(bad_shape("sync", other)),
+        }
+    }
 
     /// Closes a handle obtained from this layer. Not one of the six
     /// paper calls (the paper reuses `close`), but required here since
     /// the simulation has no ambient process context.
     fn pass_close(&mut self, h: Handle) -> Result<()>;
+}
+
+/// Commits through the trait object, unwrapping a single-op abort to
+/// its cause so the one-op defaults surface the same error a direct
+/// call would have.
+fn self_commit<D: Dpapi + ?Sized>(layer: &mut D, txn: Txn) -> Result<Vec<OpResult>> {
+    layer
+        .pass_commit(txn)
+        .map_err(DpapiError::into_single_op_cause)
+}
+
+fn single_op(mut results: Vec<OpResult>) -> Option<OpResult> {
+    if results.len() == 1 {
+        results.pop()
+    } else {
+        None
+    }
+}
+
+fn bad_shape(op: &'static str, got: Option<OpResult>) -> DpapiError {
+    DpapiError::Inconsistent(format!(
+        "pass_commit returned a mismatched result for a single {op} op: {got:?}"
+    ))
+}
+
+/// Executes one operation of a transaction against a layer's
+/// single-shot entry points.
+///
+/// This is the building block for layers that implement the v1 calls
+/// natively and want `pass_commit` to fall back to sequential
+/// execution (no atomicity beyond abort-on-first-failure); it is also
+/// used by test doubles. Real substrates (Lasagna, the PA-NFS client,
+/// the kernel module) override `pass_commit` with genuinely atomic,
+/// group-framed implementations instead.
+pub fn run_op_single_shot<D: Dpapi + ?Sized>(layer: &mut D, op: DpapiOp) -> Result<OpResult> {
+    match op {
+        DpapiOp::Write {
+            handle,
+            offset,
+            data,
+            bundle,
+        } => Ok(OpResult::Written(
+            layer.pass_write(handle, offset, &data, bundle)?,
+        )),
+        DpapiOp::Mkobj { volume_hint } => Ok(OpResult::Made(layer.pass_mkobj(volume_hint)?)),
+        DpapiOp::Freeze { handle } => Ok(OpResult::Frozen(layer.pass_freeze(handle)?)),
+        DpapiOp::Revive { pnode, version } => {
+            Ok(OpResult::Revived(layer.pass_reviveobj(pnode, version)?))
+        }
+        DpapiOp::Sync { handle } => {
+            layer.pass_sync(handle)?;
+            Ok(OpResult::Synced)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +277,18 @@ mod tests {
     }
 
     impl Dpapi for MiniLayer {
+        fn pass_commit(&mut self, txn: crate::Txn) -> Result<Vec<crate::OpResult>> {
+            let ops = txn.into_ops();
+            let mut out = Vec::with_capacity(ops.len());
+            for (i, op) in ops.into_iter().enumerate() {
+                match crate::api::run_op_single_shot(self, op) {
+                    Ok(r) => out.push(r),
+                    Err(e) => return Err(DpapiError::aborted_at(i, e)),
+                }
+            }
+            Ok(out)
+        }
+
         fn pass_read(&mut self, h: Handle, _o: u64, _l: usize) -> Result<ReadResult> {
             let idx = h.raw() as usize;
             let (data, _) = self.store.get(idx).ok_or(DpapiError::InvalidHandle)?;
@@ -245,5 +379,43 @@ mod tests {
     #[test]
     fn handle_display() {
         assert_eq!(Handle::from_raw(42).to_string(), "h42");
+    }
+
+    #[test]
+    fn multi_op_transaction_returns_aligned_results() {
+        let mut layer = MiniLayer::new();
+        let h = layer.pass_mkobj(None).unwrap();
+        let mut txn = crate::pass_begin();
+        txn.write(
+            h,
+            0,
+            b"abc".to_vec(),
+            Bundle::single(
+                h,
+                ProvenanceRecord::new(crate::Attribute::Type, crate::Value::str("SESSION")),
+            ),
+        )
+        .freeze(h)
+        .sync(h);
+        let results = layer.pass_commit(txn).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_written().unwrap().written, 3);
+        assert_eq!(results[1].as_version(), Some(Version(1)));
+        assert_eq!(results[2], crate::OpResult::Synced);
+    }
+
+    #[test]
+    fn aborted_transaction_names_the_failing_op() {
+        let mut layer = MiniLayer::new();
+        let h = layer.pass_mkobj(None).unwrap();
+        let bogus = Handle::from_raw(999);
+        let mut txn = crate::pass_begin();
+        txn.freeze(h).sync(bogus);
+        let err = layer.pass_commit(txn).unwrap_err();
+        assert_eq!(
+            err,
+            DpapiError::aborted_at(1, DpapiError::InvalidHandle),
+            "the abort must carry the failing op's index"
+        );
     }
 }

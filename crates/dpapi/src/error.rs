@@ -35,6 +35,42 @@ pub enum DpapiError {
     Unsupported(&'static str),
     /// A malformed record or bundle was presented.
     Malformed(String),
+    /// A disclosure transaction was aborted: the operation at index
+    /// `failed_op` of the committed [`crate::Txn`] failed with
+    /// `cause`. Within each layer's atomicity domain (a single volume,
+    /// one PA-NFS export, one log) none of the transaction's effects
+    /// were applied; see [`crate::txn`] for the exact contract,
+    /// including the multi-volume caveat.
+    TxnAborted {
+        /// Zero-based index of the failing operation within the
+        /// transaction's op vector.
+        failed_op: usize,
+        /// Why that operation failed.
+        cause: Box<DpapiError>,
+    },
+}
+
+impl DpapiError {
+    /// Wraps `cause` as a transaction abort at operation `failed_op`.
+    pub fn aborted_at(failed_op: usize, cause: DpapiError) -> DpapiError {
+        DpapiError::TxnAborted {
+            failed_op,
+            cause: Box::new(cause),
+        }
+    }
+
+    /// Unwraps a single-op transaction abort back into its cause, so
+    /// the one-op default methods of [`crate::Dpapi`] surface the same
+    /// error a direct call would. Multi-op aborts pass through.
+    pub fn into_single_op_cause(self) -> DpapiError {
+        match self {
+            DpapiError::TxnAborted {
+                failed_op: 0,
+                cause,
+            } => *cause,
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for DpapiError {
@@ -49,6 +85,12 @@ impl fmt::Display for DpapiError {
             DpapiError::BadTransaction(id) => write!(f, "bad provenance transaction {id}"),
             DpapiError::Unsupported(op) => write!(f, "operation not supported: {op}"),
             DpapiError::Malformed(m) => write!(f, "malformed provenance: {m}"),
+            DpapiError::TxnAborted { failed_op, cause } => {
+                write!(
+                    f,
+                    "disclosure transaction aborted at op {failed_op}: {cause}"
+                )
+            }
         }
     }
 }
@@ -75,6 +117,20 @@ mod tests {
             DpapiError::BadTransaction(9).to_string(),
             "bad provenance transaction 9"
         );
+        assert_eq!(
+            DpapiError::aborted_at(3, DpapiError::InvalidHandle).to_string(),
+            "disclosure transaction aborted at op 3: invalid object handle"
+        );
+    }
+
+    #[test]
+    fn single_op_abort_unwraps_to_cause() {
+        let e = DpapiError::aborted_at(0, DpapiError::NotPassVolume);
+        assert_eq!(e.into_single_op_cause(), DpapiError::NotPassVolume);
+        let multi = DpapiError::aborted_at(2, DpapiError::NotPassVolume);
+        assert_eq!(multi.clone().into_single_op_cause(), multi);
+        let plain = DpapiError::InvalidHandle;
+        assert_eq!(plain.clone().into_single_op_cause(), plain);
     }
 
     #[test]

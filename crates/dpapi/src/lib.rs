@@ -14,6 +14,19 @@
 //! for an object's provenance, and the *provenance record*
 //! ([`ProvenanceRecord`]), a single attribute/value unit of provenance.
 //!
+//! # DPAPI v2: disclosure transactions
+//!
+//! Since v2 the five disclosing calls are sugar over one batched
+//! entry point: [`pass_begin`] opens a [`Txn`], [`Txn::add`] queues
+//! [`DpapiOp`]s, and [`Dpapi::pass_commit`] applies the whole vector
+//! atomically, returning one [`OpResult`] per op. A batch crosses
+//! every layer boundary as a unit — one syscall at the kernel, one
+//! COMPOUND RPC in PA-NFS, one length-prefixed group record in the
+//! Lasagna log, one group commit in Waldo — so per-event overhead is
+//! amortized end to end and multi-record disclosures become atomic
+//! (commit failure reports [`DpapiError::TxnAborted`] with the failing
+//! op's index).
+//!
 //! Layers that act as a substrate to higher layers (an interpreter, an
 //! NFS client, the OS itself) accept DPAPI calls from above and issue
 //! DPAPI calls below, so an arbitrary number of provenance-aware layers
@@ -38,9 +51,11 @@ pub mod api;
 pub mod error;
 pub mod id;
 pub mod record;
+pub mod txn;
 pub mod wire;
 
-pub use api::{Dpapi, Handle, ObjectKind, ReadResult, WriteResult};
+pub use api::{run_op_single_shot, Dpapi, Handle, ObjectKind, ReadResult, WriteResult};
 pub use error::{DpapiError, Result};
 pub use id::{ObjectRef, Pnode, PnodeAllocator, Version, VolumeId};
 pub use record::{Attribute, Bundle, BundleEntry, ProvenanceRecord, Value};
+pub use txn::{pass_begin, DpapiOp, OpResult, Txn};

@@ -1,0 +1,278 @@
+//! Disclosure transactions: the batched DPAPI v2 entry point.
+//!
+//! The original DPAPI is one-call-one-bundle: every `pass_write` is a
+//! separately charged syscall, every PA-NFS operation its own RPC,
+//! every bundle its own log record. A *disclosure transaction* lets a
+//! layer hand its substrate an entire vector of operations at once:
+//!
+//! ```
+//! use dpapi::{pass_begin, Bundle, Handle};
+//!
+//! let mut txn = pass_begin();
+//! txn.mkobj(None);
+//! txn.disclose(Handle::from_raw(7), Bundle::new());
+//! txn.sync(Handle::from_raw(7));
+//! assert_eq!(txn.len(), 3);
+//! // layer.pass_commit(txn)? -> Vec<OpResult>, one per op, in order.
+//! ```
+//!
+//! # Atomicity contract
+//!
+//! [`crate::Dpapi::pass_commit`] applies the whole vector or none of
+//! it: implementations validate every operation against current state
+//! *before* producing any effect, and a validation failure aborts with
+//! [`crate::DpapiError::TxnAborted`] naming the offending operation
+//! index. After validation, the provenance of the batch is made
+//! durable as one unit (Lasagna frames it as a single length-prefixed
+//! group record; PA-NFS ships it as one COMPOUND request); data writes
+//! follow write-ahead-provenance ordering, so a data-path failure
+//! mid-batch is recoverable from the already-logged digests.
+//!
+//! Atomicity is guaranteed **per target volume**. A transaction whose
+//! ops fan out to several PASS volumes commits one group per volume;
+//! if a later volume's commit fails (practically impossible after
+//! validation), earlier volumes' groups remain durable. Use one
+//! volume per transaction where cross-volume atomicity matters.
+//!
+//! # Handle scope
+//!
+//! Operations may only reference handles that existed before the
+//! transaction began. A handle produced by a [`DpapiOp::Mkobj`] or
+//! [`DpapiOp::Revive`] inside the batch is returned in the matching
+//! [`OpResult`] but cannot be named by later operations of the same
+//! batch — split such flows into two commits.
+
+use crate::api::{Handle, WriteResult};
+use crate::id::{Pnode, Version, VolumeId};
+use crate::record::Bundle;
+
+/// One operation of a disclosure transaction.
+///
+/// The vector covers the five *disclosing* calls of the DPAPI.
+/// `pass_read` is absent by design: reads disclose nothing, so there
+/// is nothing to batch atomically with them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DpapiOp {
+    /// `pass_write`: data plus a bundle of provenance records, moved
+    /// together.
+    Write {
+        /// The object written.
+        handle: Handle,
+        /// Byte offset of the data write.
+        offset: u64,
+        /// The data (empty for provenance-only disclosure).
+        data: Vec<u8>,
+        /// Provenance records riding the write.
+        bundle: Bundle,
+    },
+    /// `pass_mkobj`: create a provenance-only object.
+    Mkobj {
+        /// Volume that should hold the object's provenance (`None`
+        /// lets the layer choose).
+        volume_hint: Option<VolumeId>,
+    },
+    /// `pass_freeze`: open a new version of the object.
+    Freeze {
+        /// The object frozen.
+        handle: Handle,
+    },
+    /// `pass_reviveobj`: reopen an object by identity.
+    Revive {
+        /// The object's pnode.
+        pnode: Pnode,
+        /// The version to revive at.
+        version: Version,
+    },
+    /// `pass_sync`: force the object's provenance to durable storage.
+    Sync {
+        /// The object synced.
+        handle: Handle,
+    },
+}
+
+impl DpapiOp {
+    /// Short operation name, for diagnostics and error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DpapiOp::Write { .. } => "write",
+            DpapiOp::Mkobj { .. } => "mkobj",
+            DpapiOp::Freeze { .. } => "freeze",
+            DpapiOp::Revive { .. } => "revive",
+            DpapiOp::Sync { .. } => "sync",
+        }
+    }
+}
+
+/// The per-operation result of a committed transaction, index-aligned
+/// with the transaction's operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpResult {
+    /// Result of a [`DpapiOp::Write`].
+    Written(WriteResult),
+    /// Handle created by a [`DpapiOp::Mkobj`].
+    Made(Handle),
+    /// New version opened by a [`DpapiOp::Freeze`].
+    Frozen(Version),
+    /// Handle reopened by a [`DpapiOp::Revive`].
+    Revived(Handle),
+    /// A [`DpapiOp::Sync`] completed.
+    Synced,
+}
+
+impl OpResult {
+    /// The write result, if this op was a write.
+    pub fn as_written(&self) -> Option<&WriteResult> {
+        match self {
+            OpResult::Written(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The handle, if this op produced one (mkobj or revive).
+    pub fn as_handle(&self) -> Option<Handle> {
+        match self {
+            OpResult::Made(h) | OpResult::Revived(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The version, if this op was a freeze.
+    pub fn as_version(&self) -> Option<Version> {
+        match self {
+            OpResult::Frozen(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A disclosure transaction under construction: an ordered vector of
+/// [`DpapiOp`]s committed atomically by [`crate::Dpapi::pass_commit`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Txn {
+    ops: Vec<DpapiOp>,
+}
+
+impl Txn {
+    /// Starts an empty transaction (alias of [`pass_begin`]).
+    pub fn new() -> Txn {
+        Txn::default()
+    }
+
+    /// Appends one operation, returning `&mut self` for chaining.
+    pub fn add(&mut self, op: DpapiOp) -> &mut Txn {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends a data-plus-provenance write.
+    pub fn write(
+        &mut self,
+        handle: Handle,
+        offset: u64,
+        data: Vec<u8>,
+        bundle: Bundle,
+    ) -> &mut Txn {
+        self.add(DpapiOp::Write {
+            handle,
+            offset,
+            data,
+            bundle,
+        })
+    }
+
+    /// Appends a provenance-only write (no data).
+    pub fn disclose(&mut self, handle: Handle, bundle: Bundle) -> &mut Txn {
+        self.write(handle, 0, Vec::new(), bundle)
+    }
+
+    /// Appends an object creation.
+    pub fn mkobj(&mut self, volume_hint: Option<VolumeId>) -> &mut Txn {
+        self.add(DpapiOp::Mkobj { volume_hint })
+    }
+
+    /// Appends a freeze.
+    pub fn freeze(&mut self, handle: Handle) -> &mut Txn {
+        self.add(DpapiOp::Freeze { handle })
+    }
+
+    /// Appends a revive.
+    pub fn revive(&mut self, pnode: Pnode, version: Version) -> &mut Txn {
+        self.add(DpapiOp::Revive { pnode, version })
+    }
+
+    /// Appends a sync.
+    pub fn sync(&mut self, handle: Handle) -> &mut Txn {
+        self.add(DpapiOp::Sync { handle })
+    }
+
+    /// Number of operations queued.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued operations, in commit order.
+    pub fn ops(&self) -> &[DpapiOp] {
+        &self.ops
+    }
+
+    /// Consumes the transaction into its operation vector.
+    pub fn into_ops(self) -> Vec<DpapiOp> {
+        self.ops
+    }
+}
+
+impl FromIterator<DpapiOp> for Txn {
+    fn from_iter<T: IntoIterator<Item = DpapiOp>>(iter: T) -> Self {
+        Txn {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Begins a new disclosure transaction — the DPAPI v2 spelling of
+/// "open a batch".
+pub fn pass_begin() -> Txn {
+    Txn::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_op_order() {
+        let mut txn = pass_begin();
+        let h = Handle::from_raw(3);
+        txn.mkobj(None).disclose(h, Bundle::new()).freeze(h).sync(h);
+        assert_eq!(txn.len(), 4);
+        let kinds: Vec<&str> = txn.ops().iter().map(DpapiOp::kind).collect();
+        assert_eq!(kinds, vec!["mkobj", "write", "freeze", "sync"]);
+        let ops = txn.into_ops();
+        assert!(matches!(ops[1], DpapiOp::Write { offset: 0, .. }));
+    }
+
+    #[test]
+    fn op_result_accessors() {
+        let h = Handle::from_raw(9);
+        assert_eq!(OpResult::Made(h).as_handle(), Some(h));
+        assert_eq!(OpResult::Revived(h).as_handle(), Some(h));
+        assert_eq!(OpResult::Frozen(Version(2)).as_version(), Some(Version(2)));
+        assert_eq!(OpResult::Synced.as_handle(), None);
+        assert!(OpResult::Synced.as_written().is_none());
+    }
+
+    #[test]
+    fn txn_collects_from_iterator() {
+        let txn: Txn = (0..3)
+            .map(|_| DpapiOp::Mkobj { volume_hint: None })
+            .collect();
+        assert_eq!(txn.len(), 3);
+        assert!(!txn.is_empty());
+        assert!(pass_begin().is_empty());
+    }
+}

@@ -66,8 +66,48 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
         .map_err(|_| DpapiError::Malformed("invalid UTF-8 in record".into()))
 }
 
+/// Checks that `rec` is representable in the wire encoding: the
+/// attribute name must fit the `u16` length prefix and every variable
+/// payload its `u32` prefix. Layers validate disclosed records up
+/// front so a malformed record aborts a whole transaction before
+/// anything is logged.
+pub fn validate_record(rec: &ProvenanceRecord) -> Result<()> {
+    let name = rec.attribute.as_str();
+    if name.len() > u16::MAX as usize {
+        return Err(DpapiError::Malformed(format!(
+            "attribute name of {} bytes exceeds the u16 wire limit",
+            name.len()
+        )));
+    }
+    let payload_len = match &rec.value {
+        Value::Str(s) => s.len(),
+        Value::Bytes(b) => b.len(),
+        Value::StrList(l) => {
+            if l.len() > u32::MAX as usize {
+                return Err(DpapiError::Malformed(format!(
+                    "string list of {} entries exceeds the u32 wire limit",
+                    l.len()
+                )));
+            }
+            l.iter().map(String::len).max().unwrap_or(0)
+        }
+        Value::Int(_) | Value::Bool(_) | Value::Xref(_) => 0,
+    };
+    if payload_len > u32::MAX as usize {
+        return Err(DpapiError::Malformed(format!(
+            "value payload of {payload_len} bytes exceeds the u32 wire limit"
+        )));
+    }
+    Ok(())
+}
+
 /// Encodes one provenance record into `buf`.
-pub fn put_record(buf: &mut BytesMut, rec: &ProvenanceRecord) {
+///
+/// Returns [`DpapiError::Malformed`] — writing nothing — for records
+/// whose attribute name or payload cannot be represented (the name
+/// length is a `u16` on the wire; it used to be silently truncated).
+pub fn put_record(buf: &mut BytesMut, rec: &ProvenanceRecord) -> Result<()> {
+    validate_record(rec)?;
     let name = rec.attribute.as_str();
     buf.put_u16_le(name.len() as u16);
     buf.put_slice(name.as_bytes());
@@ -101,6 +141,7 @@ pub fn put_record(buf: &mut BytesMut, rec: &ProvenanceRecord) {
             put_object_ref(buf, *r);
         }
     }
+    Ok(())
 }
 
 /// Decodes one provenance record from `buf`.
@@ -177,10 +218,10 @@ pub fn record_wire_size(rec: &ProvenanceRecord) -> usize {
 }
 
 /// Encodes a record to a standalone byte vector.
-pub fn encode_record(rec: &ProvenanceRecord) -> Vec<u8> {
+pub fn encode_record(rec: &ProvenanceRecord) -> Result<Vec<u8>> {
     let mut buf = BytesMut::with_capacity(record_wire_size(rec));
-    put_record(&mut buf, rec);
-    buf.to_vec()
+    put_record(&mut buf, rec)?;
+    Ok(buf.to_vec())
 }
 
 /// Decodes a record from a standalone byte slice, requiring the slice
@@ -199,7 +240,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(rec: ProvenanceRecord) {
-        let enc = encode_record(&rec);
+        let enc = encode_record(&rec).unwrap();
         assert_eq!(enc.len(), record_wire_size(&rec), "size mismatch: {rec}");
         let dec = decode_record(&enc).unwrap();
         assert_eq!(dec, rec);
@@ -228,9 +269,29 @@ mod tests {
     }
 
     #[test]
+    fn oversize_attribute_name_is_rejected_not_truncated() {
+        // Regression: `name.len() as u16` used to silently truncate
+        // names longer than u16::MAX, producing a frame whose length
+        // prefix disagreed with its body.
+        let long = "A".repeat(u16::MAX as usize + 1);
+        let rec = ProvenanceRecord::new(Attribute::Other(long), Value::Int(1));
+        let mut buf = BytesMut::new();
+        let err = put_record(&mut buf, &rec).unwrap_err();
+        assert!(matches!(err, DpapiError::Malformed(_)), "got {err:?}");
+        assert!(buf.is_empty(), "a rejected record must write nothing");
+        assert!(encode_record(&rec).is_err());
+        // The boundary case still encodes and round-trips.
+        let edge = ProvenanceRecord::new(
+            Attribute::Other("B".repeat(u16::MAX as usize)),
+            Value::Int(2),
+        );
+        roundtrip(edge);
+    }
+
+    #[test]
     fn decode_rejects_truncation_at_every_byte() {
         let rec = ProvenanceRecord::new(Attribute::Argv, Value::StrList(vec!["a".into()]));
-        let enc = encode_record(&rec);
+        let enc = encode_record(&rec).unwrap();
         for cut in 0..enc.len() {
             assert!(
                 decode_record(&enc[..cut]).is_err(),
@@ -241,7 +302,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_trailing_garbage() {
-        let mut enc = encode_record(&ProvenanceRecord::new(Attribute::Type, Value::Int(1)));
+        let mut enc =
+            encode_record(&ProvenanceRecord::new(Attribute::Type, Value::Int(1))).unwrap();
         enc.push(0xff);
         assert!(decode_record(&enc).is_err());
     }
@@ -264,7 +326,7 @@ mod tests {
         ];
         let mut buf = BytesMut::new();
         for r in &recs {
-            put_record(&mut buf, r);
+            put_record(&mut buf, r).unwrap();
         }
         let mut stream = buf.freeze();
         let mut out = Vec::new();

@@ -41,7 +41,7 @@ proptest! {
     #[test]
     fn record_roundtrip(attr in arb_attribute(), value in arb_value()) {
         let rec = ProvenanceRecord::new(attr, value);
-        let enc = encode_record(&rec);
+        let enc = encode_record(&rec).unwrap();
         prop_assert_eq!(enc.len(), record_wire_size(&rec));
         let dec = decode_record(&enc).unwrap();
         prop_assert_eq!(dec, rec);
@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn truncation_always_detected(attr in arb_attribute(), value in arb_value()) {
         let rec = ProvenanceRecord::new(attr, value);
-        let enc = encode_record(&rec);
+        let enc = encode_record(&rec).unwrap();
         if enc.len() > 1 {
             let cut = enc.len() / 2;
             prop_assert!(decode_record(&enc[..cut]).is_err());

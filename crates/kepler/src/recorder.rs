@@ -133,10 +133,22 @@ impl DpapiRecorder {
 
 impl Recorder for DpapiRecorder {
     fn workflow_started(&mut self, kernel: &mut Kernel, pid: Pid, wf: &Workflow) {
-        for op in &wf.operators {
-            let Ok(h) = kernel.pass_mkobj(pid, None) else {
-                continue;
-            };
+        // DPAPI v2: the whole workflow's operator objects come from
+        // one mkobj transaction, and their TYPE/NAME/PARAMS records
+        // commit in a second — two syscalls for the workflow instead
+        // of two per operator, and an operator set that discloses
+        // atomically or not at all. (Two commits, not one, because a
+        // transaction's ops may only reference pre-existing handles.)
+        let mut mk = dpapi::pass_begin();
+        for _ in &wf.operators {
+            mk.mkobj(None);
+        }
+        let Ok(made) = kernel.pass_commit(pid, mk) else {
+            return;
+        };
+        let handles: Vec<Handle> = made.iter().filter_map(dpapi::OpResult::as_handle).collect();
+        let mut disclose = dpapi::pass_begin();
+        for (op, &h) in wf.operators.iter().zip(&handles) {
             let params = op
                 .params
                 .iter()
@@ -158,7 +170,10 @@ impl Recorder for DpapiRecorder {
                     ProvenanceRecord::new(Attribute::Params, Value::str(params)),
                 );
             }
-            let _ = kernel.pass_write(pid, h, 0, &[], bundle);
+            disclose.disclose(h, bundle);
+        }
+        let _ = kernel.pass_commit(pid, disclose);
+        for &h in &handles {
             let identity = kernel
                 .pass_read(pid, h, 0, 0)
                 .map(|r| r.identity)
@@ -208,10 +223,13 @@ impl Recorder for DpapiRecorder {
 
     fn workflow_finished(&mut self, kernel: &mut Kernel, pid: Pid, _wf: &Workflow) {
         // Make operator provenance durable even if an operator has no
-        // persistent descendant (e.g. a sink failed): pass_sync.
+        // persistent descendant (e.g. a sink failed): one transaction
+        // of syncs, one syscall for the whole workflow.
+        let mut txn = dpapi::pass_begin();
         for &h in &self.handles {
-            let _ = kernel.pass_sync(pid, h);
+            txn.sync(h);
         }
+        let _ = kernel.pass_commit(pid, txn);
     }
 }
 

@@ -19,15 +19,27 @@ use std::collections::HashMap;
 
 use bytes::BytesMut;
 use dpapi::{
-    Bundle, Dpapi, DpapiError, Handle, ObjectRef, Pnode, PnodeAllocator, ProvenanceRecord,
-    ReadResult, Value, Version, VolumeId, WriteResult,
+    wire, Bundle, Dpapi, DpapiError, DpapiOp, Handle, ObjectRef, OpResult, Pnode, PnodeAllocator,
+    ProvenanceRecord, ReadResult, Txn, Value, Version, VolumeId, WriteResult,
 };
 use sim_os::clock::Clock;
 use sim_os::cost::CostModel;
 use sim_os::fs::{DirEntry, DpapiVolume, FileAttr, FileSystem, FsError, FsResult, FsUsage, Ino};
 
-use crate::log::{encode_entry, LogEntry};
+use crate::log::{encode_entry, encode_group, LogEntry};
 use crate::md5::md5;
+
+/// Tag bit of the transaction-id space Lasagna allocates for its own
+/// disclosure-transaction groups: bit 63 set, the full 32-bit volume
+/// id in bits 28..60, a 28-bit wrapping sequence below. PA-NFS
+/// servers hand out small sequential ids for legacy chunked bundles
+/// (tag bit clear), and no two volumes share any id, so batch markers
+/// from different allocators can never collide inside one Waldo
+/// store. (The sequence wraps after 2^28 batches per volume — by
+/// which point the earlier transaction has long closed, so marker
+/// buffering cannot confuse the two.)
+const BATCH_TXN_TAG: u64 = 1 << 63;
+const BATCH_SEQ_MASK: u64 = (1 << 28) - 1;
 
 /// Name of the hidden provenance directory on the lower file system.
 pub const PASS_DIR: &str = ".pass";
@@ -84,6 +96,11 @@ pub struct LasagnaStats {
     pub rotations: u64,
     /// Total provenance bytes ever appended.
     pub provenance_bytes: u64,
+    /// Multi-op disclosure transactions committed (each framed as one
+    /// group record in the log).
+    pub batch_commits: u64,
+    /// Operations carried by those transactions.
+    pub batched_ops: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +133,7 @@ pub struct Lasagna {
     log_buf: BytesMut,
     rotated: Vec<String>,
     db_debt: f64,
+    next_batch: u64,
 
     stats: LasagnaStats,
 }
@@ -159,6 +177,7 @@ impl Lasagna {
             log_buf: BytesMut::new(),
             rotated: Vec::new(),
             db_debt: 0.0,
+            next_batch: 0,
             stats: LasagnaStats::default(),
         })
     }
@@ -241,19 +260,54 @@ impl Lasagna {
 
     // ---- the log ------------------------------------------------------------
 
-    fn append_entry(&mut self, entry: &LogEntry) {
-        let before = self.log_buf.len();
-        encode_entry(&mut self.log_buf, entry);
-        let added = (self.log_buf.len() - before) as u64;
-        self.stats.provenance_bytes += added;
+    fn count_entry(&mut self, entry: &LogEntry) {
         match entry {
             LogEntry::DataWrite { .. } => self.stats.data_writes += 1,
             LogEntry::Prov { .. } => self.stats.records_logged += 1,
             _ => {}
         }
+    }
+
+    fn append_entry(&mut self, entry: &LogEntry) {
+        let before = self.log_buf.len();
+        // Entries reaching the log are pre-validated (bundles go
+        // through `wire::validate_record` at commit validation) or
+        // fixed-shape (INO bindings, data writes, txn markers), so
+        // encoding cannot fail; `encode_entry` leaves the buffer
+        // untouched on error, so even a bypassing caller cannot tear
+        // the frame stream.
+        if encode_entry(&mut self.log_buf, entry).is_err() {
+            debug_assert!(false, "unvalidated entry reached append_entry");
+            return;
+        }
+        let added = (self.log_buf.len() - before) as u64;
+        self.stats.provenance_bytes += added;
+        self.count_entry(entry);
         if self.log_buf.len() >= self.cfg.log_buf_bytes {
             self.flush_log_buf();
         }
+    }
+
+    /// Appends a disclosure transaction's entries as one group frame —
+    /// the single length-prefixed record run that makes the batch
+    /// atomic in the log (a torn tail drops it wholesale).
+    fn append_group(&mut self, entries: &[LogEntry]) -> dpapi::Result<()> {
+        let before = self.log_buf.len();
+        encode_group(&mut self.log_buf, entries)?;
+        let added = (self.log_buf.len() - before) as u64;
+        self.stats.provenance_bytes += added;
+        for e in entries {
+            self.count_entry(e);
+        }
+        if self.log_buf.len() >= self.cfg.log_buf_bytes {
+            self.flush_log_buf();
+        }
+        Ok(())
+    }
+
+    fn alloc_batch_id(&mut self) -> u64 {
+        self.next_batch = (self.next_batch + 1) & BATCH_SEQ_MASK;
+        BATCH_TXN_TAG | (u64::from(self.cfg.volume.0) << 28) | self.next_batch
     }
 
     fn flush_log_buf(&mut self) {
@@ -311,33 +365,34 @@ impl Lasagna {
         }
     }
 
-    /// Records a bundle into the log, processing FREEZE records
-    /// in-order (the PA-NFS requirement that freezes be records, not
-    /// operations, so ordering with writes is preserved).
-    fn log_bundle(&mut self, bundle: &Bundle) -> dpapi::Result<()> {
+    /// Translates a bundle into log entries (pushed onto `out`),
+    /// processing FREEZE records in-order (the PA-NFS requirement that
+    /// freezes be records, not operations, so ordering with writes is
+    /// preserved).
+    fn bundle_entries(&mut self, bundle: &Bundle, out: &mut Vec<LogEntry>) -> dpapi::Result<()> {
         for (h, rec) in bundle.iter() {
             // Transaction markers from PA-NFS become first-class log
             // entries so Waldo can buffer chunked bundles and recovery
             // can garbage-collect orphans.
             if rec.attribute == dpapi::Attribute::BeginTxn {
                 if let Some(id) = rec.value.as_int() {
-                    self.append_entry(&LogEntry::TxnBegin { id: id as u64 });
+                    out.push(LogEntry::TxnBegin { id: id as u64 });
                     continue;
                 }
             }
             if rec.attribute == dpapi::Attribute::EndTxn {
                 if let Some(id) = rec.value.as_int() {
-                    self.append_entry(&LogEntry::TxnEnd { id: id as u64 });
+                    out.push(LogEntry::TxnEnd { id: id as u64 });
                     continue;
                 }
             }
             let obj = self.resolve(h)?;
+            let subject = self.object_ref(obj);
+            out.push(LogEntry::Prov {
+                subject,
+                record: rec.clone(),
+            });
             if rec.attribute == dpapi::Attribute::Freeze {
-                let subject = self.object_ref(obj);
-                self.append_entry(&LogEntry::Prov {
-                    subject,
-                    record: rec.clone(),
-                });
                 match obj {
                     Obj::File(ino) => {
                         let p = self.pnode_for_ino(ino);
@@ -347,15 +402,137 @@ impl Lasagna {
                         self.bump_version(p);
                     }
                 }
-            } else {
-                let subject = self.object_ref(obj);
-                self.append_entry(&LogEntry::Prov {
-                    subject,
-                    record: rec.clone(),
-                });
             }
         }
         Ok(())
+    }
+
+    /// Checks a bundle's records against current state without
+    /// producing any effect: every record must be wire-representable
+    /// and every non-marker subject handle must resolve. Shared by
+    /// `validate_op` and the zero-copy `pass_write` override so the
+    /// two paths cannot drift.
+    fn validate_bundle(&self, bundle: &Bundle) -> dpapi::Result<()> {
+        for (h, rec) in bundle.iter() {
+            wire::validate_record(rec)?;
+            let is_marker = matches!(
+                rec.attribute,
+                dpapi::Attribute::BeginTxn | dpapi::Attribute::EndTxn
+            ) && rec.value.as_int().is_some();
+            if !is_marker {
+                self.resolve(h)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks one transaction op against current state without
+    /// producing any effect — the atomicity guarantee of
+    /// [`Dpapi::pass_commit`]: nothing is logged or written unless the
+    /// whole batch validates.
+    fn validate_op(&self, op: &DpapiOp) -> dpapi::Result<()> {
+        match op {
+            DpapiOp::Write { handle, bundle, .. } => {
+                self.resolve(*handle)?;
+                self.validate_bundle(bundle)
+            }
+            DpapiOp::Mkobj { .. } => Ok(()),
+            DpapiOp::Freeze { handle } | DpapiOp::Sync { handle } => {
+                self.resolve(*handle).map(|_| ())
+            }
+            DpapiOp::Revive { pnode, version } => {
+                if pnode.volume != self.cfg.volume {
+                    return Err(DpapiError::UnknownPnode(*pnode));
+                }
+                if let Some(cur) = self.app_objects.get(&pnode.number) {
+                    if *version > *cur {
+                        return Err(DpapiError::UnknownVersion(*pnode, *version));
+                    }
+                    return Ok(());
+                }
+                if self.ino_of_pnode.contains_key(&pnode.number) {
+                    return Ok(());
+                }
+                Err(DpapiError::UnknownPnode(*pnode))
+            }
+        }
+    }
+
+    /// Applies one validated op: pushes its log entries onto `out`,
+    /// queues its data write, and returns its result. State mutations
+    /// (version bumps, pnode allocation) happen in op order so
+    /// identities reflect everything earlier in the batch.
+    fn apply_op(
+        &mut self,
+        op: DpapiOp,
+        out: &mut Vec<LogEntry>,
+        data_writes: &mut Vec<(Ino, u64, Vec<u8>)>,
+        wants_sync: &mut bool,
+    ) -> dpapi::Result<OpResult> {
+        match op {
+            DpapiOp::Write {
+                handle,
+                offset,
+                data,
+                bundle,
+            } => {
+                let obj = self.resolve(handle)?;
+                // Write-ahead provenance: the bundle and the data
+                // digest reach the log before the data reaches the
+                // file (data writes are applied after the whole
+                // batch's entries are logged).
+                self.bundle_entries(&bundle, out)?;
+                let identity = self.object_ref(obj);
+                let written = data.len();
+                if !data.is_empty() {
+                    if let Obj::File(ino) = obj {
+                        out.push(LogEntry::DataWrite {
+                            subject: identity,
+                            offset,
+                            len: data.len() as u32,
+                            digest: md5(&data),
+                        });
+                        data_writes.push((ino, offset, data));
+                    }
+                }
+                Ok(OpResult::Written(WriteResult { written, identity }))
+            }
+            DpapiOp::Mkobj { .. } => {
+                let p = self.alloc.allocate();
+                self.app_objects.insert(p.number, Version::INITIAL);
+                Ok(OpResult::Made(self.new_handle(Obj::App(p))))
+            }
+            DpapiOp::Freeze { handle } => {
+                let obj = self.resolve(handle)?;
+                let subject = self.object_ref(obj);
+                let new_version = subject.version.next();
+                out.push(LogEntry::Prov {
+                    subject,
+                    record: ProvenanceRecord::freeze(new_version),
+                });
+                Ok(OpResult::Frozen(self.bump_version(subject.pnode)))
+            }
+            DpapiOp::Revive { pnode, version } => {
+                if pnode.volume != self.cfg.volume {
+                    return Err(DpapiError::UnknownPnode(pnode));
+                }
+                if let Some(cur) = self.app_objects.get(&pnode.number) {
+                    if version > *cur {
+                        return Err(DpapiError::UnknownVersion(pnode, version));
+                    }
+                    return Ok(OpResult::Revived(self.new_handle(Obj::App(pnode))));
+                }
+                if let Some(ino) = self.ino_of_pnode.get(&pnode.number).copied() {
+                    return Ok(OpResult::Revived(self.new_handle(Obj::File(ino))));
+                }
+                Err(DpapiError::UnknownPnode(pnode))
+            }
+            DpapiOp::Sync { handle } => {
+                self.resolve(handle)?;
+                *wants_sync = true;
+                Ok(OpResult::Synced)
+            }
+        }
     }
 }
 
@@ -367,7 +544,7 @@ impl Dpapi for Lasagna {
                 let data = self
                     .lower
                     .read(ino, offset, len)
-                    .map_err(|e| DpapiError::Io(e.to_string()))?;
+                    .map_err(DpapiError::from)?;
                 // Double buffering: the stackable layer copies pages.
                 self.clock.advance(self.model.copy_cost(data.len()));
                 let identity = self.object_ref(obj);
@@ -380,6 +557,13 @@ impl Dpapi for Lasagna {
         }
     }
 
+    /// Zero-copy override of the one-op default: this is the hottest
+    /// path in the system (every intercepted OS write on a PASS
+    /// volume lands here), so it logs and writes from the borrowed
+    /// slice instead of cloning the data into a one-op [`Txn`].
+    /// Semantics are identical to `pass_commit` of a single write —
+    /// validate first (nothing logged on failure), log bundle then
+    /// WAP digest, flush, write data.
     fn pass_write(
         &mut self,
         h: Handle,
@@ -388,24 +572,31 @@ impl Dpapi for Lasagna {
         bundle: Bundle,
     ) -> dpapi::Result<WriteResult> {
         let obj = self.resolve(h)?;
-        // Write-ahead provenance: the bundle and the data digest reach
-        // the log before the data reaches the file.
-        self.log_bundle(&bundle)?;
+        self.validate_bundle(&bundle)?;
+        let mut entries: Vec<LogEntry> = Vec::new();
+        self.bundle_entries(&bundle, &mut entries)?;
         let identity = self.object_ref(obj);
+        let mut file_write = None;
         if !data.is_empty() {
             if let Obj::File(ino) = obj {
-                self.append_entry(&LogEntry::DataWrite {
+                entries.push(LogEntry::DataWrite {
                     subject: identity,
                     offset,
                     len: data.len() as u32,
                     digest: md5(data),
                 });
-                self.flush_log_buf();
-                self.clock.advance(self.model.copy_cost(data.len()));
-                self.lower
-                    .write(ino, offset, data)
-                    .map_err(|e| DpapiError::Io(e.to_string()))?;
+                file_write = Some(ino);
             }
+        }
+        for e in &entries {
+            self.append_entry(e);
+        }
+        if let Some(ino) = file_write {
+            self.flush_log_buf();
+            self.clock.advance(self.model.copy_cost(data.len()));
+            self.lower
+                .write(ino, offset, data)
+                .map_err(DpapiError::from)?;
         }
         Ok(WriteResult {
             written: data.len(),
@@ -413,47 +604,66 @@ impl Dpapi for Lasagna {
         })
     }
 
-    fn pass_freeze(&mut self, h: Handle) -> dpapi::Result<Version> {
-        let obj = self.resolve(h)?;
-        let subject = self.object_ref(obj);
-        let new_version = subject.version.next();
-        self.append_entry(&LogEntry::Prov {
-            subject,
-            record: ProvenanceRecord::freeze(new_version),
-        });
-        let p = subject.pnode;
-        Ok(self.bump_version(p))
-    }
-
-    fn pass_mkobj(&mut self, _volume_hint: Option<VolumeId>) -> dpapi::Result<Handle> {
-        let p = self.alloc.allocate();
-        self.app_objects.insert(p.number, Version::INITIAL);
-        Ok(self.new_handle(Obj::App(p)))
-    }
-
-    fn pass_reviveobj(&mut self, pnode: Pnode, version: Version) -> dpapi::Result<Handle> {
-        if pnode.volume != self.cfg.volume {
-            return Err(DpapiError::UnknownPnode(pnode));
+    /// Commits a disclosure transaction against the volume.
+    ///
+    /// The whole batch is validated first (nothing is logged or
+    /// written on a validation failure — the abort names the failing
+    /// op). A multi-op batch's provenance is then framed as **one
+    /// group record** in the log ([`encode_group`]), bracketed by
+    /// transaction markers so Waldo applies the members as one unit;
+    /// a single-op commit logs plainly, byte-identical to the classic
+    /// single-shot calls. Data writes follow write-ahead provenance:
+    /// every log entry of the batch lands before any data byte.
+    fn pass_commit(&mut self, txn: Txn) -> dpapi::Result<Vec<OpResult>> {
+        let ops = txn.into_ops();
+        if ops.is_empty() {
+            return Ok(Vec::new());
         }
-        if let Some(cur) = self.app_objects.get(&pnode.number) {
-            if version > *cur {
-                return Err(DpapiError::UnknownVersion(pnode, version));
+        for (i, op) in ops.iter().enumerate() {
+            self.validate_op(op)
+                .map_err(|e| DpapiError::aborted_at(i, e))?;
+        }
+        let batched = ops.len() > 1;
+        let mut entries: Vec<LogEntry> = Vec::new();
+        let mut data_writes: Vec<(Ino, u64, Vec<u8>)> = Vec::new();
+        let mut wants_sync = false;
+        let mut results = Vec::with_capacity(ops.len());
+        for (i, op) in ops.into_iter().enumerate() {
+            let r = self
+                .apply_op(op, &mut entries, &mut data_writes, &mut wants_sync)
+                .map_err(|e| DpapiError::aborted_at(i, e))?;
+            results.push(r);
+        }
+        if batched && !entries.is_empty() {
+            let id = self.alloc_batch_id();
+            let mut group = Vec::with_capacity(entries.len() + 2);
+            group.push(LogEntry::TxnBegin { id });
+            group.append(&mut entries);
+            group.push(LogEntry::TxnEnd { id });
+            self.append_group(&group)?;
+        } else {
+            for e in &entries {
+                self.append_entry(e);
             }
-            return Ok(self.new_handle(Obj::App(pnode)));
         }
-        if let Some(ino) = self.ino_of_pnode.get(&pnode.number).copied() {
-            return Ok(self.new_handle(Obj::File(ino)));
+        if batched {
+            self.stats.batch_commits += 1;
+            self.stats.batched_ops += results.len() as u64;
         }
-        Err(DpapiError::UnknownPnode(pnode))
-    }
-
-    fn pass_sync(&mut self, h: Handle) -> dpapi::Result<()> {
-        let _ = self.resolve(h)?;
-        self.flush_log_buf();
-        self.lower
-            .fsync(self.log_file)
-            .map_err(|e| DpapiError::Io(e.to_string()))?;
-        Ok(())
+        if !data_writes.is_empty() {
+            self.flush_log_buf();
+        }
+        for (ino, offset, data) in data_writes {
+            self.clock.advance(self.model.copy_cost(data.len()));
+            self.lower
+                .write(ino, offset, &data)
+                .map_err(DpapiError::from)?;
+        }
+        if wants_sync {
+            self.flush_log_buf();
+            self.lower.fsync(self.log_file).map_err(DpapiError::from)?;
+        }
+        Ok(results)
     }
 
     fn pass_close(&mut self, h: Handle) -> dpapi::Result<()> {
@@ -833,6 +1043,112 @@ mod tests {
         // INO binding record + TYPE record.
         assert_eq!(s.records_logged, 2);
         assert!(s.provenance_bytes > 0);
+    }
+
+    fn raw_log(v: &mut Lasagna) -> Vec<u8> {
+        v.flush_log_buf();
+        let mut out = Vec::new();
+        let root = v.lower.root();
+        let dir = v.lower.lookup(root, PASS_DIR).unwrap();
+        let logs = v.lower.readdir(dir).unwrap();
+        for l in logs {
+            let size = v.lower.getattr(l.ino).unwrap().size as usize;
+            out.extend(v.lower.read(l.ino, 0, size).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn batch_commit_frames_one_group_with_txn_markers() {
+        let mut v = volume();
+        let root = v.root();
+        let ino = v.create(root, "f").unwrap();
+        let h = v.handle_for_ino(ino).unwrap();
+        let mut b = Bundle::new();
+        b.push(h, ProvenanceRecord::new(Attribute::Name, Value::str("f")));
+        let mut txn = dpapi::pass_begin();
+        txn.write(h, 0, b"payload".to_vec(), b).freeze(h).sync(h);
+        let results = v.pass_commit(txn).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_written().unwrap().written, 7);
+        assert_eq!(results[1].as_version(), Some(Version(1)));
+        let s = v.stats();
+        assert_eq!(s.batch_commits, 1);
+        assert_eq!(s.batched_ops, 3);
+        // On disk: exactly one group frame, whose members are wrapped
+        // in matching transaction markers from the batch id space.
+        let bytes = raw_log(&mut v);
+        assert_eq!(crate::log::group_count(&bytes), 1);
+        let (entries, tail) = parse_log(&bytes);
+        assert_eq!(tail, LogTail::Clean);
+        let begin = entries
+            .iter()
+            .position(|e| matches!(e, LogEntry::TxnBegin { id } if *id & super::BATCH_TXN_TAG != 0))
+            .expect("batch TxnBegin in log");
+        let end = entries
+            .iter()
+            .position(|e| matches!(e, LogEntry::TxnEnd { id } if *id & super::BATCH_TXN_TAG != 0))
+            .expect("batch TxnEnd in log");
+        assert!(begin < end, "markers bracket the batch");
+        // The data write's WAP digest is one of the bracketed members.
+        assert!(entries[begin..end]
+            .iter()
+            .any(|e| matches!(e, LogEntry::DataWrite { len: 7, .. })));
+        // And the data itself landed after the log entries.
+        assert_eq!(v.read(ino, 0, 7).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn aborted_batch_has_no_effect() {
+        let mut v = volume();
+        let root = v.root();
+        let ino = v.create(root, "f").unwrap();
+        let h = v.handle_for_ino(ino).unwrap();
+        v.pass_write(h, 0, b"before", Bundle::new()).unwrap();
+        let stats_before = v.stats();
+        let bytes_before = v.stats().provenance_bytes;
+        let version_before = v.identity_of_ino(ino).unwrap().version;
+        let bogus = Handle::from_raw(9999);
+        let mut txn = dpapi::pass_begin();
+        txn.write(h, 0, b"after".to_vec(), Bundle::new())
+            .freeze(bogus);
+        let err = v.pass_commit(txn).unwrap_err();
+        assert_eq!(err, DpapiError::aborted_at(1, DpapiError::InvalidHandle));
+        // Atomicity: nothing was logged, versioned or written.
+        assert_eq!(v.stats().provenance_bytes, bytes_before);
+        assert_eq!(v.stats().records_logged, stats_before.records_logged);
+        assert_eq!(v.identity_of_ino(ino).unwrap().version, version_before);
+        assert_eq!(v.read(ino, 0, 6).unwrap(), b"before");
+    }
+
+    #[test]
+    fn batch_with_malformed_record_aborts_before_logging() {
+        let mut v = volume();
+        let root = v.root();
+        let ino = v.create(root, "f").unwrap();
+        let h = v.handle_for_ino(ino).unwrap();
+        let bytes_before = v.stats().provenance_bytes;
+        let mut bad = Bundle::new();
+        bad.push(
+            h,
+            ProvenanceRecord::new(
+                Attribute::Other("N".repeat(u16::MAX as usize + 1)),
+                Value::Int(1),
+            ),
+        );
+        let mut txn = dpapi::pass_begin();
+        txn.freeze(h).write(h, 0, b"data".to_vec(), bad);
+        let err = v.pass_commit(txn).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                DpapiError::TxnAborted { failed_op: 1, cause } if matches!(**cause, DpapiError::Malformed(_))
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(v.stats().provenance_bytes, bytes_before);
+        // The freeze validated fine but must not have applied either.
+        assert_eq!(v.identity_of_ino(ino).unwrap().version, Version(0));
     }
 
     #[test]

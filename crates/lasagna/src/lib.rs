@@ -16,6 +16,8 @@ pub mod md5;
 pub mod recovery;
 
 pub use fs::{ino_attribute, Lasagna, LasagnaConfig, LasagnaStats, PASS_DIR};
-pub use log::{crc32, encode_entry, entry_size, parse_log, LogEntry, LogTail};
+pub use log::{
+    crc32, encode_entry, encode_group, entry_size, group_count, parse_log, LogEntry, LogTail,
+};
 pub use md5::{md5, Digest};
 pub use recovery::{recover, Inconsistency, InconsistencyReason, RecoveryReport};

@@ -26,6 +26,11 @@ const KIND_PROV: u8 = 1;
 const KIND_DATA: u8 = 2;
 const KIND_TXN_BEGIN: u8 = 3;
 const KIND_TXN_END: u8 = 4;
+/// A *group*: one disclosure transaction's entries framed as a single
+/// length-prefixed record run. The outer CRC closes over every member,
+/// so a torn or corrupt tail drops the whole group — the log-level
+/// face of the DPAPI v2 atomicity contract.
+const KIND_GROUP: u8 = 5;
 
 /// One entry of the provenance log.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,13 +92,38 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
+/// Writes one CRC-closed frame (`kind`, length, payload, CRC32).
+/// Errors — writing nothing — on a payload the `u32` length prefix
+/// cannot represent (the same silent-truncation class as the fixed
+/// `u16` attribute-name bug, one level up).
+fn put_frame(buf: &mut BytesMut, kind: u8, payload: &[u8]) -> Result<()> {
+    if payload.len() > u32::MAX as usize {
+        return Err(DpapiError::Malformed(format!(
+            "log frame payload of {} bytes exceeds the u32 prefix",
+            payload.len()
+        )));
+    }
+    buf.put_u8(kind);
+    buf.put_u32_le(payload.len() as u32);
+    let mut crc_input = Vec::with_capacity(1 + payload.len());
+    crc_input.push(kind);
+    crc_input.extend_from_slice(payload);
+    buf.put_slice(payload);
+    buf.put_u32_le(crc32(&crc_input));
+    Ok(())
+}
+
 /// Appends `entry` to `buf` in wire framing.
-pub fn encode_entry(buf: &mut BytesMut, entry: &LogEntry) {
+///
+/// On error (a record whose attribute name or payload cannot be
+/// represented — see [`wire::validate_record`]) `buf` is left
+/// untouched, so a failed encode can never emit a partial frame.
+pub fn encode_entry(buf: &mut BytesMut, entry: &LogEntry) -> Result<()> {
     let mut payload = BytesMut::new();
     let kind = match entry {
         LogEntry::Prov { subject, record } => {
             wire::put_object_ref(&mut payload, *subject);
-            wire::put_record(&mut payload, record);
+            wire::put_record(&mut payload, record)?;
             KIND_PROV
         }
         LogEntry::DataWrite {
@@ -117,20 +147,52 @@ pub fn encode_entry(buf: &mut BytesMut, entry: &LogEntry) {
             KIND_TXN_END
         }
     };
-    buf.put_u8(kind);
-    buf.put_u32_le(payload.len() as u32);
-    let mut crc_input = Vec::with_capacity(1 + payload.len());
-    crc_input.push(kind);
-    crc_input.extend_from_slice(&payload);
-    buf.put_slice(&payload);
-    buf.put_u32_le(crc32(&crc_input));
+    put_frame(buf, kind, &payload)
 }
 
-/// Serialized size of an entry (header + payload + CRC).
-pub fn entry_size(entry: &LogEntry) -> usize {
+/// Appends `entries` to `buf` as one *group frame*: a single
+/// length-prefixed record run whose outer CRC closes over every
+/// member. Parsing flattens the group back into its member entries;
+/// a torn or corrupt group is dropped wholesale, never partially —
+/// this is how Lasagna makes a disclosure transaction's provenance
+/// atomic on disk.
+///
+/// On error (an unrepresentable record) `buf` is left untouched.
+pub fn encode_group(buf: &mut BytesMut, entries: &[LogEntry]) -> Result<()> {
+    let mut payload = BytesMut::new();
+    payload.put_u32_le(entries.len() as u32);
+    for e in entries {
+        encode_entry(&mut payload, e)?;
+    }
+    put_frame(buf, KIND_GROUP, &payload)
+}
+
+/// Serialized size of an entry (header + payload + CRC). Errors on
+/// records the wire format cannot represent.
+pub fn entry_size(entry: &LogEntry) -> Result<usize> {
     let mut buf = BytesMut::new();
-    encode_entry(&mut buf, entry);
-    buf.len()
+    encode_entry(&mut buf, entry)?;
+    Ok(buf.len())
+}
+
+/// Number of group frames in a log image (tests and diagnostics; the
+/// parser itself flattens groups into their members).
+pub fn group_count(data: &[u8]) -> usize {
+    let mut n = 0usize;
+    let mut at = 0usize;
+    while data.len() - at >= 5 {
+        let kind = data[at];
+        let len =
+            u32::from_le_bytes([data[at + 1], data[at + 2], data[at + 3], data[at + 4]]) as usize;
+        if data.len() - at < 5 + len + 4 {
+            break;
+        }
+        if kind == KIND_GROUP {
+            n += 1;
+        }
+        at += 5 + len + 4;
+    }
+    n
 }
 
 /// How parsing of a log image ended.
@@ -152,7 +214,21 @@ pub enum LogTail {
 }
 
 /// Parses a log image into entries plus a tail condition.
+///
+/// Group frames ([`encode_group`]) are flattened into their member
+/// entries: consumers see the same `LogEntry` stream whether a
+/// transaction was logged grouped or entry-at-a-time. A group whose
+/// members do not parse exactly (bad inner frame, count mismatch) is
+/// reported as corrupt at the group's offset.
 pub fn parse_log(data: &[u8]) -> (Vec<LogEntry>, LogTail) {
+    parse_frames(data, false)
+}
+
+/// The frame walker behind [`parse_log`]. `inside_group` rejects
+/// group frames nested inside a group's payload: the encoder never
+/// produces them, and accepting them would let a crafted log drive
+/// unbounded parser recursion.
+fn parse_frames(data: &[u8], inside_group: bool) -> (Vec<LogEntry>, LogTail) {
     let mut entries = Vec::new();
     let mut at = 0usize;
     while at < data.len() {
@@ -179,8 +255,8 @@ pub fn parse_log(data: &[u8]) -> (Vec<LogEntry>, LogTail) {
         if crc32(&crc_input) != stored_crc {
             return (entries, LogTail::Corrupt { at });
         }
-        match decode_payload(kind, payload) {
-            Ok(e) => entries.push(e),
+        match decode_payload(kind, payload, inside_group, &mut entries) {
+            Ok(()) => {}
             Err(_) => return (entries, LogTail::Corrupt { at }),
         }
         at += 5 + len + 4;
@@ -188,13 +264,21 @@ pub fn parse_log(data: &[u8]) -> (Vec<LogEntry>, LogTail) {
     (entries, LogTail::Clean)
 }
 
-fn decode_payload(kind: u8, payload: &[u8]) -> Result<LogEntry> {
+/// Decodes one frame's payload, pushing its entry (or, for a group,
+/// every member entry) onto `out`. On error nothing is pushed and the
+/// caller reports corruption at the frame's offset.
+fn decode_payload(
+    kind: u8,
+    payload: &[u8],
+    inside_group: bool,
+    out: &mut Vec<LogEntry>,
+) -> Result<()> {
     let mut buf = Bytes::copy_from_slice(payload);
     match kind {
         KIND_PROV => {
             let subject = wire::get_object_ref(&mut buf)?;
             let record = wire::get_record(&mut buf)?;
-            Ok(LogEntry::Prov { subject, record })
+            out.push(LogEntry::Prov { subject, record });
         }
         KIND_DATA => {
             let subject = wire::get_object_ref(&mut buf)?;
@@ -205,31 +289,49 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<LogEntry> {
             let len = buf.get_u32_le();
             let mut digest = [0u8; 16];
             digest.copy_from_slice(&buf.split_to(16));
-            Ok(LogEntry::DataWrite {
+            out.push(LogEntry::DataWrite {
                 subject,
                 offset,
                 len,
                 digest,
-            })
+            });
         }
         KIND_TXN_BEGIN => {
             if buf.remaining() < 8 {
                 return Err(DpapiError::Malformed("short txn-begin".into()));
             }
-            Ok(LogEntry::TxnBegin {
+            out.push(LogEntry::TxnBegin {
                 id: buf.get_u64_le(),
-            })
+            });
         }
         KIND_TXN_END => {
             if buf.remaining() < 8 {
                 return Err(DpapiError::Malformed("short txn-end".into()));
             }
-            Ok(LogEntry::TxnEnd {
+            out.push(LogEntry::TxnEnd {
                 id: buf.get_u64_le(),
-            })
+            });
         }
-        other => Err(DpapiError::Malformed(format!("unknown log kind {other}"))),
+        KIND_GROUP => {
+            if inside_group {
+                return Err(DpapiError::Malformed("nested group frame".into()));
+            }
+            if buf.remaining() < 4 {
+                return Err(DpapiError::Malformed("short group header".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let (members, tail) = parse_frames(&buf, true);
+            if tail != LogTail::Clean || members.len() != n {
+                return Err(DpapiError::Malformed(format!(
+                    "group of {n} entries parsed to {} with tail {tail:?}",
+                    members.len()
+                )));
+            }
+            out.extend(members);
+        }
+        other => return Err(DpapiError::Malformed(format!("unknown log kind {other}"))),
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -267,11 +369,82 @@ mod tests {
         let entries = sample_entries();
         let mut buf = BytesMut::new();
         for e in &entries {
-            encode_entry(&mut buf, e);
+            encode_entry(&mut buf, e).unwrap();
         }
         let (parsed, tail) = parse_log(&buf);
         assert_eq!(tail, LogTail::Clean);
         assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn group_frame_flattens_to_member_entries() {
+        let entries = sample_entries();
+        let mut buf = BytesMut::new();
+        encode_group(&mut buf, &entries).unwrap();
+        assert_eq!(group_count(&buf), 1);
+        let (parsed, tail) = parse_log(&buf);
+        assert_eq!(tail, LogTail::Clean);
+        assert_eq!(parsed, entries, "a group parses to its members");
+        // Groups and plain entries interleave freely.
+        encode_entry(&mut buf, &LogEntry::TxnBegin { id: 99 }).unwrap();
+        encode_group(&mut buf, &entries[..2]).unwrap();
+        let (parsed, tail) = parse_log(&buf);
+        assert_eq!(tail, LogTail::Clean);
+        assert_eq!(parsed.len(), entries.len() + 1 + 2);
+        assert_eq!(group_count(&buf), 2);
+    }
+
+    #[test]
+    fn torn_group_is_dropped_wholesale() {
+        let entries = sample_entries();
+        let mut buf = BytesMut::new();
+        encode_entry(&mut buf, &entries[0]).unwrap();
+        let group_at = buf.len();
+        encode_group(&mut buf, &entries).unwrap();
+        // Cut inside the group: the lead entry survives, the whole
+        // group is gone — no partial transaction is ever surfaced.
+        let cut = group_at + 12;
+        let (parsed, tail) = parse_log(&buf[..cut]);
+        assert_eq!(parsed, vec![entries[0].clone()]);
+        assert_eq!(tail, LogTail::Truncated { at: group_at });
+        // Flip a byte inside the group: same wholesale drop, reported
+        // as corruption at the group's offset.
+        let mut bytes = buf.to_vec();
+        bytes[group_at + 9] ^= 0xFF;
+        let (parsed, tail) = parse_log(&bytes);
+        assert_eq!(parsed, vec![entries[0].clone()]);
+        assert_eq!(tail, LogTail::Corrupt { at: group_at });
+    }
+
+    #[test]
+    fn group_count_mismatch_is_corrupt() {
+        let entries = sample_entries();
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(7); // claims 7 members
+        for e in &entries {
+            encode_entry(&mut payload, e).unwrap();
+        }
+        let mut buf = BytesMut::new();
+        super::put_frame(&mut buf, 5, &payload).unwrap();
+        let (parsed, tail) = parse_log(&buf);
+        assert!(parsed.is_empty());
+        assert_eq!(tail, LogTail::Corrupt { at: 0 });
+    }
+
+    #[test]
+    fn nested_group_is_rejected_not_recursed() {
+        // The encoder never nests groups; a crafted log that does must
+        // be reported corrupt, not drive unbounded parser recursion.
+        let mut inner = BytesMut::new();
+        encode_group(&mut inner, &[LogEntry::TxnBegin { id: 1 }]).unwrap();
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(1);
+        payload.put_slice(&inner);
+        let mut buf = BytesMut::new();
+        super::put_frame(&mut buf, 5, &payload).unwrap();
+        let (parsed, tail) = parse_log(&buf);
+        assert!(parsed.is_empty());
+        assert_eq!(tail, LogTail::Corrupt { at: 0 });
     }
 
     #[test]
@@ -280,7 +453,7 @@ mod tests {
         let mut buf = BytesMut::new();
         let mut boundaries = vec![0usize];
         for e in &entries {
-            encode_entry(&mut buf, e);
+            encode_entry(&mut buf, e).unwrap();
             boundaries.push(buf.len());
         }
         // Cut in the middle of the fourth entry.
@@ -294,7 +467,7 @@ mod tests {
     fn corruption_is_detected_by_crc() {
         let mut buf = BytesMut::new();
         for e in sample_entries() {
-            encode_entry(&mut buf, &e);
+            encode_entry(&mut buf, &e).unwrap();
         }
         let mut bytes = buf.to_vec();
         // Flip one payload byte of the first entry (past the header).
@@ -321,8 +494,29 @@ mod tests {
     fn entry_size_matches_encoding() {
         for e in sample_entries() {
             let mut buf = BytesMut::new();
-            encode_entry(&mut buf, &e);
-            assert_eq!(buf.len(), entry_size(&e));
+            encode_entry(&mut buf, &e).unwrap();
+            assert_eq!(buf.len(), entry_size(&e).unwrap());
         }
+    }
+
+    #[test]
+    fn unrepresentable_record_leaves_buffer_untouched() {
+        let bad = LogEntry::Prov {
+            subject: subject(1),
+            record: ProvenanceRecord::new(
+                Attribute::Other("X".repeat(u16::MAX as usize + 1)),
+                Value::Int(0),
+            ),
+        };
+        let mut buf = BytesMut::new();
+        encode_entry(&mut buf, &LogEntry::TxnBegin { id: 1 }).unwrap();
+        let before = buf.len();
+        assert!(encode_entry(&mut buf, &bad).is_err());
+        assert_eq!(buf.len(), before, "failed encode must not emit bytes");
+        assert!(encode_group(&mut buf, &[bad]).is_err());
+        assert_eq!(buf.len(), before);
+        let (parsed, tail) = parse_log(&buf);
+        assert_eq!(tail, LogTail::Clean);
+        assert_eq!(parsed.len(), 1);
     }
 }

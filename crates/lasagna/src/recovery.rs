@@ -306,9 +306,9 @@ mod tests {
         let model = CostModel::default();
         let mut lower = BaseFs::new(clock, model);
         let mut img = BytesMut::new();
-        crate::log::encode_entry(&mut img, &LogEntry::TxnBegin { id: 42 });
-        crate::log::encode_entry(&mut img, &LogEntry::TxnBegin { id: 43 });
-        crate::log::encode_entry(&mut img, &LogEntry::TxnEnd { id: 43 });
+        crate::log::encode_entry(&mut img, &LogEntry::TxnBegin { id: 42 }).unwrap();
+        crate::log::encode_entry(&mut img, &LogEntry::TxnBegin { id: 43 }).unwrap();
+        crate::log::encode_entry(&mut img, &LogEntry::TxnEnd { id: 43 }).unwrap();
         let report = recover(&mut lower, &[img.to_vec()]);
         assert_eq!(report.orphaned_txns, vec![42]);
     }

@@ -3,7 +3,7 @@
 
 use bytes::BytesMut;
 use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
-use lasagna::{encode_entry, parse_log, LogEntry, LogTail};
+use lasagna::{encode_entry, encode_group, group_count, parse_log, LogEntry, LogTail};
 use proptest::prelude::*;
 
 fn arb_entry() -> impl Strategy<Value = LogEntry> {
@@ -39,7 +39,7 @@ proptest! {
     fn log_roundtrip(entries in proptest::collection::vec(arb_entry(), 0..64)) {
         let mut buf = BytesMut::new();
         for e in &entries {
-            encode_entry(&mut buf, e);
+            encode_entry(&mut buf, e).unwrap();
         }
         let (parsed, tail) = parse_log(&buf);
         prop_assert_eq!(tail, LogTail::Clean);
@@ -55,7 +55,7 @@ proptest! {
     ) {
         let mut buf = BytesMut::new();
         for e in &entries {
-            encode_entry(&mut buf, e);
+            encode_entry(&mut buf, e).unwrap();
         }
         let cut = ((buf.len() as f64) * frac) as usize;
         let (parsed, tail) = parse_log(&buf[..cut]);
@@ -82,7 +82,7 @@ proptest! {
         let mut buf = BytesMut::new();
         let mut boundaries = vec![0usize];
         for e in &entries {
-            encode_entry(&mut buf, e);
+            encode_entry(&mut buf, e).unwrap();
             boundaries.push(buf.len());
         }
         let mut bytes = buf.to_vec();
@@ -93,5 +93,57 @@ proptest! {
         let victim = boundaries.iter().filter(|b| **b <= pos).count() - 1;
         let intact = victim.min(parsed.len());
         prop_assert_eq!(&parsed[..intact], &entries[..intact]);
+    }
+
+    /// A group frame always flattens back to exactly its member
+    /// entries, wherever it sits among plain entries — the consumer
+    /// sees one stream regardless of framing.
+    #[test]
+    fn group_roundtrip_flattens_to_members(
+        lead in proptest::collection::vec(arb_entry(), 0..8),
+        members in proptest::collection::vec(arb_entry(), 0..24),
+        tailing in proptest::collection::vec(arb_entry(), 0..8),
+    ) {
+        let mut buf = BytesMut::new();
+        for e in &lead {
+            encode_entry(&mut buf, e).unwrap();
+        }
+        encode_group(&mut buf, &members).unwrap();
+        for e in &tailing {
+            encode_entry(&mut buf, e).unwrap();
+        }
+        prop_assert_eq!(group_count(&buf), 1);
+        let (parsed, tail) = parse_log(&buf);
+        prop_assert_eq!(tail, LogTail::Clean);
+        let mut expect = lead.clone();
+        expect.extend(members.clone());
+        expect.extend(tailing.clone());
+        prop_assert_eq!(parsed, expect);
+    }
+
+    /// A flipped byte anywhere inside a group frame drops the whole
+    /// group (never a partial transaction) while entries before it
+    /// parse unchanged.
+    #[test]
+    fn group_corruption_drops_the_whole_group(
+        lead in proptest::collection::vec(arb_entry(), 0..6),
+        members in proptest::collection::vec(arb_entry(), 1..16),
+        flip_at in any::<prop::sample::Index>(),
+    ) {
+        let mut buf = BytesMut::new();
+        for e in &lead {
+            encode_entry(&mut buf, e).unwrap();
+        }
+        let group_at = buf.len();
+        encode_group(&mut buf, &members).unwrap();
+        let mut bytes = buf.to_vec();
+        let pos = group_at + flip_at.index(bytes.len() - group_at);
+        bytes[pos] ^= 0x01;
+        let (parsed, tail) = parse_log(&bytes);
+        // Never more than the lead entries; never a strict subset of
+        // the group's members surfacing as a partial transaction.
+        prop_assert!(parsed.len() <= lead.len());
+        prop_assert_eq!(&parsed[..], &lead[..parsed.len()]);
+        prop_assert!(!matches!(tail, LogTail::Clean));
     }
 }

@@ -161,9 +161,12 @@ impl Session {
         }
     }
 
-    /// Downloads `url` to `dest`, replacing the plain `write` with a
-    /// `pass_write` that carries the three download records along
-    /// with the data.
+    /// Downloads `url` to `dest` as **one disclosure transaction**:
+    /// the session's redirect-chain visits, the data write and the
+    /// three download records (`INPUT`, `FILE_URL`, `CURRENT_URL`)
+    /// commit atomically — all of it reaches the provenance log, or
+    /// none of it does — and cost one `pass_commit` syscall instead of
+    /// two `pass_write`s.
     pub fn download(
         &mut self,
         kernel: &mut Kernel,
@@ -180,24 +183,22 @@ impl Session {
         else {
             return Err(BrowserError::NotFound(url.into()));
         };
-        // The redirect chain is part of the session history too.
-        {
-            let mut bundle = Bundle::new();
-            for u in &chain {
-                bundle.push(
-                    self.handle,
-                    ProvenanceRecord::new(Attribute::VisitedUrl, Value::str(u)),
-                );
-                self.history.push(u.clone());
-            }
-            kernel
-                .pass_write(self.pid, self.handle, 0, &[], bundle)
-                .map_err(sys)?;
-        }
         let fd = kernel
             .open(self.pid, dest, OpenFlags::WRONLY_CREATE)
             .map_err(sys)?;
         let file_h = kernel.pass_handle_for_fd(self.pid, fd).map_err(sys)?;
+        let mut txn = dpapi::pass_begin();
+        // The redirect chain is part of the session history too.
+        let mut visits = Bundle::new();
+        for u in &chain {
+            visits.push(
+                self.handle,
+                ProvenanceRecord::new(Attribute::VisitedUrl, Value::str(u)),
+            );
+        }
+        if !visits.is_empty() {
+            txn.disclose(self.handle, visits);
+        }
         let mut bundle = Bundle::new();
         // INPUT: dependency between the file and the session.
         bundle.push(file_h, ProvenanceRecord::input(self.identity));
@@ -214,10 +215,17 @@ impl Session {
                 ProvenanceRecord::new(Attribute::CurrentUrl, Value::str(cur)),
             );
         }
-        let w = kernel
-            .pass_write(self.pid, file_h, 0, &content, bundle)
-            .map_err(sys)?;
+        txn.write(file_h, 0, content, bundle);
+        let results = kernel.pass_commit(self.pid, txn).map_err(sys)?;
+        // Only record history once the commit has succeeded, so the
+        // in-memory session mirrors the disclosed provenance.
+        self.history.extend(chain);
         kernel.close(self.pid, fd).map_err(sys)?;
+        let w = results
+            .last()
+            .and_then(dpapi::OpResult::as_written)
+            .copied()
+            .ok_or_else(|| BrowserError::Sys("mismatched commit results".into()))?;
         Ok(w.identity)
     }
 

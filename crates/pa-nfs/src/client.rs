@@ -30,7 +30,9 @@ use sim_os::fs::{
     DirEntry, DpapiVolume, FileAttr, FileSystem, FileType, FsError, FsResult, FsUsage, Ino,
 };
 
-use crate::proto::{chunk_records, Request, Response, WireObj, WireRecord, WIRE_BLOCK};
+use crate::proto::{
+    chunk_records, Request, Response, WireObj, WireOp, WireOpResult, WireRecord, WIRE_BLOCK,
+};
 use crate::server::NfsServer;
 
 /// Counters for one client.
@@ -44,6 +46,10 @@ pub struct ClientStats {
     pub bytes_received: u64,
     /// Provenance transactions started.
     pub txns: u64,
+    /// `OP_PASSCOMMIT` batches shipped (one RPC each).
+    pub batch_rpcs: u64,
+    /// Operations carried by those batches.
+    pub batched_ops: u64,
 }
 
 /// The client file system.
@@ -171,6 +177,127 @@ impl NfsClient {
 }
 
 impl Dpapi for NfsClient {
+    /// Ships a whole disclosure transaction as **one** COMPOUND
+    /// request (`OP_PASSCOMMIT`), amortizing the 96-byte RPC header
+    /// across the batch, and maps the per-op reply back onto client
+    /// handles and version caches. A server abort surfaces as
+    /// [`DpapiError::TxnAborted`] with the failing op's index.
+    fn pass_commit(&mut self, txn: dpapi::Txn) -> dpapi::Result<Vec<dpapi::OpResult>> {
+        use dpapi::{DpapiOp, OpResult};
+        let ops = txn.into_ops();
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Client-side op shape, for post-commit cache updates.
+        enum Shape {
+            WroteFile(Ino),
+            Froze(WireObj),
+            Revive(Version),
+            Other,
+        }
+        let mut wire_ops = Vec::with_capacity(ops.len());
+        let mut shapes = Vec::with_capacity(ops.len());
+        for (i, op) in ops.into_iter().enumerate() {
+            let aborted = |e| DpapiError::aborted_at(i, e);
+            match op {
+                DpapiOp::Write {
+                    handle,
+                    offset,
+                    data,
+                    bundle,
+                } => {
+                    let obj = self.resolve(handle).map_err(aborted)?;
+                    let records = self.bundle_to_wire(&bundle).map_err(aborted)?;
+                    shapes.push(match obj {
+                        WireObj::File(ino) => Shape::WroteFile(ino),
+                        WireObj::App(_) => Shape::Other,
+                    });
+                    wire_ops.push(WireOp::Write {
+                        obj,
+                        offset,
+                        data,
+                        records,
+                    });
+                }
+                DpapiOp::Mkobj { .. } => {
+                    shapes.push(Shape::Other);
+                    wire_ops.push(WireOp::Mkobj);
+                }
+                DpapiOp::Freeze { handle } => {
+                    let obj = self.resolve(handle).map_err(aborted)?;
+                    shapes.push(Shape::Froze(obj));
+                    wire_ops.push(WireOp::Freeze { obj });
+                }
+                DpapiOp::Revive { pnode, version } => {
+                    shapes.push(Shape::Revive(version));
+                    wire_ops.push(WireOp::Revive { pnode, version });
+                }
+                DpapiOp::Sync { handle } => {
+                    let obj = self.resolve(handle).map_err(aborted)?;
+                    shapes.push(Shape::Other);
+                    wire_ops.push(WireOp::Sync { obj });
+                }
+            }
+        }
+        self.stats.batch_rpcs += 1;
+        self.stats.batched_ops += wire_ops.len() as u64;
+        let resp = self.rpc(Request::PassCommit { ops: wire_ops });
+        let results = match resp {
+            Response::Committed(rs) => rs,
+            Response::TxnAborted { failed_op, msg, .. } => {
+                return Err(DpapiError::aborted_at(
+                    failed_op as usize,
+                    DpapiError::Io(format!("nfs: {msg}")),
+                ));
+            }
+            Response::Error { msg, .. } => return Err(DpapiError::Io(format!("nfs: {msg}"))),
+            _ => return Err(DpapiError::Io("bad PASSCOMMIT reply".into())),
+        };
+        if results.len() != shapes.len() {
+            return Err(DpapiError::Io("short PASSCOMMIT reply".into()));
+        }
+        let mut out = Vec::with_capacity(results.len());
+        for (r, shape) in results.into_iter().zip(shapes) {
+            let mapped = match (r, shape) {
+                (WireOpResult::Written { n, pnode, version }, shape) => {
+                    if let Shape::WroteFile(ino) = shape {
+                        self.versions.insert(ino.0, version);
+                        self.pnode_of_ino.insert(ino.0, pnode);
+                    }
+                    OpResult::Written(WriteResult {
+                        written: n,
+                        identity: ObjectRef::new(pnode, version),
+                    })
+                }
+                (WireOpResult::Made(p), _) => {
+                    self.app_versions.insert(p, Version(0));
+                    OpResult::Made(self.new_handle(WireObj::App(p)))
+                }
+                (WireOpResult::Frozen(v), Shape::Froze(obj)) => {
+                    // The server's version is authoritative for the
+                    // batch, but a local freeze may already be ahead.
+                    let slot = match obj {
+                        WireObj::File(ino) => self.versions.entry(ino.0).or_insert(Version(0)),
+                        WireObj::App(p) => self.app_versions.entry(p).or_insert(Version(0)),
+                    };
+                    *slot = (*slot).max(v);
+                    OpResult::Frozen(*slot)
+                }
+                (WireOpResult::Frozen(v), _) => OpResult::Frozen(v),
+                (WireOpResult::Revived(p), Shape::Revive(version)) => {
+                    self.app_versions.entry(p).or_insert(version);
+                    OpResult::Revived(self.new_handle(WireObj::App(p)))
+                }
+                (WireOpResult::Revived(p), _) => {
+                    OpResult::Revived(self.new_handle(WireObj::App(p)))
+                }
+                (WireOpResult::Synced, _) => OpResult::Synced,
+            };
+            out.push(mapped);
+        }
+        Ok(out)
+    }
+
     fn pass_read(&mut self, h: Handle, offset: u64, len: usize) -> dpapi::Result<ReadResult> {
         match self.resolve(h)? {
             WireObj::File(ino) => {

@@ -13,7 +13,9 @@ pub mod proto;
 pub mod server;
 
 pub use client::{ClientStats, NfsClient};
-pub use proto::{chunk_records, Request, Response, WireObj, WireRecord, WIRE_BLOCK};
+pub use proto::{
+    chunk_records, Request, Response, WireObj, WireOp, WireOpResult, WireRecord, WIRE_BLOCK,
+};
 pub use server::{NfsServer, ServerStats};
 
 use std::cell::RefCell;

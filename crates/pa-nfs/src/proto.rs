@@ -7,6 +7,16 @@
 //! rather than as an operation, because operations may be reordered
 //! in flight while freeze is order-sensitive with respect to writes.
 //!
+//! DPAPI v2 adds `OP_PASSCOMMIT` ([`Request::PassCommit`]): a whole
+//! disclosure transaction shipped as **one** COMPOUND request, with
+//! per-op results ([`WireOpResult`]) or a per-op indexed abort
+//! ([`Response::TxnAborted`]) in the reply. The 96-byte RPC/COMPOUND
+//! header is paid once for the batch instead of once per op — the
+//! wire-level face of the batch API. Within a COMPOUND the server
+//! executes ops strictly in order, so a batched freeze *operation* is
+//! safe (the record-not-operation rule exists for independently
+//! shipped requests, which may be reordered in flight).
+//!
 //! Messages are modelled as enums with a `wire_size` accounting
 //! method; the simulation charges network time per message rather
 //! than serializing actual XDR.
@@ -168,6 +178,87 @@ pub enum Request {
         /// The version to revive at.
         version: Version,
     },
+    /// `OP_PASSCOMMIT`: a whole disclosure transaction as one
+    /// COMPOUND — ops execute server-side in order, atomically.
+    PassCommit {
+        /// The transaction's operations.
+        ops: Vec<WireOp>,
+    },
+}
+
+/// One operation of an `OP_PASSCOMMIT` COMPOUND, mirroring
+/// [`dpapi::DpapiOp`] with wire-level object addressing.
+#[derive(Clone, Debug)]
+pub enum WireOp {
+    /// Data plus provenance records, moved together.
+    Write {
+        /// The object written.
+        obj: WireObj,
+        /// Byte offset.
+        offset: u64,
+        /// The data (empty for provenance-only disclosure).
+        data: Vec<u8>,
+        /// Records riding the write.
+        records: Vec<WireRecord>,
+    },
+    /// Allocate a pnode for an application object.
+    Mkobj,
+    /// Open a new version of the object.
+    Freeze {
+        /// The object frozen.
+        obj: WireObj,
+    },
+    /// Validate a pnode and reopen it.
+    Revive {
+        /// The pnode.
+        pnode: Pnode,
+        /// The version to revive at.
+        version: Version,
+    },
+    /// Force the object's provenance durable (server COMMIT).
+    Sync {
+        /// The object synced.
+        obj: WireObj,
+    },
+}
+
+impl WireOp {
+    /// Approximate bytes this op occupies inside the COMPOUND (no RPC
+    /// header — that is paid once for the whole batch).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireOp::Write { data, records, .. } => {
+                40 + data.len() + records.iter().map(WireRecord::wire_size).sum::<usize>()
+            }
+            WireOp::Mkobj => 8,
+            WireOp::Freeze { .. } => 24,
+            WireOp::Revive { .. } => 32,
+            WireOp::Sync { .. } => 24,
+        }
+    }
+}
+
+/// Per-op result inside a [`Response::Committed`] reply, index-aligned
+/// with the request's ops.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireOpResult {
+    /// Write confirmation with resulting identity.
+    Written {
+        /// Bytes accepted.
+        n: usize,
+        /// Pnode of the object.
+        pnode: Pnode,
+        /// Version after the write.
+        version: Version,
+    },
+    /// Pnode allocated by a `Mkobj`.
+    Made(Pnode),
+    /// New version opened by a `Freeze`.
+    Frozen(Version),
+    /// Pnode validated by a `Revive`.
+    Revived(Pnode),
+    /// A `Sync` completed.
+    Synced,
 }
 
 impl Request {
@@ -192,6 +283,10 @@ impl Request {
                 HDR + 16 + records.iter().map(WireRecord::wire_size).sum::<usize>()
             }
             Request::PassReviveObj { .. } => HDR + 24,
+            Request::PassCommit { ops } => {
+                // One header amortized over the whole batch.
+                HDR + 8 + ops.iter().map(WireOp::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -236,6 +331,19 @@ pub enum Response {
     Txn(u64),
     /// A pnode (mkobj / reviveobj).
     PnodeReply(Pnode),
+    /// Per-op results of an `OP_PASSCOMMIT`, index-aligned with the
+    /// request's ops.
+    Committed(Vec<WireOpResult>),
+    /// An `OP_PASSCOMMIT` was aborted: the op at `failed_op` failed
+    /// and nothing was applied.
+    TxnAborted {
+        /// Index of the failing op in the request's vector.
+        failed_op: u32,
+        /// Failure class, so the client rebuilds a faithful error.
+        kind: ErrKind,
+        /// Human-readable detail.
+        msg: String,
+    },
     /// The server failed the request.
     Error {
         /// What class of failure, so clients can reconstruct a
@@ -276,6 +384,8 @@ impl Response {
             Response::Written { .. } => HDR + 16,
             Response::Attr { .. } => HDR + 16,
             Response::Entries(es) => HDR + es.iter().map(|(n, _, _)| n.len() + 16).sum::<usize>(),
+            Response::Committed(rs) => HDR + 8 + rs.len() * 24,
+            Response::TxnAborted { msg, .. } => HDR + 8 + msg.len(),
             Response::Error { msg, .. } => HDR + msg.len(),
         }
     }

@@ -9,12 +9,14 @@
 
 use std::collections::HashMap;
 
-use dpapi::{Attribute, Bundle, Pnode, ProvenanceRecord, Value, Version};
+use dpapi::{
+    Attribute, Bundle, DpapiError, OpResult, Pnode, ProvenanceRecord, Txn, Value, Version,
+};
 use lasagna::PASS_DIR;
 use passv2::analyzer::{CycleAvoidance, NodeId};
 use sim_os::fs::{FileSystem, FsError, Ino};
 
-use crate::proto::{Request, Response, WireObj, WireRecord};
+use crate::proto::{ErrKind, Request, Response, WireObj, WireOp, WireOpResult, WireRecord};
 
 /// Counters for one server.
 #[derive(Clone, Copy, Debug, Default)]
@@ -27,6 +29,10 @@ pub struct ServerStats {
     pub records_accepted: u64,
     /// Records dropped as duplicates by the server analyzer.
     pub records_deduped: u64,
+    /// `OP_PASSCOMMIT` batches handled.
+    pub batch_requests: u64,
+    /// Operations carried by those batches.
+    pub batched_ops: u64,
 }
 
 /// The server.
@@ -340,7 +346,181 @@ impl NfsServer {
                 let _h = d.pass_reviveobj(pnode, version)?;
                 Ok(Response::PnodeReply(pnode))
             }
+            Request::PassCommit { ops } => Ok(self.handle_pass_commit(ops)),
         }
+    }
+
+    fn abort_at(i: usize, e: DpapiError) -> Response {
+        Response::TxnAborted {
+            failed_op: i as u32,
+            kind: ErrKind::Provenance,
+            msg: e.to_string(),
+        }
+    }
+
+    /// `OP_PASSCOMMIT`: translates the batch into one volume-level
+    /// disclosure transaction (running every record through the server
+    /// analyzer, as the single-shot paths do) and commits it with a
+    /// single `pass_commit` — one contiguous log group on the export.
+    /// Any failure aborts the whole batch with the failing op's index.
+    fn handle_pass_commit(&mut self, ops: Vec<WireOp>) -> Response {
+        self.stats.batch_requests += 1;
+        self.stats.batched_ops += ops.len() as u64;
+        // Pre-validate every record up front so the analyzer
+        // bookkeeping below cannot be spent on a batch that a later
+        // op's malformed record would abort anyway.
+        for (i, op) in ops.iter().enumerate() {
+            if let WireOp::Write { records, .. } = op {
+                for r in records {
+                    if let Err(e) = dpapi::wire::validate_record(&r.record) {
+                        return Self::abort_at(i, e);
+                    }
+                }
+            }
+        }
+        if self.fs.as_dpapi().is_none() {
+            return Self::abort_at(0, DpapiError::NotPassVolume);
+        }
+        // Resolve every addressed object — each op's own target *and*
+        // the subject of every record a Write carries — and dry-run
+        // every revive *before* any analyzer bookkeeping: apply_records
+        // marks ancestry edges as seen, so an abort after it would make
+        // a retried batch's records look like duplicates and silently
+        // drop them. After this pass the translation and the volume
+        // commit below cannot fail.
+        for (i, op) in ops.iter().enumerate() {
+            let resolve_obj = |server: &mut Self, obj: &WireObj| match obj {
+                WireObj::File(_) => Ok(()),
+                WireObj::App(p) => {
+                    let d = server.fs.as_dpapi().expect("checked above");
+                    d.pass_reviveobj(*p, Version(0)).map(|_| ())
+                }
+            };
+            let check = match op {
+                WireOp::Write { obj, records, .. } => resolve_obj(self, obj).and_then(|()| {
+                    records
+                        .iter()
+                        .try_for_each(|wr| resolve_obj(self, &wr.subject))
+                }),
+                WireOp::Freeze { obj } | WireOp::Sync { obj } => resolve_obj(self, obj),
+                WireOp::Revive { pnode, version } => {
+                    let d = self.fs.as_dpapi().expect("checked above");
+                    d.pass_reviveobj(*pnode, *version).map(|_| ())
+                }
+                WireOp::Mkobj => Ok(()),
+            };
+            if let Err(e) = check {
+                return Self::abort_at(i, e);
+            }
+        }
+        // Translate into a volume transaction, remembering per-op
+        // shape details the wire result needs but the volume result
+        // does not carry (the revived pnode, the frozen object).
+        enum Shape {
+            Plain,
+            Revive(Pnode),
+            Freeze(WireObj),
+        }
+        let mut vtxn = Txn::new();
+        let mut shapes: Vec<Shape> = Vec::with_capacity(ops.len());
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                WireOp::Write {
+                    obj,
+                    offset,
+                    data,
+                    records,
+                } => {
+                    let bundle = match self.apply_records(records) {
+                        Ok(b) => b,
+                        Err(e) => return Self::abort_at(i, e.into()),
+                    };
+                    let d = self.fs.as_dpapi().expect("checked above");
+                    let h = match obj {
+                        WireObj::File(ino) => d.handle_for_ino(ino),
+                        WireObj::App(p) => d.pass_reviveobj(p, Version(0)),
+                    };
+                    match h {
+                        Ok(h) => vtxn.write(h, offset, data, bundle),
+                        Err(e) => return Self::abort_at(i, e),
+                    };
+                    shapes.push(Shape::Plain);
+                }
+                WireOp::Mkobj => {
+                    vtxn.mkobj(None);
+                    shapes.push(Shape::Plain);
+                }
+                WireOp::Freeze { obj } => {
+                    let d = self.fs.as_dpapi().expect("checked above");
+                    let h = match obj {
+                        WireObj::File(ino) => d.handle_for_ino(ino),
+                        WireObj::App(p) => d.pass_reviveobj(p, Version(0)),
+                    };
+                    match h {
+                        Ok(h) => vtxn.freeze(h),
+                        Err(e) => return Self::abort_at(i, e),
+                    };
+                    shapes.push(Shape::Freeze(obj));
+                }
+                WireOp::Revive { pnode, version } => {
+                    vtxn.revive(pnode, version);
+                    shapes.push(Shape::Revive(pnode));
+                }
+                WireOp::Sync { obj } => {
+                    let d = self.fs.as_dpapi().expect("checked above");
+                    let h = match obj {
+                        WireObj::File(ino) => d.handle_for_ino(ino),
+                        WireObj::App(p) => d.pass_reviveobj(p, Version(0)),
+                    };
+                    match h {
+                        Ok(h) => vtxn.sync(h),
+                        Err(e) => return Self::abort_at(i, e),
+                    };
+                    shapes.push(Shape::Plain);
+                }
+            }
+        }
+        let d = self.fs.as_dpapi().expect("checked above");
+        let results = match d.pass_commit(vtxn) {
+            Ok(rs) => rs,
+            Err(DpapiError::TxnAborted { failed_op, cause }) => {
+                return Self::abort_at(failed_op, *cause);
+            }
+            Err(e) => return Self::abort_at(0, e),
+        };
+        let mut out = Vec::with_capacity(results.len());
+        for (r, shape) in results.into_iter().zip(shapes) {
+            let wire = match (r, shape) {
+                (OpResult::Written(w), _) => WireOpResult::Written {
+                    n: w.written,
+                    pnode: w.identity.pnode,
+                    version: w.identity.version,
+                },
+                (OpResult::Made(h), _) => {
+                    let d = self.fs.as_dpapi().expect("checked above");
+                    match d.pass_read(h, 0, 0) {
+                        Ok(r) => WireOpResult::Made(r.identity.pnode),
+                        Err(e) => return Self::abort_at(0, e),
+                    }
+                }
+                (OpResult::Frozen(v), shape) => {
+                    // Mirror the new version in the server analyzer,
+                    // as freeze *records* do on the single-shot path.
+                    if let Shape::Freeze(obj) = shape {
+                        let node = self.node_for(obj);
+                        self.analyzer.set_version(node, v.0);
+                    }
+                    WireOpResult::Frozen(v)
+                }
+                (OpResult::Revived(_), Shape::Revive(p)) => WireOpResult::Revived(p),
+                (OpResult::Revived(_), _) => {
+                    return Self::abort_at(0, DpapiError::Inconsistent("revive shape".into()));
+                }
+                (OpResult::Synced, _) => WireOpResult::Synced,
+            };
+            out.push(wire);
+        }
+        Response::Committed(out)
     }
 }
 

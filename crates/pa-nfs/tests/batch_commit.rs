@@ -1,0 +1,162 @@
+//! End-to-end tests for `OP_PASSCOMMIT`: a disclosure transaction
+//! crosses the PA-NFS wire as one COMPOUND, matches the single-shot
+//! path record for record, and aborts atomically with the failing
+//! op's index.
+
+use dpapi::{
+    Attribute, Bundle, Dpapi, DpapiError, Pnode, ProvenanceRecord, Value, Version, VolumeId,
+};
+use lasagna::LogEntry;
+use sim_os::clock::Clock;
+use sim_os::cost::CostModel;
+use sim_os::fs::{DpapiVolume, FileSystem};
+
+type ServerRc = std::rc::Rc<std::cell::RefCell<pa_nfs::NfsServer>>;
+
+fn setup(volume: u32) -> (pa_nfs::NfsClient, sim_os::fs::Ino, ServerRc) {
+    let clock = Clock::new();
+    let model = CostModel::default();
+    let server = pa_nfs::pa_server(clock.clone(), model, VolumeId(volume));
+    let mut client = pa_nfs::client(&server, clock, model);
+    let root = client.root();
+    let ino = client.create(root, "target").unwrap();
+    (client, ino, server)
+}
+
+fn record(i: usize) -> ProvenanceRecord {
+    ProvenanceRecord::new(
+        Attribute::Other(format!("ATTR{i}")),
+        Value::str(format!("payload number {i}")),
+    )
+}
+
+/// Drains `server` and returns the parsed entries.
+fn drain(server: &ServerRc) -> Vec<LogEntry> {
+    let logs = server.borrow_mut().drain_provenance_logs();
+    let all: Vec<u8> = logs.concat();
+    let (entries, tail) = lasagna::parse_log(&all);
+    assert_eq!(tail, lasagna::LogTail::Clean);
+    entries
+}
+
+#[test]
+fn batched_commit_is_one_rpc_and_matches_singles() {
+    const N: usize = 32;
+
+    // Single-shot: one OP_PASSWRITE RPC per record.
+    let (mut single, ino_s, single_srv) = setup(7);
+    let h = single.handle_for_ino(ino_s).unwrap();
+    let base = single.stats();
+    for i in 0..N {
+        let b = Bundle::single(h, record(i));
+        single.pass_write(h, 0, &[], b).unwrap();
+    }
+    let s = single.stats();
+    let single_rpcs = s.rpcs - base.rpcs;
+    let single_bytes = (s.bytes_sent + s.bytes_received) - (base.bytes_sent + base.bytes_received);
+
+    // Batched: the same N disclosures in one transaction.
+    let (mut batched, ino_b, batched_srv) = setup(7);
+    let h = batched.handle_for_ino(ino_b).unwrap();
+    let base = batched.stats();
+    let mut txn = dpapi::pass_begin();
+    for i in 0..N {
+        txn.disclose(h, Bundle::single(h, record(i)));
+    }
+    let results = batched.pass_commit(txn).unwrap();
+    assert_eq!(results.len(), N);
+    let b = batched.stats();
+    let batch_rpcs = b.rpcs - base.rpcs;
+    let batch_bytes = (b.bytes_sent + b.bytes_received) - (base.bytes_sent + base.bytes_received);
+    assert_eq!(b.batch_rpcs, 1);
+    assert_eq!(b.batched_ops, N as u64);
+
+    assert_eq!(single_rpcs, N as u64);
+    assert_eq!(batch_rpcs, 1, "a transaction is one COMPOUND");
+    assert!(
+        single_bytes as f64 >= 1.5 * batch_bytes as f64,
+        "batched disclosure must save >=1.5x wire bytes at N={N}: \
+         single={single_bytes}, batched={batch_bytes}"
+    );
+
+    // Both paths leave the same provenance records on the export
+    // (the batch adds its transaction markers around them).
+    let recs = |entries: &[LogEntry]| -> Vec<ProvenanceRecord> {
+        entries
+            .iter()
+            .filter_map(|e| match e {
+                LogEntry::Prov { record, .. }
+                    if matches!(record.attribute, Attribute::Other(_)) =>
+                {
+                    Some(record.clone())
+                }
+                _ => None,
+            })
+            .collect()
+    };
+    let from_singles = recs(&drain(&single_srv));
+    let batched_entries = drain(&batched_srv);
+    let from_batch = recs(&batched_entries);
+    assert_eq!(from_singles, from_batch);
+    assert!(
+        batched_entries
+            .iter()
+            .any(|e| matches!(e, LogEntry::TxnBegin { .. })),
+        "the batch must be bracketed by transaction markers"
+    );
+}
+
+#[test]
+fn server_abort_names_failing_op_and_applies_nothing() {
+    let (mut client, ino, server) = setup(9);
+    let h = client.handle_for_ino(ino).unwrap();
+    let mut txn = dpapi::pass_begin();
+    txn.write(h, 0, b"must not land".to_vec(), Bundle::new())
+        .revive(Pnode::new(VolumeId(9), 424_242), Version(0));
+    let err = client.pass_commit(txn).unwrap_err();
+    match err {
+        DpapiError::TxnAborted { failed_op, .. } => assert_eq!(failed_op, 1),
+        other => panic!("expected TxnAborted, got {other:?}"),
+    }
+    // Atomicity: the valid write before the failing op never landed.
+    assert!(client.read(ino, 0, 64).unwrap().is_empty());
+    let entries = drain(&server);
+    assert!(
+        !entries
+            .iter()
+            .any(|e| matches!(e, LogEntry::DataWrite { .. })),
+        "no data write may reach the log from an aborted batch"
+    );
+}
+
+#[test]
+fn client_abort_on_unresolvable_handle_sends_nothing() {
+    let (mut client, _ino, _server) = setup(3);
+    let bogus = dpapi::Handle::from_raw(555);
+    let before = client.stats();
+    let mut txn = dpapi::pass_begin();
+    txn.mkobj(None).freeze(bogus);
+    let err = client.pass_commit(txn).unwrap_err();
+    assert_eq!(err, DpapiError::aborted_at(1, DpapiError::InvalidHandle));
+    let after = client.stats();
+    assert_eq!(before.rpcs, after.rpcs, "nothing crossed the wire");
+}
+
+#[test]
+fn batched_mkobj_and_revive_roundtrip() {
+    let (mut client, ino, _server) = setup(4);
+    let file_h = client.handle_for_ino(ino).unwrap();
+    let mut txn = dpapi::pass_begin();
+    txn.mkobj(None).freeze(file_h).sync(file_h);
+    let results = client.pass_commit(txn).unwrap();
+    let session = results[0].as_handle().expect("mkobj handle");
+    assert_eq!(results[1].as_version(), Some(Version(1)));
+    // The new object is usable immediately after the commit.
+    let id = client.pass_read(session, 0, 0).unwrap().identity;
+    let mut txn = dpapi::pass_begin();
+    txn.revive(id.pnode, id.version);
+    let results = client.pass_commit(txn).unwrap();
+    let revived = results[0].as_handle().expect("revive handle");
+    let id2 = client.pass_read(revived, 0, 0).unwrap().identity;
+    assert_eq!(id.pnode, id2.pnode);
+}

@@ -429,9 +429,13 @@ impl Interp {
                 inputs.push(origin);
             }
         }
-        kernel.pass_write(self.pid, h, 0, &[], bundle).ok()?;
+        // One disclosure transaction for the invocation: its records
+        // and the durability sync commit atomically (and cost one
+        // syscall instead of two).
+        let mut txn = dpapi::pass_begin();
+        txn.disclose(h, bundle).sync(h);
+        kernel.pass_commit(self.pid, txn).ok()?;
         let identity = kernel.pass_read(self.pid, h, 0, 0).ok()?.identity;
-        let _ = kernel.pass_sync(self.pid, h);
         let inv = Invocation {
             name: name.to_string(),
             identity,

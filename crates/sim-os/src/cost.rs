@@ -43,6 +43,12 @@ pub struct CpuParams {
     /// Cost of one abstract "compute unit" used by workload
     /// generators to model application CPU time.
     pub compute_unit_ns: Nanos,
+    /// Marginal cost of one operation inside a batched `pass_commit`:
+    /// argument marshalling and dispatch without the syscall
+    /// entry/exit. A disclosure transaction of N ops costs one
+    /// `syscall_ns` plus N of these — the per-event saving the DPAPI
+    /// v2 batch API exists to realize.
+    pub dpapi_op_ns: Nanos,
 }
 
 impl Default for CpuParams {
@@ -53,6 +59,9 @@ impl Default for CpuParams {
             // P4-era memory system (~500 MB/s for FS buffer paths).
             copy_ns_per_byte: 2,
             compute_unit_ns: 1_000,
+            // Roughly a quarter of a syscall: no privilege-level
+            // crossing, just per-op dispatch.
+            dpapi_op_ns: 220,
         }
     }
 }

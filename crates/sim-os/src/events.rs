@@ -262,6 +262,56 @@ pub trait ProvenanceKernel: PassModule {
         pid: Pid,
         loc: FileLoc,
     ) -> dpapi::Result<dpapi::Handle>;
+
+    /// `pass_commit` from user level: applies a whole disclosure
+    /// transaction, returning per-op results (index-aligned with the
+    /// transaction's ops).
+    ///
+    /// The default executes the ops sequentially through the single
+    /// `dp_*` entry points, aborting on the first failure with
+    /// [`dpapi::DpapiError::TxnAborted`] — correct but unbatched, and
+    /// atomic only up to the failing op. Real modules override this to
+    /// validate the batch up front, analyze it as a unit and emit one
+    /// contiguous log group per target volume (see the `Pass` module
+    /// in the `passv2` crate).
+    fn dp_commit(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        txn: dpapi::Txn,
+    ) -> dpapi::Result<Vec<dpapi::OpResult>> {
+        let ops = txn.into_ops();
+        let mut out = Vec::with_capacity(ops.len());
+        for (i, op) in ops.into_iter().enumerate() {
+            let result = match op {
+                dpapi::DpapiOp::Write {
+                    handle,
+                    offset,
+                    data,
+                    bundle,
+                } => self
+                    .dp_write(ctx, pid, handle, offset, &data, bundle)
+                    .map(dpapi::OpResult::Written),
+                dpapi::DpapiOp::Mkobj { volume_hint } => self
+                    .dp_mkobj(ctx, pid, volume_hint)
+                    .map(dpapi::OpResult::Made),
+                dpapi::DpapiOp::Freeze { handle } => self
+                    .dp_freeze(ctx, pid, handle)
+                    .map(dpapi::OpResult::Frozen),
+                dpapi::DpapiOp::Revive { pnode, version } => self
+                    .dp_reviveobj(ctx, pid, pnode, version)
+                    .map(dpapi::OpResult::Revived),
+                dpapi::DpapiOp::Sync { handle } => self
+                    .dp_sync(ctx, pid, handle)
+                    .map(|()| dpapi::OpResult::Synced),
+            };
+            match result {
+                Ok(r) => out.push(r),
+                Err(e) => return Err(dpapi::DpapiError::aborted_at(i, e)),
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// A shared handle to a provenance module.

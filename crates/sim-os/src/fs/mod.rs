@@ -62,6 +62,25 @@ impl From<dpapi::DpapiError> for FsError {
     }
 }
 
+impl From<FsError> for dpapi::DpapiError {
+    /// The inverse of `From<DpapiError> for FsError`: a provenance
+    /// error crossing back out of the VFS is returned **unchanged**
+    /// (so structured errors like [`dpapi::DpapiError::TxnAborted`]
+    /// survive the syscall boundary with their per-op index intact);
+    /// genuine file-system failures surface as I/O errors.
+    ///
+    /// These two impls are the only conversions between the types —
+    /// every layer routes through them instead of ad-hoc stringly
+    /// mappings, which is what makes the round trip lossless for
+    /// provenance errors.
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::Provenance(d) => d,
+            other => dpapi::DpapiError::Io(other.to_string()),
+        }
+    }
+}
+
 /// Result alias for VFS operations.
 pub type FsResult<T> = Result<T, FsError>;
 
@@ -270,6 +289,27 @@ mod tests {
         assert_eq!(FsError::NoSpace.to_string(), "no space left on device");
         let e: FsError = dpapi::DpapiError::InvalidHandle.into();
         assert_eq!(e.to_string(), "provenance error: invalid object handle");
+    }
+
+    #[test]
+    fn provenance_errors_roundtrip_the_syscall_boundary() {
+        // DpapiError -> FsError -> DpapiError is the identity for
+        // every provenance error — the property that lets per-op
+        // transaction aborts cross the kernel unscathed.
+        let cases = vec![
+            dpapi::DpapiError::InvalidHandle,
+            dpapi::DpapiError::NotPassVolume,
+            dpapi::DpapiError::Malformed("oversize attribute".into()),
+            dpapi::DpapiError::aborted_at(7, dpapi::DpapiError::InvalidHandle),
+            dpapi::DpapiError::aborted_at(2, dpapi::DpapiError::Malformed("bad record".into())),
+        ];
+        for e in cases {
+            let through: dpapi::DpapiError = FsError::from(e.clone()).into();
+            assert_eq!(through, e);
+        }
+        // Genuine fs failures become I/O errors (no structure to keep).
+        let io: dpapi::DpapiError = FsError::NoSpace.into();
+        assert_eq!(io, dpapi::DpapiError::Io("no space left on device".into()));
     }
 
     #[test]

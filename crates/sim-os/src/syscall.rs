@@ -82,6 +82,11 @@ pub struct KernelStats {
     pub bytes_read: u64,
     /// Bytes moved through `write`.
     pub bytes_written: u64,
+    /// Disclosure transactions committed via `pass_commit` (each one
+    /// syscall regardless of size).
+    pub dpapi_txns: u64,
+    /// Operations carried by those transactions.
+    pub dpapi_txn_ops: u64,
 }
 
 /// The simulated kernel.
@@ -805,6 +810,30 @@ impl Kernel {
         Ok(m.dp_sync(&mut ctx, pid, h)?)
     }
 
+    /// User-level `pass_commit`: applies a whole disclosure
+    /// transaction in **one** system call.
+    ///
+    /// This is where the batch API's cost model lives: a transaction
+    /// of N ops is charged one `syscall_ns` entry/exit plus N times
+    /// the (much smaller) per-op dispatch cost, instead of the N full
+    /// syscalls the single-shot calls would pay. Per-op failures abort
+    /// the whole batch and surface as
+    /// [`dpapi::DpapiError::TxnAborted`] (wrapped in
+    /// [`FsError::Provenance`]), naming the failing op's index.
+    pub fn pass_commit(&mut self, pid: Pid, txn: dpapi::Txn) -> FsResult<Vec<dpapi::OpResult>> {
+        self.charge_syscall();
+        let ops = txn.len() as u64;
+        self.clock.advance(ops * self.model.cpu.dpapi_op_ns);
+        self.stats.dpapi_txns += 1;
+        self.stats.dpapi_txn_ops += ops;
+        let m = self.module_ref()?;
+        let mut ctx = HookCtx {
+            mounts: &mut self.mounts,
+            clock: &self.clock,
+        };
+        Ok(m.dp_commit(&mut ctx, pid, txn)?)
+    }
+
     /// Closes a user-level DPAPI handle.
     pub fn pass_close(&mut self, pid: Pid, h: Handle) -> FsResult<()> {
         self.charge_syscall();
@@ -1143,6 +1172,44 @@ mod tests {
         let spy = Rc::new(SpyModule::default());
         k.install_module(spy);
         assert_eq!(k.pass_mkobj(pid, None).unwrap(), Handle::from_raw(1));
+    }
+
+    #[test]
+    fn pass_commit_charges_one_syscall_per_batch() {
+        let (mut k, pid) = kernel();
+        let spy = Rc::new(SpyModule::default());
+        k.install_module(spy);
+        let before = k.stats().syscalls;
+        let mut txn = dpapi::pass_begin();
+        txn.mkobj(None)
+            .sync(Handle::from_raw(1))
+            .sync(Handle::from_raw(1));
+        let results = k.pass_commit(pid, txn).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], dpapi::OpResult::Made(Handle::from_raw(1)));
+        let s = k.stats();
+        assert_eq!(s.syscalls, before + 1, "a batch is one syscall");
+        assert_eq!(s.dpapi_txns, 1);
+        assert_eq!(s.dpapi_txn_ops, 3);
+    }
+
+    #[test]
+    fn pass_commit_abort_survives_the_syscall_boundary() {
+        let (mut k, pid) = kernel();
+        let spy = Rc::new(SpyModule::default());
+        k.install_module(spy);
+        let mut txn = dpapi::pass_begin();
+        txn.sync(Handle::from_raw(1)).freeze(Handle::from_raw(1));
+        let err = k.pass_commit(pid, txn).unwrap_err();
+        // The structured per-op abort crosses the FsError boundary
+        // intact (no stringly conversion).
+        assert_eq!(
+            err,
+            FsError::Provenance(dpapi::DpapiError::aborted_at(
+                1,
+                dpapi::DpapiError::Unsupported("spy"),
+            ))
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ pub(crate) fn encode_manifest(m: &Manifest) -> Vec<u8> {
         buf.put_u32_le(entries.len() as u32);
         let mut image = BytesMut::new();
         for e in entries {
-            lasagna::encode_entry(&mut image, e);
+            // Buffered entries were parsed from a log image (or came
+            // through validated disclosure), so they are
+            // wire-representable by construction.
+            lasagna::encode_entry(&mut image, e).expect("stored log entries always encode");
         }
         buf.put_u32_le(image.len() as u32);
         buf.put_slice(&image);

@@ -190,10 +190,14 @@ pub(crate) fn encode_shard_versioned(
             buf.put_u32_le(*v);
             buf.put_u32_le(entry.attrs.len() as u32);
             for (attr, value) in &entry.attrs {
+                // Stored attributes were parsed from a log image (or
+                // came through validated disclosure), so they are
+                // wire-representable by construction.
                 wire::put_record(
                     &mut buf,
                     &dpapi::ProvenanceRecord::new(attr.clone(), value.clone()),
-                );
+                )
+                .expect("stored records always encode");
             }
             buf.put_u32_le(entry.inputs.len() as u32);
             for (attr, r) in &entry.inputs {
