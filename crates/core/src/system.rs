@@ -17,7 +17,8 @@ use sim_os::cost::CostModel;
 use sim_os::fs::basefs::{BaseFs, BaseFsConfig};
 use sim_os::proc::{MountId, Pid};
 use sim_os::syscall::Kernel;
-use waldo::{Waldo, WaldoConfig};
+use waldo::cluster::route_volume;
+use waldo::{Cluster, Waldo, WaldoConfig};
 
 use crate::module::Pass;
 
@@ -181,6 +182,61 @@ impl System {
         let refs: Vec<&str> = mounts.iter().map(String::as_str).collect();
         Waldo::restart(pid, &mut self.kernel, self.waldo_cfg, db_dir, &refs)
             .expect("reattaching the Waldo database directory on restart")
+    }
+
+    /// Spawns an `n`-member Waldo cluster — the multi-daemon fan-in
+    /// tier (`waldo::cluster`): each member is an observation-exempt
+    /// daemon wired with this system's [`WaldoConfig`], and every PASS
+    /// volume is deterministically routed to one member. Drive ingest
+    /// with `cluster.poll_volumes(&mut sys.kernel, &sys.volumes)`.
+    pub fn spawn_cluster(&mut self, n: usize) -> Cluster {
+        let members = (0..n).map(|_| self.spawn_waldo()).collect();
+        Cluster::new(members)
+    }
+
+    /// Spawns an `n`-member cluster with each member's durable home
+    /// attached at `{base_dir}/member{i}` — per-member WAL, checkpoint
+    /// policy and log retention, exactly the single-daemon PR 2
+    /// machinery multiplied out. Pair with [`System::restart_cluster`]
+    /// at the **same member count** after a machine crash.
+    pub fn spawn_cluster_durable(&mut self, n: usize, base_dir: &str) -> Cluster {
+        let members = (0..n)
+            .map(|i| self.spawn_waldo_durable(&format!("{base_dir}/member{i}")))
+            .collect();
+        Cluster::new(members)
+    }
+
+    /// Cold-starts an `n`-member cluster after a simulated machine
+    /// crash: member `i` restarts from `{base_dir}/member{i}` and
+    /// replays retained logs from exactly the volumes that route to
+    /// it — volume→member routing is deterministic, so a restarted
+    /// member finds its own replay marks and never ingests (or
+    /// unlinks) another member's logs. `n` must match the member
+    /// count the cluster ran at; resizing re-routes volumes away from
+    /// the members holding their state.
+    pub fn restart_cluster(&mut self, n: usize, base_dir: &str) -> Cluster {
+        let members = (0..n)
+            .map(|i| {
+                let pid = self.kernel.spawn_init("waldo");
+                self.pass.exempt(pid);
+                let mounts: Vec<String> = self
+                    .volumes
+                    .iter()
+                    .filter(|(_, _, v)| route_volume(*v, n) == i)
+                    .map(|(p, _, _)| p.clone())
+                    .collect();
+                let refs: Vec<&str> = mounts.iter().map(String::as_str).collect();
+                Waldo::restart(
+                    pid,
+                    &mut self.kernel,
+                    self.waldo_cfg,
+                    &format!("{base_dir}/member{i}"),
+                    &refs,
+                )
+                .expect("reattaching a cluster member's database directory on restart")
+            })
+            .collect();
+        Cluster::new(members)
     }
 
     /// Answers a PQL query from `waldo`'s database through the

@@ -41,6 +41,17 @@ use crate::md5::md5;
 const BATCH_TXN_TAG: u64 = 1 << 63;
 const BATCH_SEQ_MASK: u64 = (1 << 28) - 1;
 
+/// The volume-salted id of one disclosure-batch transaction: tag bit
+/// 63 set, the volume id in bits 28..60, the per-volume sequence in
+/// bits 0..28. The salt is what makes multi-daemon fan-in a routing
+/// problem instead of a format problem: transaction ids from
+/// different volumes can never alias, so stores built from distinct
+/// volumes' logs merge without renumbering (`waldo::Store::merge`).
+/// The cluster routing-stability proptests pin this layout.
+pub fn batch_txn_id(volume: dpapi::VolumeId, seq: u64) -> u64 {
+    BATCH_TXN_TAG | (u64::from(volume.0) << 28) | (seq & BATCH_SEQ_MASK)
+}
+
 /// Name of the hidden provenance directory on the lower file system.
 pub const PASS_DIR: &str = ".pass";
 
@@ -307,7 +318,7 @@ impl Lasagna {
 
     fn alloc_batch_id(&mut self) -> u64 {
         self.next_batch = (self.next_batch + 1) & BATCH_SEQ_MASK;
-        BATCH_TXN_TAG | (u64::from(self.cfg.volume.0) << 28) | self.next_batch
+        batch_txn_id(self.cfg.volume, self.next_batch)
     }
 
     fn flush_log_buf(&mut self) {

@@ -130,6 +130,24 @@ impl PlanStats {
     }
 }
 
+impl std::ops::AddAssign for PlanStats {
+    /// Operator form of [`PlanStats::absorb`], so counter structs that
+    /// embed these (e.g. Waldo's `QueryOps`) can aggregate with `+=`
+    /// and `Iterator::sum`.
+    fn add_assign(&mut self, other: PlanStats) {
+        self.absorb(&other);
+    }
+}
+
+impl std::iter::Sum for PlanStats {
+    fn sum<I: Iterator<Item = PlanStats>>(iter: I) -> PlanStats {
+        iter.fold(PlanStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
 /// The scan-based [`GraphSource::lookup_attr`] behavior as a free
 /// helper: class scan plus post-filter, `indexed = false`. This is
 /// the single copy of the scan semantics — the trait default calls

@@ -65,6 +65,25 @@ pub struct QueryOps {
     pub planner: pql::PlanStats,
 }
 
+impl std::ops::AddAssign for QueryOps {
+    /// Folds another daemon's query counters into these — the cluster
+    /// roll-up (`waldo::cluster`), so per-member counters aggregate
+    /// without hand-written field adds.
+    fn add_assign(&mut self, other: QueryOps) {
+        self.queries += other.queries;
+        self.planner += other.planner;
+    }
+}
+
+impl std::iter::Sum for QueryOps {
+    fn sum<I: Iterator<Item = QueryOps>>(iter: I) -> QueryOps {
+        iter.fold(QueryOps::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
 /// A fully committed source log awaiting checkpoint coverage before
 /// it may be unlinked.
 #[derive(Clone, Debug)]

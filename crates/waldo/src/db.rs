@@ -105,6 +105,28 @@ pub struct IngestStats {
     pub checkpoints: usize,
 }
 
+impl std::ops::AddAssign for IngestStats {
+    /// Folds another batch's counters into these — the roll-up the
+    /// cluster fan-in and the bench rig use to aggregate per-member
+    /// (or per-log) stats without hand-written field adds.
+    fn add_assign(&mut self, other: IngestStats) {
+        self.applied += other.applied;
+        self.pending += other.pending;
+        self.txns_committed += other.txns_committed;
+        self.group_commits += other.group_commits;
+        self.checkpoints += other.checkpoints;
+    }
+}
+
+impl std::iter::Sum for IngestStats {
+    fn sum<I: Iterator<Item = IngestStats>>(iter: I) -> IngestStats {
+        iter.fold(IngestStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,12 @@
 //!   ([`daemon::Waldo::restart`]);
 //! * [`graph`] — the store as a [`pql::GraphSource`], with cached
 //!   edge expansion and index-backed predicate pushdown
-//!   (`lookup_attr`), the fast path behind [`daemon::Waldo::query`].
+//!   (`lookup_attr`), the fast path behind [`daemon::Waldo::query`];
+//! * [`cluster`] — the multi-daemon fan-in tier: N daemons consume
+//!   distinct volumes concurrently (deterministic volume→member
+//!   routing), consolidate via [`store::Store::merge`], and serve
+//!   scatter-gather PQL through [`cluster::ClusterGraphSource`]
+//!   without materializing the merge.
 //!
 //! # Example
 //!
@@ -77,6 +82,7 @@
 
 pub mod cache;
 pub mod checkpoint;
+pub mod cluster;
 pub mod daemon;
 pub mod db;
 pub mod graph;
@@ -88,6 +94,7 @@ pub mod wal;
 
 pub use cache::CacheStats;
 pub use checkpoint::{CheckpointCrash, CheckpointStats, RestartReport};
+pub use cluster::{route_volume, Cluster, ClusterGraphSource};
 pub use daemon::{QueryOps, Waldo};
 pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};
 pub use store::{Store, WaldoConfig};

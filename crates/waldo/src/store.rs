@@ -564,18 +564,152 @@ impl Store {
     /// The canonical serialized image of every shard. Because the
     /// encoding is canonical (see `crate::segment`), two stores hold
     /// equal contents **iff** their images are byte-identical; the
-    /// crash-matrix and restart tests use this as their
-    /// byte-equivalence oracle. Generation counters are normalized to
-    /// zero in these images: they count how commits were *grouped*
-    /// (which replay after a crash may legitimately do differently),
-    /// not what the shards contain. Checkpoint segments on disk keep
-    /// the real generations — the manifest binds to them.
+    /// crash-matrix, restart and cluster-merge differential tests use
+    /// this as their byte-equivalence oracle.
+    ///
+    /// The ordering contract is explicit and deterministic: the
+    /// returned vector is **sorted by shard id** — `images[i]` is
+    /// always shard `i`'s image, independent of ingest order, batching
+    /// or merge order — and each image's interior is canonical
+    /// (objects by pnode, index entries by key, reverse-edge lists by
+    /// `(descendant, ancestor version, attribute)`). Two normalizations
+    /// make the oracle insensitive to *how* equal contents were
+    /// reached: generation counters are written as zero (they count
+    /// how commits were grouped, which replay after a crash — or a
+    /// cluster merge — may legitimately do differently), and the
+    /// reverse-edge sort erases arrival order (a merged store
+    /// interleaves members' edges differently than a single daemon
+    /// ingesting the same volumes in sequence). Checkpoint segments on
+    /// disk keep the real generations — the manifest binds to them.
     pub fn segment_images(&self) -> Vec<Vec<u8>> {
         self.shards
             .iter()
             .enumerate()
             .map(|(i, s)| crate::segment::encode_shard(i as u32, s, 0))
             .collect()
+    }
+
+    // ---- cluster fan-in ---------------------------------------------------
+
+    /// Merges another store's **committed** contents into this one —
+    /// the cluster fan-in path ([`crate::cluster`]): each member
+    /// daemon ingests its routed volumes' logs into its own store, and
+    /// the consolidated graph is the merge of the members.
+    ///
+    /// Semantics, per shard `i` (both stores must have the same
+    /// effective shard count, so pnode routing agrees and `other`'s
+    /// shard `i` lands wholly in ours — the call panics otherwise):
+    ///
+    /// * object entries merge by pnode; colliding versions extend
+    ///   attribute/input lists in `self`-then-`other` order and sum
+    ///   the data-write accounting (with members ingesting *distinct
+    ///   volumes* — the cluster invariant — pnodes never collide and
+    ///   this degenerates to a plain union);
+    /// * secondary indexes (name, type, generalized attribute) union;
+    /// * reverse ancestry edge lists concatenate — cross-volume
+    ///   references mean a member holds reverse edges for *foreign*
+    ///   ancestors, so one ancestor's list may gather contributions
+    ///   from several members (queries treat the order as
+    ///   unspecified, and [`Store::segment_images`] sorts it);
+    /// * footprint accounting and the commit sequence add (exact for
+    ///   disjoint members; overlapping contents would double-count);
+    /// * open-transaction buffers union — volume-salted batch ids
+    ///   ([`lasagna::batch_txn_id`]) guarantee members' ids never
+    ///   alias, and the call panics on a collision rather than
+    ///   silently interleaving two transactions' records;
+    /// * staged-but-uncommitted items and per-source replay marks are
+    ///   **not** merged: staging is transient by design, and replay
+    ///   bookkeeping stays with the member daemon that owns the logs.
+    ///
+    /// Touched shards' generations bump, so cached traversals against
+    /// the merged store invalidate exactly as after an ingest.
+    pub fn merge(&mut self, other: &Store) {
+        assert_eq!(
+            self.shards.len(),
+            other.shards.len(),
+            "Store::merge requires equal effective shard counts \
+             (routing must agree shard-for-shard)"
+        );
+        // A hard check like the others: silently dropping staged
+        // records in release builds would break the byte-equivalence
+        // oracle without a trace.
+        assert!(
+            other.staged.is_empty(),
+            "merge consolidates committed state; commit staged entries first"
+        );
+        for (id, buf) in &other.pending_txns {
+            let clash = self.pending_txns.insert(*id, buf.clone());
+            assert!(
+                clash.is_none(),
+                "open-transaction id {id:#x} collides in merge; batch ids \
+                 are volume-salted, so two members may never share one"
+            );
+        }
+        // The open-commit marker routes *untagged* continuation
+        // records to their transaction; keeping only one side's
+        // marker while both are mid-commit would interleave the other
+        // side's continuation into the wrong transaction on a later
+        // ingest — refuse, like the id collision above.
+        assert!(
+            self.commit_txn.is_none() || other.commit_txn.is_none(),
+            "both stores are mid-commit ({:?} vs {:?}); merge after their \
+             streams' groups close",
+            self.commit_txn,
+            other.commit_txn
+        );
+        if self.commit_txn.is_none() {
+            self.commit_txn = other.commit_txn;
+        }
+        for i in 0..self.shards.len() {
+            let src = &other.shards[i];
+            if src.objects.is_empty() && src.reverse_index.is_empty() {
+                continue;
+            }
+            let dst = &mut self.shards[i];
+            for (p, obj) in &src.objects {
+                let entry = dst.objects.entry(*p).or_default();
+                entry.current = entry.current.max(obj.current);
+                for (v, ve) in &obj.versions {
+                    let dv = entry.versions.entry(*v).or_default();
+                    dv.attrs.extend(ve.attrs.iter().cloned());
+                    dv.inputs.extend(ve.inputs.iter().cloned());
+                    dv.writes += ve.writes;
+                    dv.bytes_written += ve.bytes_written;
+                }
+            }
+            for (name, set) in &src.name_index {
+                dst.name_index
+                    .entry(name.clone())
+                    .or_default()
+                    .extend(set.iter().copied());
+            }
+            for (ty, set) in &src.type_index {
+                dst.type_index
+                    .entry(ty.clone())
+                    .or_default()
+                    .extend(set.iter().copied());
+            }
+            for (attr, values) in &src.attr_index {
+                let dst_values = dst.attr_index.entry(attr.clone()).or_default();
+                for (value, set) in values {
+                    dst_values
+                        .entry(value.clone())
+                        .or_default()
+                        .extend(set.iter().copied());
+                }
+            }
+            for (ancestor, edges) in &src.reverse_index {
+                dst.reverse_index
+                    .entry(*ancestor)
+                    .or_default()
+                    .extend(edges.iter().cloned());
+            }
+            dst.size.db_bytes += src.size.db_bytes;
+            dst.size.index_bytes += src.size.index_bytes;
+            dst.generation += 1;
+            self.gens[i] = dst.generation;
+        }
+        self.commit_seq += other.commit_seq;
     }
 
     /// Committed open-transaction state, sorted by id: the buffers a
@@ -1065,12 +1199,18 @@ fn subject_of(entry: &LogEntry) -> Option<Pnode> {
     }
 }
 
-/// Stable 64-bit mix of a pnode (splitmix64 finalizer over volume and
-/// number). Deliberately not `std`'s `RandomState`, which would give
-/// every store its own routing.
-fn mix_pnode(p: Pnode) -> u64 {
-    let mut z = (p.number ^ (u64::from(p.volume.0) << 32)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+/// The splitmix64 finalizer — the one stable mixing function behind
+/// both routing layers (pnode→shard here, volume→member in
+/// [`crate::cluster`]). Deliberately not `std`'s `RandomState`, which
+/// would give every process its own routing.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Stable 64-bit mix of a pnode (splitmix64 over volume and number).
+fn mix_pnode(p: Pnode) -> u64 {
+    splitmix64(p.number ^ (u64::from(p.volume.0) << 32))
 }

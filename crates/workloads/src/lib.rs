@@ -34,6 +34,33 @@ pub trait Workload {
     fn run(&self, kernel: &mut Kernel, driver: Pid, base_dir: &str) -> FsResult<()>;
 }
 
+/// Runs one base workload once per mount — the N-volume driver the
+/// cluster fan-in tier (`waldo::cluster`) is benchmarked and tested
+/// against. Each mount gets an independent run of `base` under its
+/// own directory tree, so the per-volume provenance streams are
+/// identical in shape and a cluster member's share of the work is
+/// exactly its routed volumes' runs. The `base_dir` argument of
+/// [`Workload::run`] is ignored; the mount list governs.
+pub struct MultiVolume<W> {
+    /// The workload to run on every volume.
+    pub base: W,
+    /// Mount points of the target volumes (e.g. `"/v1"`, `"/v2"`).
+    pub mounts: Vec<String>,
+}
+
+impl<W: Workload> Workload for MultiVolume<W> {
+    fn name(&self) -> &'static str {
+        "MultiVolume"
+    }
+
+    fn run(&self, kernel: &mut Kernel, driver: Pid, _base_dir: &str) -> FsResult<()> {
+        for mount in &self.mounts {
+            self.base.run(kernel, driver, mount)?;
+        }
+        Ok(())
+    }
+}
+
 /// The result of timing one workload run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunReport {
