@@ -28,4 +28,4 @@ pub mod system;
 pub use analyzer::{AnalyzerStats, CycleAvoidance, DepOutcome, GlobalGraph, NodeId, V1Outcome};
 pub use libpass::LibPass;
 pub use module::{ObjKey, Pass, PassStats};
-pub use system::{System, SystemBuilder};
+pub use system::{ClusterRestartError, System, SystemBuilder};

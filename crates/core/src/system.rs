@@ -18,9 +18,38 @@ use sim_os::fs::basefs::{BaseFs, BaseFsConfig};
 use sim_os::proc::{MountId, Pid};
 use sim_os::syscall::Kernel;
 use waldo::cluster::route_volume;
-use waldo::{Cluster, Waldo, WaldoConfig};
+use waldo::{Cluster, RestartError, Waldo, WaldoConfig};
 
 use crate::module::Pass;
+
+/// Why [`System::try_restart_cluster`] could not bring the fleet
+/// back: the member that failed (so an operator can repair exactly
+/// that durable home) and the underlying [`RestartError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterRestartError {
+    /// Index of the member whose restart failed; members before it
+    /// restarted cleanly (and were discarded — a partial cluster
+    /// would silently drop the failed member's volumes).
+    pub member: usize,
+    /// What went wrong on that member's durable home.
+    pub source: RestartError,
+}
+
+impl std::fmt::Display for ClusterRestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cluster member {} failed to restart: {}",
+            self.member, self.source
+        )
+    }
+}
+
+impl std::error::Error for ClusterRestartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// A fully assembled PASSv2 machine.
 pub struct System {
@@ -215,28 +244,44 @@ impl System {
     /// count the cluster ran at; resizing re-routes volumes away from
     /// the members holding their state.
     pub fn restart_cluster(&mut self, n: usize, base_dir: &str) -> Cluster {
-        let members = (0..n)
-            .map(|i| {
-                let pid = self.kernel.spawn_init("waldo");
-                self.pass.exempt(pid);
-                let mounts: Vec<String> = self
-                    .volumes
-                    .iter()
-                    .filter(|(_, _, v)| route_volume(*v, n) == i)
-                    .map(|(p, _, _)| p.clone())
-                    .collect();
-                let refs: Vec<&str> = mounts.iter().map(String::as_str).collect();
-                Waldo::restart(
-                    pid,
-                    &mut self.kernel,
-                    self.waldo_cfg,
-                    &format!("{base_dir}/member{i}"),
-                    &refs,
-                )
-                .expect("reattaching a cluster member's database directory on restart")
-            })
-            .collect();
-        Cluster::new(members)
+        self.try_restart_cluster(n, base_dir)
+            .expect("reattaching every cluster member's database directory on restart")
+    }
+
+    /// [`System::restart_cluster`], surfacing a failed member as a
+    /// member-indexed [`ClusterRestartError`] instead of panicking —
+    /// so an operator (or the fault harness) learns *which* durable
+    /// home is missing or damaged. All-or-nothing: the survivors'
+    /// restarts are discarded on failure, because a partial cluster
+    /// would silently drop the failed member's routed volumes from
+    /// every answer.
+    pub fn try_restart_cluster(
+        &mut self,
+        n: usize,
+        base_dir: &str,
+    ) -> Result<Cluster, ClusterRestartError> {
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let pid = self.kernel.spawn_init("waldo");
+            self.pass.exempt(pid);
+            let mounts: Vec<String> = self
+                .volumes
+                .iter()
+                .filter(|(_, _, v)| route_volume(*v, n) == i)
+                .map(|(p, _, _)| p.clone())
+                .collect();
+            let refs: Vec<&str> = mounts.iter().map(String::as_str).collect();
+            let member = Waldo::restart(
+                pid,
+                &mut self.kernel,
+                self.waldo_cfg,
+                &format!("{base_dir}/member{i}"),
+                &refs,
+            )
+            .map_err(|source| ClusterRestartError { member: i, source })?;
+            members.push(member);
+        }
+        Ok(Cluster::new(members))
     }
 
     /// Answers a PQL query from `waldo`'s database through the

@@ -286,3 +286,119 @@ fn oversized_cluster_tolerates_idle_members() {
         .unwrap();
     assert_eq!(out.result.len(), 1);
 }
+
+/// A member's durable home vanishing (disk swap, bad mount) must fail
+/// the restart with a *member-indexed* typed error — not a panic, not
+/// a silent cold start — and restoring the home brings the whole
+/// cluster back byte-equal.
+#[test]
+fn cluster_restart_names_the_member_with_a_missing_db_dir() {
+    const MEMBERS: usize = 2;
+    let mut sys = multi_volume_system(3, 4);
+    let mut cluster = sys.spawn_cluster_durable(MEMBERS, "/db/cluster");
+    let volumes = sys.volumes.clone();
+    cluster.poll_volumes(&mut sys.kernel, &volumes);
+    cluster.checkpoint_all(&mut sys.kernel).unwrap();
+    let images: Vec<_> = cluster
+        .members()
+        .iter()
+        .map(|m| m.db.segment_images())
+        .collect();
+    drop(cluster); // machine crash
+
+    let admin = sys.kernel.spawn_init("admin");
+    sys.kernel
+        .rename(admin, "/db/cluster/member1", "/db/cluster/lost")
+        .unwrap();
+    let err = sys.try_restart_cluster(MEMBERS, "/db/cluster").unwrap_err();
+    assert_eq!(err.member, 1, "the error names the failed member");
+    assert!(
+        matches!(err.source, waldo::RestartError::MissingDbDir { .. }),
+        "unexpected restart error: {err}"
+    );
+    assert!(err.to_string().contains("member 1"), "{err}");
+
+    // Repair the mount and everyone comes back to the pre-crash bytes.
+    sys.kernel
+        .rename(admin, "/db/cluster/lost", "/db/cluster/member1")
+        .unwrap();
+    let restarted = sys.restart_cluster(MEMBERS, "/db/cluster");
+    for (i, member) in restarted.members().iter().enumerate() {
+        assert_eq!(
+            member.db.segment_images(),
+            images[i],
+            "member {i} must restart to its pre-crash store after repair"
+        );
+    }
+}
+
+/// A member whose checkpoints are all unreadable is reported with its
+/// index and a typed `NoReadableCheckpoint` — never downgraded to a
+/// full-replay cold start — while the surviving member still restarts
+/// byte-equal from its own untouched home.
+#[test]
+fn cluster_restart_names_the_member_with_corrupt_checkpoints() {
+    const MEMBERS: usize = 2;
+    let mut sys = multi_volume_system(3, 4);
+    let mut cluster = sys.spawn_cluster_durable(MEMBERS, "/db/cluster");
+    let volumes = sys.volumes.clone();
+    cluster.poll_volumes(&mut sys.kernel, &volumes);
+    cluster.checkpoint_all(&mut sys.kernel).unwrap();
+    let images: Vec<_> = cluster
+        .members()
+        .iter()
+        .map(|m| m.db.segment_images())
+        .collect();
+    drop(cluster); // machine crash
+
+    // Volume 1's member is guaranteed to have published checkpoints;
+    // scribble over every one of its manifests.
+    let target = waldo::route_volume(VolumeId(1), MEMBERS);
+    let admin = sys.kernel.spawn_init("admin");
+    let ckpt_dir = format!("/db/cluster/member{target}/checkpoints");
+    let mut corrupted = 0;
+    for entry in sys.kernel.readdir(admin, &ckpt_dir).unwrap() {
+        if entry.name.starts_with("manifest.") {
+            sys.kernel
+                .write_file(admin, &format!("{ckpt_dir}/{}", entry.name), b"garbage")
+                .unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted >= 1, "the target member published no manifests");
+
+    let err = sys.try_restart_cluster(MEMBERS, "/db/cluster").unwrap_err();
+    assert_eq!(err.member, target, "the error names the corrupted member");
+    assert!(
+        matches!(
+            err.source,
+            waldo::RestartError::NoReadableCheckpoint { manifests } if manifests == corrupted
+        ),
+        "unexpected restart error: {err}"
+    );
+
+    // The survivor's home is untouched: restarted on its own routed
+    // volumes, it is byte-equal to its pre-crash store.
+    let other = 1 - target;
+    let pid = sys.kernel.spawn_init("waldo");
+    sys.pass.exempt(pid);
+    let mounts: Vec<String> = volumes
+        .iter()
+        .filter(|(_, _, v)| waldo::route_volume(*v, MEMBERS) == other)
+        .map(|(p, _, _)| p.clone())
+        .collect();
+    let refs: Vec<&str> = mounts.iter().map(String::as_str).collect();
+    let survivor = waldo::Waldo::restart(
+        pid,
+        &mut sys.kernel,
+        test_cfg(),
+        &format!("/db/cluster/member{other}"),
+        &refs,
+    )
+    .unwrap();
+    assert_eq!(
+        survivor.db.segment_images(),
+        images[other],
+        "the surviving member restarts byte-equal"
+    );
+}

@@ -52,6 +52,21 @@ pub fn batch_txn_id(volume: dpapi::VolumeId, seq: u64) -> u64 {
     BATCH_TXN_TAG | (u64::from(volume.0) << 28) | (seq & BATCH_SEQ_MASK)
 }
 
+/// Decomposes a transaction id minted by [`batch_txn_id`] back into
+/// its `(volume, sequence)` parts; `None` for ids outside the
+/// disclosure-batch space (tag bit clear — e.g. PA-NFS server ids).
+/// Consumers use the volume salt to keep a per-volume replay
+/// high-water mark: a batch whose sequence is at or below its
+/// volume's mark has already committed, so re-seeing it is a replay
+/// (a duplicated group frame), not new disclosure.
+pub fn batch_txn_parts(id: u64) -> Option<(dpapi::VolumeId, u64)> {
+    if id & BATCH_TXN_TAG == 0 {
+        return None;
+    }
+    let volume = dpapi::VolumeId(((id & !BATCH_TXN_TAG) >> 28) as u32);
+    Some((volume, id & BATCH_SEQ_MASK))
+}
+
 /// Name of the hidden provenance directory on the lower file system.
 pub const PASS_DIR: &str = ".pass";
 

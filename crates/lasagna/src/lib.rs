@@ -15,7 +15,9 @@ pub mod log;
 pub mod md5;
 pub mod recovery;
 
-pub use fs::{batch_txn_id, ino_attribute, Lasagna, LasagnaConfig, LasagnaStats, PASS_DIR};
+pub use fs::{
+    batch_txn_id, batch_txn_parts, ino_attribute, Lasagna, LasagnaConfig, LasagnaStats, PASS_DIR,
+};
 pub use log::{
     crc32, encode_entry, encode_group, entry_size, group_count, parse_log, LogEntry, LogTail,
 };

@@ -1,0 +1,62 @@
+//! CI smoke: the full fault × topology matrix at a fixed seed, run
+//! **twice**, asserting (a) zero silent divergence and (b) that the
+//! second pass reproduces the first report-for-report — the
+//! determinism contract the whole harness rests on. Exits nonzero on
+//! any violation. Override the seed with `PROVTORTURE_SEED=<u64>`.
+
+use provtorture::{torture, CaseReport, Verdict, ALL_FAULTS, ALL_TOPOLOGIES};
+use workloads::SelfIngest;
+
+fn run_matrix(seed: u64) -> Vec<CaseReport> {
+    let wl = SelfIngest {
+        sources: 3,
+        src_bytes: 512,
+        cpu_per_unit: 500,
+    };
+    let mut reports = Vec::new();
+    for topo in ALL_TOPOLOGIES {
+        for fault in &ALL_FAULTS {
+            reports.push(torture(&wl, topo, fault, seed));
+        }
+    }
+    reports
+}
+
+fn main() {
+    let seed = std::env::var("PROVTORTURE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7061_7373_7632);
+    let first = run_matrix(seed);
+    let second = run_matrix(seed);
+    assert_eq!(
+        first, second,
+        "determinism violation: identical seed produced different reports"
+    );
+
+    println!("provtorture tamper matrix (seed {seed:#x}, verified reproducible)");
+    println!("{:-<72}", "");
+    let mut divergences = 0;
+    for report in &first {
+        println!("{report}");
+        if report.verdict() == Verdict::SilentDivergence {
+            divergences += 1;
+            eprintln!("  !! {report:?}");
+        }
+        assert!(
+            report.applied.is_some(),
+            "fault {} found no target under {} — harness bug",
+            report.fault,
+            report.topology.name()
+        );
+    }
+    println!("{:-<72}", "");
+    println!(
+        "{} cases, {} silent divergences, verdicts reproduced across two passes",
+        first.len(),
+        divergences
+    );
+    if divergences > 0 {
+        std::process::exit(1);
+    }
+}

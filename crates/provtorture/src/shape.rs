@@ -1,0 +1,65 @@
+//! The ProvMark-style expressiveness oracle.
+//!
+//! Detection is only half the contract; the other half is that every
+//! topology *records the same graph*. [`GraphShape`] is a workload
+//! run's node-and-edge census taken through PQL — the public query
+//! surface, not store internals — so comparing shapes across
+//! topologies also exercises the planner, the scatter-gather tier
+//! and the class indexes. A restarted daemon or a two-member cluster
+//! that answers with a different census than the single-daemon
+//! reference has lost or invented provenance, whatever its bytes
+//! say.
+
+use std::collections::BTreeMap;
+
+use crate::harness::CleanRun;
+
+/// The classes the census counts: the observed kinds, the disclosed
+/// stage objects, and `obj` (everything) as the checksum row.
+const CLASSES: [&str; 5] = ["file", "proc", "pipe", "stage", "obj"];
+
+/// A node/edge census of one run's provenance graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphShape {
+    /// Distinct objects per class.
+    pub nodes: BTreeMap<String, usize>,
+    /// Distinct `(object, input)` ancestry edges (one hop).
+    pub edges: usize,
+}
+
+impl GraphShape {
+    /// Takes the census of `run` through PQL.
+    pub fn observe(run: &mut CleanRun) -> GraphShape {
+        let mut nodes = BTreeMap::new();
+        for class in CLASSES {
+            let n = run.rows(&format!("select N from Provenance.{class} as N"));
+            nodes.insert(class.to_string(), n);
+        }
+        let edges = run.rows("select F, A from Provenance.obj as F F.input as A");
+        GraphShape { nodes, edges }
+    }
+
+    /// Count for one class.
+    pub fn count(&self, class: &str) -> usize {
+        self.nodes.get(class).copied().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for GraphShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (class, n) in &self.nodes {
+            write!(f, "{class}={n} ")?;
+        }
+        write!(f, "edges={}", self.edges)
+    }
+}
+
+/// Does `descendant`'s transitive ancestry reach `ancestor` (both by
+/// name) in this run's graph?
+pub fn reaches(run: &mut CleanRun, descendant: &str, ancestor: &str) -> bool {
+    let q = format!(
+        "select A from Provenance.file as F F.input* as A \
+         where F.name = '{descendant}' and A.name = '{ancestor}'"
+    );
+    run.rows(&q) > 0
+}

@@ -1,0 +1,111 @@
+//! The expressiveness half of the oracle: every workload's
+//! provenance graph has the same PQL-observed shape on every
+//! topology, and the shapes are non-trivial (the census actually
+//! counted something). Includes the self-ingestion workload, whose
+//! defining property — the built binary's ancestry reaches every
+//! source — is asserted explicitly on all three topologies.
+
+use provtorture::{reaches, run_clean, GraphShape, Topology, ALL_TOPOLOGIES};
+use workloads::{Blast, LinuxCompile, MercurialActivity, PaKepler, Postmark, SelfIngest, Workload};
+
+const SEED: u64 = 0x0053_4841_5045; // "SHAPE"
+
+fn assert_shapes_match(w: &dyn Workload) {
+    let mut reference = run_clean(w, Topology::SingleDaemon, SEED);
+    let shape = GraphShape::observe(&mut reference);
+    assert!(
+        shape.count("obj") > 0 && shape.count("stage") > 0 && shape.edges > 0,
+        "{}: degenerate reference shape ({shape})",
+        w.name()
+    );
+    for topo in [Topology::DurableRestart, Topology::Cluster2] {
+        let mut run = run_clean(w, topo, SEED);
+        let other = GraphShape::observe(&mut run);
+        assert_eq!(
+            other,
+            shape,
+            "{}: shape under {} diverged from single-daemon reference",
+            w.name(),
+            topo.name()
+        );
+    }
+}
+
+#[test]
+fn postmark_shape_is_topology_invariant() {
+    assert_shapes_match(&Postmark {
+        files: 4,
+        transactions: 6,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn linux_compile_shape_is_topology_invariant() {
+    assert_shapes_match(&LinuxCompile {
+        units: 3,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn mercurial_shape_is_topology_invariant() {
+    assert_shapes_match(&MercurialActivity {
+        patches: 3,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn blast_shape_is_topology_invariant() {
+    assert_shapes_match(&Blast {
+        input_bytes: 2048,
+        perl_stages: 2,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn pa_kepler_shape_is_topology_invariant() {
+    assert_shapes_match(&PaKepler {
+        rows: 8,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn self_ingest_shape_is_topology_invariant() {
+    assert_shapes_match(&SelfIngest {
+        sources: 3,
+        src_bytes: 512,
+        cpu_per_unit: 500,
+    });
+}
+
+/// Self-ingestion's raison d'être: on every topology, the daemon
+/// binary's recorded ancestry reaches every one of its sources —
+/// the system can vouch for its own build wherever it runs.
+#[test]
+fn self_ingest_binary_ancestry_reaches_every_source_on_all_topologies() {
+    let wl = SelfIngest {
+        sources: 3,
+        src_bytes: 512,
+        cpu_per_unit: 500,
+    };
+    for topo in ALL_TOPOLOGIES {
+        let mut run = run_clean(&wl, topo, SEED);
+        for round in 0..2 {
+            for i in 0..wl.sources {
+                assert!(
+                    reaches(
+                        &mut run,
+                        &format!("/v1/r{round}/target/waldo"),
+                        &format!("/v1/r{round}/src/c{i}.rs")
+                    ),
+                    "{}: /v1/r{round}/target/waldo lost ancestry of src/c{i}.rs",
+                    topo.name()
+                );
+            }
+        }
+    }
+}

@@ -107,6 +107,11 @@ pub struct RestartReport {
     pub wal_frames_beyond_checkpoint: u64,
     /// Entries applied while replaying surviving logs.
     pub replayed_entries: usize,
+    /// True when the surviving WAL's tail did not parse cleanly (torn
+    /// or corrupt final frame). Harmless for state — replay comes
+    /// from the manifest, never from frames — but it is the detection
+    /// signal for WAL truncation/bit-flip tampers.
+    pub wal_tail_torn: bool,
 }
 
 /// `<db_dir>/checkpoints`, the segment + manifest directory.
@@ -396,6 +401,8 @@ fn try_load(
         m.commit_txn,
         m.sources.clone(),
         m.seq,
+        m.batch_hw.clone(),
+        m.replay_skip,
     );
     Some((store, m))
 }
@@ -473,6 +480,8 @@ mod tests {
             txns: Vec::new(),
             commit_txn: None,
             sources: Vec::new(),
+            batch_hw: Vec::new(),
+            replay_skip: None,
         };
         write_temp_manifest(&mut kernel, pid, dir, &manifest).unwrap();
         rename_manifest(&mut kernel, pid, dir, manifest.seq).unwrap();

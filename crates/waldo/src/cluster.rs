@@ -44,7 +44,7 @@ use sim_os::syscall::Kernel;
 
 use crate::daemon::{QueryOps, Waldo};
 use crate::db::IngestStats;
-use crate::store::Store;
+use crate::store::{MergeError, Store};
 
 /// The member a volume's logs are routed to, out of `members`.
 ///
@@ -173,12 +173,23 @@ impl Cluster {
     /// that want a self-contained graph (exports, handoff to a single
     /// daemon). Queries that only need answers should prefer
     /// [`Cluster::query`], which scatter-gathers without the copy.
+    /// Panics if the members are not mergeable (see
+    /// [`Cluster::try_merged_store`] for the error-returning form).
     pub fn merged_store(&self) -> Store {
+        self.try_merged_store()
+            .expect("cluster members share a config and close their streams before a merge")
+    }
+
+    /// [`Cluster::merged_store`], surfacing merge preconditions as a
+    /// typed [`MergeError`] instead of panicking — for callers (the
+    /// fault harness, operators with forged streams) for whom an
+    /// unmergeable member is an outcome to classify, not a bug.
+    pub fn try_merged_store(&self) -> Result<Store, MergeError> {
         let mut merged = Store::with_config(self.members[0].db.config());
         for m in &self.members {
-            merged.merge(&m.db);
+            merged.merge(&m.db)?;
         }
-        merged
+        Ok(merged)
     }
 
     /// The member stores as one scatter-gather [`pql::GraphSource`].

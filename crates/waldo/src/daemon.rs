@@ -84,6 +84,52 @@ impl std::iter::Sum for QueryOps {
     }
 }
 
+/// Why a cold restart ([`Waldo::restart`]) could not attach the
+/// durable home. The variants distinguish "the directory is gone"
+/// (restore from elsewhere, or accept a full rebuild by creating it)
+/// from "the directory is there but every checkpoint in it is
+/// damaged" (the logs may still cover everything — but the caller
+/// must decide that, not a silent full replay).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestartError {
+    /// A file-system error while attaching or replaying.
+    Fs(FsError),
+    /// `db_dir` does not exist at all. A restart is an adoption of
+    /// durable state; with no directory there is nothing to adopt,
+    /// and silently creating an empty one would masquerade a data
+    /// loss as a clean cold start.
+    MissingDbDir { path: String },
+    /// `db_dir/checkpoints` holds one or more manifests but none of
+    /// them decodes (all damaged). Distinguishable from the legal
+    /// zero-manifest case (full replay from retained logs) so
+    /// tampering with every manifest cannot be mistaken for a fresh
+    /// database.
+    NoReadableCheckpoint { manifests: usize },
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartError::Fs(e) => write!(f, "restart failed on a file-system error: {e:?}"),
+            RestartError::MissingDbDir { path } => {
+                write!(f, "database directory {path} does not exist")
+            }
+            RestartError::NoReadableCheckpoint { manifests } => write!(
+                f,
+                "all {manifests} manifest(s) in the database directory are unreadable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+impl From<FsError> for RestartError {
+    fn from(e: FsError) -> RestartError {
+        RestartError::Fs(e)
+    }
+}
+
 /// A fully committed source log awaiting checkpoint coverage before
 /// it may be unlinked.
 #[derive(Clone, Debug)]
@@ -137,6 +183,12 @@ pub struct Waldo {
     post_publish_pending: bool,
     ckpt_stats: CheckpointStats,
     restart_report: Option<RestartReport>,
+    /// Logs whose parse stopped at a truncated tail (clean cut inside
+    /// a frame) — the detection counter for log-truncation tampers.
+    log_tails_truncated: u64,
+    /// Logs whose parse stopped at a corrupt frame (CRC mismatch) —
+    /// the detection counter for log bit-flip tampers.
+    log_tails_corrupt: u64,
     /// Cumulative planner counters for queries served by this daemon.
     query_ops: QueryOps,
 }
@@ -168,6 +220,8 @@ impl Waldo {
             post_publish_pending: false,
             ckpt_stats: CheckpointStats::default(),
             restart_report: None,
+            log_tails_truncated: 0,
+            log_tails_corrupt: 0,
             query_ops: QueryOps::default(),
         }
     }
@@ -213,17 +267,28 @@ impl Waldo {
     /// crash matrix in `tests/group_commit.rs`.
     ///
     /// With no loadable checkpoint the store starts empty and
-    /// everything is rebuilt from the logs (full replay). Errors mean
-    /// the durable home itself could not be attached (directories or
-    /// WAL unusable) — restarting without durability would silently
-    /// unlink replayed logs, so that is refused rather than degraded.
+    /// everything is rebuilt from the logs (full replay) — but only
+    /// when the checkpoint directory holds no manifests at all. A
+    /// directory with manifests that are *all* unreadable is
+    /// [`RestartError::NoReadableCheckpoint`], and a `db_dir` that
+    /// does not exist is [`RestartError::MissingDbDir`]: both would
+    /// otherwise masquerade data loss (or tampering) as a clean cold
+    /// start. Other errors mean the durable home could not be
+    /// attached (directories or WAL unusable) — restarting without
+    /// durability would silently unlink replayed logs, so that is
+    /// refused rather than degraded.
     pub fn restart(
         pid: Pid,
         kernel: &mut Kernel,
         cfg: WaldoConfig,
         db_dir: &str,
         mount_paths: &[&str],
-    ) -> Result<Waldo, FsError> {
+    ) -> Result<Waldo, RestartError> {
+        if kernel.stat(pid, db_dir).is_err() {
+            return Err(RestartError::MissingDbDir {
+                path: db_dir.to_string(),
+            });
+        }
         let dir = checkpoint::checkpoint_dir(db_dir);
         let mut report = RestartReport::default();
         let mut w = Waldo::with_config(pid, cfg);
@@ -232,11 +297,17 @@ impl Waldo {
             report.checkpoints_skipped = loaded.skipped;
             w.db = loaded.store;
             w.last_manifest = Some(loaded.manifest);
+        } else {
+            let manifests = checkpoint::list_manifests(kernel, pid, &dir).len();
+            if manifests > 0 {
+                return Err(RestartError::NoReadableCheckpoint { manifests });
+            }
         }
         let wal = checkpoint::wal_path(db_dir);
         let wal_data = kernel.read_file(pid, &wal).unwrap_or_default();
-        let (frames, _tail) = crate::wal::parse_wal(&wal_data);
+        let (frames, wal_tail) = crate::wal::parse_wal(&wal_data);
         report.wal_frames = frames.len() as u64;
+        report.wal_tail_torn = wal_tail != crate::wal::WalTail::Clean;
         let base = report.loaded_seq.unwrap_or(0);
         report.wal_frames_beyond_checkpoint = frames.iter().filter(|f| f.seq > base).count() as u64;
         // Reset the WAL before reattaching: frames at or below the
@@ -418,6 +489,17 @@ impl Waldo {
         self.processed_logs
     }
 
+    /// Cumulative `(truncated, corrupt)` log-tail counts across every
+    /// log this daemon has drained — the lifetime view of the
+    /// per-poll [`IngestStats::tails_truncated`] /
+    /// [`IngestStats::tails_corrupt`]. Nonzero means some log's tail
+    /// was cut or damaged and its surviving prefix alone was
+    /// ingested: the tamper-detection signal for log truncation and
+    /// bit flips.
+    pub fn log_tail_errors(&self) -> (u64, u64) {
+        (self.log_tails_truncated, self.log_tails_corrupt)
+    }
+
     // ---- checkpointing ----------------------------------------------------
 
     /// The retention floor: the sequence of the oldest checkpoint
@@ -503,12 +585,15 @@ impl Waldo {
             return Ok(false);
         }
         let (txns, commit_txn) = self.db.open_txn_state();
+        let (batch_hw, replay_skip) = self.db.batch_state();
         let manifest = Manifest {
             seq,
             segments,
             txns,
             commit_txn,
             sources: self.db.source_state(),
+            batch_hw,
+            replay_skip,
         };
         checkpoint::write_temp_manifest(kernel, self.pid, &dir, &manifest)?;
         if crash == Some(CheckpointCrash::AfterTempManifest) {
@@ -626,7 +711,18 @@ impl Waldo {
             let Ok(bytes) = kernel.read_file(self.pid, &abs) else {
                 continue;
             };
-            let (entries, _tail) = lasagna::parse_log(&bytes);
+            let (entries, tail) = lasagna::parse_log(&bytes);
+            match tail {
+                lasagna::LogTail::Clean => {}
+                lasagna::LogTail::Truncated { .. } => {
+                    total.tails_truncated += 1;
+                    self.log_tails_truncated += 1;
+                }
+                lasagna::LogTail::Corrupt { .. } => {
+                    total.tails_corrupt += 1;
+                    self.log_tails_corrupt += 1;
+                }
+            }
             let (src, mark) = self.db.register_source(&abs);
             if mark == 0 {
                 // Fresh file: a new log image starts a new transaction

@@ -103,6 +103,16 @@ pub struct IngestStats {
     /// requires an attached database directory and a firing policy;
     /// see [`WaldoConfig::checkpoint_commits`]).
     pub checkpoints: usize,
+    /// Disclosure batches recognized as replays of already-committed
+    /// group frames (per-volume high-water check) and skipped
+    /// wholesale instead of applied twice.
+    pub replayed_batches: usize,
+    /// Log images whose tail parsed as cleanly truncated (a torn
+    /// final frame — the write-ahead crash shape).
+    pub tails_truncated: usize,
+    /// Log images whose tail failed its CRC — bit-level corruption,
+    /// never a legitimate crash artifact.
+    pub tails_corrupt: usize,
 }
 
 impl std::ops::AddAssign for IngestStats {
@@ -115,6 +125,9 @@ impl std::ops::AddAssign for IngestStats {
         self.txns_committed += other.txns_committed;
         self.group_commits += other.group_commits;
         self.checkpoints += other.checkpoints;
+        self.replayed_batches += other.replayed_batches;
+        self.tails_truncated += other.tails_truncated;
+        self.tails_corrupt += other.tails_corrupt;
     }
 }
 

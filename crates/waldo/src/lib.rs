@@ -95,6 +95,6 @@ pub mod wal;
 pub use cache::CacheStats;
 pub use checkpoint::{CheckpointCrash, CheckpointStats, RestartReport};
 pub use cluster::{route_volume, Cluster, ClusterGraphSource};
-pub use daemon::{QueryOps, Waldo};
+pub use daemon::{QueryOps, RestartError, Waldo};
 pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};
-pub use store::{Store, WaldoConfig};
+pub use store::{MergeError, Store, WaldoConfig};

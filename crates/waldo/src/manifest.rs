@@ -15,6 +15,8 @@
 //!             commit_txn (u8 flag, u64),
 //!             txns u32, n × (id u64, entries u32, bytes u32, log image),
 //!             sources u32, n × (str path, mark u64),
+//!             [v3+] batch_hw u32, n × (volume u32, seq u64),
+//!             [v3+] replay_skip (u8 flag, u64),
 //!             crc32 u32
 //! ```
 //!
@@ -32,9 +34,12 @@ use lasagna::{crc32, parse_log, LogEntry, LogTail};
 const MAGIC: &[u8; 4] = b"WMAN";
 /// Current manifest format version. v2 declares that the referenced
 /// segments carry the generalized attribute index (segment format
-/// v2); the manifest *layout* is unchanged, so v1 manifests — whose
-/// segments rebuild that index at load — are still accepted.
-pub const MANIFEST_VERSION: u16 = 2;
+/// v2) with the layout unchanged. v3 appends the per-volume batch
+/// replay high-water marks and the open replay-skip region after the
+/// source slots; pre-v3 manifests — which carry neither — decode
+/// with both empty, so a restart from an old checkpoint simply
+/// re-learns the marks as batches commit.
+pub const MANIFEST_VERSION: u16 = 3;
 /// Oldest manifest version the decoder accepts.
 pub const MANIFEST_MIN_VERSION: u16 = 1;
 
@@ -71,13 +76,27 @@ pub(crate) struct Manifest {
     /// Source-log replay slots: `(path, committed mark)`; an empty
     /// path is a free slot (kept to preserve handle indices).
     pub sources: Vec<(String, u64)>,
+    /// Per-volume batch replay high-water marks, sorted by volume
+    /// (v3+; empty when decoded from older manifests).
+    pub batch_hw: Vec<(u32, u64)>,
+    /// The replayed batch the committed stream prefix was skipping
+    /// through, if a crash interrupted one (v3+).
+    pub replay_skip: Option<u64>,
 }
 
-/// Serializes a manifest.
+/// Serializes a manifest at the current format version.
 pub(crate) fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    encode_manifest_versioned(m, MANIFEST_VERSION)
+}
+
+/// Serializes a manifest at an explicit format version, omitting the
+/// sections that version did not define — so compatibility tests can
+/// produce byte-faithful old-format images instead of restamping the
+/// version field under a newer layout.
+pub(crate) fn encode_manifest_versioned(m: &Manifest, version: u16) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(256);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(MANIFEST_VERSION);
+    buf.put_u16_le(version);
     buf.put_u64_le(m.seq);
     buf.put_u32_le(m.segments.len() as u32);
     for seg in &m.segments {
@@ -114,6 +133,23 @@ pub(crate) fn encode_manifest(m: &Manifest) -> Vec<u8> {
         buf.put_u32_le(path.len() as u32);
         buf.put_slice(path.as_bytes());
         buf.put_u64_le(*mark);
+    }
+    if version >= 3 {
+        buf.put_u32_le(m.batch_hw.len() as u32);
+        for (volume, seq) in &m.batch_hw {
+            buf.put_u32_le(*volume);
+            buf.put_u64_le(*seq);
+        }
+        match m.replay_skip {
+            Some(id) => {
+                buf.put_u8(1);
+                buf.put_u64_le(id);
+            }
+            None => {
+                buf.put_u8(0);
+                buf.put_u64_le(0);
+            }
+        }
     }
     let crc = crc32(&buf);
     buf.put_u32_le(crc);
@@ -200,6 +236,23 @@ pub(crate) fn decode_manifest(data: &[u8]) -> Result<Manifest> {
         };
         sources.push((path, mark));
     }
+    let mut batch_hw = Vec::new();
+    let mut replay_skip = None;
+    if version >= 3 {
+        need(&buf, 4, "batch high-water count")?;
+        let n_hw = buf.get_u32_le() as usize;
+        batch_hw.reserve(n_hw.min(1024));
+        for _ in 0..n_hw {
+            need(&buf, 12, "batch high-water entry")?;
+            let volume = buf.get_u32_le();
+            let seq = buf.get_u64_le();
+            batch_hw.push((volume, seq));
+        }
+        need(&buf, 9, "replay skip")?;
+        let flag = buf.get_u8();
+        let id = buf.get_u64_le();
+        replay_skip = (flag != 0).then_some(id);
+    }
     if buf.has_remaining() {
         return Err(DpapiError::Malformed("trailing bytes in manifest".into()));
     }
@@ -209,6 +262,8 @@ pub(crate) fn decode_manifest(data: &[u8]) -> Result<Manifest> {
         txns,
         commit_txn,
         sources,
+        batch_hw,
+        replay_skip,
     })
 }
 
@@ -246,6 +301,8 @@ mod tests {
                 (String::new(), 0),
                 ("/.pass/log.4".to_string(), 2),
             ],
+            batch_hw: vec![(1, 12), (7, 3)],
+            replay_skip: Some(lasagna::batch_txn_id(VolumeId(1), 12)),
         }
     }
 
@@ -269,22 +326,32 @@ mod tests {
         }
     }
 
-    /// The layout did not change between v1 and v2: a v1-stamped
-    /// manifest (pre-attribute-index checkpoints) still decodes, and
-    /// a future version is rejected.
+    /// Old-format manifests still decode — v1/v2 images (no batch
+    /// replay section) come back with empty batch state — and a
+    /// future version is rejected. The old images are produced by the
+    /// versioned encoder, byte-faithful to what those releases wrote.
     #[test]
     fn old_manifest_version_accepted_future_rejected() {
         let m = sample();
-        let restamp = |version: u8| {
-            let mut enc = encode_manifest(&m);
-            enc[4] = version;
-            let body = enc.len() - 4;
-            let crc = crc32(&enc[..body]).to_le_bytes();
-            enc[body..].copy_from_slice(&crc);
-            enc
+        let pre_v3 = Manifest {
+            batch_hw: Vec::new(),
+            replay_skip: None,
+            ..m.clone()
         };
-        assert_eq!(decode_manifest(&restamp(1)).unwrap(), m);
-        assert!(decode_manifest(&restamp(3)).is_err());
+        for version in [1u16, 2] {
+            let enc = encode_manifest_versioned(&m, version);
+            assert_eq!(
+                decode_manifest(&enc).unwrap(),
+                pre_v3,
+                "v{version} manifests must decode with empty batch state"
+            );
+        }
+        let mut future = encode_manifest(&m);
+        future[4] = 4;
+        let body = future.len() - 4;
+        let crc = crc32(&future[..body]).to_le_bytes();
+        future[body..].copy_from_slice(&crc);
+        assert!(decode_manifest(&future).is_err());
     }
 
     #[test]

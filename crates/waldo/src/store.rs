@@ -108,6 +108,76 @@ impl WaldoConfig {
     }
 }
 
+/// Why [`Store::merge`] refused to consolidate two stores. Every
+/// variant is a *caller* error or evidence of tampering — the
+/// volume-salted batch-id space makes collisions impossible between
+/// honestly produced member stores — so fault-injection harnesses
+/// treat a `MergeError` as the tamper being **detected** rather than
+/// aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two stores hash pnodes over different shard counts, so
+    /// routing disagrees shard-for-shard.
+    ShardCountMismatch {
+        /// Effective shard count of the merge target.
+        ours: usize,
+        /// Effective shard count of the other store.
+        theirs: usize,
+    },
+    /// The other store still holds staged-but-uncommitted items;
+    /// silently dropping them would break the byte-equivalence oracle
+    /// without a trace.
+    UncommittedStaged {
+        /// Number of staged items that would have been lost.
+        count: usize,
+    },
+    /// Both stores buffer an open transaction under the same id —
+    /// merging would interleave two transactions' records.
+    TxnIdCollision {
+        /// The colliding transaction id.
+        id: u64,
+    },
+    /// Both stores are mid-commit (an open transaction at the very
+    /// end of each committed stream). Only one open-commit marker can
+    /// survive a merge, and dropping the other would route its
+    /// untagged continuation records into the wrong transaction.
+    BothMidCommit {
+        /// The merge target's open-commit transaction id.
+        ours: u64,
+        /// The other store's open-commit transaction id.
+        theirs: u64,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::ShardCountMismatch { ours, theirs } => write!(
+                f,
+                "Store::merge requires equal effective shard counts \
+                 (routing must agree shard-for-shard): {ours} vs {theirs}"
+            ),
+            MergeError::UncommittedStaged { count } => write!(
+                f,
+                "merge consolidates committed state; commit {count} staged \
+                 entries first"
+            ),
+            MergeError::TxnIdCollision { id } => write!(
+                f,
+                "open-transaction id {id:#x} collides in merge; batch ids \
+                 are volume-salted, so two members may never share one"
+            ),
+            MergeError::BothMidCommit { ours, theirs } => write!(
+                f,
+                "both stores are mid-commit ({ours:#x} vs {theirs:#x}); \
+                 merge after their streams' groups close"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// One staged item, waiting for the next group commit.
 #[derive(Debug)]
 enum Staged {
@@ -158,6 +228,22 @@ pub struct Store {
     /// The transaction the committed prefix of the stream is inside,
     /// if any. Committed state, like `pending_txns`.
     commit_txn: Option<u64>,
+    /// Per-volume replay high-water mark over the disclosure-batch
+    /// sequence space ([`lasagna::batch_txn_id`]): the highest batch
+    /// sequence each volume has *committed*. A batch-tagged TxnBegin
+    /// at or below its volume's mark is a replayed (duplicated) group
+    /// frame — Lasagna allocates sequences monotonically per volume —
+    /// and its entries are skipped wholesale instead of applied
+    /// twice. Committed state, checkpointed with the manifest.
+    batch_hw: HashMap<u32, u64>,
+    /// When `Some(id)`, the committed stream prefix is inside a
+    /// *replayed* batch: routed entries are dropped until the
+    /// matching TxnEnd closes the skip region. Committed state, like
+    /// `commit_txn`.
+    replay_skip: Option<u64>,
+    /// Lifetime count of replayed disclosure batches detected (and
+    /// skipped) by the high-water check.
+    replayed_batches: u64,
     /// Items staged for the next group commit (lost on crash).
     staged: Vec<Staged>,
     /// Count of `Staged::Entry` items in `staged` (kept so batch
@@ -220,6 +306,9 @@ impl Store {
             shard_mask: (n - 1) as u64,
             pending_txns: HashMap::new(),
             commit_txn: None,
+            batch_hw: HashMap::new(),
+            replay_skip: None,
+            replayed_batches: 0,
             staged: Vec::new(),
             staged_entries: 0,
             source_files: Vec::new(),
@@ -293,8 +382,10 @@ impl Store {
             let mut flush_stats = IngestStats::default();
             self.commit_staged(&mut flush_stats);
         }
-        // A new log image starts a new transaction scope.
+        // A new log image starts a new transaction scope (and closes
+        // any replay-skip region: transaction ids never span images).
         self.commit_txn = None;
+        self.replay_skip = None;
         // Transaction routing, in arrival order. `plan` records which
         // entries this commit applies: positions in `entries`, or in
         // the `flushed` buffers pulled out of completed transactions.
@@ -307,20 +398,32 @@ impl Store {
         for (i, entry) in entries.iter().enumerate() {
             match entry {
                 LogEntry::TxnBegin { id } => {
+                    if self.is_replayed_batch(*id) {
+                        self.replay_skip = Some(*id);
+                        self.replayed_batches += 1;
+                        stats.replayed_batches += 1;
+                        continue;
+                    }
                     self.pending_txns.entry(*id).or_default();
                     self.commit_txn = Some(*id);
                 }
                 LogEntry::TxnEnd { id } => {
+                    if self.replay_skip == Some(*id) {
+                        self.replay_skip = None;
+                        continue;
+                    }
                     if let Some(buf) = self.pending_txns.remove(id) {
                         let start = flushed.len();
                         flushed.extend(buf);
                         plan.extend((start..flushed.len()).map(PlanItem::Flushed));
                         stats.txns_committed += 1;
+                        self.advance_batch_hw(*id);
                     }
                     if self.commit_txn == Some(*id) {
                         self.commit_txn = None;
                     }
                 }
+                _ if self.replay_skip.is_some() => {}
                 _ => match self.commit_txn {
                     Some(id) => {
                         self.pending_txns.entry(id).or_default().push(entry.clone());
@@ -419,6 +522,7 @@ impl Store {
             let (entry, source) = match item {
                 Staged::StreamReset => {
                     self.commit_txn = None;
+                    self.replay_skip = None;
                     continue;
                 }
                 Staged::Entry { entry, source } => (entry, source),
@@ -428,18 +532,30 @@ impl Store {
             }
             match &entry {
                 LogEntry::TxnBegin { id } => {
+                    if self.is_replayed_batch(*id) {
+                        self.replay_skip = Some(*id);
+                        self.replayed_batches += 1;
+                        stats.replayed_batches += 1;
+                        continue;
+                    }
                     self.pending_txns.entry(*id).or_default();
                     self.commit_txn = Some(*id);
                 }
                 LogEntry::TxnEnd { id } => {
+                    if self.replay_skip == Some(*id) {
+                        self.replay_skip = None;
+                        continue;
+                    }
                     if let Some(buf) = self.pending_txns.remove(id) {
                         apply.extend(buf);
                         stats.txns_committed += 1;
+                        self.advance_batch_hw(*id);
                     }
                     if self.commit_txn == Some(*id) {
                         self.commit_txn = None;
                     }
                 }
+                _ if self.replay_skip.is_some() => {}
                 _ => match self.commit_txn {
                     Some(id) => {
                         self.pending_txns.entry(id).or_default().push(entry);
@@ -461,6 +577,36 @@ impl Store {
             stats.group_commits += 1;
             self.write_commit_frame(apply.len() as u64, touched);
         }
+    }
+
+    /// True when `id` is a disclosure-batch transaction this store
+    /// has already committed: its volume's high-water mark is at or
+    /// above the id's sequence. Lasagna allocates batch sequences
+    /// monotonically per volume, so seeing such an id again means the
+    /// log tail replayed (duplicated) a committed group frame.
+    fn is_replayed_batch(&self, id: u64) -> bool {
+        match lasagna::batch_txn_parts(id) {
+            Some((vol, seq)) => self.batch_hw.get(&vol.0).is_some_and(|hw| seq <= *hw),
+            None => false,
+        }
+    }
+
+    /// Records that batch transaction `id` committed, advancing its
+    /// volume's replay high-water mark. Ids outside the batch space
+    /// (PA-NFS server transactions) carry no volume salt and are not
+    /// tracked.
+    fn advance_batch_hw(&mut self, id: u64) {
+        if let Some((vol, seq)) = lasagna::batch_txn_parts(id) {
+            let hw = self.batch_hw.entry(vol.0).or_insert(0);
+            *hw = (*hw).max(seq);
+        }
+    }
+
+    /// Lifetime count of replayed disclosure batches detected (and
+    /// skipped wholesale) by the per-volume high-water check — the
+    /// "detected" signal for group-frame duplication tampers.
+    pub fn replayed_batches(&self) -> u64 {
+        self.replayed_batches
     }
 
     /// Applies one commit's entries as an atomic group: entries are
@@ -598,7 +744,8 @@ impl Store {
     ///
     /// Semantics, per shard `i` (both stores must have the same
     /// effective shard count, so pnode routing agrees and `other`'s
-    /// shard `i` lands wholly in ours — the call panics otherwise):
+    /// shard `i` lands wholly in ours — the call returns
+    /// [`MergeError::ShardCountMismatch`] otherwise):
     ///
     /// * object entries merge by pnode; colliding versions extend
     ///   attribute/input lists in `self`-then-`other` order and sum
@@ -615,51 +762,63 @@ impl Store {
     ///   disjoint members; overlapping contents would double-count);
     /// * open-transaction buffers union — volume-salted batch ids
     ///   ([`lasagna::batch_txn_id`]) guarantee members' ids never
-    ///   alias, and the call panics on a collision rather than
-    ///   silently interleaving two transactions' records;
+    ///   alias, and the call returns [`MergeError::TxnIdCollision`]
+    ///   rather than silently interleaving two transactions' records;
+    /// * per-volume batch replay high-water marks merge by maximum;
     /// * staged-but-uncommitted items and per-source replay marks are
     ///   **not** merged: staging is transient by design, and replay
     ///   bookkeeping stays with the member daemon that owns the logs.
     ///
-    /// Touched shards' generations bump, so cached traversals against
-    /// the merged store invalidate exactly as after an ingest.
-    pub fn merge(&mut self, other: &Store) {
-        assert_eq!(
-            self.shards.len(),
-            other.shards.len(),
-            "Store::merge requires equal effective shard counts \
-             (routing must agree shard-for-shard)"
-        );
+    /// Every refusal is validated **before** any mutation, so a
+    /// failed merge leaves `self` exactly as it was — fault-injection
+    /// harnesses depend on a clean abort when a forged batch id
+    /// collides. Touched shards' generations bump, so cached
+    /// traversals against the merged store invalidate exactly as
+    /// after an ingest.
+    pub fn merge(&mut self, other: &Store) -> Result<(), MergeError> {
+        if self.shards.len() != other.shards.len() {
+            return Err(MergeError::ShardCountMismatch {
+                ours: self.shards.len(),
+                theirs: other.shards.len(),
+            });
+        }
         // A hard check like the others: silently dropping staged
-        // records in release builds would break the byte-equivalence
-        // oracle without a trace.
-        assert!(
-            other.staged.is_empty(),
-            "merge consolidates committed state; commit staged entries first"
-        );
-        for (id, buf) in &other.pending_txns {
-            let clash = self.pending_txns.insert(*id, buf.clone());
-            assert!(
-                clash.is_none(),
-                "open-transaction id {id:#x} collides in merge; batch ids \
-                 are volume-salted, so two members may never share one"
-            );
+        // records would break the byte-equivalence oracle without a
+        // trace.
+        if !other.staged.is_empty() {
+            return Err(MergeError::UncommittedStaged {
+                count: other.staged.len(),
+            });
+        }
+        if let Some(id) = other
+            .pending_txns
+            .keys()
+            .find(|id| self.pending_txns.contains_key(*id))
+        {
+            return Err(MergeError::TxnIdCollision { id: *id });
         }
         // The open-commit marker routes *untagged* continuation
         // records to their transaction; keeping only one side's
         // marker while both are mid-commit would interleave the other
         // side's continuation into the wrong transaction on a later
         // ingest — refuse, like the id collision above.
-        assert!(
-            self.commit_txn.is_none() || other.commit_txn.is_none(),
-            "both stores are mid-commit ({:?} vs {:?}); merge after their \
-             streams' groups close",
-            self.commit_txn,
-            other.commit_txn
-        );
+        if let (Some(ours), Some(theirs)) = (self.commit_txn, other.commit_txn) {
+            return Err(MergeError::BothMidCommit { ours, theirs });
+        }
+        for (id, buf) in &other.pending_txns {
+            self.pending_txns.insert(*id, buf.clone());
+        }
         if self.commit_txn.is_none() {
             self.commit_txn = other.commit_txn;
         }
+        if self.replay_skip.is_none() {
+            self.replay_skip = other.replay_skip;
+        }
+        for (vol, seq) in &other.batch_hw {
+            let hw = self.batch_hw.entry(*vol).or_insert(0);
+            *hw = (*hw).max(*seq);
+        }
+        self.replayed_batches += other.replayed_batches;
         for i in 0..self.shards.len() {
             let src = &other.shards[i];
             if src.objects.is_empty() && src.reverse_index.is_empty() {
@@ -710,6 +869,7 @@ impl Store {
             self.gens[i] = dst.generation;
         }
         self.commit_seq += other.commit_seq;
+        Ok(())
     }
 
     /// Committed open-transaction state, sorted by id: the buffers a
@@ -726,6 +886,16 @@ impl Store {
         (txns, self.commit_txn)
     }
 
+    /// Committed batch-replay state, for the checkpoint writer: the
+    /// per-volume high-water marks sorted by volume, plus the open
+    /// replay-skip region (if a crash interrupted one). Restart must
+    /// restore both or a replayed group frame could apply twice.
+    pub(crate) fn batch_state(&self) -> (Vec<(u32, u64)>, Option<u64>) {
+        let mut hw: Vec<(u32, u64)> = self.batch_hw.iter().map(|(v, s)| (*v, *s)).collect();
+        hw.sort_unstable_by_key(|(v, _)| *v);
+        (hw, self.replay_skip)
+    }
+
     /// Source-file replay slots, in slot order: `(path, committed
     /// mark)`, with an empty path marking a free slot. Preserving slot
     /// indices keeps a restored store's handles identical.
@@ -740,6 +910,7 @@ impl Store {
     /// open-transaction buffers, source replay slots and the commit
     /// sequence. `shards.len()` must be the power-of-two count the
     /// segments were written with; it overrides `cfg.shards`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn restore(
         cfg: WaldoConfig,
         shards: Vec<Shard>,
@@ -747,6 +918,8 @@ impl Store {
         commit_txn: Option<u64>,
         sources: Vec<(String, u64)>,
         commit_seq: u64,
+        batch_hw: Vec<(u32, u64)>,
+        replay_skip: Option<u64>,
     ) -> Store {
         let n = shards.len();
         debug_assert!(n.is_power_of_two() && n <= 64);
@@ -755,6 +928,8 @@ impl Store {
         store.shards = shards;
         store.pending_txns = txns.into_iter().collect();
         store.commit_txn = commit_txn;
+        store.batch_hw = batch_hw.into_iter().collect();
+        store.replay_skip = replay_skip;
         store.free_sources = sources
             .iter()
             .enumerate()

@@ -14,7 +14,7 @@ use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, Volum
 use lasagna::LogEntry;
 use proptest::prelude::*;
 use waldo::cluster::route_volume;
-use waldo::{IngestStats, QueryOps, Store, WaldoConfig};
+use waldo::{IngestStats, MergeError, QueryOps, Store, WaldoConfig};
 
 fn r(volume: u32, n: u64, v: u32) -> ObjectRef {
     ObjectRef::new(Pnode::new(VolumeId(volume), n), Version(v))
@@ -98,7 +98,7 @@ fn merge_of_per_volume_stores_matches_single_store() {
     for order in [[0usize, 1, 2, 3], [3, 2, 1, 0]] {
         let mut merged = Store::with_config(cfg());
         for &i in &order {
-            merged.merge(&members[i]);
+            merged.merge(&members[i]).unwrap();
         }
         assert_eq!(merged.segment_images(), single.segment_images());
         assert_eq!(merged.object_count(), single.object_count());
@@ -118,7 +118,7 @@ fn merged_store_answers_cross_volume_queries() {
         single.ingest(&stream);
         let mut member = Store::with_config(cfg());
         member.ingest(&stream);
-        merged.merge(&member);
+        merged.merge(&member).unwrap();
     }
     // Descendants of volume 1's first file span every volume.
     let desc_merged = merged.descendants(Pnode::new(VolumeId(1), 1));
@@ -171,8 +171,8 @@ fn merge_unions_open_transactions() {
     ]);
     close_scope(&mut b);
     let mut merged = Store::with_config(cfg());
-    merged.merge(&a);
-    merged.merge(&b);
+    merged.merge(&a).unwrap();
+    merged.merge(&b).unwrap();
     assert_eq!(merged.open_txns().len(), 2);
     // Completing one transaction applies exactly its buffered records.
     let stats = merged.ingest(&[LogEntry::TxnEnd {
@@ -187,8 +187,9 @@ fn merge_unions_open_transactions() {
 /// of each committed stream) cannot merge: only one open-commit
 /// marker can survive, and dropping the other would interleave its
 /// untagged continuation records into the wrong transaction later.
+/// The rejection is a typed error — and the failed merge leaves the
+/// target untouched, so a caller can classify and continue.
 #[test]
-#[should_panic(expected = "mid-commit")]
 fn merge_rejects_two_mid_commit_streams() {
     let mut a = Store::with_config(cfg());
     a.ingest(&[LogEntry::TxnBegin {
@@ -199,20 +200,62 @@ fn merge_rejects_two_mid_commit_streams() {
         id: lasagna::batch_txn_id(VolumeId(2), 1),
     }]);
     let mut merged = Store::with_config(cfg());
-    merged.merge(&a);
-    merged.merge(&b);
+    merged.merge(&a).unwrap();
+    let before = merged.segment_images();
+    match merged.merge(&b) {
+        Err(MergeError::BothMidCommit { ours, theirs }) => {
+            assert_eq!(ours, lasagna::batch_txn_id(VolumeId(1), 1));
+            assert_eq!(theirs, lasagna::batch_txn_id(VolumeId(2), 1));
+        }
+        other => panic!("expected BothMidCommit, got {other:?}"),
+    }
+    assert_eq!(
+        merged.segment_images(),
+        before,
+        "a rejected merge must not mutate the target"
+    );
 }
 
 /// Shard-count mismatches are a routing disagreement, not a merge.
 #[test]
-#[should_panic(expected = "equal effective shard counts")]
 fn merge_rejects_mismatched_shard_counts() {
     let mut a = Store::with_config(WaldoConfig { shards: 4, ..cfg() });
     let b = Store::with_config(WaldoConfig {
         shards: 16,
         ..cfg()
     });
-    a.merge(&b);
+    assert_eq!(
+        a.merge(&b),
+        Err(MergeError::ShardCountMismatch {
+            ours: 4,
+            theirs: 16
+        })
+    );
+}
+
+/// An open transaction with the *same* volume-salted id on both sides
+/// (only possible with a forged or replayed id — the legitimate id
+/// space is alias-free) is a typed collision, not a panic.
+#[test]
+fn merge_rejects_forged_txn_id_collision() {
+    let forged = lasagna::batch_txn_id(VolumeId(1), 5);
+    let open_with = |id: u64| {
+        let mut s = Store::with_config(cfg());
+        s.ingest(&[
+            LogEntry::TxnBegin { id },
+            prov(r(1, 1, 0), Attribute::Name, Value::str("/x")),
+        ]);
+        s.begin_stream();
+        let mut stats = IngestStats::default();
+        s.commit_staged(&mut stats);
+        s
+    };
+    let mut merged = Store::with_config(cfg());
+    merged.merge(&open_with(forged)).unwrap();
+    assert_eq!(
+        merged.merge(&open_with(forged)),
+        Err(MergeError::TxnIdCollision { id: forged })
+    );
 }
 
 /// `segment_images` is the byte-equivalence oracle: images come back
@@ -245,6 +288,9 @@ fn stats_roll_up_with_add_assign_and_sum() {
         txns_committed: 2,
         group_commits: 4,
         checkpoints: 1,
+        replayed_batches: 1,
+        tails_truncated: 1,
+        tails_corrupt: 0,
     };
     let b = IngestStats {
         applied: 10,
@@ -252,6 +298,9 @@ fn stats_roll_up_with_add_assign_and_sum() {
         txns_committed: 1,
         group_commits: 2,
         checkpoints: 0,
+        replayed_batches: 0,
+        tails_truncated: 0,
+        tails_corrupt: 2,
     };
     let total: IngestStats = [a, b].into_iter().sum();
     assert_eq!(total.applied, 13);
@@ -259,6 +308,9 @@ fn stats_roll_up_with_add_assign_and_sum() {
     assert_eq!(total.txns_committed, 3);
     assert_eq!(total.group_commits, 6);
     assert_eq!(total.checkpoints, 1);
+    assert_eq!(total.replayed_batches, 1);
+    assert_eq!(total.tails_truncated, 1);
+    assert_eq!(total.tails_corrupt, 2);
     let mut acc = a;
     acc += b;
     assert_eq!(acc, total);

@@ -13,6 +13,7 @@ pub mod linux_compile;
 pub mod mercurial;
 pub mod pa_kepler;
 pub mod postmark;
+pub mod self_ingest;
 
 use sim_os::clock::Nanos;
 use sim_os::fs::FsResult;
@@ -24,6 +25,7 @@ pub use linux_compile::LinuxCompile;
 pub use mercurial::MercurialActivity;
 pub use pa_kepler::PaKepler;
 pub use postmark::Postmark;
+pub use self_ingest::SelfIngest;
 
 /// A benchmark workload.
 pub trait Workload {

@@ -1,0 +1,161 @@
+//! The self-ingestion workload: the provenance system building
+//! itself.
+//!
+//! A small cargo-like build of the provenance daemon's own sources —
+//! one `rustc` process per crate source reading it (plus the shared
+//! manifest) and emitting an rlib, then a link step reading every
+//! rlib and writing the daemon binary. The point is not the
+//! operation mix but the *shape*: the binary's ancestry must reach
+//! every source through its compile process, which makes this the
+//! natural expressiveness probe for the fault harness — a system
+//! whose provenance of its own build is wrong cannot be trusted
+//! about anyone else's.
+
+use sim_os::fs::FsResult;
+use sim_os::proc::Pid;
+use sim_os::syscall::{Kernel, OpenFlags};
+
+use crate::{join, Workload};
+
+/// The self-ingestion build workload.
+pub struct SelfIngest {
+    /// Number of crate sources compiled to rlibs.
+    pub sources: usize,
+    /// Source file size in bytes.
+    pub src_bytes: usize,
+    /// Compute units burned per compilation.
+    pub cpu_per_unit: u64,
+}
+
+impl Default for SelfIngest {
+    fn default() -> Self {
+        SelfIngest {
+            sources: 6,
+            src_bytes: 4 * 1024,
+            cpu_per_unit: 11_000,
+        }
+    }
+}
+
+impl Workload for SelfIngest {
+    fn name(&self) -> &'static str {
+        "SelfIngest"
+    }
+
+    fn run(&self, kernel: &mut Kernel, driver: Pid, base: &str) -> FsResult<()> {
+        // Check out the tree: one process writes the manifest and
+        // every crate source.
+        let co = kernel.fork(driver)?;
+        kernel.execve(co, "/usr/bin/git", &["git".into(), "checkout".into()], &[])?;
+        kernel.mkdir_p(co, &join(base, "src"))?;
+        kernel.mkdir_p(co, &join(base, "target"))?;
+        kernel.write_file(
+            co,
+            &join(base, "Cargo.toml"),
+            b"[package]\nname = \"waldo\"\n",
+        )?;
+        for i in 0..self.sources {
+            let body = vec![(i % 251) as u8; self.src_bytes];
+            kernel.write_file(co, &join(base, &format!("src/c{i}.rs")), &body)?;
+        }
+        kernel.exit(co);
+
+        // Compile each source in its own rustc process: reads its
+        // source plus the shared manifest, writes its rlib.
+        for i in 0..self.sources {
+            let rustc = kernel.fork(driver)?;
+            kernel.execve(
+                rustc,
+                "/usr/bin/rustc",
+                &[
+                    "rustc".into(),
+                    "--crate-type=rlib".into(),
+                    format!("src/c{i}.rs"),
+                ],
+                &["PATH=/usr/bin:/bin".into(), "CARGO_TERM_COLOR=never".into()],
+            )?;
+            let fd = kernel.open(
+                rustc,
+                &join(base, &format!("src/c{i}.rs")),
+                OpenFlags::RDONLY,
+            )?;
+            kernel.read(rustc, fd, self.src_bytes)?;
+            kernel.close(rustc, fd)?;
+            let fd = kernel.open(rustc, &join(base, "Cargo.toml"), OpenFlags::RDONLY)?;
+            kernel.read(rustc, fd, 64)?;
+            kernel.close(rustc, fd)?;
+            kernel.compute(self.cpu_per_unit);
+            let body = vec![(i % 249) as u8; self.src_bytes / 2];
+            kernel.write_file(rustc, &join(base, &format!("target/c{i}.rlib")), &body)?;
+            kernel.exit(rustc);
+        }
+
+        // Link: one process reads every rlib and writes the daemon.
+        let ld = kernel.fork(driver)?;
+        kernel.execve(
+            ld,
+            "/usr/bin/rustc",
+            &["rustc".into(), "-o".into(), "waldo".into()],
+            &[],
+        )?;
+        let mut image = Vec::new();
+        for i in 0..self.sources {
+            let path = join(base, &format!("target/c{i}.rlib"));
+            let fd = kernel.open(ld, &path, OpenFlags::RDONLY)?;
+            let data = kernel.read(ld, fd, self.src_bytes / 2)?;
+            kernel.close(ld, fd)?;
+            image.extend_from_slice(&data[..32.min(data.len())]);
+        }
+        kernel.compute(self.cpu_per_unit * 2);
+        kernel.write_file(ld, &join(base, "target/waldo"), &image)?;
+        kernel.exit(ld);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed_run;
+
+    #[test]
+    fn build_produces_rlibs_and_binary() {
+        let mut sys = passv2::System::baseline();
+        let driver = sys.spawn("cargo");
+        let wl = SelfIngest::default();
+        let report = timed_run(&wl, &mut sys.kernel, driver, "/").unwrap();
+        assert!(report.elapsed_ns > 0);
+        assert!(sys.kernel.read_file(driver, "/target/waldo").is_ok());
+        assert!(sys.kernel.read_file(driver, "/target/c0.rlib").is_ok());
+    }
+
+    /// The defining shape: under PASS, the binary's ancestry reaches
+    /// every crate source through its compiling process.
+    #[test]
+    fn binary_ancestry_reaches_every_source() {
+        let mut sys = passv2::System::single_volume();
+        let driver = sys.spawn("cargo");
+        let wl = SelfIngest::default();
+        timed_run(&wl, &mut sys.kernel, driver, "/").unwrap();
+        let mut waldo = sys.spawn_waldo();
+        for (_, logs) in sys.rotate_all_logs() {
+            for log in logs {
+                waldo.ingest_log_file(&mut sys.kernel, &log);
+            }
+        }
+        let bins = waldo.db.find_by_name("/target/waldo");
+        assert_eq!(bins.len(), 1);
+        let obj = waldo.db.object(bins[0]).unwrap();
+        let anc = waldo
+            .db
+            .ancestors(dpapi::ObjectRef::new(bins[0], dpapi::Version(obj.current)));
+        for i in 0..wl.sources {
+            let srcs = waldo.db.find_by_name(&format!("/src/c{i}.rs"));
+            assert_eq!(srcs.len(), 1);
+            assert!(
+                anc.iter().any(|r| r.pnode == srcs[0]),
+                "binary ancestry must include /src/c{i}.rs"
+            );
+        }
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`dpapi`] — the disclosed-provenance API and wire format;
 //! * [`pa_nfs`], [`pa_python`], [`links`], [`kepler`] — the four
 //!   provenance-aware applications of §6;
-//! * [`workloads`] — the §7 evaluation workloads.
+//! * [`workloads`] — the §7 evaluation workloads;
+//! * [`provtorture`] — the deterministic fault-injection and
+//!   expressiveness harness (every tamper detected or provably
+//!   harmless).
 //!
 //! The repository-level documents this crate is the index for:
 //! `DESIGN.md` (crate-to-component inventory and the storage engine's
@@ -32,6 +35,7 @@ pub use pa_nfs;
 pub use pa_python;
 pub use passv2;
 pub use pql;
+pub use provtorture;
 pub use sim_os;
 pub use waldo;
 pub use workloads;
