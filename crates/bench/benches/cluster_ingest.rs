@@ -15,7 +15,7 @@
 //! single-daemon store). EXPERIMENTS.md records the fan-in scaling
 //! table.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use passv2::{System, SystemBuilder};
 use sim_os::cost::CostModel;
 use std::hint::black_box;
@@ -219,5 +219,43 @@ fn bench_cluster(c: &mut Criterion) {
     group.finish();
 }
 
+/// `PROVSCOPE_TRACE=1` mode: one traced 4-member ingest sweep instead
+/// of the criterion timing loops — prints the per-layer latency
+/// attribution, the per-volume poll report, and the fleet's unified
+/// metrics registry (the same renderer the table binaries use).
+fn trace_mode() {
+    let mut sys = built_system();
+    let scope = sys.enable_tracing();
+    let mut cluster = sys.spawn_cluster(4);
+    cluster.set_scope(scope.clone());
+    let volumes = sys.volumes.clone();
+    let report = cluster.poll_volumes_report(&mut sys.kernel, &volumes);
+    println!(
+        "cluster_ingest trace: {} entries across {} volumes, {} issue(s)",
+        report.total.applied,
+        report.per_volume.len(),
+        report.issues().len(),
+    );
+    for p in &report.per_volume {
+        println!(
+            "  volume {:>3} -> member {}: applied {:>5}, wal_errors {}",
+            p.volume.0, p.member, p.stats.applied, p.wal_errors
+        );
+    }
+    println!();
+    println!("{}", scope.snapshot().render_latency_table());
+    let mut reg = provscope::Registry::new();
+    reg.absorb("kernel.", &sys.kernel.stats());
+    cluster.record_metrics(&mut reg);
+    println!("{}", reg.render_table());
+}
+
 criterion_group!(benches, bench_cluster);
-criterion_main!(benches);
+
+fn main() {
+    if std::env::var_os("PROVSCOPE_TRACE").is_some() {
+        trace_mode();
+        return;
+    }
+    benches();
+}

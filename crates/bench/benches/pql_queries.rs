@@ -5,7 +5,7 @@
 //! proportional to the result, scans to the volume); CI runs this in
 //! quick mode so the query path can't silently regress to scans.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dpapi::{Attribute, ObjectRef, Pnode, ProvenanceRecord, Value, Version, VolumeId};
 use lasagna::LogEntry;
 use pql::{EdgeLabel, GraphSource};
@@ -216,5 +216,48 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
+/// `PROVSCOPE_TRACE=1` mode: one traced planner run instead of the
+/// criterion timing loops. Query evaluation never advances the
+/// virtual clock (the cost model charges I/O, not graph traversal),
+/// so spans are shown on a deterministic tick counter: the output is
+/// the plan/bind/filter/project *span structure*, not wall time.
+fn trace_mode() {
+    let db = build_db(400);
+    let tick = std::cell::Cell::new(0u64);
+    let scope = provscope::Scope::enabled(move || {
+        let t = tick.get();
+        tick.set(t + 1);
+        t
+    });
+    let query = "select A from Provenance.file as F F.input* as A \
+                 where F.name = '/obj/f17.o'";
+    let out = pql::query_traced(query, &db, &scope).expect("traced query");
+    println!(
+        "pql_queries trace: {} rows, {} index hits, {} rows pruned",
+        out.result.len(),
+        out.stats.index_hits,
+        out.stats.rows_pruned,
+    );
+    let trace = scope.snapshot();
+    for s in &trace.spans {
+        println!(
+            "  #{:<3} {:>10}/{:<8} parent={:?} ticks {}..{}",
+            s.id.0,
+            s.layer,
+            s.name,
+            s.parent.map(|p| p.0),
+            s.start_ns,
+            s.end_ns.unwrap_or(s.start_ns),
+        );
+    }
+}
+
 criterion_group!(benches, bench_queries, bench_planner);
-criterion_main!(benches);
+
+fn main() {
+    if std::env::var_os("PROVSCOPE_TRACE").is_some() {
+        trace_mode();
+        return;
+    }
+    benches();
+}

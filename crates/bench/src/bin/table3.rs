@@ -2,10 +2,14 @@
 //! and its indexes, as a percentage of the base data written.
 //!
 //! ```text
-//! cargo run --release -p bench --bin table3
+//! cargo run --release -p bench --bin table3 [-- --trace]
 //! ```
+//!
+//! With `--trace`, additionally runs a traced PA-NFS Postmark round
+//! and prints the per-layer latency attribution plus the Chrome-trace
+//! JSON export path (load it in `chrome://tracing` / Perfetto).
 
-use bench::{measure, standard_workloads, Config};
+use bench::{measure, standard_workloads, traced_postmark, Config};
 
 fn mb(bytes: u64) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
@@ -37,64 +41,30 @@ fn main() {
     }
     println!();
     println!("Operational counters (PASSv2 daemon: durable WAL + checkpoints,");
-    println!("ancestry of the first 64 objects queried twice to exercise the cache)");
-    println!(
-        "{:<20} {:>6} {:>11} {:>8} {:>6} {:>6} {:>8} {:>9} {:>8} {:>8}",
-        "Benchmark",
-        "shards",
-        "cache h/m",
-        "walerr",
-        "ckpts",
-        "fail",
-        "segs",
-        "seg KB",
-        "trunc",
-        "retired"
-    );
-    println!("{}", "-".repeat(99));
+    println!("ancestry of the first 64 objects queried twice to exercise the");
+    println!("cache; `planner.` rows are one §5.7-style name-equality ancestry");
+    println!("query per run, root-bound via the attribute index)");
+    let mut reg = provscope::Registry::new();
     for (name, m) in &measured {
-        let o = &m.ops;
-        println!(
-            "{:<20} {:>6} {:>5}/{:<5} {:>8} {:>6} {:>6} {:>8} {:>9.1} {:>8} {:>8}",
-            name,
-            o.effective_shards,
-            o.ancestry_cache.hits,
-            o.ancestry_cache.misses,
-            o.wal_errors,
-            o.checkpoints.checkpoints,
-            o.checkpoints.failures,
-            o.checkpoints.segments_written,
-            o.checkpoints.segment_bytes as f64 / 1024.0,
-            o.checkpoints.frames_truncated,
-            o.checkpoints.logs_retired,
-        );
+        reg.absorb(&format!("{name}."), &m.ops);
     }
-    println!();
-    println!("Query planner (one §5.7-style name-equality ancestry query per run:");
-    println!("root binding via the attribute index, not a volume scan)");
-    println!(
-        "{:<20} {:>8} {:>6} {:>7} {:>8} {:>10} {:>9}",
-        "Benchmark", "idx hit", "scans", "pushed", "pruned", "clo saved", "fallback"
-    );
-    println!("{}", "-".repeat(74));
-    for (name, m) in &measured {
-        let p = &m.ops.planner;
-        println!(
-            "{:<20} {:>8} {:>6} {:>7} {:>8} {:>10} {:>9}",
-            name,
-            p.index_hits,
-            p.scan_bindings,
-            p.predicates_pushed,
-            p.rows_pruned,
-            p.closure_calls_saved,
-            p.naive_fallbacks,
-        );
-    }
-    println!();
+    println!("{}", reg.render_table());
     println!("Paper reference (MB):");
     println!("  Linux Compile      1287.9   88.9 (6.9%)   236.8 (18.4%)");
     println!("  Postmark           1289.5    0.8 (0.1%)     1.7 ( 0.1%)");
     println!("  Mercurial Activity  858.7   15.4 (1.8%)    28.9 ( 3.4%)");
     println!("  Blast                 5.6    0.1 (1.1%)     0.2 ( 3.8%)");
     println!("  PA-Kepler             3.5    0.2 (4.7%)     0.5 (14.2%)");
+
+    if std::env::args().any(|a| a == "--trace") {
+        let run = traced_postmark(8, true);
+        println!();
+        println!("Traced PA-NFS Postmark (8-op disclosure batches):");
+        println!("{}", run.trace.render_latency_table());
+        let path = "target/provscope-table3.json";
+        match std::fs::write(path, provscope::chrome_trace_json(&run.trace)) {
+            Ok(()) => println!("Chrome trace written to {path}"),
+            Err(e) => println!("Chrome trace not written ({path}: {e})"),
+        }
+    }
 }

@@ -155,6 +155,23 @@ pub struct WaldoOps {
     pub planner: pql::PlanStats,
 }
 
+impl provscope::MetricSource for WaldoOps {
+    /// Flattens the run's operational counters into one namespace so
+    /// the table binaries and the cluster bench print through the
+    /// same [`provscope::Registry`] renderer instead of hand-rolled
+    /// column layouts.
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("shards", self.effective_shards as u64);
+        out("cache.hits", self.ancestry_cache.hits);
+        out("cache.misses", self.ancestry_cache.misses);
+        out("wal_errors", self.wal_errors);
+        provscope::MetricSource::record(&self.checkpoints, &mut |k, v| {
+            out(&format!("ckpt.{k}"), v)
+        });
+        provscope::MetricSource::record(&self.planner, &mut |k, v| out(&format!("planner.{k}"), v));
+    }
+}
+
 /// The outcome of one measured run.
 #[derive(Clone, Copy, Debug)]
 pub struct Measurement {
@@ -278,6 +295,148 @@ pub fn standard_workloads() -> Vec<Box<dyn Workload>> {
         Box::new(workloads::Blast::default()),
         Box::new(workloads::PaKepler::default()),
     ]
+}
+
+/// Wires a [`provscope::Scope`] on the machine's virtual clock
+/// through every layer it has: the kernel (which forwards to its
+/// mounted DPAPI volumes — for PA-NFS that chain reaches the client,
+/// the server and the server's Lasagna export) and the PASS module.
+/// Waldo daemons are spawned later by the caller and get the
+/// returned scope via [`waldo::Waldo::set_scope`].
+pub fn enable_tracing(m: &mut Machine) -> provscope::Scope {
+    let clock = m.kernel.clock();
+    let scope = provscope::Scope::enabled(move || clock.now());
+    m.kernel.set_scope(scope.clone());
+    if let Some(p) = &m.pass {
+        p.set_scope(scope.clone());
+    }
+    scope
+}
+
+/// One traced PA-NFS Postmark round: the span forest, the unified
+/// metrics registry, and the store images that pin the
+/// tracing-is-free contract.
+pub struct TracedRun {
+    /// The span forest snapshot after ingest and one traced query.
+    pub trace: provscope::Trace,
+    /// Every layer's counters, absorbed into one registry
+    /// (`kernel.`, `dpapi.`, `pa-nfs.server.`, `waldo.` prefixes).
+    pub registry: provscope::Registry,
+    /// Trace ids of the disclosure batches the run drove (empty for
+    /// single-op disclosures, which allocate no batch id).
+    pub batch_traces: Vec<provscope::TraceId>,
+    /// Normalized segment images of the server-side Waldo store —
+    /// the byte-equality witness that tracing changes no behavior.
+    pub segment_images: Vec<Vec<u8>>,
+}
+
+/// How many disclosure transactions [`traced_postmark`] drives after
+/// the workload (each with the caller's per-transaction op count).
+pub const TRACED_DISCLOSURES: usize = 4;
+
+/// Runs a small Postmark on the PA-NFS configuration with span
+/// tracing threaded through every layer, then drives
+/// [`TRACED_DISCLOSURES`] disclosure transactions of `batch_ops`
+/// DPAPI ops each, ingests the server-drained logs into a Waldo
+/// daemon on the same scope, and serves one traced PQL query.
+///
+/// With `batch_ops >= 2` each disclosure allocates a volume-salted
+/// batch id ([`lasagna::batch_txn_id`]), which *is* the trace id: the
+/// resulting span tree crosses kernel → dpapi → pa-nfs → lasagna on
+/// the synchronous commit path and gains the waldo ingest span
+/// asynchronously when the daemon drains that batch's group frame.
+/// With `traced = false` the run is identical except that every span
+/// operation is a no-op — [`TracedRun::segment_images`] must not
+/// notice the difference.
+pub fn traced_postmark(batch_ops: usize, traced: bool) -> TracedRun {
+    assert!(
+        batch_ops >= 1,
+        "a disclosure transaction has at least one op"
+    );
+    let mut m = build(Config::PaNfs);
+    let scope = if traced {
+        enable_tracing(&mut m)
+    } else {
+        provscope::Scope::disabled()
+    };
+
+    let wl = workloads::Postmark {
+        files: 12,
+        transactions: 24,
+        subdirs: 2,
+        min_size: 512,
+        max_size: 2048,
+        seed: 11,
+    };
+    timed_run(&wl, &mut m.kernel, m.driver, "/").expect("workload run");
+
+    // The disclosure rounds under measurement: `batch_ops` DPAPI ops
+    // committed atomically per transaction (the DPAPI v2 batch
+    // shape), all against one run object. The trailing `sync` is what
+    // flushes the module-cached disclosure records into the volume
+    // transaction — without it the module defers them and nothing
+    // crosses the pa-nfs/lasagna boundary (so `batch_ops = 1`, a
+    // bare sync, drives an *unbatched* volume commit: no batch id,
+    // synthetic trace).
+    let pid = m.driver;
+    let h = m.kernel.pass_mkobj(pid, None).expect("mkobj on PA-NFS");
+    for round in 0..TRACED_DISCLOSURES {
+        let mut txn = dpapi::pass_begin();
+        for i in 0..batch_ops - 1 {
+            let mut bundle = dpapi::Bundle::new();
+            bundle.push(
+                h,
+                dpapi::ProvenanceRecord::new(
+                    dpapi::Attribute::Other(format!("TRACED_ROUND_{round}")),
+                    dpapi::Value::Int(i as i64),
+                ),
+            );
+            txn.disclose(h, bundle);
+        }
+        txn.sync(h);
+        m.kernel.pass_commit(pid, txn).expect("disclosure commit");
+    }
+    let _ = m.kernel.pass_close(pid, h);
+
+    // Server-side Waldo: drain the export's rotated logs and ingest
+    // them on the same scope, linking each group frame's spans to the
+    // disclosure trace that produced it.
+    let waldo_pid = m.kernel.spawn_init("waldo");
+    if let Some(p) = &m.pass {
+        p.exempt(waldo_pid);
+    }
+    let mut w = waldo::Waldo::with_config(waldo_pid, m.waldo_cfg);
+    w.set_scope(scope.clone());
+    let images = m
+        .server
+        .as_ref()
+        .expect("PA-NFS has a server")
+        .borrow_mut()
+        .drain_provenance_logs();
+    for image in &images {
+        w.ingest_log_image(&mut m.kernel, image);
+    }
+
+    let _ = w.query("select F from Provenance.obj as F where F.name like '*'");
+
+    let mut registry = provscope::Registry::new();
+    registry.absorb("kernel.", &m.kernel.stats());
+    if let Some(p) = &m.pass {
+        registry.absorb("dpapi.", &p.stats());
+    }
+    if let Some(s) = &m.server {
+        registry.absorb("pa-nfs.server.", &s.borrow().stats());
+    }
+    registry.absorb("waldo.", &w);
+
+    let trace = scope.snapshot();
+    let batch_traces = trace.batch_traces();
+    TracedRun {
+        trace,
+        registry,
+        batch_traces,
+        segment_images: w.db.segment_images(),
+    }
 }
 
 /// Percentage overhead of `new` over `base`.

@@ -86,6 +86,17 @@ pub struct PassStats {
     pub txn_ops: u64,
 }
 
+impl provscope::MetricSource for PassStats {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("records_emitted", self.records_emitted);
+        out("records_cached", self.records_cached);
+        out("materializations", self.materializations);
+        out("dpapi_calls", self.dpapi_calls);
+        out("txn_commits", self.txn_commits);
+        out("txn_ops", self.txn_ops);
+    }
+}
+
 struct Inner {
     analyzer: CycleAvoidance,
     nodes: HashMap<ObjKey, NodeId>,
@@ -96,6 +107,7 @@ struct Inner {
     next_uhandle: u64,
     exempt: HashSet<Pid>,
     stats: PassStats,
+    scope: provscope::Scope,
 }
 
 /// The PASSv2 provenance module.
@@ -123,8 +135,15 @@ impl Pass {
                 next_uhandle: 1,
                 exempt: HashSet::new(),
                 stats: PassStats::default(),
+                scope: provscope::Scope::default(),
             }),
         }
+    }
+
+    /// Attaches a tracing scope; the module records its `dp_commit`
+    /// validate/analyze phases in it.
+    pub fn set_scope(&self, scope: provscope::Scope) {
+        self.inner.borrow_mut().scope = scope;
     }
 
     /// Creates a module already wrapped for kernel installation.
@@ -1242,6 +1261,22 @@ impl ProvenanceKernel for Pass {
     /// because it is pure server state with no log footprint, exactly
     /// as in the single-shot calls.
     fn dp_commit(&self, ctx: &mut HookCtx<'_>, pid: Pid, txn: Txn) -> dpapi::Result<Vec<OpResult>> {
+        let scope = self.inner.borrow().scope.clone();
+        let span = scope.open("dpapi", "dp_commit");
+        let r = self.dp_commit_inner(ctx, pid, txn, &scope);
+        scope.close(span);
+        r
+    }
+}
+
+impl Pass {
+    fn dp_commit_inner(
+        &self,
+        ctx: &mut HookCtx<'_>,
+        pid: Pid,
+        txn: Txn,
+        scope: &provscope::Scope,
+    ) -> dpapi::Result<Vec<OpResult>> {
         let ops = txn.into_ops();
         let n_ops = ops.len() as u64;
         let mut inner = self.inner.borrow_mut();
@@ -1250,22 +1285,38 @@ impl ProvenanceKernel for Pass {
             return Ok(Vec::new());
         }
         // ---- Phase 1: validate against pre-transaction state ------------
+        let span = scope.open("dpapi", "validate");
+        let mut failed = None;
         for (i, op) in ops.iter().enumerate() {
-            inner
-                .validate_user_op(ctx, op)
-                .map_err(|e| DpapiError::aborted_at(i, e))?;
+            if let Err(e) = inner.validate_user_op(ctx, op) {
+                failed = Some(DpapiError::aborted_at(i, e));
+                break;
+            }
+        }
+        scope.close(span);
+        if let Some(e) = failed {
+            return Err(e);
         }
         // ---- Phase 2: analyze the batch; defer volume disclosure --------
+        let span = scope.open("dpapi", "analyze");
         let mut vol_txns: Vec<VolTxn> = Vec::new();
         let mut results: Vec<Option<OpResult>> = Vec::with_capacity(ops.len());
         for _ in 0..ops.len() {
             results.push(None);
         }
+        let mut failed = None;
         for (i, op) in ops.into_iter().enumerate() {
-            let r = inner
-                .translate_op(ctx, pid, i, op, &mut vol_txns)
-                .map_err(|e| DpapiError::aborted_at(i, e))?;
-            results[i] = r;
+            match inner.translate_op(ctx, pid, i, op, &mut vol_txns) {
+                Ok(r) => results[i] = r,
+                Err(e) => {
+                    failed = Some(DpapiError::aborted_at(i, e));
+                    break;
+                }
+            }
+        }
+        scope.close(span);
+        if let Some(e) = failed {
+            return Err(e);
         }
         // ---- Phase 3: one group commit per touched volume ---------------
         for vt in vol_txns {

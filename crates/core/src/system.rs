@@ -179,6 +179,23 @@ impl System {
         self.kernel.spawn_init(exe)
     }
 
+    /// Turns on cross-layer span tracing for this machine: one
+    /// [`provscope::Scope`] on the kernel's virtual clock, shared by
+    /// the kernel, the PASS module, and every provenance-aware volume
+    /// (current and future mounts). Daemons spawned separately
+    /// ([`Waldo`]/cluster members) join via their own `set_scope`.
+    ///
+    /// Tracing only *reads* the clock — it never advances it, and it
+    /// never perturbs batch-id allocation or log bytes, so a traced
+    /// run is byte-identical to an untraced one.
+    pub fn enable_tracing(&mut self) -> provscope::Scope {
+        let clock = self.kernel.clock();
+        let scope = provscope::Scope::enabled(move || clock.now());
+        self.kernel.set_scope(scope.clone());
+        self.pass.set_scope(scope.clone());
+        scope
+    }
+
     /// Spawns the Waldo daemon: an observation-exempt process whose
     /// store is wired with this system's [`WaldoConfig`].
     pub fn spawn_waldo(&mut self) -> Waldo {

@@ -129,6 +129,18 @@ pub struct LasagnaStats {
     pub batched_ops: u64,
 }
 
+impl provscope::MetricSource for LasagnaStats {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("records_logged", self.records_logged);
+        out("data_writes", self.data_writes);
+        out("freezes", self.freezes);
+        out("rotations", self.rotations);
+        out("provenance_bytes", self.provenance_bytes);
+        out("batch_commits", self.batch_commits);
+        out("batched_ops", self.batched_ops);
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Obj {
     File(Ino),
@@ -162,6 +174,7 @@ pub struct Lasagna {
     next_batch: u64,
 
     stats: LasagnaStats,
+    scope: provscope::Scope,
 }
 
 impl Lasagna {
@@ -205,6 +218,7 @@ impl Lasagna {
             db_debt: 0.0,
             next_batch: 0,
             stats: LasagnaStats::default(),
+            scope: provscope::Scope::default(),
         })
     }
 
@@ -641,6 +655,26 @@ impl Dpapi for Lasagna {
     /// single-shot calls. Data writes follow write-ahead provenance:
     /// every log entry of the batch lands before any data byte.
     fn pass_commit(&mut self, txn: Txn) -> dpapi::Result<Vec<OpResult>> {
+        let span = self.scope.open("lasagna", "pass_commit");
+        let r = self.pass_commit_inner(txn);
+        self.scope.close(span);
+        r
+    }
+
+    fn pass_close(&mut self, h: Handle) -> dpapi::Result<()> {
+        let obj = self.resolve(h)?;
+        self.handles.remove(&h.raw());
+        if let Obj::File(ino) = obj {
+            if self.handle_of_ino.get(&ino.0) == Some(&h) {
+                self.handle_of_ino.remove(&ino.0);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Lasagna {
+    fn pass_commit_inner(&mut self, txn: Txn) -> dpapi::Result<Vec<OpResult>> {
         let ops = txn.into_ops();
         if ops.is_empty() {
             return Ok(Vec::new());
@@ -662,6 +696,11 @@ impl Dpapi for Lasagna {
         }
         if batched && !entries.is_empty() {
             let id = self.alloc_batch_id();
+            // The batch id is the transaction's identity across
+            // layers: bind the open trace window to it so the span
+            // tree and the asynchronous Waldo ingest of this group
+            // frame share one trace.
+            self.scope.bind_trace(provscope::TraceId(id));
             let mut group = Vec::with_capacity(entries.len() + 2);
             group.push(LogEntry::TxnBegin { id });
             group.append(&mut entries);
@@ -690,17 +729,6 @@ impl Dpapi for Lasagna {
             self.lower.fsync(self.log_file).map_err(DpapiError::from)?;
         }
         Ok(results)
-    }
-
-    fn pass_close(&mut self, h: Handle) -> dpapi::Result<()> {
-        let obj = self.resolve(h)?;
-        self.handles.remove(&h.raw());
-        if let Obj::File(ino) = obj {
-            if self.handle_of_ino.get(&ino.0) == Some(&h) {
-                self.handle_of_ino.remove(&ino.0);
-            }
-        }
-        Ok(())
     }
 }
 
@@ -732,6 +760,10 @@ impl DpapiVolume for Lasagna {
         if self.log_written > 0 {
             self.rotate_log();
         }
+    }
+
+    fn set_scope(&mut self, scope: provscope::Scope) {
+        self.scope = scope;
     }
 }
 

@@ -52,6 +52,17 @@ pub struct ClientStats {
     pub batched_ops: u64,
 }
 
+impl provscope::MetricSource for ClientStats {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("rpcs", self.rpcs);
+        out("bytes_sent", self.bytes_sent);
+        out("bytes_received", self.bytes_received);
+        out("txns", self.txns);
+        out("batch_rpcs", self.batch_rpcs);
+        out("batched_ops", self.batched_ops);
+    }
+}
+
 /// The client file system.
 pub struct NfsClient {
     server: Rc<RefCell<NfsServer>>,
@@ -67,6 +78,7 @@ pub struct NfsClient {
     pnode_of_ino: HashMap<u64, Pnode>,
     app_versions: HashMap<Pnode, Version>,
     stats: ClientStats,
+    scope: provscope::Scope,
 }
 
 impl NfsClient {
@@ -90,6 +102,7 @@ impl NfsClient {
             pnode_of_ino: HashMap::new(),
             app_versions: HashMap::new(),
             stats: ClientStats::default(),
+            scope: provscope::Scope::default(),
         }
     }
 
@@ -176,13 +189,8 @@ impl NfsClient {
     }
 }
 
-impl Dpapi for NfsClient {
-    /// Ships a whole disclosure transaction as **one** COMPOUND
-    /// request (`OP_PASSCOMMIT`), amortizing the 96-byte RPC header
-    /// across the batch, and maps the per-op reply back onto client
-    /// handles and version caches. A server abort surfaces as
-    /// [`DpapiError::TxnAborted`] with the failing op's index.
-    fn pass_commit(&mut self, txn: dpapi::Txn) -> dpapi::Result<Vec<dpapi::OpResult>> {
+impl NfsClient {
+    fn pass_commit_inner(&mut self, txn: dpapi::Txn) -> dpapi::Result<Vec<dpapi::OpResult>> {
         use dpapi::{DpapiOp, OpResult};
         let ops = txn.into_ops();
         if ops.is_empty() {
@@ -296,6 +304,20 @@ impl Dpapi for NfsClient {
             out.push(mapped);
         }
         Ok(out)
+    }
+}
+
+impl Dpapi for NfsClient {
+    /// Ships a whole disclosure transaction as **one** COMPOUND
+    /// request (`OP_PASSCOMMIT`), amortizing the 96-byte RPC header
+    /// across the batch, and maps the per-op reply back onto client
+    /// handles and version caches. A server abort surfaces as
+    /// [`DpapiError::TxnAborted`] with the failing op's index.
+    fn pass_commit(&mut self, txn: dpapi::Txn) -> dpapi::Result<Vec<dpapi::OpResult>> {
+        let span = self.scope.open("pa-nfs", "client_commit");
+        let r = self.pass_commit_inner(txn);
+        self.scope.close(span);
+        r
     }
 
     fn pass_read(&mut self, h: Handle, offset: u64, len: usize) -> dpapi::Result<ReadResult> {
@@ -488,6 +510,13 @@ impl DpapiVolume for NfsClient {
         let h = self.handle_for_ino(ino)?;
         let r = self.pass_read(h, 0, 0)?;
         Ok(r.identity)
+    }
+
+    /// Shares the scope with the server side too, so one trace covers
+    /// both halves of the RPC boundary.
+    fn set_scope(&mut self, scope: provscope::Scope) {
+        self.server.borrow_mut().set_scope(scope.clone());
+        self.scope = scope;
     }
 }
 

@@ -35,6 +35,17 @@ pub struct ServerStats {
     pub batched_ops: u64,
 }
 
+impl provscope::MetricSource for ServerStats {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("requests", self.requests);
+        out("txns", self.txns);
+        out("records_accepted", self.records_accepted);
+        out("records_deduped", self.records_deduped);
+        out("batch_requests", self.batch_requests);
+        out("batched_ops", self.batched_ops);
+    }
+}
+
 /// The server.
 pub struct NfsServer {
     fs: Box<dyn FileSystem>,
@@ -44,6 +55,7 @@ pub struct NfsServer {
     pnode_nodes: HashMap<Pnode, NodeId>,
     next_node: NodeId,
     stats: ServerStats,
+    scope: provscope::Scope,
 }
 
 impl NfsServer {
@@ -57,7 +69,18 @@ impl NfsServer {
             pnode_nodes: HashMap::new(),
             next_node: 1,
             stats: ServerStats::default(),
+            scope: provscope::Scope::default(),
         }
+    }
+
+    /// Attaches a tracing scope to the server and to its exported
+    /// volume, so one trace covers the RPC boundary and the export's
+    /// log commit.
+    pub fn set_scope(&mut self, scope: provscope::Scope) {
+        if let Some(d) = self.fs.as_dpapi() {
+            d.set_scope(scope.clone());
+        }
+        self.scope = scope;
     }
 
     /// Server statistics.
@@ -364,6 +387,13 @@ impl NfsServer {
     /// single `pass_commit` — one contiguous log group on the export.
     /// Any failure aborts the whole batch with the failing op's index.
     fn handle_pass_commit(&mut self, ops: Vec<WireOp>) -> Response {
+        let span = self.scope.open("pa-nfs", "server_commit");
+        let r = self.handle_pass_commit_inner(ops);
+        self.scope.close(span);
+        r
+    }
+
+    fn handle_pass_commit_inner(&mut self, ops: Vec<WireOp>) -> Response {
         self.stats.batch_requests += 1;
         self.stats.batched_ops += ops.len() as u64;
         // Pre-validate every record up front so the analyzer

@@ -103,7 +103,10 @@ use std::fmt;
 pub use ast::{EdgePattern, Expr, Literal, PathRoot, PathStep, Quant, Query, SelectItem, Source};
 pub use eval::{execute as execute_naive, glob_match, EdgeLabel, GraphSource, OutValue, ResultSet};
 pub use parse::parse;
-pub use plan::{query_with_stats, scan_lookup, AttrLookup, AttrPredicate, PlanStats, QueryOutput};
+pub use plan::{
+    execute_traced, query_traced, query_with_stats, scan_lookup, AttrLookup, AttrPredicate,
+    PlanStats, QueryOutput,
+};
 
 /// Errors from parsing or evaluating a query.
 #[derive(Clone, Debug, PartialEq)]

@@ -116,6 +116,18 @@ pub struct PlanStats {
     pub naive_fallbacks: u64,
 }
 
+impl provscope::MetricSource for PlanStats {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("index_hits", self.index_hits);
+        out("scan_bindings", self.scan_bindings);
+        out("predicates_pushed", self.predicates_pushed);
+        out("rows_pruned", self.rows_pruned);
+        out("closure_calls_saved", self.closure_calls_saved);
+        out("bindings_reordered", u64::from(self.bindings_reordered));
+        out("naive_fallbacks", self.naive_fallbacks);
+    }
+}
+
 impl PlanStats {
     /// Folds another query's counters into these (daemon-lifetime
     /// accumulation).
@@ -223,10 +235,33 @@ pub fn query_with_stats(text: &str, graph: &dyn GraphSource) -> Result<QueryOutp
     execute(&crate::parse(text)?, graph)
 }
 
+/// [`query_with_stats`] with span tracing: the planner pipeline's
+/// plan / bind / filter / project stages record spans in `scope`.
+/// PQL evaluation never advances the virtual clock, so these spans
+/// carry *structure* (what ran, in what nesting) with zero virtual
+/// duration — consistent with the cost model, which charges queries
+/// nothing.
+pub fn query_traced(
+    text: &str,
+    graph: &dyn GraphSource,
+    scope: &provscope::Scope,
+) -> Result<QueryOutput, PqlError> {
+    execute_traced(&crate::parse(text)?, graph, scope)
+}
+
 /// Executes a parsed query through the planned pipeline.
 pub fn execute(query: &Query, graph: &dyn GraphSource) -> Result<QueryOutput, PqlError> {
+    execute_traced(query, graph, &provscope::Scope::disabled())
+}
+
+/// [`execute`] with span tracing (see [`query_traced`]).
+pub fn execute_traced(
+    query: &Query,
+    graph: &dyn GraphSource,
+    scope: &provscope::Scope,
+) -> Result<QueryOutput, PqlError> {
     let stats = RefCell::new(PlanStats::default());
-    let result = execute_accum(query, graph, &stats)?;
+    let result = execute_accum_traced(query, graph, &stats, scope)?;
     Ok(QueryOutput {
         result,
         stats: stats.into_inner(),
@@ -240,8 +275,20 @@ pub(crate) fn execute_accum(
     graph: &dyn GraphSource,
     stats: &RefCell<PlanStats>,
 ) -> Result<ResultSet, PqlError> {
-    match compile(query) {
-        Some(plan) => run(query, &plan, graph, stats),
+    execute_accum_traced(query, graph, stats, &provscope::Scope::disabled())
+}
+
+fn execute_accum_traced(
+    query: &Query,
+    graph: &dyn GraphSource,
+    stats: &RefCell<PlanStats>,
+    scope: &provscope::Scope,
+) -> Result<ResultSet, PqlError> {
+    let span = scope.open("pql", "plan");
+    let compiled = compile(query);
+    scope.close(span);
+    match compiled {
+        Some(plan) => run(query, &plan, graph, stats, scope),
         None => {
             // Irregular binding structure (duplicate binding names, or
             // a variable-rooted path no earlier source binds): the
@@ -489,6 +536,10 @@ struct Runner<'q, 'g> {
     /// Complete bound rows, kept only for aggregate finalization.
     agg_rows: Vec<Row>,
     pruned: u64,
+    /// Tracing scope (disabled unless the caller came through a
+    /// `*_traced` entry point). A `Scope` is one `Option<Rc>`, so
+    /// holding a clone is cheaper than another lifetime.
+    scope: provscope::Scope,
 }
 
 fn run(
@@ -496,6 +547,7 @@ fn run(
     plan: &CompiledPlan<'_>,
     graph: &dyn GraphSource,
     stats: &RefCell<PlanStats>,
+    scope: &provscope::Scope,
 ) -> Result<ResultSet, PqlError> {
     let has_aggregate = query
         .select
@@ -527,6 +579,7 @@ fn run(
         dedup: RowDedup::default(),
         agg_rows: Vec::new(),
         pruned: 0,
+        scope: scope.clone(),
     };
 
     let mut row = Row::new();
@@ -543,20 +596,32 @@ fn run(
         runner.descend(0, &mut row)?;
     }
 
+    let span = scope.open("pql", "project");
     let columns = column_names(query);
     let rows = if has_aggregate {
         let mut row_out = Vec::new();
+        let mut err = None;
         for item in &query.select {
-            row_out.push(
-                runner
-                    .ctx
-                    .eval(&item.expr, &Row::new(), Some(&runner.agg_rows))?,
-            );
+            match runner
+                .ctx
+                .eval(&item.expr, &Row::new(), Some(&runner.agg_rows))
+            {
+                Ok(v) => row_out.push(v),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = err {
+            scope.close(span);
+            return Err(e);
         }
         vec![row_out]
     } else {
         runner.out_rows
     };
+    scope.close(span);
     stats.borrow_mut().rows_pruned += runner.pruned;
     Ok(ResultSet { columns, rows })
 }
@@ -566,6 +631,13 @@ impl Runner<'_, '_> {
     /// class scan, then its step walk), charging the planner counters
     /// once.
     fn resolve_class_root(&self, step: &BindingStep<'_>, class: &str) -> Vec<ObjectRef> {
+        let span = self.scope.open("pql", "bind");
+        let out = self.resolve_class_root_inner(step, class);
+        self.scope.close(span);
+        out
+    }
+
+    fn resolve_class_root_inner(&self, step: &BindingStep<'_>, class: &str) -> Vec<ObjectRef> {
         let mut st = self.stats.borrow_mut();
         let starts = match &step.pushed {
             Some((attr, pred)) => {
@@ -634,11 +706,26 @@ impl Runner<'_, '_> {
             let prev = row.insert(step.source.binding.clone(), endpoint);
             debug_assert!(prev.is_none(), "duplicate bindings fall back to naive");
             let mut keep = true;
-            for filter in &self.plan.filters_at[i] {
-                if !self.check(filter, row)? {
-                    keep = false;
-                    self.pruned += 1;
-                    break;
+            if !self.plan.filters_at[i].is_empty() {
+                let span = self.scope.open("pql", "filter");
+                let mut err = None;
+                for filter in &self.plan.filters_at[i] {
+                    match self.check(filter, row) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            keep = false;
+                            self.pruned += 1;
+                            break;
+                        }
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                self.scope.close(span);
+                if let Some(e) = err {
+                    return Err(e);
                 }
             }
             if keep {

@@ -1,0 +1,717 @@
+//! The span model: scopes, windows, trace binding and latency
+//! attribution.
+//!
+//! # Span model
+//!
+//! A [`Scope`] is a shared handle threaded through every layer of one
+//! machine. Layers call [`Scope::open`]/[`Scope::close`] around their
+//! work; because the whole commit path is synchronous, the open-span
+//! *stack* gives each new span its parent for free.
+//!
+//! The complication is the trace id. A disclosure transaction's
+//! natural identity is its volume-salted batch id — but Lasagna
+//! allocates that id *deep inside* the call chain, after the kernel
+//! and DPAPI spans have already opened. Spans are therefore born
+//! **trace-pending**: they belong to the current *window* (the period
+//! from the stack becoming non-empty to it emptying again) and wait
+//! for [`Scope::bind_trace`], which Lasagna calls the moment it
+//! frames a group. Binding retroactively stamps every pending span of
+//! the window and registers the window's root so later, asynchronous
+//! work (Waldo ingesting the group frame during a poll) can re-join
+//! the tree via [`Scope::open_linked`] with nothing but the batch id
+//! it finds in the log.
+//!
+//! Windows that never bind (single-op commits log plainly and
+//! allocate no batch id; plain syscalls too) are stamped with a
+//! *synthetic* trace id when the window closes — bit 62, disjoint
+//! from the bit-63 batch-id space — so every span always ends up in
+//! exactly one trace.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Virtual nanoseconds, as read from the injected now-function.
+pub type Nanos = u64;
+
+/// Identity of one trace (one causally-connected span tree).
+///
+/// For batched disclosure transactions this is the volume-salted
+/// batch id (`lasagna::batch_txn_id`: tag bit 63 | volume << 28 |
+/// 28-bit sequence). Windows that never produce a batch get a
+/// synthetic id with [`TraceId::SYNTHETIC_BIT`] set instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Tag bit of synthetic (non-batch) trace ids. Disjoint from the
+    /// batch-id space, whose tag is bit 63.
+    pub const SYNTHETIC_BIT: u64 = 1 << 62;
+
+    /// True for trace ids that are volume-salted batch ids (bit 63).
+    pub fn is_batch(self) -> bool {
+        self.0 & (1 << 63) != 0
+    }
+
+    /// True for synthetic ids assigned to windows without a batch.
+    pub fn is_synthetic(self) -> bool {
+        !self.is_batch() && self.0 & Self::SYNTHETIC_BIT != 0
+    }
+}
+
+/// Identity of one span within a [`Scope`] (sequential from 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// The trace context at a point of execution: which trace the current
+/// window belongs to (if already bound), the innermost open span, and
+/// its parent. This is what a disclosure transaction "carries" —
+/// implicitly, via the synchronous stack, rather than as extra bytes
+/// on the wire or in the log (which would break byte-equality of
+/// traced and untraced runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The window's trace, once bound ([`Scope::bind_trace`]).
+    pub trace: Option<TraceId>,
+    /// The innermost open span.
+    pub span: SpanId,
+    /// Its parent span, if any.
+    pub parent: Option<SpanId>,
+}
+
+/// One enter/exit record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Sequential span id (1-based).
+    pub id: SpanId,
+    /// Parent span within the same scope, if any.
+    pub parent: Option<SpanId>,
+    /// The trace this span belongs to. `None` only while the span's
+    /// window is still open and unbound; every snapshot taken after
+    /// the window closed has `Some`.
+    pub trace: Option<TraceId>,
+    /// The layer that recorded the span (`"kernel"`, `"dpapi"`,
+    /// `"lasagna"`, `"pa-nfs"`, `"waldo"`, `"pql"`).
+    pub layer: &'static str,
+    /// Operation name within the layer (`"pass_commit"`, …).
+    pub name: String,
+    /// Virtual time at [`Scope::open`].
+    pub start_ns: Nanos,
+    /// Virtual time at [`Scope::close`]; `None` while open.
+    pub end_ns: Option<Nanos>,
+}
+
+impl Span {
+    /// Duration in virtual nanoseconds (0 while still open).
+    pub fn duration_ns(&self) -> Nanos {
+        self.end_ns.unwrap_or(self.start_ns) - self.start_ns
+    }
+}
+
+/// Handle returned by [`Scope::open`]; pass it back to
+/// [`Scope::close`]. A disabled scope hands out inert handles, so
+/// instrumented code needs no `if enabled` branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanHandle(Option<SpanId>);
+
+impl SpanHandle {
+    /// The inert handle (what a disabled scope returns).
+    pub const NONE: SpanHandle = SpanHandle(None);
+
+    /// The span id, when the scope was enabled.
+    pub fn id(self) -> Option<SpanId> {
+        self.0
+    }
+}
+
+struct Inner {
+    now: Box<dyn Fn() -> Nanos>,
+    spans: Vec<Span>,
+    /// Open spans of the current synchronous window, outermost first.
+    stack: Vec<SpanId>,
+    /// Window spans not yet assigned a trace.
+    pending: Vec<SpanId>,
+    /// The current window's trace, once bound.
+    window_trace: Option<TraceId>,
+    /// Trace id → the root span detached work should link under.
+    roots: BTreeMap<u64, SpanId>,
+    next_synthetic: u64,
+}
+
+impl Inner {
+    fn span_mut(&mut self, id: SpanId) -> &mut Span {
+        &mut self.spans[(id.0 - 1) as usize]
+    }
+
+    /// Stamps an unbound window's spans with a synthetic trace when
+    /// the stack empties.
+    fn finish_window(&mut self) {
+        if !self.pending.is_empty() {
+            self.next_synthetic += 1;
+            let t = TraceId(TraceId::SYNTHETIC_BIT | self.next_synthetic);
+            let pending = std::mem::take(&mut self.pending);
+            self.roots.insert(t.0, pending[0]);
+            for id in pending {
+                self.span_mut(id).trace = Some(t);
+            }
+        }
+        self.window_trace = None;
+    }
+}
+
+/// A shared tracing scope — cheap to clone, `Default`-disabled.
+///
+/// Every layer of one machine holds a clone of the same scope; see
+/// the module docs for the window/binding model. A disabled scope
+/// (the default) makes every operation a no-op on an immediate
+/// `None`, so threading it through hot paths costs one branch.
+#[derive(Clone, Default)]
+pub struct Scope(Option<Rc<RefCell<Inner>>>);
+
+impl Scope {
+    /// A disabled scope: records nothing, costs (almost) nothing.
+    pub fn disabled() -> Scope {
+        Scope(None)
+    }
+
+    /// An enabled scope reading time from `now` — inject the virtual
+    /// clock (`move || clock.now()`), never a wall clock, or traces
+    /// stop being deterministic.
+    pub fn enabled(now: impl Fn() -> Nanos + 'static) -> Scope {
+        Scope(Some(Rc::new(RefCell::new(Inner {
+            now: Box::new(now),
+            spans: Vec::new(),
+            stack: Vec::new(),
+            pending: Vec::new(),
+            window_trace: None,
+            roots: BTreeMap::new(),
+            next_synthetic: 0,
+        }))))
+    }
+
+    /// True when spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a span as a child of the innermost open span (or as a
+    /// window root). Must be paired with [`Scope::close`].
+    pub fn open(&self, layer: &'static str, name: &str) -> SpanHandle {
+        let Some(inner) = &self.0 else {
+            return SpanHandle::NONE;
+        };
+        let mut g = inner.borrow_mut();
+        if g.stack.is_empty() {
+            // A fresh window; any stale binding belongs to the past.
+            g.window_trace = None;
+        }
+        let now = (g.now)();
+        let id = SpanId(g.spans.len() as u64 + 1);
+        let parent = g.stack.last().copied();
+        let trace = g.window_trace;
+        g.spans.push(Span {
+            id,
+            parent,
+            trace,
+            layer,
+            name: name.to_string(),
+            start_ns: now,
+            end_ns: None,
+        });
+        if trace.is_none() {
+            g.pending.push(id);
+        }
+        g.stack.push(id);
+        SpanHandle(Some(id))
+    }
+
+    /// Opens a *detached* span linked to `trace`'s registered root —
+    /// how asynchronous work (Waldo ingesting a group frame found in
+    /// a log) re-joins the tree of the synchronous commit that
+    /// produced it. Detached spans never join the stack; if no root
+    /// is registered for `trace` yet (e.g. the commit predates this
+    /// scope), the span becomes that trace's root itself.
+    pub fn open_linked(&self, layer: &'static str, name: &str, trace: TraceId) -> SpanHandle {
+        let Some(inner) = &self.0 else {
+            return SpanHandle::NONE;
+        };
+        let mut g = inner.borrow_mut();
+        let now = (g.now)();
+        let id = SpanId(g.spans.len() as u64 + 1);
+        let (parent, t) = match g.roots.get(&trace.0).copied() {
+            // Adopt the root's canonical trace: a multi-volume
+            // transaction registers several batch ids onto one root,
+            // and the tree must stay single-trace.
+            Some(root) => (Some(root), g.span_mut(root).trace.unwrap_or(trace)),
+            None => (None, trace),
+        };
+        g.spans.push(Span {
+            id,
+            parent,
+            trace: Some(t),
+            layer,
+            name: name.to_string(),
+            start_ns: now,
+            end_ns: None,
+        });
+        if parent.is_none() {
+            g.roots.entry(trace.0).or_insert(id);
+        }
+        SpanHandle(Some(id))
+    }
+
+    /// Closes a span (stack or linked). Closing the outermost stack
+    /// span ends the window, stamping unbound spans synthetically.
+    pub fn close(&self, h: SpanHandle) {
+        let Some(inner) = &self.0 else { return };
+        let Some(id) = h.0 else { return };
+        let mut g = inner.borrow_mut();
+        let now = (g.now)();
+        g.span_mut(id).end_ns = Some(now);
+        if let Some(pos) = g.stack.iter().rposition(|s| *s == id) {
+            g.stack.remove(pos);
+        }
+        if g.stack.is_empty() {
+            g.finish_window();
+        }
+    }
+
+    /// Binds the current window to `trace` — called by the layer that
+    /// *allocates* the transaction's identity (Lasagna, when it
+    /// frames a group record). All pending spans of the window are
+    /// stamped retroactively; spans opened later in the window
+    /// inherit the binding at birth. A second bind in one window (a
+    /// transaction spanning volumes allocates one batch id per
+    /// volume) keeps the first trace for the tree but registers the
+    /// extra id onto the same root, so each batch's asynchronous
+    /// ingest still links into the one tree.
+    pub fn bind_trace(&self, trace: TraceId) {
+        let Some(inner) = &self.0 else { return };
+        let mut g = inner.borrow_mut();
+        let Some(&root) = g.stack.first() else {
+            return; // No open window: nothing to bind.
+        };
+        if g.window_trace.is_none() {
+            g.window_trace = Some(trace);
+            let pending = std::mem::take(&mut g.pending);
+            for id in pending {
+                g.span_mut(id).trace = Some(trace);
+            }
+        }
+        g.roots.entry(trace.0).or_insert(root);
+    }
+
+    /// The trace context at the current point of execution, if any
+    /// span is open.
+    pub fn current_ctx(&self) -> Option<TraceCtx> {
+        let inner = self.0.as_ref()?;
+        let g = inner.borrow();
+        let &id = g.stack.last()?;
+        let s = &g.spans[(id.0 - 1) as usize];
+        Some(TraceCtx {
+            trace: s.trace.or(g.window_trace),
+            span: id,
+            parent: s.parent,
+        })
+    }
+
+    /// A snapshot of every span recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        match &self.0 {
+            Some(inner) => Trace {
+                spans: inner.borrow().spans.clone(),
+            },
+            None => Trace { spans: Vec::new() },
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |i| i.borrow().spans.len())
+    }
+
+    /// True when nothing has been recorded (or the scope is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded spans and trace-root registrations (the
+    /// next span starts a fresh trace universe). Call only between
+    /// windows; clearing mid-commit severs the links pending
+    /// asynchronous work would need.
+    pub fn clear(&self) {
+        if let Some(inner) = &self.0 {
+            let mut g = inner.borrow_mut();
+            g.spans.clear();
+            g.stack.clear();
+            g.pending.clear();
+            g.window_trace = None;
+            g.roots.clear();
+            g.next_synthetic = 0;
+        }
+    }
+}
+
+/// Per-layer latency attribution over one [`Trace`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerLatency {
+    /// The layer.
+    pub layer: &'static str,
+    /// Spans recorded by the layer.
+    pub spans: u64,
+    /// Sum of span durations (inclusive of child layers).
+    pub total_ns: Nanos,
+    /// Sum of *self* times: each span's duration minus the durations
+    /// of its direct children — where the layer itself spent virtual
+    /// time, the number the attribution table is about.
+    pub self_ns: Nanos,
+}
+
+/// An immutable snapshot of a scope's spans, with analysis helpers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// All spans, in open order (span id order).
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    fn get(&self, id: SpanId) -> Option<&Span> {
+        self.spans.get((id.0 - 1) as usize).filter(|s| s.id == id)
+    }
+
+    /// Structural well-formedness: span ids sequential, every span
+    /// closed with `end >= start`, every span traced, every parent an
+    /// earlier span that started no later, and parent and child in
+    /// the same trace. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.id.0 != i as u64 + 1 {
+                return Err(format!("span #{i} has id {} (want {})", s.id.0, i + 1));
+            }
+            let Some(end) = s.end_ns else {
+                return Err(format!(
+                    "span {} ({}/{}) never closed",
+                    s.id.0, s.layer, s.name
+                ));
+            };
+            if end < s.start_ns {
+                return Err(format!("span {} ends before it starts", s.id.0));
+            }
+            let Some(trace) = s.trace else {
+                return Err(format!("span {} has no trace", s.id.0));
+            };
+            if let Some(p) = s.parent {
+                let Some(parent) = self.get(p) else {
+                    return Err(format!("span {} parent {} does not exist", s.id.0, p.0));
+                };
+                if p >= s.id {
+                    return Err(format!("span {} parent {} is not earlier", s.id.0, p.0));
+                }
+                if parent.start_ns > s.start_ns {
+                    return Err(format!("span {} starts before its parent {}", s.id.0, p.0));
+                }
+                if parent.trace != Some(trace) {
+                    return Err(format!(
+                        "span {} (trace {:#x}) and parent {} disagree on trace",
+                        s.id.0, trace.0, p.0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The distinct trace ids, ascending (synthetic ids sort below
+    /// batch ids, whose tag bit is higher).
+    pub fn traces(&self) -> Vec<TraceId> {
+        let mut out: Vec<TraceId> = self.spans.iter().filter_map(|s| s.trace).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The batch traces only — one per multi-op disclosure
+    /// transaction that reached a volume.
+    pub fn batch_traces(&self) -> Vec<TraceId> {
+        self.traces().into_iter().filter(|t| t.is_batch()).collect()
+    }
+
+    /// Spans of one trace, in span-id order.
+    pub fn spans_of(&self, trace: TraceId) -> Vec<&Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.trace == Some(trace))
+            .collect()
+    }
+
+    /// The distinct layers that recorded spans in `trace`.
+    pub fn layers_of(&self, trace: TraceId) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = self.spans_of(trace).iter().map(|s| s.layer).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True when `trace`'s spans form exactly one connected tree:
+    /// precisely one root, every other span reachable from it through
+    /// parent links within the trace.
+    pub fn is_connected_tree(&self, trace: TraceId) -> bool {
+        let spans = self.spans_of(trace);
+        if spans.is_empty() {
+            return false;
+        }
+        let roots = spans.iter().filter(|s| s.parent.is_none()).count();
+        if roots != 1 {
+            return false;
+        }
+        // Parent ids are strictly smaller, so one pass in id order
+        // proves reachability: a span is connected iff its parent is
+        // the root or already proven connected.
+        let root = spans.iter().find(|s| s.parent.is_none()).unwrap().id;
+        let mut connected = std::collections::BTreeSet::new();
+        connected.insert(root);
+        for s in &spans {
+            if let Some(p) = s.parent {
+                if connected.contains(&p) {
+                    connected.insert(s.id);
+                }
+            }
+        }
+        connected.len() == spans.len()
+    }
+
+    /// Per-layer latency attribution: total and *self* (exclusive)
+    /// virtual time per layer, ordered by descending self time. This
+    /// is the "where did this batch spend its time" table.
+    pub fn layer_latency(&self) -> Vec<LayerLatency> {
+        let mut child_ns: Vec<Nanos> = vec![0; self.spans.len()];
+        for s in &self.spans {
+            if let Some(p) = s.parent {
+                child_ns[(p.0 - 1) as usize] += s.duration_ns();
+            }
+        }
+        let mut by_layer: BTreeMap<&'static str, LayerLatency> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            let e = by_layer.entry(s.layer).or_insert(LayerLatency {
+                layer: s.layer,
+                spans: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            e.spans += 1;
+            let d = s.duration_ns();
+            e.total_ns += d;
+            // Linked children (Waldo ingest) may outlive the parent
+            // window; saturate rather than attribute negative time.
+            e.self_ns += d.saturating_sub(child_ns[i]);
+        }
+        let mut out: Vec<LayerLatency> = by_layer.into_values().collect();
+        out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.layer.cmp(b.layer)));
+        out
+    }
+
+    /// Renders [`Trace::layer_latency`] as an aligned text table.
+    pub fn render_latency_table(&self) -> String {
+        let rows = self.layer_latency();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>14} {:>14} {:>8}\n",
+            "layer", "spans", "total_us", "self_us", "self%"
+        ));
+        let grand_self: Nanos = rows.iter().map(|r| r.self_ns).sum();
+        for r in &rows {
+            let pct = if grand_self == 0 {
+                0.0
+            } else {
+                r.self_ns as f64 / grand_self as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "{:<10} {:>7} {:>14.3} {:>14.3} {:>7.1}%\n",
+                r.layer,
+                r.spans,
+                r.total_ns as f64 / 1_000.0,
+                r.self_ns as f64 / 1_000.0,
+                pct
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn ticking() -> (Rc<Cell<u64>>, Scope) {
+        let t = Rc::new(Cell::new(0u64));
+        let t2 = t.clone();
+        let scope = Scope::enabled(move || {
+            let v = t2.get();
+            t2.set(v + 10);
+            v
+        });
+        (t, scope)
+    }
+
+    #[test]
+    fn disabled_scope_is_inert() {
+        let s = Scope::disabled();
+        let h = s.open("kernel", "x");
+        assert_eq!(h, SpanHandle::NONE);
+        s.bind_trace(TraceId(1 << 63));
+        s.close(h);
+        assert!(s.snapshot().spans.is_empty());
+        assert!(!s.is_enabled());
+    }
+
+    #[test]
+    fn nesting_gives_parents_and_binding_stamps_the_window() {
+        let (_, s) = ticking();
+        let a = s.open("kernel", "pass_commit");
+        let b = s.open("dpapi", "dp_commit");
+        let batch = TraceId((1 << 63) | 42);
+        s.bind_trace(batch);
+        let c = s.open("lasagna", "pass_commit");
+        s.close(c);
+        s.close(b);
+        s.close(a);
+        let t = s.snapshot();
+        t.validate().unwrap();
+        assert_eq!(t.traces(), vec![batch]);
+        assert!(t.is_connected_tree(batch));
+        assert_eq!(t.spans[1].parent, Some(SpanId(1)));
+        assert_eq!(t.spans[2].parent, Some(SpanId(2)));
+        assert_eq!(t.layers_of(batch), vec!["dpapi", "kernel", "lasagna"]);
+    }
+
+    #[test]
+    fn unbound_window_gets_a_synthetic_trace() {
+        let (_, s) = ticking();
+        let a = s.open("kernel", "read");
+        s.close(a);
+        let t = s.snapshot();
+        t.validate().unwrap();
+        let traces = t.traces();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].is_synthetic());
+        assert!(!traces[0].is_batch());
+    }
+
+    #[test]
+    fn linked_spans_join_the_batch_tree() {
+        let (_, s) = ticking();
+        let batch = TraceId((1 << 63) | 7);
+        let a = s.open("kernel", "pass_commit");
+        s.bind_trace(batch);
+        s.close(a);
+        // Later, asynchronously: Waldo ingests the group frame.
+        let w = s.open_linked("waldo", "ingest_batch", batch);
+        s.close(w);
+        let t = s.snapshot();
+        t.validate().unwrap();
+        assert!(t.is_connected_tree(batch));
+        assert_eq!(t.spans_of(batch).len(), 2);
+        assert_eq!(t.spans[1].parent, Some(SpanId(1)));
+    }
+
+    #[test]
+    fn linked_span_without_a_root_becomes_one() {
+        let (_, s) = ticking();
+        let batch = TraceId((1 << 63) | 9);
+        let w = s.open_linked("waldo", "ingest_batch", batch);
+        s.close(w);
+        let t = s.snapshot();
+        t.validate().unwrap();
+        assert!(t.is_connected_tree(batch));
+    }
+
+    #[test]
+    fn second_bind_in_one_window_aliases_onto_the_first_root() {
+        let (_, s) = ticking();
+        let b1 = TraceId((1 << 63) | 1);
+        let b2 = TraceId((1 << 63) | 2);
+        let a = s.open("kernel", "pass_commit");
+        s.bind_trace(b1);
+        s.bind_trace(b2); // second volume of the same transaction
+        s.close(a);
+        let w = s.open_linked("waldo", "ingest_batch", b2);
+        s.close(w);
+        let t = s.snapshot();
+        t.validate().unwrap();
+        // One tree under b1; the b2 ingest adopted the canonical trace.
+        assert_eq!(t.traces(), vec![b1]);
+        assert!(t.is_connected_tree(b1));
+    }
+
+    #[test]
+    fn current_ctx_reports_the_open_stack() {
+        let (_, s) = ticking();
+        assert!(s.current_ctx().is_none());
+        let a = s.open("kernel", "pass_commit");
+        let ctx = s.current_ctx().unwrap();
+        assert_eq!(ctx.span, SpanId(1));
+        assert_eq!(ctx.parent, None);
+        assert_eq!(ctx.trace, None);
+        let batch = TraceId((1 << 63) | 3);
+        s.bind_trace(batch);
+        let b = s.open("dpapi", "dp_commit");
+        let ctx = s.current_ctx().unwrap();
+        assert_eq!(ctx.span, SpanId(2));
+        assert_eq!(ctx.parent, Some(SpanId(1)));
+        assert_eq!(ctx.trace, Some(batch));
+        s.close(b);
+        s.close(a);
+        assert!(s.current_ctx().is_none());
+    }
+
+    #[test]
+    fn layer_latency_attributes_self_time() {
+        // kernel [0,100); dpapi [10,90) nested → kernel self 20,
+        // dpapi self 80.
+        let t = Rc::new(Cell::new(0u64));
+        let t2 = t.clone();
+        let s = Scope::enabled(move || t2.get());
+        let a = s.open("kernel", "pass_commit");
+        t.set(10);
+        let b = s.open("dpapi", "dp_commit");
+        t.set(90);
+        s.close(b);
+        t.set(100);
+        s.close(a);
+        let lat = s.snapshot().layer_latency();
+        let kernel = lat.iter().find(|l| l.layer == "kernel").unwrap();
+        let dpapi = lat.iter().find(|l| l.layer == "dpapi").unwrap();
+        assert_eq!(kernel.total_ns, 100);
+        assert_eq!(kernel.self_ns, 20);
+        assert_eq!(dpapi.self_ns, 80);
+        // The table renders and mentions both layers.
+        let table = s.snapshot().render_latency_table();
+        assert!(table.contains("kernel") && table.contains("dpapi"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_trees() {
+        let (_, s) = ticking();
+        let a = s.open("kernel", "x");
+        s.close(a);
+        let mut t = s.snapshot();
+        t.spans[0].parent = Some(SpanId(5));
+        assert!(t.validate().is_err());
+        let mut t2 = s.snapshot();
+        t2.spans[0].end_ns = None;
+        assert!(t2.validate().is_err());
+    }
+
+    #[test]
+    fn clear_resets_the_universe() {
+        let (_, s) = ticking();
+        let a = s.open("kernel", "x");
+        s.close(a);
+        s.clear();
+        assert!(s.is_empty());
+        let b = s.open("kernel", "y");
+        s.close(b);
+        assert_eq!(s.snapshot().spans[0].id, SpanId(1));
+    }
+}

@@ -113,6 +113,14 @@ pub struct CaseReport {
     /// Whether the faulted twin's final store was byte-equal to the
     /// reference twin's.
     pub byte_equal: bool,
+    /// Chrome-trace JSON of the faulted twin's span forest — the
+    /// cross-layer story of the cell that produced this verdict, for
+    /// loading into `chrome://tracing` when a cell goes wrong. The
+    /// reference twin runs untraced, so the byte-equality oracle
+    /// doubles as a continuous check that tracing never participates
+    /// in behavior. Deterministic (virtual clock), so the smoke
+    /// binary's reproducibility assertion covers it too.
+    pub trace_json: String,
 }
 
 impl CaseReport {
@@ -180,6 +188,9 @@ struct RunOutput {
     signals: Vec<String>,
     applied: Option<String>,
     survivors: Option<CleanRun>,
+    /// Span forest of the run (empty when untraced — the reference
+    /// and clean twins).
+    trace: provscope::Trace,
 }
 
 /// Ingest rounds per run: round 0 establishes committed history
@@ -238,6 +249,7 @@ pub fn torture(w: &dyn Workload, topo: Topology, fault: &Fault, seed: u64) -> Ca
         applied: faulted.applied,
         signals: faulted.signals,
         byte_equal,
+        trace_json: provscope::chrome_trace_json(&faulted.trace),
     }
 }
 
@@ -272,9 +284,21 @@ fn execute(
         builder = builder.pass_volume(&format!("/v{v}"), VolumeId(v));
     }
     let mut sys = builder.build();
+    // Trace the faulted twin only: the reference twin stays untraced,
+    // so the byte-equality oracle between the twins also re-proves,
+    // on every cell, that tracing observes without participating.
+    let scope = if fault.is_some() {
+        sys.enable_tracing()
+    } else {
+        provscope::Scope::disabled()
+    };
     let nmembers = topo.members();
     let mut members: Vec<Waldo> = (0..nmembers)
-        .map(|i| sys.spawn_waldo_durable(&db_dir(topo, i)))
+        .map(|i| {
+            let mut m = sys.spawn_waldo_durable(&db_dir(topo, i));
+            m.set_scope(scope.clone());
+            m
+        })
         .collect();
     // Db-dir faults land on the member that owns volume 1 — the one
     // guaranteed to have checkpoints.
@@ -390,6 +414,7 @@ fn execute(
         }
     }
 
+    let trace = scope.snapshot();
     match topo {
         Topology::SingleDaemon => {
             let images = members.iter().flat_map(|m| m.db.segment_images()).collect();
@@ -399,6 +424,7 @@ fn execute(
                 signals,
                 applied,
                 survivors: Some(CleanRun::Single(Box::new(daemon))),
+                trace,
             }
         }
         Topology::DurableRestart => {
@@ -415,6 +441,7 @@ fn execute(
                         signals,
                         applied,
                         survivors: None,
+                        trace,
                     }
                 }
                 Ok(daemon) => {
@@ -424,6 +451,7 @@ fn execute(
                         signals,
                         applied,
                         survivors: Some(CleanRun::Single(Box::new(daemon))),
+                        trace,
                     }
                 }
             }
@@ -438,6 +466,7 @@ fn execute(
                         signals,
                         applied,
                         survivors: None,
+                        trace,
                     }
                 }
                 Ok(cluster) => {
@@ -457,6 +486,7 @@ fn execute(
                         signals,
                         applied,
                         survivors: Some(CleanRun::Cluster(Box::new(cluster))),
+                        trace,
                     }
                 }
             }

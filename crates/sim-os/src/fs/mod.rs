@@ -229,6 +229,11 @@ pub trait DpapiVolume: dpapi::Dpapi {
     /// Called at quiescent points (the "dormant log" timeout of the
     /// paper).
     fn force_log_rotation(&mut self) {}
+
+    /// Attaches a tracing scope. Provenance-aware volumes record
+    /// their commit spans in it (and bind the window to the batch
+    /// ids they allocate); the default is to ignore tracing.
+    fn set_scope(&mut self, _scope: provscope::Scope) {}
 }
 
 /// Convenience: a provenance-aware read through the volume trait.

@@ -89,6 +89,16 @@ pub struct KernelStats {
     pub dpapi_txn_ops: u64,
 }
 
+impl provscope::MetricSource for KernelStats {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("syscalls", self.syscalls);
+        out("bytes_read", self.bytes_read);
+        out("bytes_written", self.bytes_written);
+        out("dpapi_txns", self.dpapi_txns);
+        out("dpapi_txn_ops", self.dpapi_txn_ops);
+    }
+}
+
 /// The simulated kernel.
 pub struct Kernel {
     clock: Clock,
@@ -101,6 +111,7 @@ pub struct Kernel {
     open_counts: HashMap<FileLoc, u32>,
     unlinked: HashSet<FileLoc>,
     stats: KernelStats,
+    scope: provscope::Scope,
 }
 
 impl Kernel {
@@ -117,7 +128,26 @@ impl Kernel {
             open_counts: HashMap::new(),
             unlinked: HashSet::new(),
             stats: KernelStats::default(),
+            scope: provscope::Scope::default(),
         }
+    }
+
+    /// Attaches a tracing scope to the kernel and to every mounted
+    /// provenance-aware volume (future mounts pick it up too). The
+    /// default scope is disabled, so tracing costs nothing unless
+    /// explicitly enabled.
+    pub fn set_scope(&mut self, scope: provscope::Scope) {
+        for m in &mut self.mounts {
+            if let Some(d) = m.fs.as_dpapi() {
+                d.set_scope(scope.clone());
+            }
+        }
+        self.scope = scope;
+    }
+
+    /// The kernel's tracing scope (disabled by default).
+    pub fn scope(&self) -> provscope::Scope {
+        self.scope.clone()
     }
 
     /// The shared virtual clock.
@@ -148,6 +178,12 @@ impl Kernel {
         } else {
             path.trim_end_matches('/').to_string()
         };
+        let mut fs = fs;
+        if self.scope.is_enabled() {
+            if let Some(d) = fs.as_dpapi() {
+                d.set_scope(self.scope.clone());
+            }
+        }
         self.mounts.push(Mount { path, fs });
         MountId(self.mounts.len() - 1)
     }
@@ -821,17 +857,28 @@ impl Kernel {
     /// [`dpapi::DpapiError::TxnAborted`] (wrapped in
     /// [`FsError::Provenance`]), naming the failing op's index.
     pub fn pass_commit(&mut self, pid: Pid, txn: dpapi::Txn) -> FsResult<Vec<dpapi::OpResult>> {
+        let span = self.scope.open("kernel", "pass_commit");
         self.charge_syscall();
         let ops = txn.len() as u64;
         self.clock.advance(ops * self.model.cpu.dpapi_op_ns);
         self.stats.dpapi_txns += 1;
         self.stats.dpapi_txn_ops += ops;
-        let m = self.module_ref()?;
-        let mut ctx = HookCtx {
-            mounts: &mut self.mounts,
-            clock: &self.clock,
+        let m = match self.module_ref() {
+            Ok(m) => m,
+            Err(e) => {
+                self.scope.close(span);
+                return Err(e);
+            }
         };
-        Ok(m.dp_commit(&mut ctx, pid, txn)?)
+        let result = {
+            let mut ctx = HookCtx {
+                mounts: &mut self.mounts,
+                clock: &self.clock,
+            };
+            m.dp_commit(&mut ctx, pid, txn)
+        };
+        self.scope.close(span);
+        Ok(result?)
     }
 
     /// Closes a user-level DPAPI handle.

@@ -73,6 +73,17 @@ pub struct CheckpointStats {
     pub failures: u64,
 }
 
+impl provscope::MetricSource for CheckpointStats {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("checkpoints", self.checkpoints);
+        out("segments_written", self.segments_written);
+        out("segment_bytes", self.segment_bytes);
+        out("frames_truncated", self.frames_truncated);
+        out("logs_retired", self.logs_retired);
+        out("failures", self.failures);
+    }
+}
+
 /// Where a simulated crash interrupts `Waldo::checkpoint` — used by
 /// the crash-matrix tests to prove every interleaving restarts to the
 /// uncrashed store.

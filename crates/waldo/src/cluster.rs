@@ -46,6 +46,115 @@ use crate::daemon::{QueryOps, Waldo};
 use crate::db::IngestStats;
 use crate::store::{MergeError, Store};
 
+/// One member's failure during a cluster-wide sweep: which member
+/// broke (so an operator can repair exactly that durable home) and
+/// the underlying [`FsError`] — the same shape as the core crate's
+/// `ClusterRestartError`, for the same reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterMemberError {
+    /// Index of the member that failed.
+    pub member: usize,
+    /// What went wrong on that member's durable home.
+    pub source: FsError,
+}
+
+impl std::fmt::Display for ClusterMemberError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "member {}: {}", self.member, self.source)
+    }
+}
+
+impl std::error::Error for ClusterMemberError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Why [`Cluster::checkpoint_all`] could not publish everywhere.
+///
+/// Unlike a first-error-wins `?`, the sweep visits *every* member, so
+/// the error carries the complete failure set plus how many members
+/// still published — one bad durable home does not hide the others'
+/// outcomes, and the operator gets the full repair list in one pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterCheckpointError {
+    /// Members that published a checkpoint despite the failures.
+    pub published: usize,
+    /// Every member that failed, in member-index order. Never empty.
+    pub failures: Vec<ClusterMemberError>,
+}
+
+impl std::fmt::Display for ClusterCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cluster checkpoint failed on {} member(s) ({} published): ",
+            self.failures.len(),
+            self.published
+        )?;
+        for (i, e) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ClusterCheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.failures
+            .first()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+/// One volume's share of a [`Cluster::poll_volumes_report`] sweep:
+/// where it routed, what it ingested, and whether its member's WAL
+/// complained while it was being drained.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VolumePoll {
+    /// Member index the volume routed to.
+    pub member: usize,
+    /// The volume that was polled.
+    pub volume: VolumeId,
+    /// Ingest counters for this volume's drain alone.
+    pub stats: IngestStats,
+    /// WAL persist failures on the routed member *during this poll*
+    /// (delta of [`Waldo::wal_errors`]) — ingest itself never fails,
+    /// so this is the per-volume durability signal.
+    pub wal_errors: u64,
+}
+
+/// The per-volume breakdown of a cluster ingest sweep.
+///
+/// [`Cluster::poll_volumes`] rolls everything into one
+/// [`IngestStats`]; this report keeps the member/volume attribution
+/// so a sweep that went wrong says *where* — the ingest-side
+/// counterpart of [`ClusterCheckpointError`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterPollReport {
+    /// The rolled-up stats, identical to what
+    /// [`Cluster::poll_volumes`] returns for the same sweep.
+    pub total: IngestStats,
+    /// One entry per polled volume, in the caller's volume order.
+    pub per_volume: Vec<VolumePoll>,
+}
+
+impl ClusterPollReport {
+    /// The polls that hit trouble: a WAL persist failure, or a log
+    /// tail cut short by truncation or corruption.
+    pub fn issues(&self) -> Vec<&VolumePoll> {
+        self.per_volume
+            .iter()
+            .filter(|p| {
+                p.wal_errors > 0 || p.stats.tails_truncated > 0 || p.stats.tails_corrupt > 0
+            })
+            .collect()
+    }
+}
+
 /// The member a volume's logs are routed to, out of `members`.
 ///
 /// Stable splitmix64 over the volume id (deliberately not `std`'s
@@ -68,6 +177,7 @@ pub struct Cluster {
     /// [`Cluster::query`] (scatter-gather, not attributable to any
     /// single member).
     query_ops: QueryOps,
+    scope: provscope::Scope,
 }
 
 impl Cluster {
@@ -79,7 +189,18 @@ impl Cluster {
         Cluster {
             members,
             query_ops: QueryOps::default(),
+            scope: provscope::Scope::default(),
         }
+    }
+
+    /// Attaches a tracing scope to the cluster *and every member*, so
+    /// one scope sees the whole fleet's ingest and query spans on the
+    /// shared virtual clock.
+    pub fn set_scope(&mut self, scope: provscope::Scope) {
+        for m in &mut self.members {
+            m.set_scope(scope.clone());
+        }
+        self.scope = scope;
     }
 
     /// Number of member daemons.
@@ -142,30 +263,71 @@ impl Cluster {
 
     /// Polls every volume on its routed member — the cluster's ingest
     /// sweep, drop-in for a single daemon polling the same list — and
-    /// returns the rolled-up stats.
+    /// returns the rolled-up stats. See
+    /// [`Cluster::poll_volumes_report`] to keep the per-volume
+    /// member attribution instead of the roll-up alone.
     pub fn poll_volumes(
         &mut self,
         kernel: &mut Kernel,
         volumes: &[(String, MountId, VolumeId)],
     ) -> IngestStats {
-        let mut total = IngestStats::default();
+        self.poll_volumes_report(kernel, volumes).total
+    }
+
+    /// [`Cluster::poll_volumes`], keeping the per-volume breakdown:
+    /// which member each volume drained on, its individual
+    /// [`IngestStats`], and whether that member's WAL failed while
+    /// draining it — so a sweep that went wrong says *where* instead
+    /// of dissolving the signal into the roll-up.
+    pub fn poll_volumes_report(
+        &mut self,
+        kernel: &mut Kernel,
+        volumes: &[(String, MountId, VolumeId)],
+    ) -> ClusterPollReport {
+        let mut report = ClusterPollReport::default();
         for (path, mount, volume) in volumes {
-            total += self.poll_volume(kernel, *mount, path, *volume);
+            let member = self.route(*volume);
+            let wal_before = self.members[member].wal_errors();
+            let stats = self.members[member].poll_volume(kernel, *mount, path);
+            report.total += stats;
+            report.per_volume.push(VolumePoll {
+                member,
+                volume: *volume,
+                stats,
+                wal_errors: self.members[member].wal_errors() - wal_before,
+            });
         }
-        total
+        report
     }
 
     /// Publishes a checkpoint on every member that has something new
     /// (each against its own durable home — the PR 2 machinery, per
     /// member). Returns how many members published.
-    pub fn checkpoint_all(&mut self, kernel: &mut Kernel) -> Result<usize, FsError> {
+    ///
+    /// The sweep visits **every** member even when one fails: a bad
+    /// durable home on member 2 must not leave members 3..N
+    /// unpublished (their checkpoints are independent), and the
+    /// [`ClusterCheckpointError`] carries the complete
+    /// member-attributed failure list rather than the first error
+    /// alone.
+    pub fn checkpoint_all(&mut self, kernel: &mut Kernel) -> Result<usize, ClusterCheckpointError> {
         let mut published = 0;
-        for m in &mut self.members {
-            if m.checkpoint(kernel)? {
-                published += 1;
+        let mut failures = Vec::new();
+        for (member, m) in self.members.iter_mut().enumerate() {
+            match m.checkpoint(kernel) {
+                Ok(true) => published += 1,
+                Ok(false) => {}
+                Err(source) => failures.push(ClusterMemberError { member, source }),
             }
         }
-        Ok(published)
+        if failures.is_empty() {
+            Ok(published)
+        } else {
+            Err(ClusterCheckpointError {
+                published,
+                failures,
+            })
+        }
     }
 
     /// Consolidates the member stores into one store via
@@ -202,7 +364,10 @@ impl Cluster {
     /// members instead of materializing a merged store. Planner
     /// counters accumulate into [`Cluster::query_ops`].
     pub fn query(&mut self, text: &str) -> Result<pql::QueryOutput, pql::PqlError> {
-        let out = pql::query_with_stats(text, &self.graph())?;
+        let span = self.scope.open("waldo", "query");
+        let out = pql::query_traced(text, &self.graph(), &self.scope);
+        self.scope.close(span);
+        let out = out?;
         self.query_ops.queries += 1;
         self.query_ops.planner += out.stats;
         Ok(out)
@@ -214,6 +379,17 @@ impl Cluster {
     /// m.query_ops()).sum()`.
     pub fn query_ops(&self) -> QueryOps {
         self.query_ops
+    }
+
+    /// Records the fleet's counters into `reg`: the scatter-gather
+    /// query counters under `cluster.query.` and every member's
+    /// daemon counters under `member<i>.` — the per-member labels
+    /// that make one registry legible for an N-daemon tier.
+    pub fn record_metrics(&self, reg: &mut provscope::Registry) {
+        reg.absorb("cluster.query.", &self.query_ops);
+        for (i, m) in self.members.iter().enumerate() {
+            reg.absorb(&format!("member{i}."), m);
+        }
     }
 }
 

@@ -84,6 +84,28 @@ impl std::iter::Sum for QueryOps {
     }
 }
 
+impl provscope::MetricSource for QueryOps {
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("queries", self.queries);
+        provscope::MetricSource::record(&self.planner, &mut |k, v| out(&format!("planner.{k}"), v));
+    }
+}
+
+impl provscope::MetricSource for Waldo {
+    /// The daemon's lifetime counters as one flat namespace: its own
+    /// top-level health signals plus the nested `query.` and `ckpt.`
+    /// subsystems — what [`crate::Cluster::record_metrics`] absorbs
+    /// per member.
+    fn record(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("processed_logs", self.processed_logs);
+        out("wal_errors", self.wal_errors);
+        out("log_tails_truncated", self.log_tails_truncated);
+        out("log_tails_corrupt", self.log_tails_corrupt);
+        provscope::MetricSource::record(&self.query_ops, &mut |k, v| out(&format!("query.{k}"), v));
+        provscope::MetricSource::record(&self.ckpt_stats, &mut |k, v| out(&format!("ckpt.{k}"), v));
+    }
+}
+
 /// Why a cold restart ([`Waldo::restart`]) could not attach the
 /// durable home. The variants distinguish "the directory is gone"
 /// (restore from elsewhere, or accept a full rebuild by creating it)
@@ -191,6 +213,7 @@ pub struct Waldo {
     log_tails_corrupt: u64,
     /// Cumulative planner counters for queries served by this daemon.
     query_ops: QueryOps,
+    scope: provscope::Scope,
 }
 
 impl Waldo {
@@ -223,7 +246,17 @@ impl Waldo {
             log_tails_truncated: 0,
             log_tails_corrupt: 0,
             query_ops: QueryOps::default(),
+            scope: provscope::Scope::default(),
         }
+    }
+
+    /// Attaches a tracing scope. The daemon records its drain /
+    /// group-commit / WAL-persist / checkpoint / query work in it,
+    /// and links each ingested group frame to the trace of the
+    /// disclosure transaction that produced it (the frame's batch id
+    /// *is* the trace id).
+    pub fn set_scope(&mut self, scope: provscope::Scope) {
+        self.scope = scope;
     }
 
     /// Serves one PQL query from the daemon's database through the
@@ -233,7 +266,10 @@ impl Waldo {
     /// accessing the database on behalf of the query engine" — now
     /// with predicate pushdown into the store's secondary indexes.
     pub fn query(&mut self, text: &str) -> Result<pql::QueryOutput, pql::PqlError> {
-        let out = pql::query_with_stats(text, &self.db)?;
+        let span = self.scope.open("waldo", "query");
+        let out = pql::query_traced(text, &self.db, &self.scope);
+        self.scope.close(span);
+        let out = out?;
         self.query_ops.queries += 1;
         self.query_ops.planner.absorb(&out.stats);
         Ok(out)
@@ -422,6 +458,13 @@ impl Waldo {
     /// either operation errored; the caller must then keep the source
     /// logs so the commit remains replayable.
     fn persist_commit(&mut self, kernel: &mut Kernel) -> bool {
+        let span = self.scope.open("waldo", "wal_persist");
+        let ok = self.persist_commit_inner(kernel);
+        self.scope.close(span);
+        ok
+    }
+
+    fn persist_commit_inner(&mut self, kernel: &mut Kernel) -> bool {
         let Some(fd) = self.db_fd else {
             // Memory-only daemons have nothing to persist; a durable
             // daemon without a WAL descriptor is an error state (a
@@ -455,6 +498,13 @@ impl Waldo {
     /// one supersedes any lost predecessor); until a persist succeeds,
     /// every call keeps returning false and no log is unlinked.
     fn commit_and_persist(&mut self, kernel: &mut Kernel, stats: &mut IngestStats) -> bool {
+        let span = self.scope.open("waldo", "group_commit");
+        let r = self.commit_and_persist_inner(kernel, stats);
+        self.scope.close(span);
+        r
+    }
+
+    fn commit_and_persist_inner(&mut self, kernel: &mut Kernel, stats: &mut IngestStats) -> bool {
         let before = self.db.commit_seq();
         self.db.commit_staged(stats);
         if self.db.commit_seq() != before {
@@ -551,6 +601,17 @@ impl Waldo {
     }
 
     fn checkpoint_inner(
+        &mut self,
+        kernel: &mut Kernel,
+        crash: Option<CheckpointCrash>,
+    ) -> Result<bool, FsError> {
+        let span = self.scope.open("waldo", "checkpoint");
+        let r = self.checkpoint_guts(kernel, crash);
+        self.scope.close(span);
+        r
+    }
+
+    fn checkpoint_guts(
         &mut self,
         kernel: &mut Kernel,
         crash: Option<CheckpointCrash>,
@@ -702,10 +763,15 @@ impl Waldo {
     /// files — retires each log as soon as all of its entries have
     /// committed, and publishes checkpoints as the policy fires.
     fn drain_logs(&mut self, kernel: &mut Kernel, paths: Vec<String>) -> IngestStats {
+        let drain_span = self.scope.open("waldo", "drain_logs");
         let mut total = IngestStats::default();
         // (source handle, path, total entries) of each log read so
         // far, for post-commit retirement.
         let mut files: Vec<(usize, String, usize)> = Vec::new();
+        // Linked per-batch ingest spans, open between a group frame's
+        // TxnBegin and its TxnEnd — joining the trace of the
+        // disclosure transaction whose batch id frames the group.
+        let mut batch_spans: Vec<(u64, provscope::SpanHandle)> = Vec::new();
         let batch = self.db.config().ingest_batch.max(1);
         for abs in paths {
             let Ok(bytes) = kernel.read_file(self.pid, &abs) else {
@@ -734,6 +800,25 @@ impl Waldo {
             }
             let n = entries.len();
             for e in entries.into_iter().skip(mark) {
+                if self.scope.is_enabled() {
+                    match &e {
+                        lasagna::LogEntry::TxnBegin { id } => {
+                            let h = self.scope.open_linked(
+                                "waldo",
+                                "ingest_batch",
+                                provscope::TraceId(*id),
+                            );
+                            batch_spans.push((*id, h));
+                        }
+                        lasagna::LogEntry::TxnEnd { id } => {
+                            if let Some(pos) = batch_spans.iter().rposition(|(b, _)| b == id) {
+                                let (_, h) = batch_spans.remove(pos);
+                                self.scope.close(h);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
                 self.db.stage(e, Some(src));
                 if self.db.staged_len() >= batch && self.commit_and_persist(kernel, &mut total) {
                     self.retire_committed(kernel, &mut files);
@@ -747,6 +832,74 @@ impl Waldo {
             self.retire_committed(kernel, &mut files);
             self.maybe_checkpoint(kernel, &mut total);
         }
+        // Frames torn before their TxnEnd leave their span open;
+        // close them so the trace stays well-formed.
+        for (_, h) in batch_spans {
+            self.scope.close(h);
+        }
+        self.scope.close(drain_span);
+        total
+    }
+
+    /// Ingests one raw Lasagna log image that arrives **by value**
+    /// rather than through the file system — the PA-NFS server drains
+    /// its export's logs ([`NfsServer::drain_provenance_logs`]) and
+    /// hands the images to the server-side daemon. Semantically one
+    /// [`Waldo::ingest_log_file`] of an unnamed, already-unlinked log:
+    /// entries are staged without a replay source (the image cannot be
+    /// re-read after a crash) and group-committed in the configured
+    /// batches.
+    ///
+    /// [`NfsServer::drain_provenance_logs`]: ../pa_nfs/struct.NfsServer.html#method.drain_provenance_logs
+    pub fn ingest_log_image(&mut self, kernel: &mut Kernel, image: &[u8]) -> IngestStats {
+        let drain_span = self.scope.open("waldo", "drain_logs");
+        let mut total = IngestStats::default();
+        let mut batch_spans: Vec<(u64, provscope::SpanHandle)> = Vec::new();
+        let batch = self.db.config().ingest_batch.max(1);
+        let (entries, tail) = lasagna::parse_log(image);
+        match tail {
+            lasagna::LogTail::Clean => {}
+            lasagna::LogTail::Truncated { .. } => {
+                total.tails_truncated += 1;
+                self.log_tails_truncated += 1;
+            }
+            lasagna::LogTail::Corrupt { .. } => {
+                total.tails_corrupt += 1;
+                self.log_tails_corrupt += 1;
+            }
+        }
+        self.db.begin_stream();
+        for e in entries {
+            if self.scope.is_enabled() {
+                match &e {
+                    lasagna::LogEntry::TxnBegin { id } => {
+                        let h = self.scope.open_linked(
+                            "waldo",
+                            "ingest_batch",
+                            provscope::TraceId(*id),
+                        );
+                        batch_spans.push((*id, h));
+                    }
+                    lasagna::LogEntry::TxnEnd { id } => {
+                        if let Some(pos) = batch_spans.iter().rposition(|(b, _)| b == id) {
+                            let (_, h) = batch_spans.remove(pos);
+                            self.scope.close(h);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.db.stage(e, None);
+            if self.db.staged_len() >= batch {
+                self.commit_and_persist(kernel, &mut total);
+            }
+        }
+        self.commit_and_persist(kernel, &mut total);
+        self.processed_logs += 1;
+        for (_, h) in batch_spans {
+            self.scope.close(h);
+        }
+        self.scope.close(drain_span);
         total
     }
 

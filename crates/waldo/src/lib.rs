@@ -94,7 +94,10 @@ pub mod wal;
 
 pub use cache::CacheStats;
 pub use checkpoint::{CheckpointCrash, CheckpointStats, RestartReport};
-pub use cluster::{route_volume, Cluster, ClusterGraphSource};
+pub use cluster::{
+    route_volume, Cluster, ClusterCheckpointError, ClusterGraphSource, ClusterMemberError,
+    ClusterPollReport, VolumePoll,
+};
 pub use daemon::{QueryOps, RestartError, Waldo};
 pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};
 pub use store::{MergeError, Store, WaldoConfig};

@@ -20,7 +20,9 @@
 //! * [`workloads`] — the §7 evaluation workloads;
 //! * [`provtorture`] — the deterministic fault-injection and
 //!   expressiveness harness (every tamper detected or provably
-//!   harmless).
+//!   harmless);
+//! * [`provscope`] — cross-layer span tracing, unified metrics
+//!   registry and per-layer latency attribution.
 //!
 //! The repository-level documents this crate is the index for:
 //! `DESIGN.md` (crate-to-component inventory and the storage engine's
@@ -35,6 +37,7 @@ pub use pa_nfs;
 pub use pa_python;
 pub use passv2;
 pub use pql;
+pub use provscope;
 pub use provtorture;
 pub use sim_os;
 pub use waldo;
