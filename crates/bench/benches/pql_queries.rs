@@ -68,7 +68,7 @@ fn build_entries(files: u64) -> Vec<LogEntry> {
 
 /// Cache disabled: the `pql/*` benchmarks measure raw traversal cost.
 fn build_db(files: u64) -> ProvDb {
-    let mut db = ProvDb::with_config(WaldoConfig {
+    let db = ProvDb::with_config(WaldoConfig {
         shards: 8,
         ingest_batch: 64,
         ancestry_cache: 0,
@@ -191,7 +191,7 @@ fn bench_queries(c: &mut Criterion) {
     // generation-validated LRU, so repeats measure the cached path.
     let mut group = c.benchmark_group("pql_cached");
     for files in [100u64, 400] {
-        let mut cached = ProvDb::new();
+        let cached = ProvDb::new();
         cached.ingest(&build_entries(files));
         group.bench_with_input(
             BenchmarkId::new("full_ancestry_closure", files),
@@ -223,12 +223,9 @@ fn bench_queries(c: &mut Criterion) {
 /// the plan/bind/filter/project *span structure*, not wall time.
 fn trace_mode() {
     let db = build_db(400);
-    let tick = std::cell::Cell::new(0u64);
-    let scope = provscope::Scope::enabled(move || {
-        let t = tick.get();
-        tick.set(t + 1);
-        t
-    });
+    let tick = std::sync::atomic::AtomicU64::new(0);
+    let scope =
+        provscope::Scope::enabled(move || tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
     let query = "select A from Provenance.file as F F.input* as A \
                  where F.name = '/obj/f17.o'";
     let out = pql::query_traced(query, &db, &scope).expect("traced query");

@@ -105,7 +105,7 @@ fn bench_ingest(c: &mut Criterion) {
     group.throughput(Throughput::Elements(batch.len() as u64));
     group.bench_function("ingest_8000_entries", |b| {
         b.iter(|| {
-            let mut db = ProvDb::new();
+            let db = ProvDb::new();
             black_box(db.ingest(black_box(&batch)));
             db.object_count()
         });
@@ -116,7 +116,7 @@ fn bench_ingest(c: &mut Criterion) {
     txn_batch.push(LogEntry::TxnEnd { id: 1 });
     group.bench_function("ingest_txn_4000_entries", |b| {
         b.iter(|| {
-            let mut db = ProvDb::new();
+            let db = ProvDb::new();
             black_box(db.ingest(black_box(&txn_batch)));
             db.object_count()
         });
@@ -133,7 +133,7 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter_batched(
             || batch.clone(),
             |owned| {
-                let mut db = ProvDb::with_config(WaldoConfig::record_at_a_time());
+                let db = ProvDb::with_config(WaldoConfig::record_at_a_time());
                 let mut stats = waldo::IngestStats::default();
                 db.begin_stream();
                 for e in owned {
@@ -150,7 +150,7 @@ fn bench_ingest(c: &mut Criterion) {
             b.iter_batched(
                 || batch.clone(),
                 |owned| {
-                    let mut db = ProvDb::with_config(WaldoConfig {
+                    let db = ProvDb::with_config(WaldoConfig {
                         shards: 8,
                         ingest_batch: batch_size,
                         ancestry_cache: 0,

@@ -219,7 +219,7 @@ pub fn measure_with(cfg: Config, workload: &dyn Workload, waldo_cfg: WaldoConfig
         let ops = ops_report(&w);
         (s.db_bytes, s.index_bytes, ops)
     } else if cfg == Config::PaNfs {
-        let mut db = ProvDb::with_config(m.waldo_cfg);
+        let db = ProvDb::with_config(m.waldo_cfg);
         if let Some(server) = &m.server {
             for image in server.borrow_mut().drain_provenance_logs() {
                 let (entries, _) = parse_log(&image);
@@ -253,7 +253,7 @@ pub fn measure_with(cfg: Config, workload: &dyn Workload, waldo_cfg: WaldoConfig
 /// with a `name` equality predicate (the paper's §5.7 shape) runs
 /// against the first named object so the planner counters are real.
 fn ops_report(w: &waldo::Waldo) -> WaldoOps {
-    let mut pnodes: Vec<dpapi::Pnode> = w.db.objects().map(|(p, _)| *p).collect();
+    let mut pnodes: Vec<dpapi::Pnode> = w.db.all_pnodes();
     pnodes.sort_unstable();
     for p in pnodes.iter().take(64) {
         for _ in 0..2 {
@@ -263,10 +263,12 @@ fn ops_report(w: &waldo::Waldo) -> WaldoOps {
     let planner = pnodes
         .iter()
         .find_map(|p| {
-            let name = w.db.object(*p)?.first_attr(&dpapi::Attribute::Name)?;
+            let obj = w.db.object(*p)?;
+            let name = obj.first_attr(&dpapi::Attribute::Name)?;
             let dpapi::Value::Str(name) = name else {
                 return None;
             };
+            let name = name.clone();
             if name.contains('\'') {
                 // No escape syntax in PQL string literals; pick
                 // another object rather than emit a broken query.

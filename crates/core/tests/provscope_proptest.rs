@@ -114,7 +114,11 @@ fn single_daemon_trace(rounds: usize, batch_ops: usize) -> provscope::Trace {
     scope.snapshot()
 }
 
-fn cluster_trace(rounds: usize, batch_ops: usize) -> provscope::Trace {
+fn cluster_trace(
+    rounds: usize,
+    batch_ops: usize,
+    threaded: bool,
+) -> (provscope::Trace, Vec<Vec<u8>>) {
     let mut sys = SystemBuilder::new(CostModel::default())
         .pass_volume("/v1", VolumeId(1))
         .pass_volume("/v2", VolumeId(2))
@@ -126,10 +130,54 @@ fn cluster_trace(rounds: usize, batch_ops: usize) -> provscope::Trace {
     for (_, m, _) in &volumes {
         sys.kernel.dpapi_at(*m).unwrap().force_log_rotation();
     }
-    let mut cluster = sys.spawn_cluster(2);
+    let mut cluster = if threaded {
+        sys.spawn_cluster_threaded(2)
+    } else {
+        sys.spawn_cluster(2)
+    };
     cluster.set_scope(scope.clone());
     cluster.poll_volumes(&mut sys.kernel, &volumes);
-    scope.snapshot()
+    let images = cluster
+        .try_merged_store()
+        .expect("disjoint members merge")
+        .segment_images();
+    (scope.snapshot(), images)
+}
+
+/// Interleaving-independent census of a span forest: how many spans
+/// each (layer, name) pair produced, regardless of parentage.
+/// Threaded runs may allocate span ids in any order and re-root the
+/// coordinator-side durability spans, but may not grow or shrink
+/// these counts relative to the sequential runtime.
+fn span_census(
+    trace: &provscope::Trace,
+) -> std::collections::BTreeMap<(&'static str, String), usize> {
+    let mut census = std::collections::BTreeMap::new();
+    for s in &trace.spans {
+        *census.entry((s.layer, s.name.clone())).or_insert(0) += 1;
+    }
+    census
+}
+
+/// The shape of the *batch* span trees only — (layer, name,
+/// root-or-child) counts over spans bound to a batch trace. Unlike
+/// the scope-wide census this does constrain parentage: batch trees
+/// must keep the exact sequential structure on the threaded runtime.
+/// (Non-batch spans are excluded because durability runs on the
+/// coordinator thread there: `wal_persist` is a root span instead of
+/// a `drain_logs` child. Batch trees never change shape.)
+fn batch_shape(
+    trace: &provscope::Trace,
+) -> std::collections::BTreeMap<(&'static str, String, bool), usize> {
+    let mut shape = std::collections::BTreeMap::new();
+    for s in &trace.spans {
+        if s.trace.is_some_and(|t| t.is_batch()) {
+            *shape
+                .entry((s.layer, s.name.clone(), s.parent.is_some()))
+                .or_insert(0) += 1;
+        }
+    }
+    shape
 }
 
 proptest! {
@@ -151,7 +199,38 @@ proptest! {
     /// fan-in cannot collide or split them.
     #[test]
     fn cluster_span_trees(rounds in 1usize..4, batch_ops in 2usize..6) {
-        let trace = cluster_trace(rounds, batch_ops);
+        let (trace, _) = cluster_trace(rounds, batch_ops, false);
         check_contract(&trace, 2 * rounds)?;
+    }
+
+    /// Threaded 2-member cluster: members ingest on worker OS threads,
+    /// yet the span contract is unchanged — every batch is still one
+    /// connected tree crossing every local layer, with exactly the
+    /// sequential runtime's tree shape; the scope-wide (layer, op)
+    /// census matches span for span; and the merged store is
+    /// byte-equal to the sequential run's. Only span *ids* (allocation
+    /// order) and the parentage of coordinator-side durability spans
+    /// may differ across runtimes.
+    #[test]
+    fn threaded_cluster_span_trees(rounds in 1usize..4, batch_ops in 2usize..6) {
+        let (seq_trace, seq_images) = cluster_trace(rounds, batch_ops, false);
+        let (thr_trace, thr_images) = cluster_trace(rounds, batch_ops, true);
+        check_contract(&thr_trace, 2 * rounds)?;
+        prop_assert!(
+            span_census(&thr_trace) == span_census(&seq_trace),
+            "threaded runtime changed the span census:\n{:?}\nvs sequential\n{:?}",
+            span_census(&thr_trace),
+            span_census(&seq_trace)
+        );
+        prop_assert!(
+            batch_shape(&thr_trace) == batch_shape(&seq_trace),
+            "threaded runtime changed a batch tree's shape:\n{:?}\nvs sequential\n{:?}",
+            batch_shape(&thr_trace),
+            batch_shape(&seq_trace)
+        );
+        prop_assert!(
+            thr_images == seq_images,
+            "threaded merged store diverged from sequential"
+        );
     }
 }

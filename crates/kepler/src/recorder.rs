@@ -312,16 +312,16 @@ mod tests {
                 waldo
                     .db
                     .object(**p)
-                    .and_then(|o| o.first_attr(&Attribute::Name))
-                    == Some(&Value::str("writer"))
+                    .and_then(|o| o.first_attr(&Attribute::Name).cloned())
+                    == Some(Value::str("writer"))
             })
             .expect("writer operator recorded");
         let params = waldo
             .db
             .object(*writer)
-            .and_then(|o| o.first_attr(&Attribute::Params))
+            .and_then(|o| o.first_attr(&Attribute::Params).cloned())
             .expect("PARAMS recorded");
-        assert_eq!(params, &Value::str("fileName=/out,confirmOverwrite=true"));
+        assert_eq!(params, Value::str("fileName=/out,confirmOverwrite=true"));
         // /out has the writer operator among its ancestors.
         let outs = waldo.db.find_by_name("/out");
         assert_eq!(outs.len(), 1);

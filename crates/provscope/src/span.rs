@@ -26,10 +26,25 @@
 //! *synthetic* trace id when the window closes — bit 62, disjoint
 //! from the bit-63 batch-id space — so every span always ends up in
 //! exactly one trace.
+//!
+//! # Threads
+//!
+//! A scope is `Send + Sync` and may be shared across worker threads
+//! (the threaded cluster runtime ingests on one OS thread per
+//! member). Span storage, ids and trace roots are global to the
+//! scope, but the *window* — the open-span stack and its pending
+//! trace binding — is per thread: each thread's synchronous call
+//! chain parents only its own spans, so concurrent windows cannot
+//! corrupt each other's parentage. Linked spans
+//! ([`Scope::open_linked`]) never touch any stack and join the
+//! registered root of their trace regardless of which thread opens
+//! them. Under concurrency, span *ids* interleave
+//! nondeterministically; single-threaded runs remain byte-identical
+//! across same-seed executions.
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 
 /// Virtual nanoseconds, as read from the injected now-function.
 pub type Nanos = u64;
@@ -124,15 +139,24 @@ impl SpanHandle {
     }
 }
 
-struct Inner {
-    now: Box<dyn Fn() -> Nanos>,
-    spans: Vec<Span>,
+/// One thread's synchronous window: the open-span stack and the spans
+/// waiting for a trace binding.
+#[derive(Default)]
+struct Window {
     /// Open spans of the current synchronous window, outermost first.
     stack: Vec<SpanId>,
     /// Window spans not yet assigned a trace.
     pending: Vec<SpanId>,
     /// The current window's trace, once bound.
-    window_trace: Option<TraceId>,
+    trace: Option<TraceId>,
+}
+
+struct Inner {
+    now: Box<dyn Fn() -> Nanos + Send + Sync>,
+    spans: Vec<Span>,
+    /// Per-thread windows; an entry exists only while its thread has
+    /// an open (or pending-stamp) window.
+    windows: HashMap<ThreadId, Window>,
     /// Trace id → the root span detached work should link under.
     roots: BTreeMap<u64, SpanId>,
     next_synthetic: u64,
@@ -143,19 +167,24 @@ impl Inner {
         &mut self.spans[(id.0 - 1) as usize]
     }
 
+    fn window(&mut self, t: ThreadId) -> &mut Window {
+        self.windows.entry(t).or_default()
+    }
+
     /// Stamps an unbound window's spans with a synthetic trace when
-    /// the stack empties.
-    fn finish_window(&mut self) {
-        if !self.pending.is_empty() {
+    /// its stack empties, and retires the window.
+    fn finish_window(&mut self, t: ThreadId) {
+        let Some(w) = self.windows.remove(&t) else {
+            return;
+        };
+        if !w.pending.is_empty() {
             self.next_synthetic += 1;
-            let t = TraceId(TraceId::SYNTHETIC_BIT | self.next_synthetic);
-            let pending = std::mem::take(&mut self.pending);
-            self.roots.insert(t.0, pending[0]);
-            for id in pending {
-                self.span_mut(id).trace = Some(t);
+            let trace = TraceId(TraceId::SYNTHETIC_BIT | self.next_synthetic);
+            self.roots.insert(trace.0, w.pending[0]);
+            for id in w.pending {
+                self.span_mut(id).trace = Some(trace);
             }
         }
-        self.window_trace = None;
     }
 }
 
@@ -166,7 +195,7 @@ impl Inner {
 /// (the default) makes every operation a no-op on an immediate
 /// `None`, so threading it through hot paths costs one branch.
 #[derive(Clone, Default)]
-pub struct Scope(Option<Rc<RefCell<Inner>>>);
+pub struct Scope(Option<Arc<Mutex<Inner>>>);
 
 impl Scope {
     /// A disabled scope: records nothing, costs (almost) nothing.
@@ -177,13 +206,11 @@ impl Scope {
     /// An enabled scope reading time from `now` — inject the virtual
     /// clock (`move || clock.now()`), never a wall clock, or traces
     /// stop being deterministic.
-    pub fn enabled(now: impl Fn() -> Nanos + 'static) -> Scope {
-        Scope(Some(Rc::new(RefCell::new(Inner {
+    pub fn enabled(now: impl Fn() -> Nanos + Send + Sync + 'static) -> Scope {
+        Scope(Some(Arc::new(Mutex::new(Inner {
             now: Box::new(now),
             spans: Vec::new(),
-            stack: Vec::new(),
-            pending: Vec::new(),
-            window_trace: None,
+            windows: HashMap::new(),
             roots: BTreeMap::new(),
             next_synthetic: 0,
         }))))
@@ -194,21 +221,23 @@ impl Scope {
         self.0.is_some()
     }
 
-    /// Opens a span as a child of the innermost open span (or as a
-    /// window root). Must be paired with [`Scope::close`].
+    /// Opens a span as a child of the calling thread's innermost open
+    /// span (or as a window root). Must be paired with
+    /// [`Scope::close`] on the same thread.
     pub fn open(&self, layer: &'static str, name: &str) -> SpanHandle {
         let Some(inner) = &self.0 else {
             return SpanHandle::NONE;
         };
-        let mut g = inner.borrow_mut();
-        if g.stack.is_empty() {
-            // A fresh window; any stale binding belongs to the past.
-            g.window_trace = None;
-        }
+        let mut g = inner.lock().unwrap();
         let now = (g.now)();
         let id = SpanId(g.spans.len() as u64 + 1);
-        let parent = g.stack.last().copied();
-        let trace = g.window_trace;
+        let w = g.window(std::thread::current().id());
+        let parent = w.stack.last().copied();
+        let trace = w.trace;
+        if trace.is_none() {
+            w.pending.push(id);
+        }
+        w.stack.push(id);
         g.spans.push(Span {
             id,
             parent,
@@ -218,24 +247,21 @@ impl Scope {
             start_ns: now,
             end_ns: None,
         });
-        if trace.is_none() {
-            g.pending.push(id);
-        }
-        g.stack.push(id);
         SpanHandle(Some(id))
     }
 
     /// Opens a *detached* span linked to `trace`'s registered root —
     /// how asynchronous work (Waldo ingesting a group frame found in
     /// a log) re-joins the tree of the synchronous commit that
-    /// produced it. Detached spans never join the stack; if no root
-    /// is registered for `trace` yet (e.g. the commit predates this
+    /// produced it. Detached spans never join any stack — which also
+    /// makes them safe to open from worker threads; if no root is
+    /// registered for `trace` yet (e.g. the commit predates this
     /// scope), the span becomes that trace's root itself.
     pub fn open_linked(&self, layer: &'static str, name: &str, trace: TraceId) -> SpanHandle {
         let Some(inner) = &self.0 else {
             return SpanHandle::NONE;
         };
-        let mut g = inner.borrow_mut();
+        let mut g = inner.lock().unwrap();
         let now = (g.now)();
         let id = SpanId(g.spans.len() as u64 + 1);
         let (parent, t) = match g.roots.get(&trace.0).copied() {
@@ -260,40 +286,48 @@ impl Scope {
         SpanHandle(Some(id))
     }
 
-    /// Closes a span (stack or linked). Closing the outermost stack
-    /// span ends the window, stamping unbound spans synthetically.
+    /// Closes a span (stack or linked). Closing the outermost span of
+    /// the calling thread's stack ends that thread's window, stamping
+    /// unbound spans synthetically.
     pub fn close(&self, h: SpanHandle) {
         let Some(inner) = &self.0 else { return };
         let Some(id) = h.0 else { return };
-        let mut g = inner.borrow_mut();
+        let mut g = inner.lock().unwrap();
         let now = (g.now)();
         g.span_mut(id).end_ns = Some(now);
-        if let Some(pos) = g.stack.iter().rposition(|s| *s == id) {
-            g.stack.remove(pos);
+        let tid = std::thread::current().id();
+        let w = g.window(tid);
+        if let Some(pos) = w.stack.iter().rposition(|s| *s == id) {
+            w.stack.remove(pos);
         }
-        if g.stack.is_empty() {
-            g.finish_window();
+        if w.stack.is_empty() {
+            g.finish_window(tid);
         }
     }
 
-    /// Binds the current window to `trace` — called by the layer that
-    /// *allocates* the transaction's identity (Lasagna, when it
-    /// frames a group record). All pending spans of the window are
-    /// stamped retroactively; spans opened later in the window
-    /// inherit the binding at birth. A second bind in one window (a
-    /// transaction spanning volumes allocates one batch id per
-    /// volume) keeps the first trace for the tree but registers the
-    /// extra id onto the same root, so each batch's asynchronous
+    /// Binds the calling thread's current window to `trace` — called
+    /// by the layer that *allocates* the transaction's identity
+    /// (Lasagna, when it frames a group record). All pending spans of
+    /// the window are stamped retroactively; spans opened later in
+    /// the window inherit the binding at birth. A second bind in one
+    /// window (a transaction spanning volumes allocates one batch id
+    /// per volume) keeps the first trace for the tree but registers
+    /// the extra id onto the same root, so each batch's asynchronous
     /// ingest still links into the one tree.
     pub fn bind_trace(&self, trace: TraceId) {
         let Some(inner) = &self.0 else { return };
-        let mut g = inner.borrow_mut();
-        let Some(&root) = g.stack.first() else {
-            return; // No open window: nothing to bind.
+        let mut g = inner.lock().unwrap();
+        let tid = std::thread::current().id();
+        let w = g.window(tid);
+        let Some(&root) = w.stack.first() else {
+            // No open window on this thread: nothing to bind. Drop
+            // the freshly created empty window again.
+            g.windows.remove(&tid);
+            return;
         };
-        if g.window_trace.is_none() {
-            g.window_trace = Some(trace);
-            let pending = std::mem::take(&mut g.pending);
+        if w.trace.is_none() {
+            w.trace = Some(trace);
+            let pending = std::mem::take(&mut w.pending);
             for id in pending {
                 g.span_mut(id).trace = Some(trace);
             }
@@ -301,15 +335,16 @@ impl Scope {
         g.roots.entry(trace.0).or_insert(root);
     }
 
-    /// The trace context at the current point of execution, if any
-    /// span is open.
+    /// The trace context at the current point of execution on the
+    /// calling thread, if any span is open there.
     pub fn current_ctx(&self) -> Option<TraceCtx> {
         let inner = self.0.as_ref()?;
-        let g = inner.borrow();
-        let &id = g.stack.last()?;
+        let g = inner.lock().unwrap();
+        let w = g.windows.get(&std::thread::current().id())?;
+        let &id = w.stack.last()?;
         let s = &g.spans[(id.0 - 1) as usize];
         Some(TraceCtx {
-            trace: s.trace.or(g.window_trace),
+            trace: s.trace.or(w.trace),
             span: id,
             parent: s.parent,
         })
@@ -319,7 +354,7 @@ impl Scope {
     pub fn snapshot(&self) -> Trace {
         match &self.0 {
             Some(inner) => Trace {
-                spans: inner.borrow().spans.clone(),
+                spans: inner.lock().unwrap().spans.clone(),
             },
             None => Trace { spans: Vec::new() },
         }
@@ -327,7 +362,7 @@ impl Scope {
 
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
-        self.0.as_ref().map_or(0, |i| i.borrow().spans.len())
+        self.0.as_ref().map_or(0, |i| i.lock().unwrap().spans.len())
     }
 
     /// True when nothing has been recorded (or the scope is disabled).
@@ -341,11 +376,9 @@ impl Scope {
     /// asynchronous work would need.
     pub fn clear(&self) {
         if let Some(inner) = &self.0 {
-            let mut g = inner.borrow_mut();
+            let mut g = inner.lock().unwrap();
             g.spans.clear();
-            g.stack.clear();
-            g.pending.clear();
-            g.window_trace = None;
+            g.windows.clear();
             g.roots.clear();
             g.next_synthetic = 0;
         }
@@ -541,16 +574,12 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn ticking() -> (Rc<Cell<u64>>, Scope) {
-        let t = Rc::new(Cell::new(0u64));
+    fn ticking() -> (Arc<AtomicU64>, Scope) {
+        let t = Arc::new(AtomicU64::new(0));
         let t2 = t.clone();
-        let scope = Scope::enabled(move || {
-            let v = t2.get();
-            t2.set(v + 10);
-            v
-        });
+        let scope = Scope::enabled(move || t2.fetch_add(10, Ordering::Relaxed));
         (t, scope)
     }
 
@@ -669,15 +698,15 @@ mod tests {
     fn layer_latency_attributes_self_time() {
         // kernel [0,100); dpapi [10,90) nested → kernel self 20,
         // dpapi self 80.
-        let t = Rc::new(Cell::new(0u64));
+        let t = Arc::new(AtomicU64::new(0));
         let t2 = t.clone();
-        let s = Scope::enabled(move || t2.get());
+        let s = Scope::enabled(move || t2.load(Ordering::Relaxed));
         let a = s.open("kernel", "pass_commit");
-        t.set(10);
+        t.store(10, Ordering::Relaxed);
         let b = s.open("dpapi", "dp_commit");
-        t.set(90);
+        t.store(90, Ordering::Relaxed);
         s.close(b);
-        t.set(100);
+        t.store(100, Ordering::Relaxed);
         s.close(a);
         let lat = s.snapshot().layer_latency();
         let kernel = lat.iter().find(|l| l.layer == "kernel").unwrap();
@@ -713,5 +742,64 @@ mod tests {
         let b = s.open("kernel", "y");
         s.close(b);
         assert_eq!(s.snapshot().spans[0].id, SpanId(1));
+    }
+
+    /// Concurrent windows on separate threads never cross-parent:
+    /// each thread's nested spans parent within that thread, every
+    /// window stamps its own trace, and the combined snapshot still
+    /// validates.
+    #[test]
+    fn threads_keep_independent_windows() {
+        let (_, s) = ticking();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let a = s.open("waldo", "drain_logs");
+                        let b = s.open("waldo", "group_commit");
+                        s.close(b);
+                        s.close(a);
+                    }
+                });
+            }
+        });
+        let t = s.snapshot();
+        t.validate().unwrap();
+        assert_eq!(t.spans.len(), 4 * 50 * 2);
+        // Every window became its own 2-span synthetic tree.
+        let traces = t.traces();
+        assert_eq!(traces.len(), 4 * 50);
+        for trace in traces {
+            assert!(trace.is_synthetic());
+            assert!(t.is_connected_tree(trace));
+            assert_eq!(t.spans_of(trace).len(), 2);
+        }
+    }
+
+    /// Linked spans opened concurrently from worker threads all join
+    /// the one registered root of their batch trace.
+    #[test]
+    fn threaded_linked_spans_join_one_tree() {
+        let (_, s) = ticking();
+        let batch = TraceId((1 << 63) | 11);
+        let a = s.open("kernel", "pass_commit");
+        s.bind_trace(batch);
+        s.close(a);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let w = s.open_linked("waldo", "ingest_batch", batch);
+                        s.close(w);
+                    }
+                });
+            }
+        });
+        let t = s.snapshot();
+        t.validate().unwrap();
+        assert!(t.is_connected_tree(batch));
+        assert_eq!(t.spans_of(batch).len(), 1 + 4 * 25);
     }
 }

@@ -1,11 +1,30 @@
 //! CI smoke: the full fault × topology matrix at a fixed seed, run
 //! **twice**, asserting (a) zero silent divergence and (b) that the
 //! second pass reproduces the first report-for-report — the
-//! determinism contract the whole harness rests on. Exits nonzero on
-//! any violation. Override the seed with `PROVTORTURE_SEED=<u64>`.
+//! determinism contract the whole harness rests on. The cluster
+//! topology's faulted twin ingests on the threaded runtime, whose
+//! span-id allocation order depends on thread interleaving, so
+//! traces are held to *structural* equality (same (layer, op,
+//! parentage) census) and everything else — verdicts, signals, store
+//! bytes — to bit equality. Exits nonzero on any violation. Override
+//! the seed with `PROVTORTURE_SEED=<u64>`.
+
+use std::collections::BTreeMap;
 
 use provtorture::{torture, CaseReport, Verdict, ALL_FAULTS, ALL_TOPOLOGIES};
 use workloads::SelfIngest;
+
+/// Interleaving-independent shape of a Chrome trace: span counts per
+/// (layer, op, root-or-child).
+fn trace_shape(json: &str) -> BTreeMap<(String, String, bool), usize> {
+    let mut shape = BTreeMap::new();
+    for ev in provscope::parse_chrome_trace(json).expect("harness traces parse") {
+        *shape
+            .entry((ev.cat, ev.name, ev.parent.is_some()))
+            .or_insert(0) += 1;
+    }
+    shape
+}
 
 fn run_matrix(seed: u64) -> Vec<CaseReport> {
     let wl = SelfIngest {
@@ -27,8 +46,19 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0x7061_7373_7632);
-    let first = run_matrix(seed);
-    let second = run_matrix(seed);
+    let mut first = run_matrix(seed);
+    let mut second = run_matrix(seed);
+    for (a, b) in first.iter_mut().zip(second.iter_mut()) {
+        assert_eq!(
+            trace_shape(&a.trace_json),
+            trace_shape(&b.trace_json),
+            "determinism violation: trace structure differs for {} under {}",
+            a.fault,
+            a.topology.name()
+        );
+        a.trace_json.clear();
+        b.trace_json.clear();
+    }
     assert_eq!(
         first, second,
         "determinism violation: identical seed produced different reports"

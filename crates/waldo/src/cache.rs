@@ -161,11 +161,11 @@ impl ShardSnapshot {
     }
 
     /// True if every recorded shard is still at its recorded
-    /// generation.
-    pub fn valid(&self, current: &[u64]) -> bool {
-        self.gens
-            .iter()
-            .all(|(s, g)| current.get(*s as usize) == Some(g))
+    /// generation. `current` maps a shard index to its present
+    /// generation (a closure, so the store can answer from its atomic
+    /// per-shard counters without materializing a vector).
+    pub fn valid(&self, current: impl Fn(usize) -> u64) -> bool {
+        self.gens.iter().all(|(s, g)| current(*s as usize) == *g)
     }
 }
 
@@ -205,7 +205,7 @@ impl<K: Eq + Hash + Clone, T: Clone + Default> TraversalCache<K, T> {
 
     /// A still-valid cached value for `key`, given the shards'
     /// current generations. Stale entries are dropped and counted.
-    pub fn lookup(&mut self, key: &K, current_gens: &[u64]) -> Option<T> {
+    pub fn lookup(&mut self, key: &K, current_gens: impl Fn(usize) -> u64) -> Option<T> {
         match self.lru.get(key) {
             Some(entry) if entry.snapshot.valid(current_gens) => {
                 self.stats.hits += 1;
@@ -273,25 +273,26 @@ mod tests {
         snap.touch(0, 5);
         snap.touch(3, 7);
         snap.touch(0, 99); // duplicate touch keeps the first generation
-        assert!(snap.valid(&[5, 0, 0, 7]));
-        assert!(!snap.valid(&[5, 0, 0, 8]), "shard 3 moved");
-        assert!(!snap.valid(&[6, 0, 0, 7]), "shard 0 moved");
+        let at = |gens: [u64; 4]| move |i: usize| gens[i];
+        assert!(snap.valid(at([5, 0, 0, 7])));
+        assert!(!snap.valid(at([5, 0, 0, 8])), "shard 3 moved");
+        assert!(!snap.valid(at([6, 0, 0, 7])), "shard 0 moved");
         // Shards the traversal never read may move freely.
-        assert!(snap.valid(&[5, 42, 42, 7]));
+        assert!(snap.valid(at([5, 42, 42, 7])));
     }
 
     #[test]
     fn traversal_cache_hits_until_shard_moves() {
         let mut c: TraversalCache<u32, Vec<u32>> = TraversalCache::new(8);
-        let mut gens = vec![0u64, 0];
+        let mut gens = [0u64, 0];
         let mut snap = ShardSnapshot::default();
         snap.touch(1, 0);
         c.store(7, vec![1, 2, 3], snap);
-        assert_eq!(c.lookup(&7, &gens), Some(vec![1, 2, 3]));
+        assert_eq!(c.lookup(&7, |i| gens[i]), Some(vec![1, 2, 3]));
         gens[0] += 1; // untouched shard: still a hit
-        assert_eq!(c.lookup(&7, &gens), Some(vec![1, 2, 3]));
+        assert_eq!(c.lookup(&7, |i| gens[i]), Some(vec![1, 2, 3]));
         gens[1] += 1; // touched shard: invalidated
-        assert_eq!(c.lookup(&7, &gens), None);
+        assert_eq!(c.lookup(&7, |i| gens[i]), None);
         assert_eq!(c.stats.hits, 2);
         assert_eq!(c.stats.invalidated, 1);
         assert_eq!(c.stats.misses, 1);

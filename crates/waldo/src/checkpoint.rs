@@ -170,8 +170,8 @@ pub(crate) fn write_segments(
     let mut refs = Vec::with_capacity(store.shard_count());
     let mut written = 0u64;
     let mut bytes = 0u64;
-    for (i, shard) in store.shards().iter().enumerate() {
-        let gen = shard.generation;
+    for i in 0..store.shard_count() {
+        let gen = store.shard_generation(i);
         if gen == 0 {
             refs.push(SegmentRef {
                 generation: 0,
@@ -186,7 +186,7 @@ pub(crate) fn write_segments(
                 continue;
             }
         }
-        let img = encode_shard(i as u32, shard, gen);
+        let img = store.with_shard(i, |shard| encode_shard(i as u32, shard, gen));
         write_synced(kernel, pid, &segment_path(dir, i, gen), &img)?;
         refs.push(SegmentRef {
             generation: gen,
@@ -450,7 +450,7 @@ mod tests {
             ancestry_cache: 0,
             ..WaldoConfig::default()
         };
-        let mut store = Store::with_config(cfg);
+        let store = Store::with_config(cfg);
         let entries: Vec<LogEntry> = (1..6u64)
             .map(|i| LogEntry::Prov {
                 subject: ObjectRef::new(Pnode::new(VolumeId(1), i), Version(0)),
@@ -462,8 +462,9 @@ mod tests {
             .collect();
         store.ingest(&entries);
         let mut segments = Vec::new();
-        for (i, shard) in store.shards().iter().enumerate() {
-            if shard.generation == 0 {
+        for i in 0..store.shard_count() {
+            let gen = store.shard_generation(i);
+            if gen == 0 {
                 segments.push(SegmentRef {
                     generation: 0,
                     len: 0,
@@ -471,16 +472,12 @@ mod tests {
                 });
                 continue;
             }
-            let img = crate::segment::encode_shard_versioned(i as u32, shard, shard.generation, 1);
-            write_synced(
-                &mut kernel,
-                pid,
-                &segment_path(dir, i, shard.generation),
-                &img,
-            )
-            .unwrap();
+            let img = store.with_shard(i, |shard| {
+                crate::segment::encode_shard_versioned(i as u32, shard, gen, 1)
+            });
+            write_synced(&mut kernel, pid, &segment_path(dir, i, gen), &img).unwrap();
             segments.push(SegmentRef {
-                generation: shard.generation,
+                generation: gen,
                 len: img.len() as u64,
                 crc: segment_crc(&img),
             });
@@ -506,9 +503,13 @@ mod tests {
             5,
             "index rebuilt from v1 objects"
         );
-        for (i, shard) in loaded.store.shards().iter().enumerate() {
+        for i in 0..loaded.store.shard_count() {
             if !segments[i].is_empty() {
-                assert_eq!(shard.generation, segments[i].generation + 1, "shard {i}");
+                assert_eq!(
+                    loaded.store.shard_generation(i),
+                    segments[i].generation + 1,
+                    "shard {i}"
+                );
             }
         }
 

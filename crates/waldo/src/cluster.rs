@@ -42,9 +42,49 @@ use sim_os::fs::FsError;
 use sim_os::proc::MountId;
 use sim_os::syscall::Kernel;
 
-use crate::daemon::{QueryOps, Waldo};
+use crate::daemon::{LogImage, QueryOps, Waldo};
 use crate::db::IngestStats;
 use crate::store::{MergeError, Store};
+
+/// How a [`Cluster`] executes an ingest sweep.
+///
+/// Both runtimes produce **byte-identical member stores** for the
+/// same sweep: the threaded runtime hands each member exactly the log
+/// images the sequential runtime would have drained, in the same
+/// order, and per-member ingest is deterministic. What differs is
+/// wall-clock time (members overlap on real cores) and durability
+/// *timing* (WAL persists, log retirement and checkpoints move to a
+/// per-member flush at the end of the sweep — each commit frame
+/// carries complete replay marks, so the final frame supersedes the
+/// skipped intermediates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClusterRuntime {
+    /// Members drain their volumes one after another on the calling
+    /// thread — the virtual-clock reference mode, where fleet time is
+    /// modeled as `max(member time)`.
+    #[default]
+    Sequential,
+    /// Members ingest on OS threads (one scoped thread per member
+    /// with work): the coordinator keeps the single-threaded kernel,
+    /// reads rotated logs up front, and the members' kernel-free
+    /// parse + stage + commit work overlaps on real cores.
+    Threaded,
+}
+
+/// One member's share of a threaded sweep, wall-clock attributed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemberTiming {
+    /// Member index.
+    pub member: usize,
+    /// Volumes the member drained this sweep.
+    pub volumes: usize,
+    /// Log images the member ingested this sweep.
+    pub images: usize,
+    /// Wall-clock nanoseconds the member's ingest thread ran (parse +
+    /// stage + commit; excludes the coordinator's kernel reads and
+    /// the durability flush).
+    pub wall_ns: u64,
+}
 
 /// One member's failure during a cluster-wide sweep: which member
 /// broke (so an operator can repair exactly that durable home) and
@@ -140,6 +180,10 @@ pub struct ClusterPollReport {
     pub total: IngestStats,
     /// One entry per polled volume, in the caller's volume order.
     pub per_volume: Vec<VolumePoll>,
+    /// Per-member wall-clock attribution — populated only by the
+    /// [`ClusterRuntime::Threaded`] runtime (the sequential runtime
+    /// shares one thread, so per-member wall time is not meaningful).
+    pub member_timings: Vec<MemberTiming>,
 }
 
 impl ClusterPollReport {
@@ -178,6 +222,7 @@ pub struct Cluster {
     /// single member).
     query_ops: QueryOps,
     scope: provscope::Scope,
+    runtime: ClusterRuntime,
 }
 
 impl Cluster {
@@ -190,7 +235,20 @@ impl Cluster {
             members,
             query_ops: QueryOps::default(),
             scope: provscope::Scope::default(),
+            runtime: ClusterRuntime::default(),
         }
+    }
+
+    /// Selects the ingest runtime. Both runtimes produce
+    /// byte-identical member stores (see [`ClusterRuntime`]); threaded
+    /// mode overlaps members' ingest on real cores.
+    pub fn set_runtime(&mut self, runtime: ClusterRuntime) {
+        self.runtime = runtime;
+    }
+
+    /// The active ingest runtime.
+    pub fn runtime(&self) -> ClusterRuntime {
+        self.runtime
     }
 
     /// Attaches a tracing scope to the cluster *and every member*, so
@@ -284,6 +342,17 @@ impl Cluster {
         kernel: &mut Kernel,
         volumes: &[(String, MountId, VolumeId)],
     ) -> ClusterPollReport {
+        match self.runtime {
+            ClusterRuntime::Sequential => self.poll_volumes_sequential(kernel, volumes),
+            ClusterRuntime::Threaded => self.poll_volumes_threaded(kernel, volumes),
+        }
+    }
+
+    fn poll_volumes_sequential(
+        &mut self,
+        kernel: &mut Kernel,
+        volumes: &[(String, MountId, VolumeId)],
+    ) -> ClusterPollReport {
         let mut report = ClusterPollReport::default();
         for (path, mount, volume) in volumes {
             let member = self.route(*volume);
@@ -297,6 +366,134 @@ impl Cluster {
                 wal_errors: self.members[member].wal_errors() - wal_before,
             });
         }
+        report
+    }
+
+    /// The multi-core sweep. Three phases:
+    ///
+    /// 1. **Collect** (coordinator): the kernel is single-threaded, so
+    ///    the coordinator takes every volume's rotated-log queue and
+    ///    reads the log bytes, in the caller's volume order — exactly
+    ///    the files, in exactly the order, the sequential runtime
+    ///    would drain.
+    /// 2. **Ingest** (parallel): one scoped OS thread per member with
+    ///    work runs the kernel-free [`Waldo::ingest_images_offline`]
+    ///    over that member's volumes (still in caller order).
+    ///    Members share nothing but the `Sync` stores' internals, so
+    ///    the threads are data-race-free by construction, and each
+    ///    member's ingest is deterministic — the merged store is
+    ///    byte-equal to the sequential sweep's.
+    /// 3. **Flush** (coordinator): per member, persist the final
+    ///    commit frame, retire fully committed logs, run the
+    ///    checkpoint policy ([`Waldo::flush_durable`]).
+    ///
+    /// Per-volume stats keep their sequential meaning; flush-side
+    /// effects (WAL errors, checkpoints) are attributed to the
+    /// member's *last* polled volume, since the deferred flush covers
+    /// the whole sweep.
+    fn poll_volumes_threaded(
+        &mut self,
+        kernel: &mut Kernel,
+        volumes: &[(String, MountId, VolumeId)],
+    ) -> ClusterPollReport {
+        let n = self.members.len();
+        // Phase 1: collect, in caller order.
+        let mut assignments: Vec<Vec<(usize, VolumeId, Vec<LogImage>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (vi, (path, mount, volume)) in volumes.iter().enumerate() {
+            let member = self.route(*volume);
+            let rotated = match kernel.dpapi_at(*mount) {
+                Some(d) => d.take_log_rotations(),
+                None => Vec::new(),
+            };
+            let pid = self.members[member].pid();
+            let images: Vec<LogImage> = rotated
+                .into_iter()
+                .filter_map(|rel| {
+                    let abs = if path == "/" {
+                        format!("/{rel}")
+                    } else {
+                        format!("{path}/{rel}")
+                    };
+                    kernel
+                        .read_file(pid, &abs)
+                        .ok()
+                        .map(|bytes| LogImage { path: abs, bytes })
+                })
+                .collect();
+            assignments[member].push((vi, *volume, images));
+        }
+        // Phase 2: parallel kernel-free ingest, one thread per member.
+        let mut per_volume: Vec<Option<VolumePoll>> = volumes.iter().map(|_| None).collect();
+        let mut member_timings: Vec<MemberTiming> = Vec::new();
+        let mut flush_members: Vec<usize> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .members
+                .iter_mut()
+                .zip(assignments)
+                .enumerate()
+                .filter(|(_, (_, assigned))| !assigned.is_empty())
+                .map(|(mi, (member, assigned))| {
+                    scope.spawn(move || {
+                        let started = std::time::Instant::now();
+                        let mut polls = Vec::with_capacity(assigned.len());
+                        let mut images_total = 0usize;
+                        for (vi, volume, images) in assigned {
+                            images_total += images.len();
+                            let stats = member.ingest_images_offline(&images);
+                            polls.push((vi, volume, stats));
+                        }
+                        let wall_ns = started.elapsed().as_nanos() as u64;
+                        (mi, polls, images_total, wall_ns)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (mi, polls, images, wall_ns) = handle.join().expect("member ingest panicked");
+                member_timings.push(MemberTiming {
+                    member: mi,
+                    volumes: polls.len(),
+                    images,
+                    wall_ns,
+                });
+                for (vi, volume, stats) in polls {
+                    per_volume[vi] = Some(VolumePoll {
+                        member: mi,
+                        volume,
+                        stats,
+                        wal_errors: 0,
+                    });
+                }
+                flush_members.push(mi);
+            }
+        });
+        // Phase 3: per-member durability flush on the coordinator.
+        flush_members.sort_unstable();
+        for mi in flush_members {
+            let wal_before = self.members[mi].wal_errors();
+            let flush_stats = self.members[mi].flush_durable(kernel);
+            let wal_delta = self.members[mi].wal_errors() - wal_before;
+            // Attribute the flush to the member's last polled volume.
+            if let Some(poll) = per_volume
+                .iter_mut()
+                .rev()
+                .flatten()
+                .find(|p| p.member == mi)
+            {
+                poll.stats += flush_stats;
+                poll.wal_errors += wal_delta;
+            }
+        }
+        let mut report = ClusterPollReport {
+            member_timings,
+            ..ClusterPollReport::default()
+        };
+        for poll in per_volume.into_iter().flatten() {
+            report.total += poll.stats;
+            report.per_volume.push(poll);
+        }
+        report.member_timings.sort_unstable_by_key(|t| t.member);
         report
     }
 
@@ -347,7 +544,7 @@ impl Cluster {
     /// fault harness, operators with forged streams) for whom an
     /// unmergeable member is an outcome to classify, not a bug.
     pub fn try_merged_store(&self) -> Result<Store, MergeError> {
-        let mut merged = Store::with_config(self.members[0].db.config());
+        let merged = Store::with_config(self.members[0].db.config());
         for m in &self.members {
             merged.merge(&m.db)?;
         }
@@ -391,6 +588,39 @@ impl Cluster {
             reg.absorb(&format!("member{i}."), m);
         }
     }
+}
+
+/// Ingests pre-read log images on every member concurrently — one
+/// scoped OS thread per member with work — and returns per-member
+/// stats, in member order. This is the bare parallel-ingest kernel of
+/// [`ClusterRuntime::Threaded`] without the kernel-bound collect and
+/// flush phases, for harnesses (the fault-injection twin runner) that
+/// already hold the log bytes. `work[i]` is member `i`'s image list;
+/// per-member ingest is deterministic, so the members' stores are
+/// byte-equal to a sequential run of the same per-member lists.
+pub fn ingest_images_threaded(members: &mut [Waldo], work: Vec<Vec<LogImage>>) -> Vec<IngestStats> {
+    assert_eq!(
+        members.len(),
+        work.len(),
+        "one image list per cluster member"
+    );
+    let mut out: Vec<IngestStats> = members.iter().map(|_| IngestStats::default()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = members
+            .iter_mut()
+            .zip(work)
+            .enumerate()
+            .filter(|(_, (_, images))| !images.is_empty())
+            .map(|(i, (member, images))| {
+                scope.spawn(move || (i, member.ingest_images_offline(&images)))
+            })
+            .collect();
+        for handle in handles {
+            let (i, stats) = handle.join().expect("member ingest panicked");
+            out[i] = stats;
+        }
+    });
+    out
 }
 
 impl std::fmt::Debug for Cluster {

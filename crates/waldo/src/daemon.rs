@@ -152,6 +152,19 @@ impl From<FsError> for RestartError {
     }
 }
 
+/// One rotated log's raw bytes, read off the kernel ahead of time so
+/// a worker thread can ingest it without touching the
+/// (single-threaded) kernel — the unit of work the threaded cluster
+/// runtime hands to member threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogImage {
+    /// Absolute path the image was read from (the replay-source
+    /// identity the store's per-file marks are keyed on).
+    pub path: String,
+    /// The raw Lasagna log bytes.
+    pub bytes: Vec<u8>,
+}
+
 /// A fully committed source log awaiting checkpoint coverage before
 /// it may be unlinked.
 #[derive(Clone, Debug)]
@@ -198,6 +211,12 @@ pub struct Waldo {
     retained: Vec<u64>,
     /// Fully committed logs gated on the retention floor.
     retired_logs: Vec<RetiredLog>,
+    /// Logs drained by [`Waldo::ingest_images_offline`] whose
+    /// retirement (unlink / retention queueing) is deferred to the
+    /// next [`Waldo::flush_durable`] — offline ingest runs without a
+    /// kernel, so it cannot unlink. `(source handle, path, total
+    /// entries)`, in drain order.
+    pending_retire: Vec<(usize, String, usize)>,
     /// True from manifest publication until truncation, garbage
     /// collection and covered-log unlinking complete — a failure in
     /// that window is retried by the next [`Waldo::checkpoint`] call
@@ -240,6 +259,7 @@ impl Waldo {
             last_manifest: None,
             retained: Vec::new(),
             retired_logs: Vec::new(),
+            pending_retire: Vec::new(),
             post_publish_pending: false,
             ckpt_stats: CheckpointStats::default(),
             restart_report: None,
@@ -284,7 +304,7 @@ impl Waldo {
     /// state of a crashed predecessor). Staged-but-uncommitted entries
     /// are discarded — the next poll replays them from the logs that
     /// were, by design, not yet unlinked.
-    pub fn resume(pid: Pid, mut db: Store) -> Waldo {
+    pub fn resume(pid: Pid, db: Store) -> Waldo {
         db.drop_staged();
         let cfg = db.config();
         let mut w = Waldo::with_config(pid, cfg);
@@ -903,6 +923,114 @@ impl Waldo {
         total
     }
 
+    /// The kernel-free half of `Waldo::drain_logs`: stages and
+    /// group-commits pre-read log images **without touching the
+    /// kernel**, so it can run on a worker thread while the
+    /// coordinator keeps the (single-threaded) kernel. The store this
+    /// produces is byte-identical to `drain_logs` over the same files
+    /// in the same order — entries stage at the same positions and
+    /// commits fire at the same batch boundaries — only durability
+    /// (WAL persist), log retirement and checkpoints are deferred to
+    /// the next [`Waldo::flush_durable`] on the coordinator. Each
+    /// commit frame carries the complete current replay marks, so
+    /// persisting only the final frame supersedes the skipped ones;
+    /// frames are accounting, never recovery state.
+    pub fn ingest_images_offline(&mut self, images: &[LogImage]) -> IngestStats {
+        let drain_span = self.scope.open("waldo", "drain_logs");
+        let mut total = IngestStats::default();
+        let mut batch_spans: Vec<(u64, provscope::SpanHandle)> = Vec::new();
+        let batch = self.db.config().ingest_batch.max(1);
+        for image in images {
+            let (entries, tail) = lasagna::parse_log(&image.bytes);
+            match tail {
+                lasagna::LogTail::Clean => {}
+                lasagna::LogTail::Truncated { .. } => {
+                    total.tails_truncated += 1;
+                    self.log_tails_truncated += 1;
+                }
+                lasagna::LogTail::Corrupt { .. } => {
+                    total.tails_corrupt += 1;
+                    self.log_tails_corrupt += 1;
+                }
+            }
+            let (src, mark) = self.db.register_source(&image.path);
+            if mark == 0 {
+                self.db.begin_stream();
+            }
+            let n = entries.len();
+            for e in entries.into_iter().skip(mark) {
+                if self.scope.is_enabled() {
+                    match &e {
+                        lasagna::LogEntry::TxnBegin { id } => {
+                            let h = self.scope.open_linked(
+                                "waldo",
+                                "ingest_batch",
+                                provscope::TraceId(*id),
+                            );
+                            batch_spans.push((*id, h));
+                        }
+                        lasagna::LogEntry::TxnEnd { id } => {
+                            if let Some(pos) = batch_spans.iter().rposition(|(b, _)| b == id) {
+                                let (_, h) = batch_spans.remove(pos);
+                                self.scope.close(h);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                self.db.stage(e, Some(src));
+                if self.db.staged_len() >= batch {
+                    self.commit_offline(&mut total);
+                }
+            }
+            self.pending_retire.push((src, image.path.clone(), n));
+            self.processed_logs += 1;
+        }
+        self.commit_offline(&mut total);
+        for (_, h) in batch_spans {
+            self.scope.close(h);
+        }
+        self.scope.close(drain_span);
+        total
+    }
+
+    /// Commits staged entries without persisting — the worker-thread
+    /// half of [`Waldo::commit_and_persist`]. Leaves `frame_dirty`
+    /// set so the coordinator's [`Waldo::flush_durable`] persists the
+    /// (cumulative) latest frame.
+    fn commit_offline(&mut self, stats: &mut IngestStats) {
+        let span = self.scope.open("waldo", "group_commit");
+        let before = self.db.commit_seq();
+        self.db.commit_staged(stats);
+        if self.db.commit_seq() != before {
+            self.frame_dirty = true;
+            self.commits_since_checkpoint += self.db.commit_seq() - before;
+        }
+        self.scope.close(span);
+    }
+
+    /// The coordinator-side completion of offline ingest: persists
+    /// the latest commit frame (one append + fsync — the durability
+    /// cost the deferral amortized), retires the logs
+    /// [`Waldo::ingest_images_offline`] fully committed, and runs the
+    /// checkpoint policy. Returns the checkpoint counters the flush
+    /// produced. A persist failure leaves everything queued — no log
+    /// is unlinked until a later flush (or ordinary drain) succeeds,
+    /// exactly like the sequential path.
+    pub fn flush_durable(&mut self, kernel: &mut Kernel) -> IngestStats {
+        let mut stats = IngestStats::default();
+        if self.frame_dirty && self.persist_commit(kernel) {
+            self.frame_dirty = false;
+        }
+        if !self.frame_dirty {
+            let mut files = std::mem::take(&mut self.pending_retire);
+            self.retire_committed(kernel, &mut files);
+            self.pending_retire = files;
+            self.maybe_checkpoint(kernel, &mut stats);
+        }
+        stats
+    }
+
     fn maybe_checkpoint(&mut self, kernel: &mut Kernel, stats: &mut IngestStats) {
         if self.should_checkpoint() {
             match self.checkpoint(kernel) {
@@ -1276,8 +1404,8 @@ mod tests {
                 waldo
                     .db
                     .object(**p)
-                    .and_then(|o| o.first_attr(&Attribute::Name))
-                    .map(|v| v == &Value::str("/bin-tool"))
+                    .and_then(|o| o.first_attr(&Attribute::Name).cloned())
+                    .map(|v| v == Value::str("/bin-tool"))
                     .unwrap_or(false)
             })
             .expect("the exec'd process must be recorded with its NAME");

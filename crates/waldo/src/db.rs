@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn name_and_type_indexes() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         db.ingest(&[
             prov(r(1, 0), Attribute::Name, Value::str("/data/out.gif")),
             prov(r(1, 0), Attribute::Type, Value::str("FILE")),
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn ancestry_and_reverse_index() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         // file(1) <- proc(2) <- file(3): 1 depends on 2 depends on 3.
         db.ingest(&[
             prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn freeze_creates_version_and_implicit_edges() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         db.ingest(&[
             prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 0))),
             prov(r(1, 0), Attribute::Freeze, Value::Int(1)),
@@ -225,7 +225,7 @@ mod tests {
 
     #[test]
     fn version_specific_reverse_lookups() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         db.ingest(&[prov(r(1, 0), Attribute::Input, Value::Xref(r(2, 3)))]);
         // Outputs of 2@3 include 1@0; outputs of 2@1 do not.
         assert_eq!(db.outputs_of(r(2, 3)).len(), 1);
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn transactions_buffer_until_end() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         let stats = db.ingest(&[
             LogEntry::TxnBegin { id: 9 },
             prov(r(1, 0), Attribute::Name, Value::str("x")),
@@ -253,7 +253,7 @@ mod tests {
 
     #[test]
     fn orphaned_txns_can_be_discarded() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         db.ingest(&[
             LogEntry::TxnBegin { id: 5 },
             prov(r(1, 0), Attribute::Name, Value::str("ghost")),
@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn size_grows_with_ingestion() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         let before = db.size();
         db.ingest(&[
             prov(
@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn data_writes_accumulate_per_version() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         db.ingest(&[
             LogEntry::DataWrite {
                 subject: r(1, 0),
@@ -305,7 +305,7 @@ mod tests {
 
     #[test]
     fn first_attr_spans_versions() {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         db.ingest(&[
             prov(r(1, 0), Attribute::Freeze, Value::Int(1)),
             prov(r(1, 1), Attribute::Name, Value::str("late-name")),
@@ -332,12 +332,12 @@ mod tests {
                 ]
             })
             .collect();
-        let mut reference = ProvDb::with_config(WaldoConfig::record_at_a_time());
+        let reference = ProvDb::with_config(WaldoConfig::record_at_a_time());
         for e in &entries {
             reference.ingest(std::slice::from_ref(e));
         }
         for shards in [1, 4, 64] {
-            let mut db = ProvDb::with_config(WaldoConfig {
+            let db = ProvDb::with_config(WaldoConfig {
                 shards,
                 ingest_batch: 7,
                 ancestry_cache: 16,
@@ -362,7 +362,7 @@ mod tests {
     /// shard invalidates exactly the affected traversals.
     #[test]
     fn ancestry_cache_hits_and_per_shard_invalidation() {
-        let mut db = ProvDb::with_config(WaldoConfig {
+        let db = ProvDb::with_config(WaldoConfig {
             shards: 8,
             ingest_batch: 64,
             ancestry_cache: 128,
@@ -390,7 +390,7 @@ mod tests {
     /// A query over shards untouched by an ingest stays cached.
     #[test]
     fn unrelated_ingest_keeps_cache_entries() {
-        let mut db = ProvDb::with_config(WaldoConfig {
+        let db = ProvDb::with_config(WaldoConfig {
             shards: 64,
             ingest_batch: 64,
             ancestry_cache: 128,

@@ -52,7 +52,7 @@ impl GraphSource for Store {
     fn class_members(&self, class: &str) -> Vec<ObjectRef> {
         let lower = class.to_ascii_lowercase();
         let pnodes: Vec<dpapi::Pnode> = if lower == "obj" {
-            self.objects().map(|(p, _)| *p).collect()
+            self.all_pnodes()
         } else {
             self.find_by_type(&lower.to_ascii_uppercase())
         };
@@ -210,7 +210,7 @@ mod tests {
     }
 
     fn sample_db() -> ProvDb {
-        let mut db = ProvDb::new();
+        let db = ProvDb::new();
         db.ingest(&[
             prov(r(1, 0), Attribute::Name, Value::str("/data/atlas-x.gif")),
             prov(r(1, 0), Attribute::Type, Value::str("FILE")),
@@ -290,7 +290,7 @@ mod tests {
     /// afterwards invalidates only what the commit touched.
     #[test]
     fn repeated_queries_hit_the_closure_cache() {
-        let mut db = sample_db();
+        let db = sample_db();
         let q = "select D from Provenance.file as F F.input~+ as D \
                  where F.name = '/data/anatomy1.img'";
         let first = pql::query(q, &db).unwrap().nodes();

@@ -95,9 +95,9 @@ pub mod wal;
 pub use cache::CacheStats;
 pub use checkpoint::{CheckpointCrash, CheckpointStats, RestartReport};
 pub use cluster::{
-    route_volume, Cluster, ClusterCheckpointError, ClusterGraphSource, ClusterMemberError,
-    ClusterPollReport, VolumePoll,
+    ingest_images_threaded, route_volume, Cluster, ClusterCheckpointError, ClusterGraphSource,
+    ClusterMemberError, ClusterPollReport, ClusterRuntime, MemberTiming, VolumePoll,
 };
-pub use daemon::{QueryOps, RestartError, Waldo};
+pub use daemon::{LogImage, QueryOps, RestartError, Waldo};
 pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};
 pub use store::{MergeError, Store, WaldoConfig};

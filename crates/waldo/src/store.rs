@@ -25,9 +25,47 @@
 //! Queries that existed on the old single-map `ProvDb` keep their
 //! exact semantics: point lookups route to one shard, index scans fan
 //! out and merge in pnode order.
+//!
+//! # Concurrency
+//!
+//! The store is `Sync`: every method takes `&self`, and internal
+//! locking is fine-grained so snapshot readers proceed *during*
+//! commits (the threaded cluster runtime queries members while their
+//! ingest threads commit). The lock hierarchy, outermost first:
+//!
+//! 1. **`meta` mutex** — all writer-owned bookkeeping (staging queue,
+//!    open transactions, replay marks, the durability frame, scratch).
+//!    Writers (`ingest`, `commit_staged`, `merge`) hold it for their
+//!    whole operation, so writers serialize against each other — one
+//!    daemon owns one store, so writer concurrency is not the point.
+//! 2. **per-shard `RwLock`s** — object tables and indexes. Readers
+//!    take brief per-shard read locks; a commit write-locks only the
+//!    shards it touches, one at a time.
+//! 3. **cache mutexes** — the memoized traversal caches.
+//!
+//! Per-shard locks alone would let a reader observe *half* of a
+//! cross-shard transaction (subject effects applied on shard A,
+//! reverse edges not yet on shard B). A store-wide **epoch seqlock**
+//! closes that window: `epoch` is odd while a commit is mutating
+//! shards, and multi-shard readers (`Store::read_consistent`) run
+//! optimistically — wait for an even epoch, read with brief shard
+//! locks, and retry if the epoch moved. After a bounded number of
+//! retries a reader acquires `meta` (blocking new commits, and
+//! waiting out the one in flight) for guaranteed progress. Commits
+//! never block on readers beyond the per-shard lock handoff, and
+//! readers between commits validate in two atomic loads.
+//!
+//! Per-shard **generations** are mirrored into atomics (`gens`) so
+//! cache validation needs no shard lock. Traversals record the
+//! generation of every shard *before* reading its content; a commit
+//! racing the traversal therefore leaves the cached entry
+//! self-invalidating (its recorded generation is stale the moment
+//! the commit publishes), and the epoch retry discards the torn
+//! result itself.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use dpapi::{Attribute, ObjectRef, Pnode, Version};
 use lasagna::LogEntry;
@@ -217,11 +255,11 @@ type AncestryKey = (Pnode, u32, bool);
 /// Cache key for memoized edge lists: (node, label, is_outgoing).
 type EdgeKey = (ObjectRef, EdgeLabel, bool);
 
-/// The sharded, batched, cached provenance store.
-pub struct Store {
-    cfg: WaldoConfig,
-    shards: Vec<Shard>,
-    shard_mask: u64,
+/// Writer-owned bookkeeping, all behind one mutex (level 1 of the
+/// lock hierarchy). One daemon owns one store, so writers contending
+/// here is the exception; what matters is that *readers* never need
+/// this lock outside the bounded-retry fallback.
+struct StoreMeta {
     /// Open provenance transactions (NFS chunked bundles). Committed
     /// state: mutated only during [`Store::commit_staged`].
     pending_txns: HashMap<u64, Vec<LogEntry>>,
@@ -254,10 +292,6 @@ pub struct Store {
     source_files: Vec<SourceFile>,
     /// Indices in `source_files` available for reuse.
     free_sources: Vec<usize>,
-    /// Per-shard generation vector handed to the caches.
-    gens: Vec<u64>,
-    /// Monotonic group-commit sequence number.
-    commit_seq: u64,
     /// The last commit's durability frame (seq, applied count,
     /// touched-shard generations, CRC). Writing this frame is the
     /// per-commit cost that group commit amortizes; a persistent
@@ -265,22 +299,69 @@ pub struct Store {
     commit_frame: Vec<u8>,
     /// Reusable scratch: per-shard buckets of apply-list indices.
     bucket_scratch: Vec<Vec<u32>>,
+}
+
+impl StoreMeta {
+    /// True when `id` is a disclosure-batch transaction this store
+    /// has already committed: its volume's high-water mark is at or
+    /// above the id's sequence. Lasagna allocates batch sequences
+    /// monotonically per volume, so seeing such an id again means the
+    /// log tail replayed (duplicated) a committed group frame.
+    fn is_replayed_batch(&self, id: u64) -> bool {
+        match lasagna::batch_txn_parts(id) {
+            Some((vol, seq)) => self.batch_hw.get(&vol.0).is_some_and(|hw| seq <= *hw),
+            None => false,
+        }
+    }
+
+    /// Records that batch transaction `id` committed, advancing its
+    /// volume's replay high-water mark. Ids outside the batch space
+    /// (PA-NFS server transactions) carry no volume salt and are not
+    /// tracked.
+    fn advance_batch_hw(&mut self, id: u64) {
+        if let Some((vol, seq)) = lasagna::batch_txn_parts(id) {
+            let hw = self.batch_hw.entry(vol.0).or_insert(0);
+            *hw = (*hw).max(seq);
+        }
+    }
+}
+
+/// Bounded optimistic retries before a snapshot reader falls back to
+/// blocking new commits via the `meta` mutex.
+const EPOCH_RETRIES: usize = 64;
+
+/// The sharded, batched, cached provenance store.
+pub struct Store {
+    cfg: WaldoConfig,
+    shards: Vec<RwLock<Shard>>,
+    shard_mask: u64,
+    /// Seqlock word for cross-shard snapshot reads: odd while a
+    /// commit (or merge) is mutating shards.
+    epoch: AtomicU64,
+    /// Per-shard generation mirror, readable without shard locks —
+    /// what cache validation compares against.
+    gens: Vec<AtomicU64>,
+    /// Monotonic group-commit sequence number.
+    commit_seq: AtomicU64,
+    /// Writer-owned bookkeeping (lock level 1).
+    meta: Mutex<StoreMeta>,
     /// Memoized ancestry/descendant closures.
-    ancestry_cache: RefCell<TraversalCache<AncestryKey, Vec<ObjectRef>>>,
+    ancestry_cache: Mutex<TraversalCache<AncestryKey, Vec<ObjectRef>>>,
     /// Memoized per-node labelled edge lists (the PQL hot path).
-    edge_cache: RefCell<TraversalCache<EdgeKey, Vec<ObjectRef>>>,
+    edge_cache: Mutex<TraversalCache<EdgeKey, Vec<ObjectRef>>>,
     /// Memoized whole reachability closures, keyed like edge lists —
     /// what repeated PQL `label*`/`label+` queries hit.
-    closure_cache: RefCell<TraversalCache<EdgeKey, Vec<ObjectRef>>>,
+    closure_cache: Mutex<TraversalCache<EdgeKey, Vec<ObjectRef>>>,
 }
 
 impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let meta = self.meta.lock().unwrap();
         f.debug_struct("Store")
             .field("cfg", &self.cfg)
             .field("objects", &self.object_count())
-            .field("staged", &self.staged.len())
-            .field("open_txns", &self.pending_txns.len())
+            .field("staged", &meta.staged.len())
+            .field("open_txns", &meta.pending_txns.len())
             .finish()
     }
 }
@@ -302,24 +383,27 @@ impl Store {
         let n = cfg.effective_shards();
         Store {
             cfg,
-            shards: (0..n).map(|_| Shard::default()).collect(),
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             shard_mask: (n - 1) as u64,
-            pending_txns: HashMap::new(),
-            commit_txn: None,
-            batch_hw: HashMap::new(),
-            replay_skip: None,
-            replayed_batches: 0,
-            staged: Vec::new(),
-            staged_entries: 0,
-            source_files: Vec::new(),
-            free_sources: Vec::new(),
-            gens: vec![0; n],
-            commit_seq: 0,
-            commit_frame: Vec::new(),
-            bucket_scratch: (0..n).map(|_| Vec::new()).collect(),
-            ancestry_cache: RefCell::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
-            edge_cache: RefCell::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
-            closure_cache: RefCell::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
+            epoch: AtomicU64::new(0),
+            gens: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            commit_seq: AtomicU64::new(0),
+            meta: Mutex::new(StoreMeta {
+                pending_txns: HashMap::new(),
+                commit_txn: None,
+                batch_hw: HashMap::new(),
+                replay_skip: None,
+                replayed_batches: 0,
+                staged: Vec::new(),
+                staged_entries: 0,
+                source_files: Vec::new(),
+                free_sources: Vec::new(),
+                commit_frame: Vec::new(),
+                bucket_scratch: (0..n).map(|_| Vec::new()).collect(),
+            }),
+            ancestry_cache: Mutex::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
+            edge_cache: Mutex::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
+            closure_cache: Mutex::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
         }
     }
 
@@ -343,28 +427,70 @@ impl Store {
         (mix_pnode(p) & self.shard_mask) as usize
     }
 
-    fn shard(&self, p: Pnode) -> &Shard {
-        &self.shards[self.shard_of(p)]
+    /// Runs `f` against `p`'s home shard under its read lock. One
+    /// lock acquisition sees one consistent shard, so single-shard
+    /// reads need no epoch validation.
+    fn with_home<R>(&self, p: Pnode, f: impl FnOnce(&Shard) -> R) -> R {
+        f(&self.shards[self.shard_of(p)].read().unwrap())
+    }
+
+    /// Runs `f` against shard `i` under its read lock — the
+    /// checkpoint writer's access path.
+    pub(crate) fn with_shard<R>(&self, i: usize, f: impl FnOnce(&Shard) -> R) -> R {
+        f(&self.shards[i].read().unwrap())
     }
 
     /// The generation of one shard (bumped per commit touching it).
     pub fn shard_generation(&self, shard: usize) -> u64 {
-        self.shards[shard].generation
+        self.gens[shard].load(Ordering::Acquire)
+    }
+
+    /// Runs a multi-shard read so it observes commits all-or-nothing:
+    /// wait for an even epoch, read (taking brief per-shard locks),
+    /// and retry if a commit moved the epoch meanwhile. After
+    /// [`EPOCH_RETRIES`] failed attempts the reader takes the `meta`
+    /// mutex — blocking *new* commits and waiting out the one in
+    /// flight — so progress is guaranteed under a commit storm.
+    ///
+    /// `f` may run several times; it must not hold any shard lock
+    /// while acquiring `meta` (no `f` does — shard locks are released
+    /// between nodes), and side effects must be idempotent (the cache
+    /// stores are: a retried attempt overwrites its own key).
+    fn read_consistent<R>(&self, f: impl Fn() -> R) -> R {
+        for _ in 0..EPOCH_RETRIES {
+            let e1 = self.epoch.load(Ordering::Acquire);
+            if e1 & 1 == 1 {
+                std::thread::yield_now();
+                continue;
+            }
+            let r = f();
+            if self.epoch.load(Ordering::Acquire) == e1 {
+                return r;
+            }
+        }
+        let _writers_held_off = self.meta.lock().unwrap();
+        f()
+    }
+
+    /// Current per-shard generations as a lookup for cache
+    /// validation.
+    fn gen_of(&self) -> impl Fn(usize) -> u64 + '_ {
+        |i| self.gens[i].load(Ordering::Acquire)
     }
 
     /// Ancestry-closure cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.ancestry_cache.borrow().stats
+        self.ancestry_cache.lock().unwrap().stats
     }
 
     /// Edge-list cache counters (the PQL hot path).
     pub fn edge_cache_stats(&self) -> CacheStats {
-        self.edge_cache.borrow().stats
+        self.edge_cache.lock().unwrap().stats
     }
 
     /// Closure cache counters (repeated PQL `label*`/`label+` steps).
     pub fn closure_cache_stats(&self) -> CacheStats {
-        self.closure_cache.borrow().stats
+        self.closure_cache.lock().unwrap().stats
     }
 
     // ---- ingestion --------------------------------------------------------
@@ -373,19 +499,20 @@ impl Store {
     /// `ProvDb::ingest` surface — semantics (transaction buffering
     /// across calls, stats) are unchanged — but entries are applied by
     /// reference, without passing through the staging queue.
-    pub fn ingest(&mut self, entries: &[LogEntry]) -> IngestStats {
+    pub fn ingest(&self, entries: &[LogEntry]) -> IngestStats {
         let mut stats = IngestStats::default();
+        let meta = &mut *self.meta.lock().unwrap();
         // Direct ingest may not reorder around entries a daemon staged
         // earlier: flush them first, as their own commit. Their counts
         // belong to that commit, not to this call's return value.
-        if !self.staged.is_empty() {
+        if !meta.staged.is_empty() {
             let mut flush_stats = IngestStats::default();
-            self.commit_staged(&mut flush_stats);
+            self.commit_staged_locked(meta, &mut flush_stats);
         }
         // A new log image starts a new transaction scope (and closes
         // any replay-skip region: transaction ids never span images).
-        self.commit_txn = None;
-        self.replay_skip = None;
+        meta.commit_txn = None;
+        meta.replay_skip = None;
         // Transaction routing, in arrival order. `plan` records which
         // entries this commit applies: positions in `entries`, or in
         // the `flushed` buffers pulled out of completed transactions.
@@ -398,35 +525,35 @@ impl Store {
         for (i, entry) in entries.iter().enumerate() {
             match entry {
                 LogEntry::TxnBegin { id } => {
-                    if self.is_replayed_batch(*id) {
-                        self.replay_skip = Some(*id);
-                        self.replayed_batches += 1;
+                    if meta.is_replayed_batch(*id) {
+                        meta.replay_skip = Some(*id);
+                        meta.replayed_batches += 1;
                         stats.replayed_batches += 1;
                         continue;
                     }
-                    self.pending_txns.entry(*id).or_default();
-                    self.commit_txn = Some(*id);
+                    meta.pending_txns.entry(*id).or_default();
+                    meta.commit_txn = Some(*id);
                 }
                 LogEntry::TxnEnd { id } => {
-                    if self.replay_skip == Some(*id) {
-                        self.replay_skip = None;
+                    if meta.replay_skip == Some(*id) {
+                        meta.replay_skip = None;
                         continue;
                     }
-                    if let Some(buf) = self.pending_txns.remove(id) {
+                    if let Some(buf) = meta.pending_txns.remove(id) {
                         let start = flushed.len();
                         flushed.extend(buf);
                         plan.extend((start..flushed.len()).map(PlanItem::Flushed));
                         stats.txns_committed += 1;
-                        self.advance_batch_hw(*id);
+                        meta.advance_batch_hw(*id);
                     }
-                    if self.commit_txn == Some(*id) {
-                        self.commit_txn = None;
+                    if meta.commit_txn == Some(*id) {
+                        meta.commit_txn = None;
                     }
                 }
-                _ if self.replay_skip.is_some() => {}
-                _ => match self.commit_txn {
+                _ if meta.replay_skip.is_some() => {}
+                _ => match meta.commit_txn {
                     Some(id) => {
-                        self.pending_txns.entry(id).or_default().push(entry.clone());
+                        meta.pending_txns.entry(id).or_default().push(entry.clone());
                         stats.pending += 1;
                     }
                     None => plan.push(PlanItem::Input(i)),
@@ -440,10 +567,10 @@ impl Store {
                 PlanItem::Flushed(i) => &flushed[*i],
             })
             .collect();
-        let touched = self.apply_group(&apply, &mut stats);
+        let touched = self.apply_group(meta, &apply, &mut stats);
         if !entries.is_empty() {
             stats.group_commits += 1;
-            self.write_commit_frame(apply.len() as u64, touched);
+            self.write_commit_frame(meta, apply.len() as u64, touched);
         }
         stats
     }
@@ -454,47 +581,49 @@ impl Store {
     /// this when resuming a partially committed file after a crash —
     /// the store's committed transaction context is precisely the
     /// context at the file's high-water mark.
-    pub fn begin_stream(&mut self) {
-        self.staged.push(Staged::StreamReset);
+    pub fn begin_stream(&self) {
+        self.meta.lock().unwrap().staged.push(Staged::StreamReset);
     }
 
     /// Registers a log file for replay tracking; returns its source
     /// handle and the number of leading entries already committed
     /// (nonzero after a crash between group commits — skip those).
-    pub fn register_source(&mut self, path: &str) -> (usize, usize) {
-        if let Some(i) = self
+    pub fn register_source(&self, path: &str) -> (usize, usize) {
+        let meta = &mut *self.meta.lock().unwrap();
+        if let Some(i) = meta
             .source_files
             .iter()
             .position(|s| !s.path.is_empty() && s.path == path)
         {
-            return (i, self.source_files[i].committed_mark);
+            return (i, meta.source_files[i].committed_mark);
         }
         let slot = SourceFile {
             path: path.to_string(),
             committed_mark: 0,
         };
-        match self.free_sources.pop() {
+        match meta.free_sources.pop() {
             Some(i) => {
-                self.source_files[i] = slot;
+                meta.source_files[i] = slot;
                 (i, 0)
             }
             None => {
-                self.source_files.push(slot);
-                (self.source_files.len() - 1, 0)
+                meta.source_files.push(slot);
+                (meta.source_files.len() - 1, 0)
             }
         }
     }
 
     /// Stages one entry for the next group commit. No durable state
     /// changes here: transaction routing happens at commit time.
-    pub fn stage(&mut self, entry: LogEntry, source: Option<usize>) {
-        self.staged.push(Staged::Entry { entry, source });
-        self.staged_entries += 1;
+    pub fn stage(&self, entry: LogEntry, source: Option<usize>) {
+        let meta = &mut *self.meta.lock().unwrap();
+        meta.staged.push(Staged::Entry { entry, source });
+        meta.staged_entries += 1;
     }
 
     /// Number of entries staged for the next commit.
     pub fn staged_len(&self) -> usize {
-        self.staged_entries
+        self.meta.lock().unwrap().staged_entries
     }
 
     /// Applies every staged entry as one atomic group commit:
@@ -503,13 +632,18 @@ impl Store {
     /// object-table lookup per run), reverse ancestry edges are routed
     /// to their ancestors' shards, source-file marks advance, and each
     /// touched shard's generation is bumped exactly once.
-    pub fn commit_staged(&mut self, stats: &mut IngestStats) {
-        if self.staged.is_empty() {
+    pub fn commit_staged(&self, stats: &mut IngestStats) {
+        let meta = &mut *self.meta.lock().unwrap();
+        self.commit_staged_locked(meta, stats);
+    }
+
+    fn commit_staged_locked(&self, meta: &mut StoreMeta, stats: &mut IngestStats) {
+        if meta.staged.is_empty() {
             return;
         }
-        let staged = std::mem::take(&mut self.staged);
-        let entries_processed = self.staged_entries;
-        self.staged_entries = 0;
+        let staged = std::mem::take(&mut meta.staged);
+        let entries_processed = meta.staged_entries;
+        meta.staged_entries = 0;
 
         // Transaction routing, in arrival order. Produces the flat
         // list of entries this commit applies. Buffered transaction
@@ -521,44 +655,44 @@ impl Store {
         for item in staged {
             let (entry, source) = match item {
                 Staged::StreamReset => {
-                    self.commit_txn = None;
-                    self.replay_skip = None;
+                    meta.commit_txn = None;
+                    meta.replay_skip = None;
                     continue;
                 }
                 Staged::Entry { entry, source } => (entry, source),
             };
             if let Some(src) = source {
-                self.source_files[src].committed_mark += 1;
+                meta.source_files[src].committed_mark += 1;
             }
             match &entry {
                 LogEntry::TxnBegin { id } => {
-                    if self.is_replayed_batch(*id) {
-                        self.replay_skip = Some(*id);
-                        self.replayed_batches += 1;
+                    if meta.is_replayed_batch(*id) {
+                        meta.replay_skip = Some(*id);
+                        meta.replayed_batches += 1;
                         stats.replayed_batches += 1;
                         continue;
                     }
-                    self.pending_txns.entry(*id).or_default();
-                    self.commit_txn = Some(*id);
+                    meta.pending_txns.entry(*id).or_default();
+                    meta.commit_txn = Some(*id);
                 }
                 LogEntry::TxnEnd { id } => {
-                    if self.replay_skip == Some(*id) {
-                        self.replay_skip = None;
+                    if meta.replay_skip == Some(*id) {
+                        meta.replay_skip = None;
                         continue;
                     }
-                    if let Some(buf) = self.pending_txns.remove(id) {
+                    if let Some(buf) = meta.pending_txns.remove(id) {
                         apply.extend(buf);
                         stats.txns_committed += 1;
-                        self.advance_batch_hw(*id);
+                        meta.advance_batch_hw(*id);
                     }
-                    if self.commit_txn == Some(*id) {
-                        self.commit_txn = None;
+                    if meta.commit_txn == Some(*id) {
+                        meta.commit_txn = None;
                     }
                 }
-                _ if self.replay_skip.is_some() => {}
-                _ => match self.commit_txn {
+                _ if meta.replay_skip.is_some() => {}
+                _ => match meta.commit_txn {
                     Some(id) => {
-                        self.pending_txns.entry(id).or_default().push(entry);
+                        meta.pending_txns.entry(id).or_default().push(entry);
                         stats.pending += 1;
                     }
                     None => apply.push(entry),
@@ -566,7 +700,7 @@ impl Store {
             }
         }
         let refs: Vec<&LogEntry> = apply.iter().collect();
-        let touched = self.apply_group(&refs, stats);
+        let touched = self.apply_group(meta, &refs, stats);
         // A commit that only buffered transaction members (or only
         // consumed markers) still advanced committed state — the
         // pending-transaction buffers and source marks — so its
@@ -575,30 +709,7 @@ impl Store {
         // entries twice.
         if entries_processed > 0 {
             stats.group_commits += 1;
-            self.write_commit_frame(apply.len() as u64, touched);
-        }
-    }
-
-    /// True when `id` is a disclosure-batch transaction this store
-    /// has already committed: its volume's high-water mark is at or
-    /// above the id's sequence. Lasagna allocates batch sequences
-    /// monotonically per volume, so seeing such an id again means the
-    /// log tail replayed (duplicated) a committed group frame.
-    fn is_replayed_batch(&self, id: u64) -> bool {
-        match lasagna::batch_txn_parts(id) {
-            Some((vol, seq)) => self.batch_hw.get(&vol.0).is_some_and(|hw| seq <= *hw),
-            None => false,
-        }
-    }
-
-    /// Records that batch transaction `id` committed, advancing its
-    /// volume's replay high-water mark. Ids outside the batch space
-    /// (PA-NFS server transactions) carry no volume salt and are not
-    /// tracked.
-    fn advance_batch_hw(&mut self, id: u64) {
-        if let Some((vol, seq)) = lasagna::batch_txn_parts(id) {
-            let hw = self.batch_hw.entry(vol.0).or_insert(0);
-            *hw = (*hw).max(seq);
+            self.write_commit_frame(meta, apply.len() as u64, touched);
         }
     }
 
@@ -606,7 +717,7 @@ impl Store {
     /// skipped wholesale) by the per-volume high-water check — the
     /// "detected" signal for group-frame duplication tampers.
     pub fn replayed_batches(&self) -> u64 {
-        self.replayed_batches
+        self.meta.lock().unwrap().replayed_batches
     }
 
     /// Applies one commit's entries as an atomic group: entries are
@@ -614,26 +725,37 @@ impl Store {
     /// consecutive same-subject runs, so each run costs one
     /// object-table lookup; reverse ancestry edges are then routed to
     /// their ancestors' shards; finally each touched shard's
-    /// generation is bumped exactly once. Returns the touched-shard
-    /// mask; the caller finalizes the commit (sequence number,
-    /// durability frame).
-    fn apply_group(&mut self, apply: &[&LogEntry], stats: &mut IngestStats) -> u64 {
+    /// generation is bumped exactly once. The epoch goes odd for the
+    /// duration, so concurrent snapshot readers retry instead of
+    /// seeing half the group. Returns the touched-shard mask; the
+    /// caller finalizes the commit (sequence number, durability
+    /// frame). Caller holds `meta`.
+    fn apply_group(
+        &self,
+        meta: &mut StoreMeta,
+        apply: &[&LogEntry],
+        stats: &mut IngestStats,
+    ) -> u64 {
+        if apply.is_empty() {
+            return 0;
+        }
         let mut touched: u64 = 0;
         let mut reverse: Vec<ReverseEdge> = Vec::new();
-        let mut buckets = std::mem::take(&mut self.bucket_scratch);
+        let mut buckets = std::mem::take(&mut meta.bucket_scratch);
         for (i, entry) in apply.iter().enumerate() {
             if let Some(p) = subject_of(entry) {
                 let shard = (mix_pnode(p) & self.shard_mask) as usize;
                 buckets[shard].push(i as u32);
             }
         }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         let mut run: Vec<&LogEntry> = Vec::new();
         for (i, bucket) in buckets.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
             touched |= 1 << i;
-            let shard = &mut self.shards[i];
+            let shard = &mut *self.shards[i].write().unwrap();
             let mut run_start = 0;
             while run_start < bucket.len() {
                 let pnode = subject_of(apply[bucket[run_start] as usize])
@@ -658,18 +780,20 @@ impl Store {
         for bucket in &mut buckets {
             bucket.clear();
         }
-        self.bucket_scratch = buckets;
+        meta.bucket_scratch = buckets;
         for edge in reverse {
             let i = (mix_pnode(edge.0) & self.shard_mask) as usize;
             touched |= 1 << i;
-            self.shards[i].add_reverse_edge(edge);
+            self.shards[i].write().unwrap().add_reverse_edge(edge);
         }
-        for (i, shard) in self.shards.iter_mut().enumerate() {
+        for i in 0..self.shards.len() {
             if touched & (1 << i) != 0 {
+                let mut shard = self.shards[i].write().unwrap();
                 shard.generation += 1;
-                self.gens[i] = shard.generation;
+                self.gens[i].store(shard.generation, Ordering::Release);
             }
         }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         touched
     }
 
@@ -678,34 +802,29 @@ impl Store {
     /// Writing and syncing the frame (see `Waldo::attach_db_dir`) is
     /// the per-commit cost that batching amortizes; checkpoints
     /// (`crate::checkpoint`) later truncate frames at or below the
-    /// published sequence.
-    fn write_commit_frame(&mut self, applied: u64, touched: u64) {
-        self.commit_seq += 1;
+    /// published sequence. Caller holds `meta`.
+    fn write_commit_frame(&self, meta: &mut StoreMeta, applied: u64, touched: u64) {
+        let seq = self.commit_seq.fetch_add(1, Ordering::AcqRel) + 1;
         let frame = crate::wal::WalFrame {
-            seq: self.commit_seq,
+            seq,
             applied,
             touched,
             gens: (0..self.shards.len())
                 .filter(|i| touched & (1 << i) != 0)
-                .map(|i| self.shards[i].generation)
+                .map(|i| self.gens[i].load(Ordering::Acquire))
                 .collect(),
-            sources: self
+            sources: meta
                 .source_files
                 .iter()
                 .filter(|s| !s.path.is_empty())
                 .map(|s| (lasagna::crc32(s.path.as_bytes()), s.committed_mark as u64))
                 .collect(),
         };
-        self.commit_frame.clear();
-        crate::wal::encode_frame(&mut self.commit_frame, &frame);
+        meta.commit_frame.clear();
+        crate::wal::encode_frame(&mut meta.commit_frame, &frame);
     }
 
     // ---- checkpoint plumbing ----------------------------------------------
-
-    /// The shards themselves, for the checkpoint writer.
-    pub(crate) fn shards(&self) -> &[Shard] {
-        &self.shards
-    }
 
     /// The canonical serialized image of every shard. Because the
     /// encoding is canonical (see `crate::segment`), two stores hold
@@ -727,12 +846,18 @@ impl Store {
     /// interleaves members' edges differently than a single daemon
     /// ingesting the same volumes in sequence). Checkpoint segments on
     /// disk keep the real generations — the manifest binds to them.
+    ///
+    /// The whole image set is taken under one epoch validation, so an
+    /// image captured during concurrent ingest is always some
+    /// commit-boundary state, never half a group.
     pub fn segment_images(&self) -> Vec<Vec<u8>> {
-        self.shards
-            .iter()
-            .enumerate()
-            .map(|(i, s)| crate::segment::encode_shard(i as u32, s, 0))
-            .collect()
+        self.read_consistent(|| {
+            self.shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| crate::segment::encode_shard(i as u32, &s.read().unwrap(), 0))
+                .collect()
+        })
     }
 
     // ---- cluster fan-in ---------------------------------------------------
@@ -774,8 +899,24 @@ impl Store {
     /// harnesses depend on a clean abort when a forged batch id
     /// collides. Touched shards' generations bump, so cached
     /// traversals against the merged store invalidate exactly as
-    /// after an ingest.
-    pub fn merge(&mut self, other: &Store) -> Result<(), MergeError> {
+    /// after an ingest. Both stores' `meta` locks are taken in
+    /// address order, so concurrent opposite-direction merges cannot
+    /// deadlock.
+    pub fn merge(&self, other: &Store) -> Result<(), MergeError> {
+        assert!(
+            !std::ptr::eq(self, other),
+            "Store::merge: cannot merge a store into itself"
+        );
+        let (mut ours_guard, theirs_guard);
+        if (self as *const Store as usize) < (other as *const Store as usize) {
+            ours_guard = self.meta.lock().unwrap();
+            theirs_guard = other.meta.lock().unwrap();
+        } else {
+            theirs_guard = other.meta.lock().unwrap();
+            ours_guard = self.meta.lock().unwrap();
+        }
+        let ours = &mut *ours_guard;
+        let theirs = &*theirs_guard;
         if self.shards.len() != other.shards.len() {
             return Err(MergeError::ShardCountMismatch {
                 ours: self.shards.len(),
@@ -785,15 +926,15 @@ impl Store {
         // A hard check like the others: silently dropping staged
         // records would break the byte-equivalence oracle without a
         // trace.
-        if !other.staged.is_empty() {
+        if !theirs.staged.is_empty() {
             return Err(MergeError::UncommittedStaged {
-                count: other.staged.len(),
+                count: theirs.staged.len(),
             });
         }
-        if let Some(id) = other
+        if let Some(id) = theirs
             .pending_txns
             .keys()
-            .find(|id| self.pending_txns.contains_key(*id))
+            .find(|id| ours.pending_txns.contains_key(*id))
         {
             return Err(MergeError::TxnIdCollision { id: *id });
         }
@@ -802,29 +943,30 @@ impl Store {
         // marker while both are mid-commit would interleave the other
         // side's continuation into the wrong transaction on a later
         // ingest — refuse, like the id collision above.
-        if let (Some(ours), Some(theirs)) = (self.commit_txn, other.commit_txn) {
-            return Err(MergeError::BothMidCommit { ours, theirs });
+        if let (Some(o), Some(t)) = (ours.commit_txn, theirs.commit_txn) {
+            return Err(MergeError::BothMidCommit { ours: o, theirs: t });
         }
-        for (id, buf) in &other.pending_txns {
-            self.pending_txns.insert(*id, buf.clone());
+        for (id, buf) in &theirs.pending_txns {
+            ours.pending_txns.insert(*id, buf.clone());
         }
-        if self.commit_txn.is_none() {
-            self.commit_txn = other.commit_txn;
+        if ours.commit_txn.is_none() {
+            ours.commit_txn = theirs.commit_txn;
         }
-        if self.replay_skip.is_none() {
-            self.replay_skip = other.replay_skip;
+        if ours.replay_skip.is_none() {
+            ours.replay_skip = theirs.replay_skip;
         }
-        for (vol, seq) in &other.batch_hw {
-            let hw = self.batch_hw.entry(*vol).or_insert(0);
+        for (vol, seq) in &theirs.batch_hw {
+            let hw = ours.batch_hw.entry(*vol).or_insert(0);
             *hw = (*hw).max(*seq);
         }
-        self.replayed_batches += other.replayed_batches;
+        ours.replayed_batches += theirs.replayed_batches;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         for i in 0..self.shards.len() {
-            let src = &other.shards[i];
+            let src = &*other.shards[i].read().unwrap();
             if src.objects.is_empty() && src.reverse_index.is_empty() {
                 continue;
             }
-            let dst = &mut self.shards[i];
+            let dst = &mut *self.shards[i].write().unwrap();
             for (p, obj) in &src.objects {
                 let entry = dst.objects.entry(*p).or_default();
                 entry.current = entry.current.max(obj.current);
@@ -866,9 +1008,11 @@ impl Store {
             dst.size.db_bytes += src.size.db_bytes;
             dst.size.index_bytes += src.size.index_bytes;
             dst.generation += 1;
-            self.gens[i] = dst.generation;
+            self.gens[i].store(dst.generation, Ordering::Release);
         }
-        self.commit_seq += other.commit_seq;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.commit_seq
+            .fetch_add(other.commit_seq.load(Ordering::Acquire), Ordering::AcqRel);
         Ok(())
     }
 
@@ -877,13 +1021,14 @@ impl Store {
     /// store, plus the transaction the committed stream prefix is
     /// inside.
     pub(crate) fn open_txn_state(&self) -> (Vec<(u64, Vec<LogEntry>)>, Option<u64>) {
-        let mut txns: Vec<(u64, Vec<LogEntry>)> = self
+        let meta = self.meta.lock().unwrap();
+        let mut txns: Vec<(u64, Vec<LogEntry>)> = meta
             .pending_txns
             .iter()
             .map(|(id, buf)| (*id, buf.clone()))
             .collect();
         txns.sort_unstable_by_key(|(id, _)| *id);
-        (txns, self.commit_txn)
+        (txns, meta.commit_txn)
     }
 
     /// Committed batch-replay state, for the checkpoint writer: the
@@ -891,16 +1036,20 @@ impl Store {
     /// replay-skip region (if a crash interrupted one). Restart must
     /// restore both or a replayed group frame could apply twice.
     pub(crate) fn batch_state(&self) -> (Vec<(u32, u64)>, Option<u64>) {
-        let mut hw: Vec<(u32, u64)> = self.batch_hw.iter().map(|(v, s)| (*v, *s)).collect();
+        let meta = self.meta.lock().unwrap();
+        let mut hw: Vec<(u32, u64)> = meta.batch_hw.iter().map(|(v, s)| (*v, *s)).collect();
         hw.sort_unstable_by_key(|(v, _)| *v);
-        (hw, self.replay_skip)
+        (hw, meta.replay_skip)
     }
 
     /// Source-file replay slots, in slot order: `(path, committed
     /// mark)`, with an empty path marking a free slot. Preserving slot
     /// indices keeps a restored store's handles identical.
     pub(crate) fn source_state(&self) -> Vec<(String, u64)> {
-        self.source_files
+        self.meta
+            .lock()
+            .unwrap()
+            .source_files
             .iter()
             .map(|s| (s.path.clone(), s.committed_mark as u64))
             .collect()
@@ -924,52 +1073,57 @@ impl Store {
         let n = shards.len();
         debug_assert!(n.is_power_of_two() && n <= 64);
         let mut store = Store::with_config(WaldoConfig { shards: n, ..cfg });
-        store.gens = shards.iter().map(|s| s.generation).collect();
-        store.shards = shards;
-        store.pending_txns = txns.into_iter().collect();
-        store.commit_txn = commit_txn;
-        store.batch_hw = batch_hw.into_iter().collect();
-        store.replay_skip = replay_skip;
-        store.free_sources = sources
+        store.gens = shards
+            .iter()
+            .map(|s| AtomicU64::new(s.generation))
+            .collect();
+        store.shards = shards.into_iter().map(RwLock::new).collect();
+        store.commit_seq = AtomicU64::new(commit_seq);
+        let meta = store.meta.get_mut().unwrap();
+        meta.pending_txns = txns.into_iter().collect();
+        meta.commit_txn = commit_txn;
+        meta.batch_hw = batch_hw.into_iter().collect();
+        meta.replay_skip = replay_skip;
+        meta.free_sources = sources
             .iter()
             .enumerate()
             .filter(|(_, (path, _))| path.is_empty())
             .map(|(i, _)| i)
             .collect();
-        store.source_files = sources
+        meta.source_files = sources
             .into_iter()
             .map(|(path, mark)| SourceFile {
                 path,
                 committed_mark: mark as usize,
             })
             .collect();
-        store.commit_seq = commit_seq;
         store
     }
 
     /// The durability frame of the most recent group commit.
-    pub fn last_commit_frame(&self) -> &[u8] {
-        &self.commit_frame
+    pub fn last_commit_frame(&self) -> Vec<u8> {
+        self.meta.lock().unwrap().commit_frame.clone()
     }
 
     /// Number of group commits performed over the store's lifetime.
     pub fn commit_seq(&self) -> u64 {
-        self.commit_seq
+        self.commit_seq.load(Ordering::Acquire)
     }
 
     /// Discards staged-but-uncommitted items — the state a crash would
     /// lose. Committed state (shards, open-transaction buffers, source
     /// marks) survives, exactly like a database that crashed between
     /// group commits.
-    pub fn drop_staged(&mut self) {
-        self.staged.clear();
-        self.staged_entries = 0;
+    pub fn drop_staged(&self) {
+        let meta = &mut *self.meta.lock().unwrap();
+        meta.staged.clear();
+        meta.staged_entries = 0;
     }
 
     /// True if every entry of registered source `src` has committed,
     /// given the file held `total` entries.
     pub fn source_fully_committed(&self, src: usize, total: usize) -> bool {
-        self.source_files[src].committed_mark >= total
+        self.meta.lock().unwrap().source_files[src].committed_mark >= total
     }
 
     /// Forgets replay state for `src` (call after unlinking the file;
@@ -979,135 +1133,202 @@ impl Store {
     /// no-op, so it can never be pushed onto the free list twice —
     /// a double free would alias two future logs onto one slot and
     /// corrupt their replay marks.
-    pub fn forget_source(&mut self, src: usize) {
-        if self.source_files[src].path.is_empty() {
+    pub fn forget_source(&self, src: usize) {
+        let meta = &mut *self.meta.lock().unwrap();
+        if meta.source_files[src].path.is_empty() {
             return;
         }
-        self.source_files[src] = SourceFile {
+        meta.source_files[src] = SourceFile {
             path: String::new(),
             committed_mark: 0,
         };
-        self.free_sources.push(src);
+        meta.free_sources.push(src);
     }
 
     /// Transaction ids currently open (orphans if the stream ended).
     pub fn open_txns(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.pending_txns.keys().copied().collect();
+        let mut v: Vec<u64> = self
+            .meta
+            .lock()
+            .unwrap()
+            .pending_txns
+            .keys()
+            .copied()
+            .collect();
         v.sort_unstable();
         v
     }
 
     /// Drops an orphaned transaction's buffered records (the server
     /// Waldo's garbage collection of §6.1.2).
-    pub fn discard_txn(&mut self, id: u64) -> usize {
-        if self.commit_txn == Some(id) {
-            self.commit_txn = None;
+    pub fn discard_txn(&self, id: u64) -> usize {
+        let meta = &mut *self.meta.lock().unwrap();
+        if meta.commit_txn == Some(id) {
+            meta.commit_txn = None;
         }
-        self.pending_txns.remove(&id).map(|v| v.len()).unwrap_or(0)
+        meta.pending_txns.remove(&id).map(|v| v.len()).unwrap_or(0)
     }
 
     // ---- queries ----------------------------------------------------------
 
     /// Number of objects known.
     pub fn object_count(&self) -> usize {
-        self.shards.iter().map(|s| s.objects.len()).sum()
+        self.read_consistent(|| {
+            self.shards
+                .iter()
+                .map(|s| s.read().unwrap().objects.len())
+                .sum()
+        })
     }
 
     /// Approximate store footprint (summed over shards).
     pub fn size(&self) -> DbSize {
-        let mut total = DbSize::default();
-        for s in &self.shards {
-            total.db_bytes += s.size.db_bytes;
-            total.index_bytes += s.size.index_bytes;
-        }
-        total
+        self.read_consistent(|| {
+            let mut total = DbSize::default();
+            for s in &self.shards {
+                let s = s.read().unwrap();
+                total.db_bytes += s.size.db_bytes;
+                total.index_bytes += s.size.index_bytes;
+            }
+            total
+        })
     }
 
-    /// The object entry for `p`.
-    pub fn object(&self, p: Pnode) -> Option<&ObjectEntry> {
-        self.shard(p).objects.get(&p)
+    /// The object entry for `p` (a snapshot — the store hands out
+    /// owned entries, never borrows into a shard, so readers hold no
+    /// lock after the call returns).
+    pub fn object(&self, p: Pnode) -> Option<ObjectEntry> {
+        self.with_home(p, |sh| sh.objects.get(&p).cloned())
     }
 
-    /// All objects (unordered).
-    pub fn objects(&self) -> impl Iterator<Item = (&Pnode, &ObjectEntry)> {
-        self.shards.iter().flat_map(|s| s.objects.iter())
+    /// Every known pnode (unordered). The snapshot is
+    /// commit-atomic; the materialized vector is what lets callers
+    /// iterate without holding shard locks.
+    pub fn all_pnodes(&self) -> Vec<Pnode> {
+        self.read_consistent(|| {
+            self.shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .objects
+                        .keys()
+                        .copied()
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        })
     }
 
     /// Objects that ever bore `name` — exact match, merged across
     /// shards in pnode order.
     pub fn find_by_name(&self, name: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .shards
-            .iter()
-            .filter_map(|s| s.name_index.get(name))
-            .flat_map(|ps| ps.iter().copied())
-            .collect();
-        out.sort_unstable();
-        out
+        self.read_consistent(|| {
+            let mut out: Vec<Pnode> = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .name_index
+                        .get(name)
+                        .map(|ps| ps.iter().copied().collect::<Vec<_>>())
+                        .unwrap_or_default()
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        })
     }
 
     /// Objects whose NAME ends with `suffix` (e.g. a file name without
     /// its directory).
     pub fn find_by_name_suffix(&self, suffix: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.name_index.iter())
-            .filter(|(n, _)| n.ends_with(suffix))
-            .flat_map(|(_, ps)| ps.iter().copied())
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.read_consistent(|| {
+            let mut out: Vec<Pnode> = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .name_index
+                        .iter()
+                        .filter(|(n, _)| n.ends_with(suffix))
+                        .flat_map(|(_, ps)| ps.iter().copied())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 
     /// Objects of TYPE `ty`, merged across shards in pnode order.
     pub fn find_by_type(&self, ty: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .shards
-            .iter()
-            .filter_map(|s| s.type_index.get(ty))
-            .flat_map(|ps| ps.iter().copied())
-            .collect();
-        out.sort_unstable();
-        out
+        self.read_consistent(|| {
+            let mut out: Vec<Pnode> = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .type_index
+                        .get(ty)
+                        .map(|ps| ps.iter().copied().collect::<Vec<_>>())
+                        .unwrap_or_default()
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        })
     }
 
     /// Objects whose NAME starts with `prefix` — a range scan over
     /// each shard's ordered name index (no attribute reads), merged
     /// in pnode order. Serves PQL `name like 'prefix*'` pushdown.
     pub fn find_by_name_prefix(&self, prefix: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .shards
-            .iter()
-            .flat_map(|s| {
-                s.name_index
-                    .range(prefix.to_string()..)
-                    .take_while(move |(k, _)| k.starts_with(prefix))
-                    .flat_map(|(_, ps)| ps.iter().copied())
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.read_consistent(|| {
+            let mut out: Vec<Pnode> = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .name_index
+                        .range(prefix.to_string()..)
+                        .take_while(|(k, _)| k.starts_with(prefix))
+                        .flat_map(|(_, ps)| ps.iter().copied())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 
     /// Objects whose TYPE starts with `prefix` — range scan over the
     /// ordered type index.
     pub fn find_by_type_prefix(&self, prefix: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .shards
-            .iter()
-            .flat_map(|s| {
-                s.type_index
-                    .range(prefix.to_string()..)
-                    .take_while(move |(k, _)| k.starts_with(prefix))
-                    .flat_map(|(_, ps)| ps.iter().copied())
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.read_consistent(|| {
+            let mut out: Vec<Pnode> = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .type_index
+                        .range(prefix.to_string()..)
+                        .take_while(|(k, _)| k.starts_with(prefix))
+                        .flat_map(|(_, ps)| ps.iter().copied())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 
     /// Objects that ever bore string attribute `attr` (by its
@@ -1116,99 +1337,124 @@ impl Store {
     /// NAME and TYPE have their dedicated indexes
     /// ([`Store::find_by_name`], [`Store::find_by_type`]).
     pub fn find_by_attr(&self, attr: &str, value: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .shards
-            .iter()
-            .filter_map(|s| s.attr_index.get(attr))
-            .filter_map(|vals| vals.get(value))
-            .flat_map(|ps| ps.iter().copied())
-            .collect();
-        out.sort_unstable();
-        out
+        self.read_consistent(|| {
+            let mut out: Vec<Pnode> = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .attr_index
+                        .get(attr)
+                        .and_then(|vals| vals.get(value))
+                        .map(|ps| ps.iter().copied().collect::<Vec<_>>())
+                        .unwrap_or_default()
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        })
     }
 
     /// Objects whose string attribute `attr` starts with `prefix`.
     pub fn find_by_attr_prefix(&self, attr: &str, prefix: &str) -> Vec<Pnode> {
-        let mut out: Vec<Pnode> = self
-            .shards
-            .iter()
-            .filter_map(|s| s.attr_index.get(attr))
-            .flat_map(|vals| {
-                vals.range(prefix.to_string()..)
-                    .take_while(move |(k, _)| k.starts_with(prefix))
-                    .flat_map(|(_, ps)| ps.iter().copied())
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.read_consistent(|| {
+            let mut out: Vec<Pnode> = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .attr_index
+                        .get(attr)
+                        .map(|vals| {
+                            vals.range(prefix.to_string()..)
+                                .take_while(|(k, _)| k.starts_with(prefix))
+                                .flat_map(|(_, ps)| ps.iter().copied())
+                                .collect::<Vec<_>>()
+                        })
+                        .unwrap_or_default()
+                })
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 
     /// Number of objects in the TYPE index under `ty` — summed set
     /// sizes across shards, O(shards). (Pnodes, not version-refs; the
     /// planner uses this as a pruning estimate.)
     pub fn type_index_size(&self, ty: &str) -> usize {
-        self.shards
-            .iter()
-            .filter_map(|s| s.type_index.get(ty))
-            .map(|ps| ps.len())
-            .sum()
+        self.read_consistent(|| {
+            self.shards
+                .iter()
+                .filter_map(|s| s.read().unwrap().type_index.get(ty).map(|ps| ps.len()))
+                .sum()
+        })
     }
 
     /// True if `p` is in the TYPE index under `ty` — the class
     /// membership test index-backed lookups filter with.
     pub fn has_type(&self, p: Pnode, ty: &str) -> bool {
-        self.shard(p)
-            .type_index
-            .get(ty)
-            .map(|ps| ps.contains(&p))
-            .unwrap_or(false)
+        self.with_home(p, |sh| {
+            sh.type_index
+                .get(ty)
+                .map(|ps| ps.contains(&p))
+                .unwrap_or(false)
+        })
     }
 
     /// Direct ancestry edges of one version, including the implicit
     /// edge to the previous version of the same object.
     pub fn inputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
-        let mut out = Vec::new();
-        if let Some(obj) = self.shard(r.pnode).objects.get(&r.pnode) {
-            out.extend(obj.inputs(r.version).iter().cloned());
-            if r.version.0 > 0 {
-                out.push((
-                    Attribute::Other("version".into()),
-                    ObjectRef::new(r.pnode, Version(r.version.0 - 1)),
-                ));
+        self.with_home(r.pnode, |shard| {
+            let mut out = Vec::new();
+            if let Some(obj) = shard.objects.get(&r.pnode) {
+                out.extend(obj.inputs(r.version).iter().cloned());
+                if r.version.0 > 0 {
+                    out.push((
+                        Attribute::Other("version".into()),
+                        ObjectRef::new(r.pnode, Version(r.version.0 - 1)),
+                    ));
+                }
             }
-        }
-        out
+            out
+        })
     }
 
     /// Direct descendants: version-refs that recorded `p` (at the
     /// given version) as an input.
     pub fn outputs_of(&self, r: ObjectRef) -> Vec<(Attribute, ObjectRef)> {
-        let shard = self.shard(r.pnode);
-        let mut out: Vec<(Attribute, ObjectRef)> = shard
-            .reverse_index
-            .get(&r.pnode)
-            .map(|v| {
-                v.iter()
-                    .filter(|(_, _, av)| *av == r.version)
-                    .map(|(d, a, _)| (a.clone(), *d))
-                    .collect()
-            })
-            .unwrap_or_default();
-        // Implicit: the next version of the object descends from r.
-        if let Some(obj) = shard.objects.get(&r.pnode) {
-            if obj.versions.contains_key(&(r.version.0 + 1)) {
-                out.push((
-                    Attribute::Other("version".into()),
-                    ObjectRef::new(r.pnode, Version(r.version.0 + 1)),
-                ));
+        self.with_home(r.pnode, |shard| {
+            let mut out: Vec<(Attribute, ObjectRef)> = shard
+                .reverse_index
+                .get(&r.pnode)
+                .map(|v| {
+                    v.iter()
+                        .filter(|(_, _, av)| *av == r.version)
+                        .map(|(d, a, _)| (a.clone(), *d))
+                        .collect()
+                })
+                .unwrap_or_default();
+            // Implicit: the next version of the object descends from r.
+            if let Some(obj) = shard.objects.get(&r.pnode) {
+                if obj.versions.contains_key(&(r.version.0 + 1)) {
+                    out.push((
+                        Attribute::Other("version".into()),
+                        ObjectRef::new(r.pnode, Version(r.version.0 + 1)),
+                    ));
+                }
             }
-        }
-        out
+            out
+        })
     }
 
     /// Labelled edge expansion with memoization — the PQL hot path.
     /// `outgoing` edges are ancestry inputs; incoming are descendants.
+    /// The shard generation is recorded *before* computing, so a
+    /// commit racing the computation leaves a cache entry that is
+    /// already stale by its own snapshot — it can never serve.
     pub(crate) fn edges_cached<F>(
         &self,
         node: ObjectRef,
@@ -1223,14 +1469,15 @@ impl Store {
             return compute();
         }
         let key: EdgeKey = (node, label.clone(), outgoing);
-        if let Some(hit) = self.edge_cache.borrow_mut().lookup(&key, &self.gens) {
+        if let Some(hit) = self.edge_cache.lock().unwrap().lookup(&key, self.gen_of()) {
             return hit;
         }
-        let out = compute();
         let mut snapshot = ShardSnapshot::default();
         self.touch_snapshot(&mut snapshot, node.pnode);
+        let out = compute();
         self.edge_cache
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .store(key, out.clone(), snapshot);
         out
     }
@@ -1252,32 +1499,40 @@ impl Store {
     {
         let cache_on = self.cfg.ancestry_cache > 0;
         let key: EdgeKey = (node, label.clone(), inverse);
-        if cache_on {
-            if let Some(hit) = self.closure_cache.borrow_mut().lookup(&key, &self.gens) {
-                return hit;
-            }
-        }
-        let mut snapshot = ShardSnapshot::default();
-        let mut seen: HashSet<ObjectRef> = HashSet::new();
-        seen.insert(node);
-        let mut out: Vec<ObjectRef> = Vec::new();
-        let mut frontier = vec![node];
-        while let Some(n) = frontier.pop() {
-            self.touch_snapshot(&mut snapshot, n.pnode);
-            for m in expand(n) {
-                if seen.insert(m) {
-                    out.push(m);
-                    frontier.push(m);
+        self.read_consistent(|| {
+            if cache_on {
+                if let Some(hit) = self
+                    .closure_cache
+                    .lock()
+                    .unwrap()
+                    .lookup(&key, self.gen_of())
+                {
+                    return hit;
                 }
             }
-        }
-        out.sort();
-        if cache_on {
-            self.closure_cache
-                .borrow_mut()
-                .store(key, out.clone(), snapshot);
-        }
-        out
+            let mut snapshot = ShardSnapshot::default();
+            let mut seen: HashSet<ObjectRef> = HashSet::new();
+            seen.insert(node);
+            let mut out: Vec<ObjectRef> = Vec::new();
+            let mut frontier = vec![node];
+            while let Some(n) = frontier.pop() {
+                self.touch_snapshot(&mut snapshot, n.pnode);
+                for m in expand(n) {
+                    if seen.insert(m) {
+                        out.push(m);
+                        frontier.push(m);
+                    }
+                }
+            }
+            out.sort();
+            if cache_on {
+                self.closure_cache
+                    .lock()
+                    .unwrap()
+                    .store(key.clone(), out.clone(), snapshot);
+            }
+            out
+        })
     }
 
     /// Every descendant of `p` at any version — the transitive
@@ -1285,48 +1540,64 @@ impl Store {
     /// Memoized; see the module docs for invalidation.
     pub fn descendants(&self, p: Pnode) -> Vec<ObjectRef> {
         let key: AncestryKey = (p, 0, false);
-        if self.cfg.ancestry_cache > 0 {
-            if let Some(hit) = self.ancestry_cache.borrow_mut().lookup(&key, &self.gens) {
-                return hit;
-            }
-        }
-        let mut snapshot = ShardSnapshot::default();
-        self.touch_snapshot(&mut snapshot, p);
-        let mut seen: HashSet<ObjectRef> = HashSet::new();
-        // Roots: every version of p recorded as a subject, plus every
-        // version of p some other object referenced as an ancestor
-        // (objects only ever seen as ancestors have no entry).
-        let mut roots: HashSet<ObjectRef> = self
-            .object(p)
-            .map(|o| {
-                o.versions
-                    .keys()
-                    .map(|v| ObjectRef::new(p, Version(*v)))
-                    .collect()
-            })
-            .unwrap_or_default();
-        if let Some(refs) = self.shard(p).reverse_index.get(&p) {
-            for (_, _, av) in refs {
-                roots.insert(ObjectRef::new(p, *av));
-            }
-        }
-        let mut work: Vec<ObjectRef> = roots.iter().copied().collect();
-        while let Some(r) = work.pop() {
-            self.touch_snapshot(&mut snapshot, r.pnode);
-            for (_, d) in self.outputs_of(r) {
-                if seen.insert(d) {
-                    work.push(d);
+        self.read_consistent(|| {
+            if self.cfg.ancestry_cache > 0 {
+                if let Some(hit) = self
+                    .ancestry_cache
+                    .lock()
+                    .unwrap()
+                    .lookup(&key, self.gen_of())
+                {
+                    return hit;
                 }
             }
-        }
-        let mut out: Vec<ObjectRef> = seen.into_iter().filter(|r| !roots.contains(r)).collect();
-        out.sort();
-        if self.cfg.ancestry_cache > 0 {
-            self.ancestry_cache
-                .borrow_mut()
-                .store(key, out.clone(), snapshot);
-        }
-        out
+            let mut snapshot = ShardSnapshot::default();
+            self.touch_snapshot(&mut snapshot, p);
+            let mut seen: HashSet<ObjectRef> = HashSet::new();
+            // Roots: every version of p recorded as a subject, plus
+            // every version of p some other object referenced as an
+            // ancestor (objects only ever seen as ancestors have no
+            // entry).
+            let mut roots: HashSet<ObjectRef> = self
+                .object(p)
+                .map(|o| {
+                    o.versions
+                        .keys()
+                        .map(|v| ObjectRef::new(p, Version(*v)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            for av in self.with_home(p, |sh| {
+                sh.reverse_index
+                    .get(&p)
+                    .map(|refs| refs.iter().map(|(_, _, av)| *av).collect::<Vec<_>>())
+                    .unwrap_or_default()
+            }) {
+                roots.insert(ObjectRef::new(p, av));
+            }
+            let mut work: Vec<ObjectRef> = roots.iter().copied().collect();
+            while let Some(r) = work.pop() {
+                self.touch_snapshot(&mut snapshot, r.pnode);
+                for (_, d) in self.outputs_of(r) {
+                    if seen.insert(d) {
+                        work.push(d);
+                    }
+                }
+            }
+            let mut out: Vec<ObjectRef> = seen
+                .iter()
+                .copied()
+                .filter(|r| !roots.contains(r))
+                .collect();
+            out.sort();
+            if self.cfg.ancestry_cache > 0 {
+                self.ancestry_cache
+                    .lock()
+                    .unwrap()
+                    .store(key, out.clone(), snapshot);
+            }
+            out
+        })
     }
 
     /// Every ancestor of `r` — transitive closure over inputs (the
@@ -1334,35 +1605,43 @@ impl Store {
     /// for invalidation.
     pub fn ancestors(&self, r: ObjectRef) -> Vec<ObjectRef> {
         let key: AncestryKey = (r.pnode, r.version.0, true);
-        if self.cfg.ancestry_cache > 0 {
-            if let Some(hit) = self.ancestry_cache.borrow_mut().lookup(&key, &self.gens) {
-                return hit;
-            }
-        }
-        let mut snapshot = ShardSnapshot::default();
-        let mut seen: HashSet<ObjectRef> = HashSet::new();
-        let mut work = vec![r];
-        while let Some(x) = work.pop() {
-            self.touch_snapshot(&mut snapshot, x.pnode);
-            for (_, a) in self.inputs_of(x) {
-                if seen.insert(a) {
-                    work.push(a);
+        self.read_consistent(|| {
+            if self.cfg.ancestry_cache > 0 {
+                if let Some(hit) = self
+                    .ancestry_cache
+                    .lock()
+                    .unwrap()
+                    .lookup(&key, self.gen_of())
+                {
+                    return hit;
                 }
             }
-        }
-        let mut out: Vec<ObjectRef> = seen.into_iter().collect();
-        out.sort();
-        if self.cfg.ancestry_cache > 0 {
-            self.ancestry_cache
-                .borrow_mut()
-                .store(key, out.clone(), snapshot);
-        }
-        out
+            let mut snapshot = ShardSnapshot::default();
+            let mut seen: HashSet<ObjectRef> = HashSet::new();
+            let mut work = vec![r];
+            while let Some(x) = work.pop() {
+                self.touch_snapshot(&mut snapshot, x.pnode);
+                for (_, a) in self.inputs_of(x) {
+                    if seen.insert(a) {
+                        work.push(a);
+                    }
+                }
+            }
+            let mut out: Vec<ObjectRef> = seen.iter().copied().collect();
+            out.sort();
+            if self.cfg.ancestry_cache > 0 {
+                self.ancestry_cache
+                    .lock()
+                    .unwrap()
+                    .store(key, out.clone(), snapshot);
+            }
+            out
+        })
     }
 
     fn touch_snapshot(&self, snapshot: &mut ShardSnapshot, p: Pnode) {
         let i = self.shard_of(p);
-        snapshot.touch(i, self.shards[i].generation);
+        snapshot.touch(i, self.gens[i].load(Ordering::Acquire));
     }
 }
 

@@ -66,7 +66,7 @@ fn stream() -> Vec<LogEntry> {
 }
 
 fn reference_db(entries: &[LogEntry]) -> Store {
-    let mut db = Store::with_config(WaldoConfig {
+    let db = Store::with_config(WaldoConfig {
         shards: 1,
         ingest_batch: 1 << 20,
         ancestry_cache: 0,
@@ -112,7 +112,7 @@ fn crash_mid_batch_recovers_exactly_once() {
             ancestry_cache: 0,
             ..WaldoConfig::default()
         };
-        let mut db = Store::with_config(cfg);
+        let db = Store::with_config(cfg);
         let (src, mark) = db.register_source("vol1/.pass/log.0");
         assert_eq!(mark, 0);
         db.begin_stream();
@@ -248,9 +248,9 @@ fn daemon_crash_between_polls_replays_surviving_logs() {
 fn assert_same_db_dyn(a: &Store, b: &Store) {
     assert_eq!(a.object_count(), b.object_count());
     assert_eq!(a.size(), b.size(), "duplicate replay would inflate sizes");
-    let mut pnodes: Vec<Pnode> = a.objects().map(|(p, _)| *p).collect();
+    let mut pnodes: Vec<Pnode> = a.all_pnodes();
     pnodes.sort();
-    let mut other: Vec<Pnode> = b.objects().map(|(p, _)| *p).collect();
+    let mut other: Vec<Pnode> = b.all_pnodes();
     other.sort();
     assert_eq!(pnodes, other);
     for p in pnodes {
@@ -412,7 +412,7 @@ fn open_transaction_survives_checkpoint_and_restart() {
     drop(waldo);
     let pid2 = sys.kernel.spawn_init("waldo2");
     sys.pass.exempt(pid2);
-    let mut restarted = Waldo::restart(pid2, &mut sys.kernel, cfg, "/waldo-db", &[]).unwrap();
+    let restarted = Waldo::restart(pid2, &mut sys.kernel, cfg, "/waldo-db", &[]).unwrap();
     assert_eq!(restarted.db.open_txns(), vec![42], "txn buffer restored");
     let (src2, mark) = restarted.db.register_source("/stream-log");
     assert_eq!(mark, split, "restored mark resumes after the prefix");

@@ -84,7 +84,7 @@ proptest! {
         shards in 1usize..9,
         qi in 0usize..QUERIES.len(),
     ) {
-        let mut db = ProvDb::with_config(WaldoConfig {
+        let db = ProvDb::with_config(WaldoConfig {
             shards,
             ingest_batch: 16,
             ancestry_cache: 64,

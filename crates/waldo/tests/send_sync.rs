@@ -1,0 +1,56 @@
+//! Compile-time pins for the thread-safety contract of the public
+//! surface. The multi-core ingest runtime depends on these bounds —
+//! scoped member threads take `&mut Waldo` (requires `Send`), and
+//! snapshot readers share `&Store` across threads (requires `Sync`).
+//! If a future change smuggles an `Rc`, `RefCell`, or raw pointer
+//! into any of these types, this file stops compiling instead of the
+//! cluster runtime silently losing its threading.
+
+use waldo::{
+    Cluster, ClusterGraphSource, ClusterPollReport, ClusterRuntime, IngestStats, LogImage,
+    MemberTiming, ProvDb, Store, VolumePoll, Waldo, WaldoConfig,
+};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn storage_layer_is_send_and_sync() {
+    // The shared-store core: one writer thread, many reader threads.
+    assert_send_sync::<Store>();
+    assert_send_sync::<ProvDb>();
+    assert_send_sync::<WaldoConfig>();
+    assert_send_sync::<IngestStats>();
+}
+
+#[test]
+fn daemon_and_cluster_move_across_threads() {
+    // Members are moved into (and mutated from) scoped worker
+    // threads; the parsed log images they consume travel with them.
+    assert_send::<Waldo>();
+    assert_sync::<Waldo>();
+    assert_send::<Cluster>();
+    assert_send_sync::<LogImage>();
+    assert_send_sync::<ClusterRuntime>();
+    assert_send_sync::<ClusterPollReport>();
+    assert_send_sync::<MemberTiming>();
+    assert_send_sync::<VolumePoll>();
+}
+
+#[test]
+fn scatter_gather_reads_are_shareable() {
+    // ClusterGraphSource borrows the member stores; concurrent PQL
+    // readers share it while ingest proceeds on other members.
+    assert_send_sync::<ClusterGraphSource<'_>>();
+}
+
+#[test]
+fn instrumentation_is_send_and_sync() {
+    // provscope scopes ride inside daemons across threads, and the
+    // registry aggregates from all of them.
+    assert_send_sync::<provscope::Scope>();
+    assert_send_sync::<provscope::Registry>();
+    assert_send_sync::<provscope::Trace>();
+    assert_send_sync::<provscope::Span>();
+}

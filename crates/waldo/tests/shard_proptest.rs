@@ -74,7 +74,7 @@ proptest! {
         prop_assert!(a.shard_of(node) < a.shard_count());
         // Routing does not change as the store ingests (rehash
         // stability): ingest something unrelated and re-route.
-        let mut c = Store::with_config(cfg);
+        let c = Store::with_config(cfg);
         c.ingest(&[prov(
             ObjectRef::new(p(vol, n.wrapping_add(1)), Version(0)),
             Attribute::Name,
@@ -109,7 +109,7 @@ proptest! {
         batch in 1usize..40,
         shards in 1usize..16,
     ) {
-        let mut whole = Store::with_config(WaldoConfig {
+        let whole = Store::with_config(WaldoConfig {
             shards: 1,
             ingest_batch: 1 << 20,
             ancestry_cache: 0,
@@ -117,7 +117,7 @@ proptest! {
         });
         whole.ingest(&entries);
 
-        let mut batched = Store::with_config(WaldoConfig {
+        let batched = Store::with_config(WaldoConfig {
             shards,
             ingest_batch: batch,
             ancestry_cache: 8,

@@ -77,7 +77,7 @@ fn main() {
     let url = waldo
         .db
         .object(figs[0])
-        .and_then(|o| o.first_attr(&dpapi::Attribute::FileUrl))
+        .and_then(|o| o.first_attr(&dpapi::Attribute::FileUrl).cloned())
         .expect("FILE_URL survives the rename");
     println!("figure-3.gif was downloaded from {url}");
 
@@ -92,8 +92,7 @@ fn main() {
         waldo
             .db
             .object(a.pnode)
-            .and_then(|o| o.first_attr(&dpapi::Attribute::FileUrl))
-            .cloned()
+            .and_then(|o| o.first_attr(&dpapi::Attribute::FileUrl).cloned())
     });
     let source_url = source_url.expect("the copy's ancestry reaches the download");
     println!("epigraph.txt ultimately came from {source_url}");

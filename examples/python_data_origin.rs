@@ -81,10 +81,10 @@ fn main() {
     let read_count = procs
         .iter()
         .filter_map(|p| waldo.db.object(*p))
-        .flat_map(|o| o.versions.values())
-        .flat_map(|v| v.inputs.iter())
+        .flat_map(|o| o.versions.into_values())
+        .flat_map(|v| v.inputs.into_iter())
         .filter_map(|(_, r)| waldo.db.object(r.pnode))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
         .filter(|n| n.to_string().contains("/experiments/"))
         .count();
     println!("PASS view: the process read {read_count} experiment files");
@@ -101,7 +101,7 @@ fn main() {
                 if let Some(name) = waldo
                     .db
                     .object(input.pnode)
-                    .and_then(|o| o.first_attr(&dpapi::Attribute::Name))
+                    .and_then(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
                 {
                     let n = name.to_string();
                     if n.contains("/experiments/") && !used.contains(&n) {

@@ -78,13 +78,13 @@ fn main() {
         let name = waldo
             .db
             .object(node.pnode)
-            .and_then(|o| o.first_attr(&dpapi::Attribute::Name))
+            .and_then(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
             .map(|v| v.to_string())
             .unwrap_or_else(|| "<unnamed>".into());
         let ty = waldo
             .db
             .object(node.pnode)
-            .and_then(|o| o.first_attr(&dpapi::Attribute::Type))
+            .and_then(|o| o.first_attr(&dpapi::Attribute::Type).cloned())
             .map(|v| v.to_string())
             .unwrap_or_else(|| "?".into());
         println!("  {node}  type={ty} name={name}");
@@ -95,7 +95,7 @@ fn main() {
         .nodes()
         .iter()
         .filter_map(|n| waldo.db.object(n.pnode))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
         .map(|v| v.to_string())
         .collect();
     assert!(names.iter().any(|n| n.contains("in.dat")));

@@ -64,7 +64,7 @@ fn run_workflow(rig: &mut Rig) -> Vec<u8> {
 }
 
 fn build_db(rig: &mut Rig) -> waldo::ProvDb {
-    let mut db = waldo::ProvDb::new();
+    let db = waldo::ProvDb::new();
     for server in [&rig.server1, &rig.server2] {
         for image in server.borrow_mut().drain_provenance_logs() {
             let (entries, _) = lasagna::parse_log(&image);
@@ -109,15 +109,15 @@ fn modified_input_is_found_in_cross_layer_ancestry() {
     // ...includes Kepler operators (the workflow layer)...
     let has_operator = rs.nodes().iter().any(|n| {
         db.object(n.pnode)
-            .and_then(|o| o.first_attr(&dpapi::Attribute::Type))
-            == Some(&dpapi::Value::str("OPERATOR"))
+            .and_then(|o| o.first_attr(&dpapi::Attribute::Type).cloned())
+            == Some(dpapi::Value::str("OPERATOR"))
     });
     assert!(has_operator, "workflow-layer objects in ancestry");
 
     // ...and reaches the modified input file.
     let has_modified_input = rs.nodes().iter().any(|n| {
         db.object(n.pnode)
-            .and_then(|o| o.first_attr(&dpapi::Attribute::Name))
+            .and_then(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
             .map(|v| v.to_string().contains("anatomy2.img"))
             .unwrap_or(false)
     });

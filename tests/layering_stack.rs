@@ -40,7 +40,7 @@ fn four_layer_stack_produces_one_connected_graph() {
     kernel.exit(pid);
 
     // Everything landed in ONE provenance database at the server.
-    let mut db = waldo::ProvDb::new();
+    let db = waldo::ProvDb::new();
     for image in server.borrow_mut().drain_provenance_logs() {
         let (entries, _) = lasagna::parse_log(&image);
         db.ingest(&entries);
@@ -63,7 +63,7 @@ fn four_layer_stack_produces_one_connected_graph() {
     let types: Vec<String> = anc
         .iter()
         .filter_map(|r| db.object(r.pnode))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Type))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Type).cloned())
         .map(|t| t.to_string())
         .collect();
     assert!(types.iter().any(|t| t.contains("FUNCTION")), "{types:?}");
@@ -71,7 +71,7 @@ fn four_layer_stack_produces_one_connected_graph() {
     assert!(
         anc.iter().any(|r| {
             db.object(r.pnode)
-                .and_then(|o| o.first_attr(&dpapi::Attribute::Name))
+                .and_then(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
                 .map(|n| n.to_string().contains("input.xml"))
                 .unwrap_or(false)
         }),
@@ -167,14 +167,14 @@ fn pipeline_provenance_through_pipes() {
     let types: Vec<String> = anc
         .iter()
         .filter_map(|r| w.db.object(r.pnode))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Type))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Type).cloned())
         .map(|t| t.to_string())
         .collect();
     assert!(types.iter().any(|t| t.contains("PIPE")), "{types:?}");
     let names: Vec<String> = anc
         .iter()
         .filter_map(|r| w.db.object(r.pnode))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
         .map(|n| n.to_string())
         .collect();
     assert!(names.iter().any(|n| n.contains("input.txt")), "{names:?}");
@@ -207,7 +207,7 @@ fn transient_processes_are_not_materialized() {
     let names: Vec<String> = procs
         .iter()
         .filter_map(|p| w.db.object(*p))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
         .map(|n| n.to_string())
         .collect();
     // The idler wrote a file, so it is materialized; the lurker only

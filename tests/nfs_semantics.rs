@@ -75,7 +75,7 @@ fn orphaned_transaction_is_garbage_collected() {
 
     // Waldo ingests the logs: the orphaned records stay pending and
     // are discarded, never entering the database.
-    let mut db = waldo::ProvDb::new();
+    let db = waldo::ProvDb::new();
     for image in server.borrow_mut().drain_provenance_logs() {
         let (entries, _) = lasagna::parse_log(&image);
         db.ingest(&entries);
@@ -110,7 +110,7 @@ fn committed_transaction_applies_atomically() {
     client.pass_write(h, 0, b"the data", bundle).unwrap();
     assert!(client.stats().txns >= 1, "the bundle used a transaction");
 
-    let mut db = waldo::ProvDb::new();
+    let db = waldo::ProvDb::new();
     for image in server.borrow_mut().drain_provenance_logs() {
         let (entries, _) = lasagna::parse_log(&image);
         db.ingest(&entries);

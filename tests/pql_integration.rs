@@ -54,7 +54,7 @@ fn paper_query_shape_over_real_data() {
         .nodes()
         .iter()
         .filter_map(|n| w.db.object(n.pnode))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
         .map(|v| v.to_string())
         .collect();
     assert!(names.iter().any(|n| n.contains("/out.dat")));
@@ -76,7 +76,7 @@ fn descendant_query_finds_taint() {
         .nodes()
         .iter()
         .filter_map(|n| w.db.object(n.pnode))
-        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name))
+        .filter_map(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
         .map(|v| v.to_string())
         .collect();
     assert!(names.iter().any(|n| n.contains("/out.dat")));

@@ -133,8 +133,8 @@ fn process_validation_library_upgrade() {
             .into_iter()
             .filter(|p| {
                 w.db.object(*p)
-                    .and_then(|o| o.first_attr(&dpapi::Attribute::Name))
-                    == Some(&dpapi::Value::str("calc_heat"))
+                    .and_then(|o| o.first_attr(&dpapi::Attribute::Name).cloned())
+                    == Some(dpapi::Value::str("calc_heat"))
             })
             .collect();
     assert_eq!(calc_invocations.len(), 2, "one calc invocation per run");
