@@ -46,7 +46,7 @@ fn records_bundle(client: &mut pa_nfs::NfsClient, ino: sim_os::fs::Ino, n: usize
 /// op — the per-event shape the batch API amortizes).
 fn batch_txn(client: &mut pa_nfs::NfsClient, ino: sim_os::fs::Ino, n: usize) -> dpapi::Txn {
     let h = client.handle_for_ino(ino).unwrap();
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     for i in 0..n {
         let b = Bundle::single(
             h,

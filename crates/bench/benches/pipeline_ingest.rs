@@ -1,0 +1,277 @@
+//! The sluice front door over the PA-NFS wire: a stream of per-event
+//! disclosure transactions submitted through the pipelined path
+//! (bounded queue + coalescing drainer) versus committing each
+//! transaction synchronously.
+//!
+//! `pipeline_invariants` runs before any timing (in `BENCH_QUICK` CI
+//! mode too): at submit depth >= 8 the pipelined path must beat the
+//! synchronous path by >= 1.5x on both RPC count and wire bytes, the
+//! resulting provenance store must be **byte-equal** to the
+//! synchronous one (`Store::segment_images` after ingesting the
+//! drained logs), and the queue's peak occupancy must respect the
+//! configured budget — coalescing must not mean unbounded memory.
+//!
+//! The measured sweep writes `BENCH_pipeline_ingest.json` at the
+//! repository root: throughput and per-transaction virtual latency
+//! versus coalescing depth at batch 1 / 8 / 32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpapi::{Attribute, Bundle, Dpapi, ProvenanceRecord, Value, VolumeId};
+use provscope::Registry;
+use sim_os::clock::Clock;
+use sim_os::cost::CostModel;
+use sim_os::fs::{DpapiVolume, FileSystem};
+use sluice::{BackpressurePolicy, ClientId, Sluice, SluiceConfig};
+use std::hint::black_box;
+use std::time::Instant;
+use waldo::WaldoConfig;
+
+struct Rig {
+    server: std::rc::Rc<std::cell::RefCell<pa_nfs::NfsServer>>,
+    client: pa_nfs::NfsClient,
+    ino: sim_os::fs::Ino,
+    clock: Clock,
+}
+
+fn setup() -> Rig {
+    let clock = Clock::new();
+    let model = CostModel::default();
+    let server = pa_nfs::pa_server(clock.clone(), model, VolumeId(5));
+    let mut client = pa_nfs::client(&server, clock.clone(), model);
+    let root = client.root();
+    let ino = client.create(root, "target").unwrap();
+    Rig {
+        server,
+        client,
+        ino,
+        clock,
+    }
+}
+
+/// One per-event disclosure transaction — the single-record shape the
+/// pipeline amortizes across the wire.
+fn event_txn(client: &mut pa_nfs::NfsClient, ino: sim_os::fs::Ino, i: usize) -> dpapi::Txn {
+    let h = client.handle_for_ino(ino).unwrap();
+    let mut txn = dpapi::Txn::new();
+    txn.disclose(
+        h,
+        Bundle::single(
+            h,
+            ProvenanceRecord::new(
+                Attribute::Other(format!("EVENT{}", i % 7)),
+                Value::str(format!("event payload number {i} with some length to it")),
+            ),
+        ),
+    );
+    txn
+}
+
+/// Drains the server's logs and ingests them into a fresh store; the
+/// returned segment images are the byte-equality oracle. One group
+/// commit per log (huge `ingest_batch`), so shard generations depend
+/// only on content — not on how the front door framed the stream.
+fn store_images(rig: &Rig) -> Vec<Vec<u8>> {
+    let db = waldo::ProvDb::with_config(WaldoConfig {
+        ingest_batch: 1 << 20,
+        ..WaldoConfig::default()
+    });
+    for image in rig.server.borrow_mut().drain_provenance_logs() {
+        let (entries, _) = lasagna::parse_log(&image);
+        db.ingest(&entries);
+    }
+    db.segment_images()
+}
+
+struct RunCost {
+    rpcs: u64,
+    wire_bytes: u64,
+    wall_s: f64,
+    /// Virtual nanoseconds elapsed during the run (cost-model time).
+    virtual_ns: u64,
+    /// Mean submit-to-completion virtual latency, pipelined runs only.
+    mean_latency_ns: f64,
+}
+
+fn sync_run(n: usize) -> (RunCost, Vec<Vec<u8>>) {
+    let mut rig = setup();
+    let base = rig.client.stats();
+    let t0 = rig.clock.now();
+    let w0 = Instant::now();
+    for i in 0..n {
+        let txn = event_txn(&mut rig.client, rig.ino, i);
+        rig.client.pass_commit(txn).unwrap();
+    }
+    let wall_s = w0.elapsed().as_secs_f64();
+    let s = rig.client.stats();
+    let cost = RunCost {
+        rpcs: s.rpcs - base.rpcs,
+        wire_bytes: (s.bytes_sent + s.bytes_received) - (base.bytes_sent + base.bytes_received),
+        wall_s,
+        virtual_ns: rig.clock.now() - t0,
+        mean_latency_ns: 0.0,
+    };
+    let images = store_images(&rig);
+    (cost, images)
+}
+
+fn pipelined_run(n: usize, coalesce: usize, queue_budget: usize) -> (RunCost, Vec<Vec<u8>>, u64) {
+    let mut rig = setup();
+    let mut pipe = Sluice::new(SluiceConfig {
+        max_queued_ops: queue_budget,
+        coalesce_ops: coalesce,
+        policy: BackpressurePolicy::Block,
+        ..SluiceConfig::default()
+    });
+    let clock = rig.clock.clone();
+    pipe.set_now(move || clock.now());
+    let base = rig.client.stats();
+    let t0 = rig.clock.now();
+    let w0 = Instant::now();
+    let mut tickets = Vec::with_capacity(n);
+    for i in 0..n {
+        let txn = event_txn(&mut rig.client, rig.ino, i);
+        tickets.push(pipe.submit(&mut rig.client, ClientId(1), txn).unwrap());
+    }
+    pipe.drain(&mut rig.client);
+    let wall_s = w0.elapsed().as_secs_f64();
+    for t in tickets {
+        pipe.take(t).expect("resolved").expect("committed");
+    }
+    let s = rig.client.stats();
+    let cost = RunCost {
+        rpcs: s.rpcs - base.rpcs,
+        wire_bytes: (s.bytes_sent + s.bytes_received) - (base.bytes_sent + base.bytes_received),
+        wall_s,
+        virtual_ns: rig.clock.now() - t0,
+        mean_latency_ns: pipe.latency().mean(),
+    };
+    let mut reg = Registry::new();
+    pipe.export_metrics("sluice.", &mut reg);
+    let peak_ops = reg.gauge("sluice.queue.peak_ops");
+    let images = store_images(&rig);
+    (cost, images, peak_ops)
+}
+
+/// Hard acceptance gates, enforced before any timing loop runs.
+fn pipeline_invariants() {
+    const N: usize = 32;
+    const DEPTH: usize = 8;
+    const BUDGET: usize = 16;
+    let (sync, sync_images) = sync_run(N);
+    let (pipe, pipe_images, peak_ops) = pipelined_run(N, DEPTH, BUDGET);
+
+    assert_eq!(
+        sync_images, pipe_images,
+        "pipelined store must be byte-equal to the synchronous store"
+    );
+    assert!(
+        peak_ops <= BUDGET as u64,
+        "queue memory must stay within the configured budget: \
+         peak {peak_ops} ops vs budget {BUDGET}"
+    );
+    assert!(
+        sync.rpcs as f64 >= 1.5 * pipe.rpcs as f64,
+        "pipelining at depth {DEPTH} must amortize >= 1.5x on RPC count: \
+         {} vs {}",
+        sync.rpcs,
+        pipe.rpcs
+    );
+    assert!(
+        sync.wire_bytes as f64 >= 1.5 * pipe.wire_bytes as f64,
+        "pipelining at depth {DEPTH} must amortize >= 1.5x on wire bytes: \
+         {} vs {}",
+        sync.wire_bytes,
+        pipe.wire_bytes
+    );
+    println!(
+        "pipeline_ingest/invariants: N={N} depth={DEPTH} rpcs {}->{} \
+         ({:.1}x), wire bytes {}->{} ({:.2}x), queue peak {peak_ops}/{BUDGET} ops",
+        sync.rpcs,
+        pipe.rpcs,
+        sync.rpcs as f64 / pipe.rpcs as f64,
+        sync.wire_bytes,
+        pipe.wire_bytes,
+        sync.wire_bytes as f64 / pipe.wire_bytes as f64,
+    );
+}
+
+/// The measured sweep: throughput and latency versus coalescing depth,
+/// written to `BENCH_pipeline_ingest.json` at the repository root.
+fn sweep_and_write_json() {
+    let quick = std::env::var_os("BENCH_QUICK").is_some();
+    let (n, runs) = if quick { (96, 1) } else { (384, 3) };
+    let (sync, _) = sync_run(n);
+    let mut rows = Vec::new();
+    for depth in [1usize, 8, 32] {
+        // Best-of-N wall clock to shed scheduler noise; virtual time
+        // and RPC counts are deterministic across repeats.
+        let (cost, _, peak_ops) = (0..runs)
+            .map(|_| pipelined_run(n, depth, depth.max(8) * 2))
+            .min_by(|a, b| a.0.wall_s.total_cmp(&b.0.wall_s))
+            .expect("at least one run");
+        let vthroughput = n as f64 / (cost.virtual_ns as f64 / 1e9);
+        println!(
+            "pipeline_ingest/sweep: depth {depth}: {} rpcs, {:.0} txns/s \
+             (virtual), mean latency {:.0} ns (virtual), peak queue {peak_ops} ops",
+            cost.rpcs, vthroughput, cost.mean_latency_ns
+        );
+        rows.push(format!(
+            "{{\"batch\": {depth}, \"txns\": {n}, \"rpcs\": {}, \
+             \"wire_bytes\": {}, \"virtual_ns\": {}, \
+             \"virtual_txns_per_s\": {vthroughput:.1}, \
+             \"mean_latency_ns\": {:.1}, \"wall_s\": {:.6}, \
+             \"queue_peak_ops\": {peak_ops}}}",
+            cost.rpcs, cost.wire_bytes, cost.virtual_ns, cost.mean_latency_ns, cost.wall_s
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_ingest\",\n  \"txns\": {n},\n  \
+         \"baseline\": {{\"mode\": \"synchronous\", \"rpcs\": {}, \
+         \"wire_bytes\": {}, \"virtual_ns\": {}, \"wall_s\": {:.6}}},\n  \
+         \"pipelined\": [{}],\n  \
+         \"gates\": {{\"rpc_amortization\": 1.5, \"wire_amortization\": 1.5, \
+         \"byte_equality\": true, \"bounded_queue\": true}}\n}}\n",
+        sync.rpcs,
+        sync.wire_bytes,
+        sync.virtual_ns,
+        sync.wall_s,
+        rows.join(", "),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_pipeline_ingest.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_pipeline_ingest.json");
+    println!("  wrote {path}");
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    pipeline_invariants();
+    sweep_and_write_json();
+
+    let mut group = c.benchmark_group("pipeline_ingest");
+    for depth in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("submit_drain", depth), &depth, |b, &d| {
+            b.iter_batched(
+                setup,
+                |mut rig| {
+                    let mut pipe = Sluice::new(SluiceConfig {
+                        coalesce_ops: d,
+                        ..SluiceConfig::default()
+                    });
+                    for i in 0..32 {
+                        let txn = event_txn(&mut rig.client, rig.ino, i);
+                        pipe.submit(&mut rig.client, ClientId(1), txn).unwrap();
+                    }
+                    pipe.drain(&mut rig.client);
+                    black_box(rig.client.stats().rpcs)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -57,7 +57,7 @@ fn batch_pipeline_invariants() {
     let mut sys = System::single_volume();
     let pid = sys.spawn("app");
     let app = sys.kernel.pass_mkobj(pid, None).unwrap();
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     for i in 0..8 {
         txn.disclose(
             app,

@@ -383,7 +383,7 @@ pub fn traced_postmark(batch_ops: usize, traced: bool) -> TracedRun {
     let pid = m.driver;
     let h = m.kernel.pass_mkobj(pid, None).expect("mkobj on PA-NFS");
     for round in 0..TRACED_DISCLOSURES {
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         for i in 0..batch_ops - 1 {
             let mut bundle = dpapi::Bundle::new();
             bundle.push(

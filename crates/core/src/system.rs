@@ -20,7 +20,7 @@ use sim_os::syscall::Kernel;
 use waldo::cluster::route_volume;
 use waldo::{Cluster, RestartError, Waldo, WaldoConfig};
 
-use crate::module::Pass;
+use crate::module::{ObserverBatchConfig, Pass};
 
 /// Why [`System::try_restart_cluster`] could not bring the fleet
 /// back: the member that failed (so an operator can repair exactly
@@ -71,6 +71,7 @@ pub struct SystemBuilder {
     mounts: Vec<(String, Option<VolumeId>)>,
     provenance_enabled: bool,
     waldo_cfg: WaldoConfig,
+    observer_batch: Option<ObserverBatchConfig>,
 }
 
 impl SystemBuilder {
@@ -83,7 +84,18 @@ impl SystemBuilder {
             mounts: Vec::new(),
             provenance_enabled: true,
             waldo_cfg: WaldoConfig::default(),
+            observer_batch: None,
         }
+    }
+
+    /// Enables observer-side write batching: the module aggregates a
+    /// process's pure write bursts into one volume transaction instead
+    /// of a `pass_write` per intercepted write. The batched store is
+    /// byte-equal to the unbatched one (see
+    /// [`ObserverBatchConfig`]); only the RPC count changes.
+    pub fn observer_batch(mut self, cfg: ObserverBatchConfig) -> Self {
+        self.observer_batch = Some(cfg);
+        self
     }
 
     /// Overrides the base file-system configuration.
@@ -144,6 +156,7 @@ impl SystemBuilder {
             }
         }
         let pass = Pass::new_shared();
+        pass.set_observer_batch(self.observer_batch);
         if self.provenance_enabled {
             kernel.install_module(pass.clone());
         }
@@ -331,6 +344,9 @@ impl System {
     /// all pending provenance, then returns the rotated log paths per
     /// mount, absolute.
     pub fn rotate_all_logs(&mut self) -> Vec<(MountId, Vec<String>)> {
+        // Visibility barrier: land any observer-side write burst in
+        // the logs before sealing them.
+        self.kernel.barrier();
         let mut out = Vec::new();
         for (path, m, _) in &self.volumes {
             if let Some(d) = self.kernel.dpapi_at(*m) {

@@ -75,7 +75,7 @@ fn multi_volume_system(nvol: u32, rounds: usize) -> System {
         // different logs with salted batch ids.
         let vol = VolumeId((round as u32 % nvol) + 1);
         let h = sys.kernel.pass_mkobj(pid, Some(vol)).unwrap();
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         txn.disclose(
             h,
             Bundle::single(

@@ -1,0 +1,297 @@
+//! Observer-side batching equivalence: a machine that aggregates pure
+//! write bursts into one volume transaction produces a
+//! **byte-identical** provenance store to a machine disclosing every
+//! intercepted write synchronously.
+//!
+//! Each case replays a random syscall script (writes, reads, stats,
+//! fsyncs, renames, across two processes and two files) on both
+//! machines, drains both logs into Waldo, and compares
+//! `Store::segment_images` — the canonical oracle. Deterministic
+//! companions check that batching actually coalesces (the stats move)
+//! and that every visibility barrier exposes the deferred state.
+
+use dpapi::VolumeId;
+use passv2::{ObserverBatchConfig, System, SystemBuilder};
+use proptest::prelude::*;
+use sim_os::cost::CostModel;
+use sim_os::proc::{Fd, Pid};
+use sim_os::syscall::OpenFlags;
+use waldo::WaldoConfig;
+
+const PROCS: usize = 2;
+const FILES: usize = 2;
+
+#[derive(Clone, Debug)]
+enum Action {
+    /// Cursor write by process `who` to file `file` (append barriers
+    /// would flush every burst; cursor writes are the batchable path).
+    Write {
+        who: usize,
+        file: usize,
+        len: usize,
+        tag: u8,
+    },
+    /// Cursor read — a visibility barrier through the module.
+    Read { who: usize, file: usize, len: usize },
+    /// `stat(2)` — a kernel-side visibility barrier.
+    Stat { file: usize },
+    /// `fsync(2)` — durability barrier.
+    Fsync { who: usize, file: usize },
+    /// Rename file `file` — discloses the new name immediately.
+    Rename { file: usize, tag: u8 },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        // Writes three ways so bursts actually form between barriers.
+        (0..PROCS, 0..FILES, 1usize..48, any::<u8>()).prop_map(|(who, file, len, tag)| {
+            Action::Write {
+                who,
+                file,
+                len,
+                tag,
+            }
+        }),
+        (0..PROCS, 0..FILES, 1usize..48, any::<u8>()).prop_map(|(who, file, len, tag)| {
+            Action::Write {
+                who,
+                file,
+                len,
+                tag,
+            }
+        }),
+        (0..PROCS, 0..FILES, 1usize..48, any::<u8>()).prop_map(|(who, file, len, tag)| {
+            Action::Write {
+                who,
+                file,
+                len,
+                tag,
+            }
+        }),
+        (0..PROCS, 0..FILES, 0usize..16).prop_map(|(who, file, len)| Action::Read {
+            who,
+            file,
+            len
+        }),
+        (0..FILES).prop_map(|file| Action::Stat { file }),
+        (0..PROCS, 0..FILES).prop_map(|(who, file)| Action::Fsync { who, file }),
+        (0..FILES, any::<u8>()).prop_map(|(file, tag)| Action::Rename { file, tag }),
+    ]
+}
+
+struct Fixture {
+    sys: System,
+    pids: Vec<Pid>,
+    /// `fds[who][file]`, every process holding every file open RDWR.
+    fds: Vec<Vec<Fd>>,
+    renames: usize,
+}
+
+fn fixture(batch: Option<ObserverBatchConfig>) -> Fixture {
+    let mut b = SystemBuilder::new(CostModel::default())
+        .pass_volume("/", VolumeId(1))
+        // One group commit per drained log, so shard generations
+        // depend only on content.
+        .waldo_config(WaldoConfig {
+            ingest_batch: 1 << 20,
+            ..WaldoConfig::default()
+        });
+    if let Some(cfg) = batch {
+        b = b.observer_batch(cfg);
+    }
+    let mut sys = b.build();
+    let mut pids = Vec::new();
+    for i in 0..PROCS {
+        pids.push(sys.spawn(&format!("proc{i}")));
+    }
+    for f in 0..FILES {
+        sys.kernel
+            .write_file(pids[0], &format!("/f{f}"), b"seed")
+            .unwrap();
+    }
+    let fds = pids
+        .iter()
+        .map(|&pid| {
+            (0..FILES)
+                .map(|f| {
+                    sys.kernel
+                        .open(pid, &format!("/f{f}"), OpenFlags::RDWR_CREATE)
+                        .unwrap()
+                })
+                .collect()
+        })
+        .collect();
+    Fixture {
+        sys,
+        pids,
+        fds,
+        renames: 0,
+    }
+}
+
+fn file_path(_fx: &Fixture, file: usize) -> String {
+    format!("/f{file}")
+}
+
+fn run(actions: &[Action], batch: Option<ObserverBatchConfig>) -> Vec<Vec<u8>> {
+    let mut fx = fixture(batch);
+    for a in actions {
+        match *a {
+            Action::Write {
+                who,
+                file,
+                len,
+                tag,
+            } => {
+                let data = vec![b'a' + (tag % 26); len];
+                fx.sys
+                    .kernel
+                    .write(fx.pids[who], fx.fds[who][file], &data)
+                    .unwrap();
+            }
+            Action::Read { who, file, len } => {
+                let _ = fx
+                    .sys
+                    .kernel
+                    .read(fx.pids[who], fx.fds[who][file], len)
+                    .unwrap();
+            }
+            Action::Stat { file } => {
+                let _ = fx
+                    .sys
+                    .kernel
+                    .stat(fx.pids[0], &file_path(&fx, file))
+                    .unwrap();
+            }
+            Action::Fsync { who, file } => {
+                fx.sys
+                    .kernel
+                    .fsync(fx.pids[who], fx.fds[who][file])
+                    .unwrap();
+            }
+            Action::Rename { file, tag } => {
+                let from = file_path(&fx, file);
+                let to = format!("/r{}-{}", fx.renames, tag);
+                fx.sys.kernel.rename(fx.pids[0], &from, &to).unwrap();
+                fx.renames += 1;
+                // Rename it straight back so paths stay stable.
+                fx.sys.kernel.rename(fx.pids[0], &to, &from).unwrap();
+            }
+        }
+    }
+    // Drain into a fresh Waldo; rotate_all_logs barriers first, so a
+    // trailing burst lands in the sealed log.
+    let mut waldo = fx.sys.spawn_waldo();
+    for (_, logs) in fx.sys.rotate_all_logs() {
+        for log in logs {
+            waldo.ingest_log_file(&mut fx.sys.kernel, &log);
+        }
+    }
+    waldo.db.segment_images()
+}
+
+fn small_batch() -> ObserverBatchConfig {
+    ObserverBatchConfig {
+        max_ops: 4,
+        max_bytes: 1 << 16,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The standing oracle: batched and synchronous machines are
+    /// indistinguishable in the provenance database, byte for byte.
+    #[test]
+    fn batched_store_is_byte_equal_to_synchronous(
+        actions in proptest::collection::vec(arb_action(), 1..24)
+    ) {
+        let sync = run(&actions, None);
+        let batched = run(&actions, Some(small_batch()));
+        prop_assert_eq!(sync, batched);
+    }
+}
+
+/// Batching actually batches: a pure write burst defers everything
+/// after the first (ancestry-carrying) write and flushes once.
+#[test]
+fn burst_coalesces_writes_and_flushes_once() {
+    let mut fx = fixture(Some(ObserverBatchConfig {
+        max_ops: 64,
+        max_bytes: 1 << 20,
+    }));
+    let (pid, fd) = (fx.pids[0], fx.fds[0][0]);
+    for i in 0..6 {
+        fx.sys
+            .kernel
+            .write(pid, fd, &[b'x' + (i % 3) as u8; 32])
+            .unwrap();
+    }
+    let mid = fx.sys.pass.stats();
+    // The seed write already created the proc->file edge, so every fd
+    // write is a pure continuation and defers.
+    assert_eq!(mid.observer_batched_ops, 6);
+    assert_eq!(mid.observer_batches, 0, "burst still pending");
+    fx.sys.kernel.barrier();
+    let end = fx.sys.pass.stats();
+    assert_eq!(end.observer_batches, 1, "one commit for the whole burst");
+    assert_eq!(end.observer_flush_failures, 0);
+    // The data all landed, in order.
+    let got = fx.sys.kernel.read_file(pid, "/f0").unwrap();
+    assert_eq!(got.len(), 6 * 32);
+}
+
+/// The ops ceiling bounds burst memory: the burst flushes itself once
+/// it holds `max_ops` writes, without any barrier.
+#[test]
+fn burst_flushes_at_the_ops_ceiling() {
+    let mut fx = fixture(Some(ObserverBatchConfig {
+        max_ops: 3,
+        max_bytes: 1 << 20,
+    }));
+    let (pid, fd) = (fx.pids[0], fx.fds[0][0]);
+    for _ in 0..8 {
+        fx.sys.kernel.write(pid, fd, b"yyyyyyyy").unwrap();
+    }
+    let s = fx.sys.pass.stats();
+    assert_eq!(s.observer_batched_ops, 8);
+    assert!(
+        s.observer_batches >= 2,
+        "8 deferred writes over a 3-op ceiling flush at least twice, got {}",
+        s.observer_batches
+    );
+}
+
+/// Every observation of deferred state flushes first: size via stat,
+/// bytes via read, and the append offset all see the burst.
+#[test]
+fn visibility_barriers_expose_deferred_state() {
+    let mut fx = fixture(Some(ObserverBatchConfig {
+        max_ops: 64,
+        max_bytes: 1 << 20,
+    }));
+    let (pid, fd) = (fx.pids[0], fx.fds[0][0]);
+    fx.sys.kernel.write(pid, fd, b"0123456789").unwrap();
+    fx.sys.kernel.write(pid, fd, b"abcdefghij").unwrap();
+    assert_eq!(
+        fx.sys.pass.stats().observer_batched_ops,
+        2,
+        "both writes deferred (the seed write created the edge)"
+    );
+    // stat(2) barriers: the size includes the deferred write.
+    let size = fx.sys.kernel.stat(pid, "/f0").unwrap().size;
+    assert_eq!(size, 20);
+    assert_eq!(fx.sys.pass.stats().observer_batches, 1);
+    // A fresh burst, then an O_APPEND writer: the append offset must
+    // account for the pending bytes.
+    fx.sys.kernel.write(pid, fd, b"KLMNO").unwrap();
+    fx.sys.kernel.write(pid, fd, b"PQRST").unwrap();
+    let afd = fx
+        .sys
+        .kernel
+        .open(pid, "/f0", OpenFlags::APPEND_CREATE)
+        .unwrap();
+    fx.sys.kernel.write(pid, afd, b"!").unwrap();
+    let got = fx.sys.kernel.read_file(pid, "/f0").unwrap();
+    assert_eq!(&got[20..31], b"KLMNOPQRST!");
+}

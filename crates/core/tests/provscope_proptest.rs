@@ -32,7 +32,7 @@ fn disclose_rounds(sys: &mut System, volume: VolumeId, rounds: usize, batch_ops:
         .pass_mkobj(pid, Some(volume))
         .expect("mkobj on a PASS volume");
     for round in 0..rounds {
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         for i in 0..batch_ops - 1 {
             let mut bundle = dpapi::Bundle::new();
             bundle.push(

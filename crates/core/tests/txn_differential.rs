@@ -168,7 +168,7 @@ fn run_single(ops: &[OpSpec]) -> Vec<Vec<u8>> {
 
 fn run_batched(ops: &[OpSpec]) -> Vec<Vec<u8>> {
     let mut fx = fixture();
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     for spec in ops {
         match spec {
             OpSpec::FileWrite { .. } | OpSpec::AppDisclose { .. } => {

@@ -385,7 +385,7 @@ mod tests {
     fn multi_op_transaction_returns_aligned_results() {
         let mut layer = MiniLayer::new();
         let h = layer.pass_mkobj(None).unwrap();
-        let mut txn = crate::pass_begin();
+        let mut txn = crate::Txn::new();
         txn.write(
             h,
             0,
@@ -409,7 +409,7 @@ mod tests {
         let mut layer = MiniLayer::new();
         let h = layer.pass_mkobj(None).unwrap();
         let bogus = Handle::from_raw(999);
-        let mut txn = crate::pass_begin();
+        let mut txn = crate::Txn::new();
         txn.freeze(h).sync(bogus);
         let err = layer.pass_commit(txn).unwrap_err();
         assert_eq!(

@@ -48,6 +48,83 @@ pub enum DpapiError {
         /// Why that operation failed.
         cause: Box<DpapiError>,
     },
+    /// An admission-controlled front door (the sluice) refused the
+    /// submission before any of its operations ran. Unlike
+    /// [`DpapiError::TxnAborted`], a rejection means the transaction
+    /// was never enqueued: nothing was validated, logged or applied,
+    /// and the caller may retry the identical transaction later.
+    Rejected(RejectReason),
+}
+
+/// Why an admission-controlled layer refused a submission.
+///
+/// Backpressure reasons (`QueueFull*`) are transient — capacity frees
+/// as the drainer commits queued work. Quota reasons (`Quota*`) are
+/// per-client: other clients may still be admitted, and the rejected
+/// client regains budget only as its own in-flight work completes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// The shared queue's operation budget is exhausted.
+    QueueFullOps {
+        /// Operations currently queued or in flight.
+        queued: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// The shared queue's byte budget is exhausted.
+    QueueFullBytes {
+        /// Payload bytes currently queued or in flight.
+        queued: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// The submitting client's per-client operation quota is spent.
+    QuotaOps {
+        /// The client whose quota is exhausted.
+        client: u64,
+        /// That client's operations currently in flight.
+        in_flight: usize,
+        /// That client's configured ceiling.
+        limit: usize,
+    },
+    /// The submitting client's per-client byte quota is spent.
+    QuotaBytes {
+        /// The client whose quota is exhausted.
+        client: u64,
+        /// That client's payload bytes currently in flight.
+        in_flight: usize,
+        /// That client's configured ceiling.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFullOps { queued, limit } => {
+                write!(f, "queue full: {queued} ops in flight, limit {limit}")
+            }
+            RejectReason::QueueFullBytes { queued, limit } => {
+                write!(f, "queue full: {queued} bytes in flight, limit {limit}")
+            }
+            RejectReason::QuotaOps {
+                client,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "client {client} op quota exhausted: {in_flight} in flight, limit {limit}"
+            ),
+            RejectReason::QuotaBytes {
+                client,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "client {client} byte quota exhausted: {in_flight} in flight, limit {limit}"
+            ),
+        }
+    }
 }
 
 impl DpapiError {
@@ -91,6 +168,9 @@ impl fmt::Display for DpapiError {
                     "disclosure transaction aborted at op {failed_op}: {cause}"
                 )
             }
+            DpapiError::Rejected(reason) => {
+                write!(f, "submission rejected: {reason}")
+            }
         }
     }
 }
@@ -131,6 +211,27 @@ mod tests {
         assert_eq!(multi.clone().into_single_op_cause(), multi);
         let plain = DpapiError::InvalidHandle;
         assert_eq!(plain.clone().into_single_op_cause(), plain);
+    }
+
+    #[test]
+    fn rejection_displays_are_specific() {
+        assert_eq!(
+            DpapiError::Rejected(RejectReason::QueueFullOps {
+                queued: 64,
+                limit: 64
+            })
+            .to_string(),
+            "submission rejected: queue full: 64 ops in flight, limit 64"
+        );
+        assert_eq!(
+            DpapiError::Rejected(RejectReason::QuotaBytes {
+                client: 3,
+                in_flight: 4096,
+                limit: 4096
+            })
+            .to_string(),
+            "submission rejected: client 3 byte quota exhausted: 4096 in flight, limit 4096"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! # DPAPI v2: disclosure transactions
 //!
 //! Since v2 the five disclosing calls are sugar over one batched
-//! entry point: [`pass_begin`] opens a [`Txn`], [`Txn::add`] queues
+//! entry point: [`Txn::new`] opens a [`Txn`], [`Txn::add`] queues
 //! [`DpapiOp`]s, and [`Dpapi::pass_commit`] applies the whole vector
 //! atomically, returning one [`OpResult`] per op. A batch crosses
 //! every layer boundary as a unit — one syscall at the kernel, one
@@ -55,7 +55,7 @@ pub mod txn;
 pub mod wire;
 
 pub use api::{run_op_single_shot, Dpapi, Handle, ObjectKind, ReadResult, WriteResult};
-pub use error::{DpapiError, Result};
+pub use error::{DpapiError, RejectReason, Result};
 pub use id::{ObjectRef, Pnode, PnodeAllocator, Version, VolumeId};
 pub use record::{Attribute, Bundle, BundleEntry, ProvenanceRecord, Value};
-pub use txn::{pass_begin, DpapiOp, OpResult, Txn};
+pub use txn::{DpapiOp, OpResult, Txn};

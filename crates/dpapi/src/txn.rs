@@ -6,9 +6,9 @@
 //! layer hand its substrate an entire vector of operations at once:
 //!
 //! ```
-//! use dpapi::{pass_begin, Bundle, Handle};
+//! use dpapi::{Bundle, Handle, Txn};
 //!
-//! let mut txn = pass_begin();
+//! let mut txn = Txn::new();
 //! txn.mkobj(None);
 //! txn.disclose(Handle::from_raw(7), Bundle::new());
 //! txn.sync(Handle::from_raw(7));
@@ -153,7 +153,13 @@ pub struct Txn {
 }
 
 impl Txn {
-    /// Starts an empty transaction (alias of [`pass_begin`]).
+    /// Starts an empty transaction — the one constructor path.
+    ///
+    /// This is the DPAPI v2 spelling of "open a batch" (the paper's
+    /// `pass_begin`). `Txn` also derives [`Default`], which this
+    /// delegates to, so struct-update and container contexts need no
+    /// special casing; there is no other way to make a `Txn` besides
+    /// collecting [`DpapiOp`]s via [`FromIterator`].
     pub fn new() -> Txn {
         Txn::default()
     }
@@ -234,19 +240,13 @@ impl FromIterator<DpapiOp> for Txn {
     }
 }
 
-/// Begins a new disclosure transaction — the DPAPI v2 spelling of
-/// "open a batch".
-pub fn pass_begin() -> Txn {
-    Txn::new()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn builder_preserves_op_order() {
-        let mut txn = pass_begin();
+        let mut txn = Txn::new();
         let h = Handle::from_raw(3);
         txn.mkobj(None).disclose(h, Bundle::new()).freeze(h).sync(h);
         assert_eq!(txn.len(), 4);
@@ -273,6 +273,6 @@ mod tests {
             .collect();
         assert_eq!(txn.len(), 3);
         assert!(!txn.is_empty());
-        assert!(pass_begin().is_empty());
+        assert!(Txn::new().is_empty());
     }
 }

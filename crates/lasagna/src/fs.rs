@@ -1124,7 +1124,7 @@ mod tests {
         let h = v.handle_for_ino(ino).unwrap();
         let mut b = Bundle::new();
         b.push(h, ProvenanceRecord::new(Attribute::Name, Value::str("f")));
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         txn.write(h, 0, b"payload".to_vec(), b).freeze(h).sync(h);
         let results = v.pass_commit(txn).unwrap();
         assert_eq!(results.len(), 3);
@@ -1167,7 +1167,7 @@ mod tests {
         let bytes_before = v.stats().provenance_bytes;
         let version_before = v.identity_of_ino(ino).unwrap().version;
         let bogus = Handle::from_raw(9999);
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         txn.write(h, 0, b"after".to_vec(), Bundle::new())
             .freeze(bogus);
         let err = v.pass_commit(txn).unwrap_err();
@@ -1194,7 +1194,7 @@ mod tests {
                 Value::Int(1),
             ),
         );
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         txn.freeze(h).write(h, 0, b"data".to_vec(), bad);
         let err = v.pass_commit(txn).unwrap_err();
         assert!(

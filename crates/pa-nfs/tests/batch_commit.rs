@@ -59,7 +59,7 @@ fn batched_commit_is_one_rpc_and_matches_singles() {
     let (mut batched, ino_b, batched_srv) = setup(7);
     let h = batched.handle_for_ino(ino_b).unwrap();
     let base = batched.stats();
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     for i in 0..N {
         txn.disclose(h, Bundle::single(h, record(i)));
     }
@@ -110,7 +110,7 @@ fn batched_commit_is_one_rpc_and_matches_singles() {
 fn server_abort_names_failing_op_and_applies_nothing() {
     let (mut client, ino, server) = setup(9);
     let h = client.handle_for_ino(ino).unwrap();
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     txn.write(h, 0, b"must not land".to_vec(), Bundle::new())
         .revive(Pnode::new(VolumeId(9), 424_242), Version(0));
     let err = client.pass_commit(txn).unwrap_err();
@@ -134,7 +134,7 @@ fn client_abort_on_unresolvable_handle_sends_nothing() {
     let (mut client, _ino, _server) = setup(3);
     let bogus = dpapi::Handle::from_raw(555);
     let before = client.stats();
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     txn.mkobj(None).freeze(bogus);
     let err = client.pass_commit(txn).unwrap_err();
     assert_eq!(err, DpapiError::aborted_at(1, DpapiError::InvalidHandle));
@@ -146,14 +146,14 @@ fn client_abort_on_unresolvable_handle_sends_nothing() {
 fn batched_mkobj_and_revive_roundtrip() {
     let (mut client, ino, _server) = setup(4);
     let file_h = client.handle_for_ino(ino).unwrap();
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     txn.mkobj(None).freeze(file_h).sync(file_h);
     let results = client.pass_commit(txn).unwrap();
     let session = results[0].as_handle().expect("mkobj handle");
     assert_eq!(results[1].as_version(), Some(Version(1)));
     // The new object is usable immediately after the commit.
     let id = client.pass_read(session, 0, 0).unwrap().identity;
-    let mut txn = dpapi::pass_begin();
+    let mut txn = dpapi::Txn::new();
     txn.revive(id.pnode, id.version);
     let results = client.pass_commit(txn).unwrap();
     let revived = results[0].as_handle().expect("revive handle");

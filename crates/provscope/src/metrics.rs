@@ -105,14 +105,21 @@ impl Histogram {
     }
 }
 
-/// A registry of named counters and histograms.
+/// A registry of named counters, gauges and histograms.
 ///
-/// Keys are dotted strings; both maps are `BTreeMap` so iteration —
+/// Keys are dotted strings; all maps are `BTreeMap` so iteration —
 /// and therefore every rendered table and export — is
 /// deterministically ordered.
+///
+/// Counters only ever add; gauges are *level* metrics (queue depth,
+/// in-flight ops) that can move both ways, so [`Registry::set_gauge`]
+/// overwrites and merging keeps the **maximum** — the deterministic
+/// "high-water mark" interpretation that makes a merged cluster
+/// registry report peak pressure rather than a meaningless sum.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     hists: BTreeMap<String, Histogram>,
 }
 
@@ -132,6 +139,24 @@ impl Registry {
         self.hists.entry(name.to_string()).or_default().observe(v);
     }
 
+    /// Sets gauge `name` to its current level `v` (overwrites).
+    pub fn set_gauge(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Raises gauge `name` to `v` if `v` is higher — records a
+    /// high-water mark without clobbering an earlier peak.
+    pub fn gauge_max(&mut self, name: &str, v: u64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    /// Merges a pre-built histogram into histogram `name` — the export
+    /// path for sources that already aggregate latencies locally.
+    pub fn absorb_histogram(&mut self, name: &str, h: &Histogram) {
+        self.hists.entry(name.to_string()).or_default().merge(h);
+    }
+
     /// Pours a [`MetricSource`] in, prefixing every key — e.g.
     /// `absorb("member0.kernel.", &stats)`.
     pub fn absorb(&mut self, prefix: &str, source: &dyn MetricSource) {
@@ -141,11 +166,15 @@ impl Registry {
         });
     }
 
-    /// Merges another registry into this one (counters add,
-    /// histograms merge).
+    /// Merges another registry into this one (counters add, gauges
+    /// keep the maximum, histograms merge).
     pub fn merge(&mut self, other: &Registry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(k.clone()).or_insert(0);
+            *g = (*g).max(*v);
         }
         for (k, h) in &other.hists {
             self.hists.entry(k.clone()).or_default().merge(h);
@@ -155,6 +184,16 @@ impl Registry {
     /// Counter value (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// Histogram by name.
@@ -169,18 +208,31 @@ impl Registry {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.hists.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
 
     /// Renders everything as an aligned text table: counters first
-    /// (key order), then histograms with count/mean/p50/p99. This is
-    /// the one stats printer the bench binaries share.
+    /// (key order), then gauges, then histograms with
+    /// count/mean/p50/p99. This is the one stats printer the bench
+    /// binaries share.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         if !self.counters.is_empty() {
             let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
             for (k, v) in &self.counters {
                 let _ = writeln!(out, "  {k:<w$}  {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let w = self
+                .gauges
+                .keys()
+                .map(|k| k.len() + "(gauge)".len() + 1)
+                .max()
+                .unwrap_or(0);
+            for (k, v) in &self.gauges {
+                let key = format!("{k} (gauge)");
+                let _ = writeln!(out, "  {key:<w$}  {v:>12}");
             }
         }
         if !self.hists.is_empty() {
@@ -252,6 +304,40 @@ mod tests {
         assert_eq!(r.counter("member0.txns"), 3);
         assert_eq!(r.counter("member1.ops"), 24);
         assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_merge_as_peak() {
+        let mut a = Registry::new();
+        a.set_gauge("queue.depth", 9);
+        a.set_gauge("queue.depth", 4); // level metric: overwrites
+        assert_eq!(a.gauge("queue.depth"), 4);
+        a.gauge_max("queue.peak", 4);
+        a.gauge_max("queue.peak", 2); // high-water mark: keeps 4
+        assert_eq!(a.gauge("queue.peak"), 4);
+        let mut b = Registry::new();
+        b.set_gauge("queue.depth", 7);
+        a.merge(&b);
+        // Merge keeps the maximum, not the sum.
+        assert_eq!(a.gauge("queue.depth"), 7);
+        assert_eq!(a.gauge("missing"), 0);
+        assert!(!a.is_empty());
+        let table = a.render_table();
+        assert!(table.contains("queue.depth (gauge)"));
+        let keys: Vec<&str> = a.gauges().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["queue.depth", "queue.peak"]);
+    }
+
+    #[test]
+    fn absorb_histogram_merges_prebuilt() {
+        let mut h = Histogram::default();
+        h.observe(10);
+        h.observe(20);
+        let mut r = Registry::new();
+        r.observe("lat", 5);
+        r.absorb_histogram("lat", &h);
+        assert_eq!(r.histogram("lat").unwrap().count(), 3);
+        assert_eq!(r.histogram("lat").unwrap().sum(), 35);
     }
 
     #[test]

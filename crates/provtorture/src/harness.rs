@@ -338,7 +338,7 @@ fn execute(
                 h,
                 ProvenanceRecord::new(Attribute::Name, Value::str(format!("stage-r{round}"))),
             );
-            let mut txn = dpapi::pass_begin();
+            let mut txn = dpapi::Txn::new();
             txn.disclose(h, bundle).sync(h);
             sys.kernel
                 .pass_commit(driver, txn)

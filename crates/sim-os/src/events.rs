@@ -192,6 +192,16 @@ pub trait PassModule {
     fn on_drop_inode(&self, ctx: &mut HookCtx<'_>, loc: FileLoc) {
         let _ = (ctx, loc);
     }
+
+    /// A visibility barrier: the kernel is about to expose file or
+    /// directory state to an observer (`stat`, `readdir`, `fsync`,
+    /// `sync`, an `open` or `execve` path lookup). A module that
+    /// defers work — e.g. batching a burst of observed writes into
+    /// one transaction — must make everything it holds back visible
+    /// before returning.
+    fn on_barrier(&self, ctx: &mut HookCtx<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// The disclosed-provenance entry points of a provenance module.

@@ -293,6 +293,16 @@ impl Kernel {
         Some(f(&m, &mut ctx))
     }
 
+    /// A visibility barrier: forces the module to make any deferred
+    /// work (e.g. a batched burst of observed writes) visible. The
+    /// kernel runs this wherever file or directory state becomes
+    /// observable without going through the module's own hooks —
+    /// `stat`, `fsync`, `readdir`, `sync`, and the state reads at the
+    /// top of `open`, `execve` and append-mode `write`.
+    pub fn barrier(&mut self) {
+        self.with_module(|m, ctx| m.on_barrier(ctx));
+    }
+
     // ---- process lifecycle -----------------------------------------------
 
     /// Spawns the first process.
@@ -333,6 +343,8 @@ impl Kernel {
         env: &[String],
     ) -> FsResult<()> {
         self.charge_syscall();
+        // The image read below must see every deferred write.
+        self.barrier();
         let loc = self.resolve_file(path).ok();
         // Loading the image costs a read of the binary (up to 256 KB).
         let mut identity = None;
@@ -391,6 +403,9 @@ impl Kernel {
     /// `open(2)`.
     pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> FsResult<Fd> {
         self.charge_syscall();
+        // The lookup, O_TRUNC truncate and O_APPEND size read below
+        // must see every deferred write.
+        self.barrier();
         let (m, dir, name) = self.resolve_parent(path)?;
         let fs = &mut *self.mounts[m.0].fs;
         let (ino, created) = match fs.lookup(dir, &name) {
@@ -461,7 +476,10 @@ impl Kernel {
             }
             FdTarget::File(loc) => {
                 if open.wrote {
-                    // Close-to-open consistency hook (NFS flush).
+                    // Close-to-open consistency hook (NFS flush). Any
+                    // deferred writes must be in the file system
+                    // before the flush observes it.
+                    self.barrier();
                     let _ = self.mounts[loc.mount.0].fs.close_hint(loc.ino);
                     if let Some(parent) = open.parent {
                         self.inotify.deliver(
@@ -538,6 +556,9 @@ impl Kernel {
         match open.target {
             FdTarget::File(loc) => {
                 let offset = if open.append {
+                    // The append offset is the file size *including*
+                    // any deferred writes — flush them first.
+                    self.barrier();
                     self.mounts[loc.mount.0].fs.getattr(loc.ino)?.size
                 } else {
                     open.offset
@@ -716,6 +737,7 @@ impl Kernel {
     pub fn stat(&mut self, pid: Pid, path: &str) -> FsResult<FileAttr> {
         self.charge_syscall();
         let _ = pid;
+        self.barrier();
         let loc = self.resolve_file(path)?;
         self.mounts[loc.mount.0].fs.getattr(loc.ino)
     }
@@ -723,6 +745,7 @@ impl Kernel {
     /// `fsync(2)`.
     pub fn fsync(&mut self, pid: Pid, fd: Fd) -> FsResult<()> {
         self.charge_syscall();
+        self.barrier();
         let open = self.get_open(pid, fd)?;
         match open.target {
             FdTarget::File(loc) => self.mounts[loc.mount.0].fs.fsync(loc.ino),
@@ -734,12 +757,14 @@ impl Kernel {
     pub fn readdir(&mut self, pid: Pid, path: &str) -> FsResult<Vec<DirEntry>> {
         self.charge_syscall();
         let _ = pid;
+        self.barrier();
         let loc = self.resolve_file(path)?;
         self.mounts[loc.mount.0].fs.readdir(loc.ino)
     }
 
     /// Flushes every mount.
     pub fn sync_all(&mut self) -> FsResult<()> {
+        self.barrier();
         for m in &mut self.mounts {
             m.fs.sync()?;
         }
@@ -1227,7 +1252,7 @@ mod tests {
         let spy = Rc::new(SpyModule::default());
         k.install_module(spy);
         let before = k.stats().syscalls;
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         txn.mkobj(None)
             .sync(Handle::from_raw(1))
             .sync(Handle::from_raw(1));
@@ -1245,7 +1270,7 @@ mod tests {
         let (mut k, pid) = kernel();
         let spy = Rc::new(SpyModule::default());
         k.install_module(spy);
-        let mut txn = dpapi::pass_begin();
+        let mut txn = dpapi::Txn::new();
         txn.sync(Handle::from_raw(1)).freeze(Handle::from_raw(1));
         let err = k.pass_commit(pid, txn).unwrap_err();
         // The structured per-op abort crosses the FsError boundary

@@ -503,11 +503,11 @@ mod tests {
             5,
             "index rebuilt from v1 objects"
         );
-        for i in 0..loaded.store.shard_count() {
-            if !segments[i].is_empty() {
+        for (i, seg) in segments.iter().enumerate() {
+            if !seg.is_empty() {
                 assert_eq!(
                     loaded.store.shard_generation(i),
-                    segments[i].generation + 1,
+                    seg.generation + 1,
                     "shard {i}"
                 );
             }

@@ -22,7 +22,10 @@
 //!   expressiveness harness (every tamper detected or provably
 //!   harmless);
 //! * [`provscope`] — cross-layer span tracing, unified metrics
-//!   registry and per-layer latency attribution.
+//!   registry and per-layer latency attribution;
+//! * [`sluice`] — the asynchronous pipelined disclosure front door:
+//!   bounded submit queue, coalescing drainer, backpressure and
+//!   per-client admission control over any DPAPI substrate.
 //!
 //! The repository-level documents this crate is the index for:
 //! `DESIGN.md` (crate-to-component inventory and the storage engine's
@@ -40,5 +43,6 @@ pub use pql;
 pub use provscope;
 pub use provtorture;
 pub use sim_os;
+pub use sluice;
 pub use waldo;
 pub use workloads;
