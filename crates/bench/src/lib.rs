@@ -306,13 +306,34 @@ pub fn standard_workloads() -> Vec<Box<dyn Workload>> {
 /// Waldo daemons are spawned later by the caller and get the
 /// returned scope via [`waldo::Waldo::set_scope`].
 pub fn enable_tracing(m: &mut Machine) -> provscope::Scope {
+    enable_tracing_mode(m, TraceMode::Unbounded)
+}
+
+/// [`enable_tracing`] with an explicit retention mode; `TraceMode::Off`
+/// wires a disabled scope (every span operation a no-op).
+pub fn enable_tracing_mode(m: &mut Machine, mode: TraceMode) -> provscope::Scope {
     let clock = m.kernel.clock();
-    let scope = provscope::Scope::enabled(move || clock.now());
+    let scope = match mode {
+        TraceMode::Off => provscope::Scope::disabled(),
+        TraceMode::Unbounded => provscope::Scope::enabled(move || clock.now()),
+        TraceMode::Recorder(cfg) => provscope::Scope::recording(move || clock.now(), cfg),
+    };
     m.kernel.set_scope(scope.clone());
     if let Some(p) = &m.pass {
         p.set_scope(scope.clone());
     }
     scope
+}
+
+/// How a traced bench run retains spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No tracing at all — the byte-equality baseline.
+    Off,
+    /// [`provscope::Scope::enabled`]: every span kept forever.
+    Unbounded,
+    /// [`provscope::Scope::recording`]: the bounded flight recorder.
+    Recorder(provscope::RecorderConfig),
 }
 
 /// One traced PA-NFS Postmark round: the span forest, the unified
@@ -330,6 +351,15 @@ pub struct TracedRun {
     /// Normalized segment images of the server-side Waldo store —
     /// the byte-equality witness that tracing changes no behavior.
     pub segment_images: Vec<Vec<u8>>,
+    /// Virtual nanoseconds on the shared clock when the run finished —
+    /// the recorder-overhead gate compares this across trace modes
+    /// (tracing must not advance the clock).
+    pub elapsed_ns: u64,
+    /// Flight-recorder counters (all zero for `Off`/`Unbounded`).
+    pub recorder: provscope::RecorderStats,
+    /// The slow-trace ring, oldest first (empty unless a recorder
+    /// with a finite `slow_threshold_ns` ran).
+    pub slow: Vec<provscope::SlowTraceInfo>,
 }
 
 /// How many disclosure transactions [`traced_postmark`] drives after
@@ -351,16 +381,25 @@ pub const TRACED_DISCLOSURES: usize = 4;
 /// operation is a no-op — [`TracedRun::segment_images`] must not
 /// notice the difference.
 pub fn traced_postmark(batch_ops: usize, traced: bool) -> TracedRun {
+    traced_postmark_with(
+        batch_ops,
+        if traced {
+            TraceMode::Unbounded
+        } else {
+            TraceMode::Off
+        },
+    )
+}
+
+/// [`traced_postmark`] with an explicit [`TraceMode`] — the rig the
+/// recorder-overhead smoke drives at each retention policy.
+pub fn traced_postmark_with(batch_ops: usize, mode: TraceMode) -> TracedRun {
     assert!(
         batch_ops >= 1,
         "a disclosure transaction has at least one op"
     );
     let mut m = build(Config::PaNfs);
-    let scope = if traced {
-        enable_tracing(&mut m)
-    } else {
-        provscope::Scope::disabled()
-    };
+    let scope = enable_tracing_mode(&mut m, mode);
 
     let wl = workloads::Postmark {
         files: 12,
@@ -438,6 +477,9 @@ pub fn traced_postmark(batch_ops: usize, traced: bool) -> TracedRun {
         registry,
         batch_traces,
         segment_images: w.db.segment_images(),
+        elapsed_ns: m.kernel.clock().now(),
+        recorder: scope.recorder_stats(),
+        slow: scope.slow_traces(),
     }
 }
 

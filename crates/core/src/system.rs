@@ -61,6 +61,9 @@ pub struct System {
     pub volumes: Vec<(String, MountId, VolumeId)>,
     /// Storage-engine tuning for Waldo daemons this system spawns.
     pub waldo_cfg: WaldoConfig,
+    /// Flight-recorder retention for [`System::enable_tracing`];
+    /// `None` keeps every span (the unbounded debug mode).
+    recorder: Option<provscope::RecorderConfig>,
 }
 
 /// Builder for [`System`].
@@ -72,6 +75,7 @@ pub struct SystemBuilder {
     provenance_enabled: bool,
     waldo_cfg: WaldoConfig,
     observer_batch: Option<ObserverBatchConfig>,
+    recorder: Option<provscope::RecorderConfig>,
 }
 
 impl SystemBuilder {
@@ -85,7 +89,19 @@ impl SystemBuilder {
             provenance_enabled: true,
             waldo_cfg: WaldoConfig::default(),
             observer_batch: None,
+            recorder: None,
         }
+    }
+
+    /// Bounds the tracing scope [`System::enable_tracing`] creates
+    /// with a flight recorder: ring retention of completed trace
+    /// trees, deterministic head sampling on the volume-salted trace
+    /// id, and tail-based slow-trace pinning (see
+    /// [`provscope::RecorderConfig`]). Without this, tracing keeps
+    /// every span for the life of the scope.
+    pub fn flight_recorder(mut self, cfg: provscope::RecorderConfig) -> Self {
+        self.recorder = Some(cfg);
+        self
     }
 
     /// Enables observer-side write batching: the module aggregates a
@@ -165,6 +181,7 @@ impl SystemBuilder {
             pass,
             volumes,
             waldo_cfg: self.waldo_cfg,
+            recorder: self.recorder,
         }
     }
 }
@@ -200,10 +217,16 @@ impl System {
     ///
     /// Tracing only *reads* the clock — it never advances it, and it
     /// never perturbs batch-id allocation or log bytes, so a traced
-    /// run is byte-identical to an untraced one.
+    /// run is byte-identical to an untraced one. With
+    /// [`SystemBuilder::flight_recorder`] set, the scope retains
+    /// spans under that bounded, deterministically-sampled policy
+    /// instead of keeping everything.
     pub fn enable_tracing(&mut self) -> provscope::Scope {
         let clock = self.kernel.clock();
-        let scope = provscope::Scope::enabled(move || clock.now());
+        let scope = match self.recorder {
+            Some(cfg) => provscope::Scope::recording(move || clock.now(), cfg),
+            None => provscope::Scope::enabled(move || clock.now()),
+        };
         self.kernel.set_scope(scope.clone());
         self.pass.set_scope(scope.clone());
         scope

@@ -30,6 +30,15 @@
 //!   parser ([`parse_chrome_trace`]) so CI can validate an exported
 //!   trace without external dependencies.
 //!
+//! A fourth piece makes the plane production-grade: the **flight
+//! recorder** ([`Scope::recording`], [`RecorderConfig`]) bounds span
+//! memory with whole-tree ring retention, deterministic head
+//! sampling keyed on the volume-salted trace id, and tail-based
+//! slow-trace pinning; the [`health`] module evaluates typed rules
+//! over a [`Registry`] snapshot into a [`HealthReport`]; and
+//! [`Registry::render_prometheus`] exports everything in the
+//! Prometheus text format.
+//!
 //! # Determinism contract
 //!
 //! provscope has **zero ambient entropy**: no wall clock, no
@@ -41,13 +50,26 @@
 //! byte-identical traces, and a run with tracing disabled is
 //! byte-identical (down to the stored provenance) to one with
 //! tracing enabled.
+//!
+//! The flight recorder preserves the contract: the head-sampling
+//! verdict is a pure splitmix64 function of `(seed, trace_id)`, slow
+//! pinning compares root durations on the injected clock, and
+//! eviction order follows completion order — so two same-seed runs
+//! retain byte-identical sampled trace sets and slow rings, and
+//! turning the recorder on never changes a byte of the stored
+//! provenance (the provtorture oracle gates this).
 
 mod export;
+pub mod health;
 mod json;
 mod metrics;
 mod span;
 
 pub use export::{chrome_trace_json, parse_chrome_trace, ChromeEvent};
+pub use health::{HealthReport, HealthRule, HealthViolation};
 pub use json::{parse_json, JsonValue};
 pub use metrics::{Histogram, MetricSource, Registry};
-pub use span::{LayerLatency, Nanos, Scope, Span, SpanHandle, SpanId, Trace, TraceCtx, TraceId};
+pub use span::{
+    LayerLatency, Nanos, RecorderConfig, RecorderStats, Scope, SlowTraceInfo, Span, SpanHandle,
+    SpanId, Trace, TraceCtx, TraceId,
+};

@@ -11,7 +11,10 @@
 
 use std::collections::BTreeMap;
 
-use provtorture::{torture, CaseReport, Verdict, ALL_FAULTS, ALL_TOPOLOGIES};
+use provscope::RecorderConfig;
+use provtorture::{
+    torture, torture_with_recorder, CaseReport, Verdict, ALL_FAULTS, ALL_TOPOLOGIES,
+};
 use workloads::SelfIngest;
 
 /// Interleaving-independent shape of a Chrome trace: span counts per
@@ -36,6 +39,43 @@ fn run_matrix(seed: u64) -> Vec<CaseReport> {
     for topo in ALL_TOPOLOGIES {
         for fault in &ALL_FAULTS {
             reports.push(torture(&wl, topo, fault, seed));
+        }
+    }
+    reports
+}
+
+/// The flight-recorder config for the recorder determinism pass:
+/// bounded ring, half head-sampling at a fixed seed, tail pinning
+/// off (`u64::MAX`) so retention is decided solely by the pure
+/// trace-id predicate — the one part that must reproduce exactly
+/// even on the threaded cluster runtime, where virtual timestamps
+/// (and so any duration-based pinning) depend on interleaving.
+fn recorder_config() -> RecorderConfig {
+    RecorderConfig {
+        capacity: 4096,
+        sample_per_million: 500_000,
+        seed: 0x7061_7373,
+        slow_threshold_ns: u64::MAX,
+        slow_capacity: 4096,
+    }
+}
+
+fn run_matrix_recorded(seed: u64) -> Vec<CaseReport> {
+    let wl = SelfIngest {
+        sources: 3,
+        src_bytes: 512,
+        cpu_per_unit: 500,
+    };
+    let mut reports = Vec::new();
+    for topo in ALL_TOPOLOGIES {
+        for fault in &ALL_FAULTS {
+            reports.push(torture_with_recorder(
+                &wl,
+                topo,
+                fault,
+                seed,
+                Some(recorder_config()),
+            ));
         }
     }
     reports
@@ -89,4 +129,49 @@ fn main() {
     if divergences > 0 {
         std::process::exit(1);
     }
+
+    // Flight-recorder pass: the same matrix with the faulted twin's
+    // scope bounded and head-sampling half the trace trees. The
+    // recorder only decides retention, so every verdict and signal
+    // must match the unbounded pass verbatim; and because sampling is
+    // a pure function of the volume-salted trace id, two same-seed
+    // recorder runs must retain *identical* batch trace-id sets —
+    // exactly the sampled subset of the unbounded run's.
+    let cfg = recorder_config();
+    let rec_a = run_matrix_recorded(seed);
+    let rec_b = run_matrix_recorded(seed);
+    for ((a, b), full) in rec_a.iter().zip(&rec_b).zip(&first) {
+        let cell = format!("{} under {}", a.fault, a.topology.name());
+        assert_eq!(
+            a.verdict(),
+            full.verdict(),
+            "recorder changed the verdict for {cell}"
+        );
+        assert_eq!(
+            a.signals, full.signals,
+            "recorder changed detection signals for {cell}"
+        );
+        assert_eq!(
+            a.sampled_traces, b.sampled_traces,
+            "same-seed recorder runs retained different trace-id sets for {cell}"
+        );
+        let expected: Vec<u64> = full
+            .sampled_traces
+            .iter()
+            .copied()
+            .filter(|&t| cfg.samples(provscope::TraceId(t)))
+            .collect();
+        assert_eq!(
+            a.sampled_traces, expected,
+            "recorder retention is not the pure sampled subset for {cell}"
+        );
+    }
+    let (kept, total): (usize, usize) = (
+        rec_a.iter().map(|r| r.sampled_traces.len()).sum(),
+        first.iter().map(|r| r.sampled_traces.len()).sum(),
+    );
+    println!(
+        "recorder pass: verdicts and signals match the unbounded run; \
+         {kept}/{total} batch traces retained, sets reproduced across two passes"
+    );
 }

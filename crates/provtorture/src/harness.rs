@@ -121,6 +121,13 @@ pub struct CaseReport {
     /// in behavior. Deterministic (virtual clock), so the smoke
     /// binary's reproducibility assertion covers it too.
     pub trace_json: String,
+    /// The volume-salted **batch** trace ids the faulted twin's scope
+    /// retained, sorted. Batch ids are content-derived, so under a
+    /// [`torture_with_recorder`] run with head sampling this set is
+    /// reproducible even on the threaded cluster runtime (where
+    /// synthetic trace ids depend on interleaving) — the smoke binary
+    /// asserts same-seed recorder runs retain identical sets.
+    pub sampled_traces: Vec<u64>,
 }
 
 impl CaseReport {
@@ -226,13 +233,28 @@ fn torture_config() -> WaldoConfig {
 /// Runs one matrix cell: the faulted twin, then the reference twin on
 /// an identical schedule, then the two-sided oracle.
 pub fn torture(w: &dyn Workload, topo: Topology, fault: &Fault, seed: u64) -> CaseReport {
+    torture_with_recorder(w, topo, fault, seed, None)
+}
+
+/// [`torture`] with the faulted twin's scope running the bounded
+/// flight recorder instead of unbounded tracing. The oracle is
+/// unchanged — the recorder only decides which completed trace trees
+/// are *retained*, so verdicts must match the unbounded run's
+/// verbatim (the smoke binary asserts this).
+pub fn torture_with_recorder(
+    w: &dyn Workload,
+    topo: Topology,
+    fault: &Fault,
+    seed: u64,
+    recorder: Option<provscope::RecorderConfig>,
+) -> CaseReport {
     let schedule = Schedule {
         skip_last_checkpoint: fault.skips_final_checkpoint(),
     };
     let mut fault_rng = TortureRng::for_case(seed, w.name(), topo.name(), fault.name());
-    let faulted = execute(w, topo, Some(fault), schedule, &mut fault_rng);
+    let faulted = execute(w, topo, Some(fault), schedule, &mut fault_rng, recorder);
     let mut ref_rng = TortureRng::for_case(seed, w.name(), topo.name(), "reference");
-    let reference = execute(w, topo, None, schedule, &mut ref_rng);
+    let reference = execute(w, topo, None, schedule, &mut ref_rng, None);
     assert!(
         reference.signals.is_empty(),
         "the fault-free twin raised detection signals — a harness bug: {:?}",
@@ -249,6 +271,7 @@ pub fn torture(w: &dyn Workload, topo: Topology, fault: &Fault, seed: u64) -> Ca
         applied: faulted.applied,
         signals: faulted.signals,
         byte_equal,
+        sampled_traces: faulted.trace.batch_traces().iter().map(|t| t.0).collect(),
         trace_json: provscope::chrome_trace_json(&faulted.trace),
     }
 }
@@ -260,7 +283,7 @@ pub fn run_clean(w: &dyn Workload, topo: Topology, seed: u64) -> CleanRun {
     let schedule = Schedule {
         skip_last_checkpoint: false,
     };
-    let out = execute(w, topo, None, schedule, &mut rng);
+    let out = execute(w, topo, None, schedule, &mut rng, None);
     assert!(
         out.signals.is_empty(),
         "a fault-free run raised detection signals: {:?}",
@@ -275,11 +298,15 @@ fn execute(
     fault: Option<&Fault>,
     schedule: Schedule,
     rng: &mut TortureRng,
+    recorder: Option<provscope::RecorderConfig>,
 ) -> RunOutput {
     let cfg = torture_config();
     let mut builder = SystemBuilder::new(CostModel::default())
         .waldo_config(cfg)
         .plain_volume("/db");
+    if let Some(rc) = recorder {
+        builder = builder.flight_recorder(rc);
+    }
     for v in 1..=VOLUMES {
         builder = builder.pass_volume(&format!("/v{v}"), VolumeId(v));
     }

@@ -674,7 +674,10 @@ impl Sluice {
     /// Pours counters (prefixed), queue gauges and the latency
     /// histogram into `reg`. Current levels use `set_gauge`; peaks
     /// use `gauge_max` so repeated exports and cross-member merges
-    /// keep the high-water mark.
+    /// keep the high-water mark. The configured queue budgets ride
+    /// along so health rules can compare each peak against its bound
+    /// (`queue.peak_ops` vs `queue.budget_ops`) without reaching
+    /// back into the sluice.
     pub fn export_metrics(&self, prefix: &str, reg: &mut Registry) {
         reg.absorb(prefix, &self.stats);
         reg.set_gauge(&format!("{prefix}queue.txns"), self.queue.len() as u64);
@@ -683,6 +686,14 @@ impl Sluice {
         reg.gauge_max(&format!("{prefix}queue.peak_txns"), self.peak_txns);
         reg.gauge_max(&format!("{prefix}queue.peak_ops"), self.peak_ops);
         reg.gauge_max(&format!("{prefix}queue.peak_bytes"), self.peak_bytes);
+        reg.set_gauge(
+            &format!("{prefix}queue.budget_ops"),
+            self.cfg.max_queued_ops as u64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}queue.budget_bytes"),
+            self.cfg.max_queued_bytes as u64,
+        );
         if self.latency.count() > 0 {
             reg.absorb_histogram(&format!("{prefix}latency_ns"), &self.latency);
         }

@@ -173,7 +173,7 @@ pub struct VolumePoll {
 /// [`IngestStats`]; this report keeps the member/volume attribution
 /// so a sweep that went wrong says *where* — the ingest-side
 /// counterpart of [`ClusterCheckpointError`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ClusterPollReport {
     /// The rolled-up stats, identical to what
     /// [`Cluster::poll_volumes`] returns for the same sweep.
@@ -184,11 +184,16 @@ pub struct ClusterPollReport {
     /// [`ClusterRuntime::Threaded`] runtime (the sequential runtime
     /// shares one thread, so per-member wall time is not meaningful).
     pub member_timings: Vec<MemberTiming>,
+    /// The health-rule verdicts for the fleet's metric snapshot taken
+    /// right after this sweep (see [`Cluster::set_health_rules`]).
+    pub health: provscope::HealthReport,
 }
 
 impl ClusterPollReport {
     /// The polls that hit trouble: a WAL persist failure, or a log
-    /// tail cut short by truncation or corruption.
+    /// tail cut short by truncation or corruption. Fleet-level health
+    /// verdicts (rules over the metric snapshot, not tied to one
+    /// volume) are in [`ClusterPollReport::health`].
     pub fn issues(&self) -> Vec<&VolumePoll> {
         self.per_volume
             .iter()
@@ -196,6 +201,12 @@ impl ClusterPollReport {
                 p.wal_errors > 0 || p.stats.tails_truncated > 0 || p.stats.tails_corrupt > 0
             })
             .collect()
+    }
+
+    /// True when the sweep was clean end to end: no per-volume issue
+    /// and no health-rule violation.
+    pub fn healthy(&self) -> bool {
+        self.issues().is_empty() && self.health.healthy()
     }
 }
 
@@ -223,6 +234,12 @@ pub struct Cluster {
     query_ops: QueryOps,
     scope: provscope::Scope,
     runtime: ClusterRuntime,
+    /// Rules every [`Cluster::poll_volumes_report`] sweep evaluates
+    /// against the fleet's metric snapshot.
+    health_rules: Vec<provscope::HealthRule>,
+    /// Per-member wall-clock ingest-thread time, accumulated across
+    /// threaded sweeps (`member<i>.poll_wall_ns` in the registry).
+    member_wall: Vec<provscope::Histogram>,
 }
 
 impl Cluster {
@@ -231,12 +248,30 @@ impl Cluster {
     /// wiring). Panics on an empty member list.
     pub fn new(members: Vec<Waldo>) -> Cluster {
         assert!(!members.is_empty(), "a cluster has at least one member");
+        let member_wall = members
+            .iter()
+            .map(|_| provscope::Histogram::default())
+            .collect();
         Cluster {
             members,
             query_ops: QueryOps::default(),
             scope: provscope::Scope::default(),
             runtime: ClusterRuntime::default(),
+            health_rules: provscope::health::standard_rules(),
+            member_wall,
         }
+    }
+
+    /// Replaces the health rules every
+    /// [`Cluster::poll_volumes_report`] sweep evaluates. Defaults to
+    /// [`provscope::health::standard_rules`].
+    pub fn set_health_rules(&mut self, rules: Vec<provscope::HealthRule>) {
+        self.health_rules = rules;
+    }
+
+    /// The active health rules.
+    pub fn health_rules(&self) -> &[provscope::HealthRule] {
+        &self.health_rules
     }
 
     /// Selects the ingest runtime. Both runtimes produce
@@ -342,10 +377,18 @@ impl Cluster {
         kernel: &mut Kernel,
         volumes: &[(String, MountId, VolumeId)],
     ) -> ClusterPollReport {
-        match self.runtime {
+        let mut report = match self.runtime {
             ClusterRuntime::Sequential => self.poll_volumes_sequential(kernel, volumes),
             ClusterRuntime::Threaded => self.poll_volumes_threaded(kernel, volumes),
-        }
+        };
+        // Evaluate the health rules over the post-sweep snapshot: the
+        // fleet's counters plus the tracing scope's flight-recorder
+        // gauges (spans shed, trees evicted).
+        let mut reg = provscope::Registry::new();
+        self.record_metrics(&mut reg);
+        self.scope.export_metrics(&mut reg);
+        report.health = provscope::health::evaluate(&self.health_rules, &reg);
+        report
     }
 
     fn poll_volumes_sequential(
@@ -494,6 +537,9 @@ impl Cluster {
             report.per_volume.push(poll);
         }
         report.member_timings.sort_unstable_by_key(|t| t.member);
+        for t in &report.member_timings {
+            self.member_wall[t.member].observe(t.wall_ns);
+        }
         report
     }
 
@@ -586,6 +632,14 @@ impl Cluster {
         reg.absorb("cluster.query.", &self.query_ops);
         for (i, m) in self.members.iter().enumerate() {
             reg.absorb(&format!("member{i}."), m);
+        }
+        // Wall-clock ingest-thread time per member — only once a
+        // threaded sweep has run, so sequential (virtual-time) runs
+        // keep a wall-clock-free registry.
+        for (i, h) in self.member_wall.iter().enumerate() {
+            if h.count() > 0 {
+                reg.absorb_histogram(&format!("member{i}.poll_wall_ns"), h);
+            }
         }
     }
 }

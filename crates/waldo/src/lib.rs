@@ -83,6 +83,7 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod cluster;
+pub mod contention;
 pub mod daemon;
 pub mod db;
 pub mod graph;
@@ -98,6 +99,7 @@ pub use cluster::{
     ingest_images_threaded, route_volume, Cluster, ClusterCheckpointError, ClusterGraphSource,
     ClusterMemberError, ClusterPollReport, ClusterRuntime, MemberTiming, VolumePoll,
 };
+pub use contention::{AtomicHist, Contention, ContentionStats};
 pub use daemon::{LogImage, QueryOps, RestartError, Waldo};
 pub use db::{DbSize, IngestStats, ObjectEntry, ProvDb, VersionEntry};
 pub use store::{MergeError, Store, WaldoConfig};

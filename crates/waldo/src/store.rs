@@ -65,13 +65,15 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockWriteGuard};
+use std::time::Instant;
 
 use dpapi::{Attribute, ObjectRef, Pnode, Version};
 use lasagna::LogEntry;
 use pql::EdgeLabel;
 
 use crate::cache::{CacheStats, ShardSnapshot, TraversalCache};
+use crate::contention::{Contention, ContentionStats};
 use crate::db::{DbSize, IngestStats, ObjectEntry};
 use crate::shard::{ReverseEdge, Shard};
 
@@ -352,11 +354,14 @@ pub struct Store {
     /// Memoized whole reachability closures, keyed like edge lists —
     /// what repeated PQL `label*`/`label+` queries hit.
     closure_cache: Mutex<TraversalCache<EdgeKey, Vec<ObjectRef>>>,
+    /// Lock-contention profiling: seqlock retry/fallback counters and
+    /// per-level wait histograms. See [`crate::contention`].
+    contention: Contention,
 }
 
 impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let meta = self.meta.lock().unwrap();
+        let meta = self.lock_meta();
         f.debug_struct("Store")
             .field("cfg", &self.cfg)
             .field("objects", &self.object_count())
@@ -404,6 +409,7 @@ impl Store {
             ancestry_cache: Mutex::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
             edge_cache: Mutex::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
             closure_cache: Mutex::new(TraversalCache::new(cfg.ancestry_cache.max(1))),
+            contention: Contention::default(),
         }
     }
 
@@ -457,9 +463,13 @@ impl Store {
     /// between nodes), and side effects must be idempotent (the cache
     /// stores are: a retried attempt overwrites its own key).
     fn read_consistent<R>(&self, f: impl Fn() -> R) -> R {
+        self.contention.epoch_reads.fetch_add(1, Ordering::Relaxed);
         for _ in 0..EPOCH_RETRIES {
             let e1 = self.epoch.load(Ordering::Acquire);
             if e1 & 1 == 1 {
+                self.contention
+                    .epoch_retries
+                    .fetch_add(1, Ordering::Relaxed);
                 std::thread::yield_now();
                 continue;
             }
@@ -467,9 +477,83 @@ impl Store {
             if self.epoch.load(Ordering::Acquire) == e1 {
                 return r;
             }
+            self.contention
+                .epoch_retries
+                .fetch_add(1, Ordering::Relaxed);
         }
-        let _writers_held_off = self.meta.lock().unwrap();
+        self.contention
+            .epoch_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        let _writers_held_off = self.lock_meta();
         f()
+    }
+
+    /// Acquires the meta mutex (lock level 1), recording the
+    /// wall-clock wait into the contention profile.
+    fn lock_meta(&self) -> MutexGuard<'_, StoreMeta> {
+        let t = Instant::now();
+        let guard = self.meta.lock().unwrap();
+        self.contention
+            .meta_wait
+            .observe(t.elapsed().as_nanos() as u64);
+        guard
+    }
+
+    /// Acquires shard `i`'s write lock (lock level 2), recording the
+    /// wall-clock wait into the contention profile. Read locks are
+    /// deliberately untimed — the query hot path stays two loads and
+    /// an uncontended lock.
+    fn shard_write(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
+        let t = Instant::now();
+        let guard = self.shards[i].write().unwrap();
+        self.contention
+            .shard_wait
+            .observe(t.elapsed().as_nanos() as u64);
+        guard
+    }
+
+    /// Acquires one of the query-cache mutexes (lock level 3),
+    /// recording the wall-clock wait into the contention profile.
+    fn lock_cache<'a, T>(&self, cache: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        let t = Instant::now();
+        let guard = cache.lock().unwrap();
+        self.contention
+            .cache_wait
+            .observe(t.elapsed().as_nanos() as u64);
+        guard
+    }
+
+    /// Deterministic seqlock counter snapshot — retries, fallbacks
+    /// and commit windows. A [`provscope::MetricSource`]; absorb it
+    /// under a prefix or use [`Store::export_contention`].
+    pub fn contention_stats(&self) -> ContentionStats {
+        self.contention.stats()
+    }
+
+    /// Exports the full contention profile — the deterministic
+    /// counters under `{prefix}contention.` plus the **wall-clock**
+    /// per-lock-level wait histograms and commit-window durations.
+    /// Opt-in by design: the wall-clock histograms are never part of
+    /// the store's default metric emission, so determinism-asserting
+    /// consumers (byte-equality oracles, trace tests) never see them.
+    pub fn export_contention(&self, prefix: &str, reg: &mut provscope::Registry) {
+        reg.absorb(&format!("{prefix}contention."), &self.contention.stats());
+        reg.absorb_histogram(
+            &format!("{prefix}lock.meta_wait_ns"),
+            &self.contention.meta_wait.snapshot(),
+        );
+        reg.absorb_histogram(
+            &format!("{prefix}lock.shard_wait_ns"),
+            &self.contention.shard_wait.snapshot(),
+        );
+        reg.absorb_histogram(
+            &format!("{prefix}lock.cache_wait_ns"),
+            &self.contention.cache_wait.snapshot(),
+        );
+        reg.absorb_histogram(
+            &format!("{prefix}commit_window_ns"),
+            &self.contention.commit_window.snapshot(),
+        );
     }
 
     /// Current per-shard generations as a lookup for cache
@@ -480,17 +564,17 @@ impl Store {
 
     /// Ancestry-closure cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.ancestry_cache.lock().unwrap().stats
+        self.lock_cache(&self.ancestry_cache).stats
     }
 
     /// Edge-list cache counters (the PQL hot path).
     pub fn edge_cache_stats(&self) -> CacheStats {
-        self.edge_cache.lock().unwrap().stats
+        self.lock_cache(&self.edge_cache).stats
     }
 
     /// Closure cache counters (repeated PQL `label*`/`label+` steps).
     pub fn closure_cache_stats(&self) -> CacheStats {
-        self.closure_cache.lock().unwrap().stats
+        self.lock_cache(&self.closure_cache).stats
     }
 
     // ---- ingestion --------------------------------------------------------
@@ -501,7 +585,7 @@ impl Store {
     /// reference, without passing through the staging queue.
     pub fn ingest(&self, entries: &[LogEntry]) -> IngestStats {
         let mut stats = IngestStats::default();
-        let meta = &mut *self.meta.lock().unwrap();
+        let meta = &mut *self.lock_meta();
         // Direct ingest may not reorder around entries a daemon staged
         // earlier: flush them first, as their own commit. Their counts
         // belong to that commit, not to this call's return value.
@@ -582,14 +666,14 @@ impl Store {
     /// the store's committed transaction context is precisely the
     /// context at the file's high-water mark.
     pub fn begin_stream(&self) {
-        self.meta.lock().unwrap().staged.push(Staged::StreamReset);
+        self.lock_meta().staged.push(Staged::StreamReset);
     }
 
     /// Registers a log file for replay tracking; returns its source
     /// handle and the number of leading entries already committed
     /// (nonzero after a crash between group commits — skip those).
     pub fn register_source(&self, path: &str) -> (usize, usize) {
-        let meta = &mut *self.meta.lock().unwrap();
+        let meta = &mut *self.lock_meta();
         if let Some(i) = meta
             .source_files
             .iter()
@@ -616,14 +700,14 @@ impl Store {
     /// Stages one entry for the next group commit. No durable state
     /// changes here: transaction routing happens at commit time.
     pub fn stage(&self, entry: LogEntry, source: Option<usize>) {
-        let meta = &mut *self.meta.lock().unwrap();
+        let meta = &mut *self.lock_meta();
         meta.staged.push(Staged::Entry { entry, source });
         meta.staged_entries += 1;
     }
 
     /// Number of entries staged for the next commit.
     pub fn staged_len(&self) -> usize {
-        self.meta.lock().unwrap().staged_entries
+        self.lock_meta().staged_entries
     }
 
     /// Applies every staged entry as one atomic group commit:
@@ -633,7 +717,7 @@ impl Store {
     /// to their ancestors' shards, source-file marks advance, and each
     /// touched shard's generation is bumped exactly once.
     pub fn commit_staged(&self, stats: &mut IngestStats) {
-        let meta = &mut *self.meta.lock().unwrap();
+        let meta = &mut *self.lock_meta();
         self.commit_staged_locked(meta, stats);
     }
 
@@ -717,7 +801,7 @@ impl Store {
     /// skipped wholesale) by the per-volume high-water check — the
     /// "detected" signal for group-frame duplication tampers.
     pub fn replayed_batches(&self) -> u64 {
-        self.meta.lock().unwrap().replayed_batches
+        self.lock_meta().replayed_batches
     }
 
     /// Applies one commit's entries as an atomic group: entries are
@@ -749,13 +833,14 @@ impl Store {
             }
         }
         self.epoch.fetch_add(1, Ordering::AcqRel);
+        let window_start = Instant::now();
         let mut run: Vec<&LogEntry> = Vec::new();
         for (i, bucket) in buckets.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
             touched |= 1 << i;
-            let shard = &mut *self.shards[i].write().unwrap();
+            let shard = &mut *self.shard_write(i);
             let mut run_start = 0;
             while run_start < bucket.len() {
                 let pnode = subject_of(apply[bucket[run_start] as usize])
@@ -784,16 +869,22 @@ impl Store {
         for edge in reverse {
             let i = (mix_pnode(edge.0) & self.shard_mask) as usize;
             touched |= 1 << i;
-            self.shards[i].write().unwrap().add_reverse_edge(edge);
+            self.shard_write(i).add_reverse_edge(edge);
         }
         for i in 0..self.shards.len() {
             if touched & (1 << i) != 0 {
-                let mut shard = self.shards[i].write().unwrap();
+                let mut shard = self.shard_write(i);
                 shard.generation += 1;
                 self.gens[i].store(shard.generation, Ordering::Release);
             }
         }
         self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.contention
+            .commit_windows
+            .fetch_add(1, Ordering::Relaxed);
+        self.contention
+            .commit_window
+            .observe(window_start.elapsed().as_nanos() as u64);
         touched
     }
 
@@ -909,11 +1000,11 @@ impl Store {
         );
         let (mut ours_guard, theirs_guard);
         if (self as *const Store as usize) < (other as *const Store as usize) {
-            ours_guard = self.meta.lock().unwrap();
-            theirs_guard = other.meta.lock().unwrap();
+            ours_guard = self.lock_meta();
+            theirs_guard = other.lock_meta();
         } else {
-            theirs_guard = other.meta.lock().unwrap();
-            ours_guard = self.meta.lock().unwrap();
+            theirs_guard = other.lock_meta();
+            ours_guard = self.lock_meta();
         }
         let ours = &mut *ours_guard;
         let theirs = &*theirs_guard;
@@ -961,12 +1052,13 @@ impl Store {
         }
         ours.replayed_batches += theirs.replayed_batches;
         self.epoch.fetch_add(1, Ordering::AcqRel);
+        let window_start = Instant::now();
         for i in 0..self.shards.len() {
             let src = &*other.shards[i].read().unwrap();
             if src.objects.is_empty() && src.reverse_index.is_empty() {
                 continue;
             }
-            let dst = &mut *self.shards[i].write().unwrap();
+            let dst = &mut *self.shard_write(i);
             for (p, obj) in &src.objects {
                 let entry = dst.objects.entry(*p).or_default();
                 entry.current = entry.current.max(obj.current);
@@ -1011,6 +1103,12 @@ impl Store {
             self.gens[i].store(dst.generation, Ordering::Release);
         }
         self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.contention
+            .commit_windows
+            .fetch_add(1, Ordering::Relaxed);
+        self.contention
+            .commit_window
+            .observe(window_start.elapsed().as_nanos() as u64);
         self.commit_seq
             .fetch_add(other.commit_seq.load(Ordering::Acquire), Ordering::AcqRel);
         Ok(())
@@ -1021,7 +1119,7 @@ impl Store {
     /// store, plus the transaction the committed stream prefix is
     /// inside.
     pub(crate) fn open_txn_state(&self) -> (Vec<(u64, Vec<LogEntry>)>, Option<u64>) {
-        let meta = self.meta.lock().unwrap();
+        let meta = self.lock_meta();
         let mut txns: Vec<(u64, Vec<LogEntry>)> = meta
             .pending_txns
             .iter()
@@ -1036,7 +1134,7 @@ impl Store {
     /// replay-skip region (if a crash interrupted one). Restart must
     /// restore both or a replayed group frame could apply twice.
     pub(crate) fn batch_state(&self) -> (Vec<(u32, u64)>, Option<u64>) {
-        let meta = self.meta.lock().unwrap();
+        let meta = self.lock_meta();
         let mut hw: Vec<(u32, u64)> = meta.batch_hw.iter().map(|(v, s)| (*v, *s)).collect();
         hw.sort_unstable_by_key(|(v, _)| *v);
         (hw, meta.replay_skip)
@@ -1046,9 +1144,7 @@ impl Store {
     /// mark)`, with an empty path marking a free slot. Preserving slot
     /// indices keeps a restored store's handles identical.
     pub(crate) fn source_state(&self) -> Vec<(String, u64)> {
-        self.meta
-            .lock()
-            .unwrap()
+        self.lock_meta()
             .source_files
             .iter()
             .map(|s| (s.path.clone(), s.committed_mark as u64))
@@ -1102,7 +1198,7 @@ impl Store {
 
     /// The durability frame of the most recent group commit.
     pub fn last_commit_frame(&self) -> Vec<u8> {
-        self.meta.lock().unwrap().commit_frame.clone()
+        self.lock_meta().commit_frame.clone()
     }
 
     /// Number of group commits performed over the store's lifetime.
@@ -1115,7 +1211,7 @@ impl Store {
     /// marks) survives, exactly like a database that crashed between
     /// group commits.
     pub fn drop_staged(&self) {
-        let meta = &mut *self.meta.lock().unwrap();
+        let meta = &mut *self.lock_meta();
         meta.staged.clear();
         meta.staged_entries = 0;
     }
@@ -1123,7 +1219,7 @@ impl Store {
     /// True if every entry of registered source `src` has committed,
     /// given the file held `total` entries.
     pub fn source_fully_committed(&self, src: usize, total: usize) -> bool {
-        self.meta.lock().unwrap().source_files[src].committed_mark >= total
+        self.lock_meta().source_files[src].committed_mark >= total
     }
 
     /// Forgets replay state for `src` (call after unlinking the file;
@@ -1134,7 +1230,7 @@ impl Store {
     /// a double free would alias two future logs onto one slot and
     /// corrupt their replay marks.
     pub fn forget_source(&self, src: usize) {
-        let meta = &mut *self.meta.lock().unwrap();
+        let meta = &mut *self.lock_meta();
         if meta.source_files[src].path.is_empty() {
             return;
         }
@@ -1147,14 +1243,7 @@ impl Store {
 
     /// Transaction ids currently open (orphans if the stream ended).
     pub fn open_txns(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self
-            .meta
-            .lock()
-            .unwrap()
-            .pending_txns
-            .keys()
-            .copied()
-            .collect();
+        let mut v: Vec<u64> = self.lock_meta().pending_txns.keys().copied().collect();
         v.sort_unstable();
         v
     }
@@ -1162,7 +1251,7 @@ impl Store {
     /// Drops an orphaned transaction's buffered records (the server
     /// Waldo's garbage collection of §6.1.2).
     pub fn discard_txn(&self, id: u64) -> usize {
-        let meta = &mut *self.meta.lock().unwrap();
+        let meta = &mut *self.lock_meta();
         if meta.commit_txn == Some(id) {
             meta.commit_txn = None;
         }
@@ -1469,15 +1558,16 @@ impl Store {
             return compute();
         }
         let key: EdgeKey = (node, label.clone(), outgoing);
-        if let Some(hit) = self.edge_cache.lock().unwrap().lookup(&key, self.gen_of()) {
+        if let Some(hit) = self
+            .lock_cache(&self.edge_cache)
+            .lookup(&key, self.gen_of())
+        {
             return hit;
         }
         let mut snapshot = ShardSnapshot::default();
         self.touch_snapshot(&mut snapshot, node.pnode);
         let out = compute();
-        self.edge_cache
-            .lock()
-            .unwrap()
+        self.lock_cache(&self.edge_cache)
             .store(key, out.clone(), snapshot);
         out
     }
@@ -1502,9 +1592,7 @@ impl Store {
         self.read_consistent(|| {
             if cache_on {
                 if let Some(hit) = self
-                    .closure_cache
-                    .lock()
-                    .unwrap()
+                    .lock_cache(&self.closure_cache)
                     .lookup(&key, self.gen_of())
                 {
                     return hit;
@@ -1526,9 +1614,7 @@ impl Store {
             }
             out.sort();
             if cache_on {
-                self.closure_cache
-                    .lock()
-                    .unwrap()
+                self.lock_cache(&self.closure_cache)
                     .store(key.clone(), out.clone(), snapshot);
             }
             out
@@ -1543,9 +1629,7 @@ impl Store {
         self.read_consistent(|| {
             if self.cfg.ancestry_cache > 0 {
                 if let Some(hit) = self
-                    .ancestry_cache
-                    .lock()
-                    .unwrap()
+                    .lock_cache(&self.ancestry_cache)
                     .lookup(&key, self.gen_of())
                 {
                     return hit;
@@ -1591,9 +1675,7 @@ impl Store {
                 .collect();
             out.sort();
             if self.cfg.ancestry_cache > 0 {
-                self.ancestry_cache
-                    .lock()
-                    .unwrap()
+                self.lock_cache(&self.ancestry_cache)
                     .store(key, out.clone(), snapshot);
             }
             out
@@ -1608,9 +1690,7 @@ impl Store {
         self.read_consistent(|| {
             if self.cfg.ancestry_cache > 0 {
                 if let Some(hit) = self
-                    .ancestry_cache
-                    .lock()
-                    .unwrap()
+                    .lock_cache(&self.ancestry_cache)
                     .lookup(&key, self.gen_of())
                 {
                     return hit;
@@ -1630,9 +1710,7 @@ impl Store {
             let mut out: Vec<ObjectRef> = seen.iter().copied().collect();
             out.sort();
             if self.cfg.ancestry_cache > 0 {
-                self.ancestry_cache
-                    .lock()
-                    .unwrap()
+                self.lock_cache(&self.ancestry_cache)
                     .store(key, out.clone(), snapshot);
             }
             out

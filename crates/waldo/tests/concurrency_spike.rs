@@ -172,6 +172,21 @@ fn concurrent_writers_and_readers_stay_consistent() {
         replay.segment_images(),
         "threaded final state diverged from sequential replay"
     );
+
+    // The contention profile observed the run: every commit opened an
+    // epoch window, and the readers went through the epoch-validated
+    // path. Retries/fallbacks are schedule-dependent, but the seqlock
+    // accounting must balance: a fallback implies retries preceded it.
+    let c = store.contention_stats();
+    assert!(c.commit_windows >= WRITERS as u64 * ROUNDS);
+    assert!(c.epoch_reads > 0);
+    let mut reg = provscope::Registry::new();
+    store.export_contention("waldo.", &mut reg);
+    assert_eq!(
+        reg.counter("waldo.contention.commit_windows"),
+        c.commit_windows
+    );
+    assert_eq!(reg.counter("waldo.contention.epoch_reads"), c.epoch_reads);
 }
 
 /// Readers racing a single large commit: start a store with half the
